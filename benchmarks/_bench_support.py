@@ -1,0 +1,116 @@
+"""Shared helpers for the benchmark harness.
+
+Provides dataset caching (so several benchmarks can reuse one generated
+dataset), simple fixed-width table formatting, result persistence and the
+small/full scale switch.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.datagen import make_dataset
+from repro.datagen.datasets import scalability_config
+from repro.datagen.generator import DatasetGenerator, GeneratedDataset
+from repro.datagen.sources import dblp_titles
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: (title, formatted table) pairs collected during the run and printed in the
+#: terminal summary by conftest.pytest_terminal_summary.
+REPORTS: List[Tuple[str, str]] = []
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower() == "full"
+
+# Scaled-down defaults (small) vs. the paper's sizes (full).
+ACCURACY_SIZE = 5000 if FULL_SCALE else 600
+ACCURACY_CLEAN = 500 if FULL_SCALE else 100
+ACCURACY_QUERIES = 500 if FULL_SCALE else 30
+PERFORMANCE_SIZE = 10_000 if FULL_SCALE else 1500
+PERFORMANCE_QUERIES = 100 if FULL_SCALE else 25
+SCALABILITY_SIZES = [10_000, 25_000, 50_000, 100_000] if FULL_SCALE else [500, 1000, 2000, 4000]
+
+#: Query-time / preprocessing benchmarks cover every predicate class; the
+#: combination predicates are the slowest, exactly as in the paper.
+ALL_PREDICATES = [
+    "intersect",
+    "jaccard",
+    "weighted_match",
+    "weighted_jaccard",
+    "cosine",
+    "bm25",
+    "lm",
+    "hmm",
+    "edit_distance",
+    "ges",
+    "ges_jaccard",
+    "ges_apx",
+    "soft_tfidf",
+]
+
+#: Pretty names used in the report tables (matching the paper's labels).
+DISPLAY_NAMES = {
+    "intersect": "IntersectSize",
+    "jaccard": "Jaccard",
+    "weighted_match": "WeightedMatch",
+    "weighted_jaccard": "WeightedJaccard",
+    "cosine": "Cosine (tf-idf)",
+    "bm25": "BM25",
+    "lm": "LM",
+    "hmm": "HMM",
+    "edit_distance": "EditDistance",
+    "ges": "GES",
+    "ges_jaccard": "GESJaccard",
+    "ges_apx": "GESapx",
+    "soft_tfidf": "SoftTFIDF w/JW",
+}
+
+
+@lru_cache(maxsize=None)
+def accuracy_dataset(name: str, seed: int = 42) -> GeneratedDataset:
+    """A (cached) accuracy dataset from Table 5.3, at the configured scale."""
+    return make_dataset(name, size=ACCURACY_SIZE, num_clean=ACCURACY_CLEAN, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def performance_dataset(size: int, seed: int = 42) -> GeneratedDataset:
+    """A (cached) DBLP-titles performance dataset (section 5.5 configuration)."""
+    source = dblp_titles(count=max(2000, size // 4), seed=11)
+    generator = DatasetGenerator(source)
+    return generator.generate(scalability_config(size, seed=seed))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table (first column left-aligned, rest right-aligned)."""
+    materialized = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    header_line = "  ".join(
+        header.ljust(widths[i]) if i == 0 else header.rjust(widths[i])
+        for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(
+                value.ljust(widths[i]) if i == 0 else value.rjust(widths[i])
+                for i, value in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def record_report(experiment: str, title: str, table: str, notes: str = "") -> None:
+    """Register a report for the terminal summary and persist it to disk."""
+    text = table if not notes else f"{table}\n\n{notes}"
+    REPORTS.append((f"{experiment}: {title}", text))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(f"{title}\n\n{text}\n", encoding="utf-8")

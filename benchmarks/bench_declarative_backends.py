@@ -1,0 +1,92 @@
+"""Experiment E14 (ablation) -- declarative realizations across backends.
+
+The paper's framework is declarative: every predicate is plain SQL and can
+run on any relational backend.  This benchmark checks the property the paper
+relies on -- that the declarative realization produces the same ranking as a
+hand-written implementation -- and compares preprocessing plus query cost of
+
+* the direct in-memory implementation,
+* the declarative realization on the from-scratch SQL engine, and
+* the declarative realization on SQLite,
+
+for a representative predicate of each class.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_support import format_table, performance_dataset, record_report
+
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.core.predicates import make_predicate
+from repro.declarative import make_declarative_predicate
+
+PREDICATES = ["jaccard", "bm25", "hmm", "lm"]
+NUM_TUPLES = 300
+NUM_QUERIES = 10
+
+
+def _time_predicate(predicate, strings, queries) -> tuple:
+    started = time.perf_counter()
+    predicate.fit(strings)
+    preprocess = time.perf_counter() - started
+    started = time.perf_counter()
+    rankings = [tuple(s.tid for s in predicate.rank(query, limit=5)) for query in queries]
+    query_seconds = time.perf_counter() - started
+    return preprocess, query_seconds / len(queries), rankings
+
+
+def _run() -> dict:
+    dataset = performance_dataset(NUM_TUPLES)
+    strings = dataset.strings
+    queries = [strings[tid] for tid in dataset.sample_query_tids(NUM_QUERIES, seed=4)]
+    results: dict = {}
+    for name in PREDICATES:
+        variants = {
+            "direct": make_predicate(name),
+            "memory SQL": make_declarative_predicate(name, backend=MemoryBackend()),
+            "sqlite": make_declarative_predicate(name, backend=SQLiteBackend()),
+        }
+        rankings = {}
+        for label, predicate in variants.items():
+            preprocess, per_query, ranking = _time_predicate(predicate, strings, queries)
+            results[(name, label)] = (preprocess, per_query)
+            rankings[label] = ranking
+        results[(name, "agree")] = (
+            rankings["direct"] == rankings["memory SQL"] == rankings["sqlite"]
+        )
+    return results
+
+
+def test_declarative_backends(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name in PREDICATES:
+        for label in ("direct", "memory SQL", "sqlite"):
+            preprocess, per_query = results[(name, label)]
+            rows.append(
+                [
+                    f"{name} ({label})",
+                    f"{preprocess * 1000:.1f}",
+                    f"{per_query * 1000:.2f}",
+                    "yes" if results[(name, "agree")] else "NO",
+                ]
+            )
+    table = format_table(
+        ["predicate (realization)", "preprocess (ms)", "query (ms)", "rankings agree"],
+        rows,
+    )
+    record_report(
+        "declarative_backends",
+        f"Declarative vs. direct realizations ({NUM_TUPLES} tuples, {NUM_QUERIES} queries)",
+        table,
+        notes=(
+            "Expected shape: all three realizations return identical rankings; the "
+            "declarative path pays an overhead for SQL execution (the paper's MySQL "
+            "numbers correspond to the sqlite column here), with the hand-written "
+            "direct implementation fastest."
+        ),
+    )
+    for name in PREDICATES:
+        assert results[(name, "agree")], f"{name}: realizations disagree"

@@ -1,0 +1,82 @@
+"""Experiment E7 -- Figure 5.1: MAP of every predicate per error class.
+
+Figure 5.1 plots MAP for all predicates on the low-, medium- and dirty-error
+dataset classes of Table 5.3.  Expected shape (section 5.4.1):
+
+* on low-error data nearly everything does well except edit distance, GES
+  and the unweighted overlap predicates;
+* as the error level grows, BM25, HMM, LM and SoftTFIDF/JW stay on top,
+  weighted overlap (RS weights) beats plain tf-idf cosine, and the edit-based
+  predicates degrade the most.
+
+At the default (small) scale one representative dataset per class is used;
+set ``REPRO_BENCH_SCALE=full`` to evaluate every CU dataset like the paper.
+"""
+
+from __future__ import annotations
+
+from _bench_support import (
+    ACCURACY_QUERIES,
+    ALL_PREDICATES,
+    DISPLAY_NAMES,
+    FULL_SCALE,
+    accuracy_dataset,
+    format_table,
+    record_report,
+)
+
+from repro.datagen.datasets import ACCURACY_CLASSES
+from repro.eval import ExperimentRunner
+
+PREDICATES = [name for name in ALL_PREDICATES if name not in ("ges_jaccard", "ges_apx")]
+
+CLASS_DATASETS = (
+    ACCURACY_CLASSES
+    if FULL_SCALE
+    else {"low": ["CU8"], "medium": ["CU5"], "dirty": ["CU1"]}
+)
+
+
+def _run() -> dict:
+    results: dict = {}
+    for error_class, dataset_names in CLASS_DATASETS.items():
+        for predicate in PREDICATES:
+            values = []
+            for dataset_name in dataset_names:
+                dataset = accuracy_dataset(dataset_name)
+                runner = ExperimentRunner(dataset, dataset_name)
+                accuracy = runner.evaluate(predicate, num_queries=ACCURACY_QUERIES)
+                values.append(accuracy.mean_average_precision)
+            results[(error_class, predicate)] = sum(values) / len(values)
+    return results
+
+
+def test_figure_5_1_map_by_error_class(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    classes = ["low", "medium", "dirty"]
+    rows = [
+        [DISPLAY_NAMES[predicate]]
+        + [f"{results[(error_class, predicate)]:.3f}" for error_class in classes]
+        for predicate in PREDICATES
+    ]
+    table = format_table(["predicate", "low", "medium", "dirty"], rows)
+    record_report(
+        "figure_5_1",
+        "Figure 5.1 -- MAP per predicate on the low / medium / dirty dataset classes",
+        table,
+        notes=(
+            "Expected shape: BM25 / HMM / LM (and SoftTFIDF w/JW) lead on every class; "
+            "unweighted overlap and edit-based predicates trail, increasingly so on "
+            "the dirty class."
+        ),
+    )
+
+    for error_class in classes:
+        best_probabilistic = max(
+            results[(error_class, name)] for name in ("bm25", "hmm", "lm")
+        )
+        assert best_probabilistic >= results[(error_class, "intersect")] - 0.02
+        assert best_probabilistic >= results[(error_class, "edit_distance")] - 0.02
+    # Accuracy on dirty data is no better than on low-error data.
+    for predicate in PREDICATES:
+        assert results[("dirty", predicate)] <= results[("low", predicate)] + 0.05

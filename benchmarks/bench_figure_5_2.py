@@ -1,0 +1,62 @@
+"""Experiment E8 -- Figure 5.2: preprocessing time per predicate.
+
+Figure 5.2 breaks preprocessing into the tokenization phase and the weight
+calculation phase for a DBLP-titles dataset of 10,000 records.  Expected
+shape (section 5.5.1):
+
+* overlap and edit-based predicates have almost no weight phase;
+* aggregate weighted and language modeling predicates spend most of their
+  time computing weights (LM is the slowest of the probabilistic ones);
+* the combination predicates pay for two-level tokenization, and GESapx is
+  the slowest overall because of min-hash signature computation.
+"""
+
+from __future__ import annotations
+
+from _bench_support import (
+    ALL_PREDICATES,
+    DISPLAY_NAMES,
+    PERFORMANCE_SIZE,
+    format_table,
+    performance_dataset,
+    record_report,
+)
+
+from repro.eval.timing import time_preprocessing
+
+
+def _run() -> dict:
+    strings = performance_dataset(PERFORMANCE_SIZE).strings
+    return {name: time_preprocessing(name, strings) for name in ALL_PREDICATES}
+
+
+def test_figure_5_2_preprocessing_time(benchmark):
+    timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [
+            DISPLAY_NAMES[name],
+            f"{timing.tokenization_seconds * 1000:.1f}",
+            f"{timing.weights_seconds * 1000:.1f}",
+            f"{timing.total_seconds * 1000:.1f}",
+        ]
+        for name, timing in timings.items()
+    ]
+    table = format_table(
+        ["predicate", "tokenize (ms)", "weights (ms)", "total (ms)"], rows
+    )
+    record_report(
+        "figure_5_2",
+        f"Figure 5.2 -- preprocessing time, {PERFORMANCE_SIZE}-tuple titles dataset",
+        table,
+        notes=(
+            "Expected shape: unweighted overlap and edit-based predicates have a "
+            "negligible weight phase; LM has the largest weight phase among the "
+            "probabilistic predicates; GESapx is the most expensive overall."
+        ),
+    )
+
+    # Unweighted predicates do essentially no weight computation.
+    assert timings["intersect"].weights_seconds <= timings["lm"].weights_seconds
+    assert timings["edit_distance"].weights_seconds <= timings["lm"].weights_seconds
+    # GESapx preprocessing (signatures) costs more than plain GESJaccard.
+    assert timings["ges_apx"].total_seconds >= timings["ges_jaccard"].total_seconds * 0.8

@@ -1,0 +1,86 @@
+"""Experiment E10 -- Figure 5.4: query-time scalability with base-table size.
+
+Figure 5.4 plots query time against the number of tuples (10k to 100k DBLP
+titles in the paper).  The predicates form groups:
+
+* G1 = IntersectSize, WeightedMatch, HMM -- a single join with unit query
+  weights, the fastest;
+* G2 = Jaccard, WeightedJaccard, Cosine, BM25 -- a single join plus query
+  weight computation, slightly slower;
+* LM -- needs a three-way join, slower still;
+* the combination predicates (SoftTFIDF, GESJaccard, GESapx, 3-word queries)
+  are the slowest and grow the fastest.
+
+Expected shape: query time grows roughly linearly with the base-table size
+and the group ordering G1 <= G2 <= LM <= combination is preserved at every
+size.
+"""
+
+from __future__ import annotations
+
+from _bench_support import (
+    DISPLAY_NAMES,
+    SCALABILITY_SIZES,
+    format_table,
+    performance_dataset,
+    record_report,
+)
+
+from repro.eval.timing import time_queries
+
+GROUPS = {
+    "G1": ["intersect", "weighted_match", "hmm"],
+    "G2": ["jaccard", "weighted_jaccard", "cosine", "bm25"],
+    "LM": ["lm"],
+    "combination": ["soft_tfidf", "ges_jaccard", "ges_apx"],
+}
+NUM_QUERIES = 15
+
+
+def _run() -> dict:
+    results: dict = {}
+    for size in SCALABILITY_SIZES:
+        dataset = performance_dataset(size)
+        strings = dataset.strings
+        tids = dataset.sample_query_tids(NUM_QUERIES, seed=3)
+        queries = [strings[tid] for tid in tids]
+        short_queries = [" ".join(query.split()[:3]) for query in queries]
+        for group, names in GROUPS.items():
+            for name in names:
+                workload = short_queries if group == "combination" else queries
+                timing = time_queries(name, strings, workload)
+                results[(size, name)] = timing.average_milliseconds
+    return results
+
+
+def test_figure_5_4_scalability(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for group, names in GROUPS.items():
+        for name in names:
+            rows.append(
+                [f"{group}: {DISPLAY_NAMES[name]}"]
+                + [f"{results[(size, name)]:.2f}" for size in SCALABILITY_SIZES]
+            )
+    table = format_table(
+        ["predicate"] + [f"{size} tuples (ms)" for size in SCALABILITY_SIZES], rows
+    )
+    record_report(
+        "figure_5_4",
+        "Figure 5.4 -- average query time vs. base-table size",
+        table,
+        notes=(
+            "Expected shape: query time grows with the base-table size for every "
+            "predicate; the combination predicates are the slowest group at every "
+            "size; G1/G2 remain the fastest."
+        ),
+    )
+
+    smallest, largest = SCALABILITY_SIZES[0], SCALABILITY_SIZES[-1]
+    for group, names in GROUPS.items():
+        for name in names:
+            assert results[(largest, name)] >= results[(smallest, name)] * 0.8, name
+    # Group ordering at the largest size: G1 fastest, combination slowest.
+    g1 = min(results[(largest, name)] for name in GROUPS["G1"])
+    combination = max(results[(largest, name)] for name in GROUPS["combination"])
+    assert combination >= g1

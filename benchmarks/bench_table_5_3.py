@@ -1,0 +1,63 @@
+"""Experiment E2 -- Tables 5.2/5.3/5.4: benchmark dataset generation.
+
+Table 5.2 lists the generator's parameter ranges, Table 5.3 the thirteen
+named dataset configurations (CU1-CU8 and F1-F5) and Table 5.4 sample
+duplicates produced for the CU1 and CU5 configurations.  This benchmark
+regenerates the configuration table, produces sample duplicates and measures
+the generation cost of one accuracy-scale dataset.
+"""
+
+from __future__ import annotations
+
+from _bench_support import ACCURACY_CLEAN, ACCURACY_SIZE, format_table, record_report
+
+from repro.datagen import make_dataset
+from repro.datagen.datasets import DATASET_CONFIGS
+
+
+def _configuration_table() -> str:
+    rows = []
+    for name, config in DATASET_CONFIGS.items():
+        rows.append(
+            [
+                name,
+                config.error_class,
+                f"{config.erroneous_fraction * 100:.0f}%",
+                f"{config.edit_extent * 100:.0f}%",
+                f"{config.token_swap_rate * 100:.0f}%",
+                f"{config.abbreviation_rate * 100:.0f}%",
+            ]
+        )
+    return format_table(
+        ["dataset", "class", "erroneous dup.", "edit extent", "token swap", "abbrev."],
+        rows,
+    )
+
+
+def _sample_duplicates(name: str, count: int = 5) -> str:
+    dataset = make_dataset(name, size=200, num_clean=20, seed=1)
+    cluster = dataset.cluster_members(0)
+    lines = [f"{name}:"]
+    for tid in cluster[:count]:
+        record = dataset.records[tid]
+        tag = "clean" if record.is_clean else "dirty"
+        lines.append(f"  t{tid:<4d} [{tag}] {record.text}")
+    return "\n".join(lines)
+
+
+def test_table_5_3_dataset_configurations(benchmark):
+    dataset = benchmark(make_dataset, "CU1", ACCURACY_SIZE, ACCURACY_CLEAN)
+    table = _configuration_table()
+    samples = "\n\n".join(_sample_duplicates(name) for name in ("CU1", "CU5"))
+    record_report(
+        "table_5_3",
+        "Table 5.3 -- dataset classes (and Table 5.4 sample duplicates)",
+        table,
+        notes=(
+            f"Sample duplicates generated for one cluster (cf. Table 5.4):\n\n{samples}\n\n"
+            f"Benchmark: generating the CU1 accuracy dataset at scale "
+            f"{ACCURACY_SIZE} tuples / {ACCURACY_CLEAN} clean records."
+        ),
+    )
+    assert len(dataset) == ACCURACY_SIZE
+    assert len(DATASET_CONFIGS) == 13

@@ -1,0 +1,71 @@
+"""Experiment E4 -- Table 5.5: accuracy under abbreviation and token-swap errors.
+
+The paper evaluates every predicate on two single-error-type datasets:
+
+* F1 -- only abbreviation errors.  The unweighted overlap predicates and
+  edit distance lose accuracy; all weighted predicates are (near) perfect.
+* F2 -- only token swap errors.  Edit distance and GES lose accuracy; all
+  token-based predicates are perfect.
+
+Paper values (MAP):
+
+    error          Xect  Jac.  WM   WJ   Cosine/BM25/LM/HMM  ED    GES   STfIdf
+    abbrev. (F1)   0.94  0.96  0.98 1.0  1.0                 0.89  1.0   1.0
+    token swap(F2) 1.0   1.0   1.0  1.0  1.0                 0.77  0.94  1.0
+"""
+
+from __future__ import annotations
+
+from _bench_support import (
+    ACCURACY_QUERIES,
+    ALL_PREDICATES,
+    DISPLAY_NAMES,
+    accuracy_dataset,
+    format_table,
+    record_report,
+)
+
+from repro.eval import ExperimentRunner
+
+PREDICATES = [name for name in ALL_PREDICATES if name not in ("ges_jaccard", "ges_apx")]
+
+
+def _run() -> dict:
+    results: dict = {}
+    for dataset_name in ("F1", "F2"):
+        dataset = accuracy_dataset(dataset_name)
+        runner = ExperimentRunner(dataset, dataset_name)
+        for predicate in PREDICATES:
+            accuracy = runner.evaluate(predicate, num_queries=ACCURACY_QUERIES)
+            results[(dataset_name, predicate)] = accuracy.mean_average_precision
+    return results
+
+
+def test_table_5_5_abbreviation_and_token_swap_errors(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for dataset_name, label in (("F1", "abbrev. error (F1)"), ("F2", "token swap (F2)")):
+        rows.append(
+            [label]
+            + [f"{results[(dataset_name, predicate)]:.2f}" for predicate in PREDICATES]
+        )
+    table = format_table(
+        ["error type"] + [DISPLAY_NAMES[predicate] for predicate in PREDICATES], rows
+    )
+    record_report(
+        "table_5_5",
+        "Table 5.5 -- accuracy (MAP) under abbreviation-only and token-swap-only errors",
+        table,
+        notes=(
+            "Expected shape: weighted q-gram predicates stay near 1.0 on both error "
+            "types; edit distance is the weakest on both; GES handles abbreviations "
+            "but drops on token swaps."
+        ),
+    )
+
+    # Weighted predicates must beat edit distance on the abbreviation dataset.
+    assert results[("F1", "bm25")] >= results[("F1", "edit_distance")]
+    # Token-based predicates must beat edit distance on the token-swap dataset.
+    assert results[("F2", "bm25")] >= results[("F2", "edit_distance")]
+    # GES loses more accuracy on token swaps than BM25 does.
+    assert results[("F2", "bm25")] >= results[("F2", "ges")]

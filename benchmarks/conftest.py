@@ -1,0 +1,41 @@
+"""Pytest configuration for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper's
+evaluation (chapter 5).  Results are printed at the end of the run and also
+written to ``benchmarks/results/<experiment>.txt`` so they can be inspected
+without re-running.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    ``small`` (default) runs laptop-scale datasets in a few minutes;
+    ``full`` uses the paper's original sizes (5000-tuple accuracy datasets,
+    10k-100k performance datasets) and can take hours.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import pytest  # noqa: E402
+
+from _bench_support import REPORTS  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every experiment report collected during the run."""
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for title, text in REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

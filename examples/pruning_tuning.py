@@ -1,0 +1,57 @@
+"""Tuning the IDF-pruning performance enhancement (paper section 5.6).
+
+Run with::
+
+    python examples/pruning_tuning.py
+
+The paper's most effective performance enhancement drops stopword-like
+q-grams whose idf falls below ``MIN(idf) + rate * (MAX(idf) - MIN(idf))``
+before any weights are computed.  This example sweeps the pruning rate on a
+dirty dataset and reports, for two predicates, how accuracy (MAP) and query
+time respond -- reproducing the shape of Figure 5.5: a moderate rate buys a
+large speedup at (nearly) no accuracy cost, and even *helps* the unweighted
+predicates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datagen import make_dataset
+from repro.eval import ExperimentRunner, IdfPruner
+
+RATES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+PREDICATES = ["jaccard", "bm25"]
+NUM_QUERIES = 30
+
+
+def main() -> None:
+    dataset = make_dataset("CU1", size=500, num_clean=80, seed=17)
+    runner = ExperimentRunner(dataset, "CU1 (scaled)")
+    queries = [dataset.strings[tid] for tid in runner.query_workload(NUM_QUERIES, seed=1)]
+
+    print(f"Dataset: {len(dataset)} tuples, {dataset.num_clusters()} clusters")
+    print(f"{'predicate':10s} {'rate':>5s} {'kept%':>6s} {'MAP':>7s} {'query ms':>9s}")
+    for name in PREDICATES:
+        for rate in RATES:
+            pruner = IdfPruner(rate).fit(dataset.strings)
+            predicate = pruner.apply(name, dataset.strings)
+            started = time.perf_counter()
+            for query in queries:
+                predicate.rank(query)
+            elapsed_ms = (time.perf_counter() - started) * 1000 / len(queries)
+            accuracy = runner.evaluate(predicate, num_queries=NUM_QUERIES)
+            print(
+                f"{name:10s} {rate:5.2f} {pruner.retained_fraction * 100:6.1f} "
+                f"{accuracy.mean_average_precision:7.3f} {elapsed_ms:9.2f}"
+            )
+        print()
+    print(
+        "Moderate pruning rates (0.2-0.3) cut the token table substantially and "
+        "speed up queries while MAP stays flat (and improves for the unweighted "
+        "Jaccard predicate), as reported in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Record linkage and de-duplication with approximate joins.
+
+Run with::
+
+    python examples/record_linkage.py
+
+The paper frames approximate selections as the building block of record
+linkage (approximate joins) for data cleaning.  This example exercises that
+generalization:
+
+1. two "sources" are simulated -- a clean master list of company names and a
+   dirty feed containing erroneous duplicates of some of them;
+2. an :class:`ApproximateJoiner` links every dirty record to its best master
+   record;
+3. a :class:`Deduplicator` clusters the dirty feed itself and the clustering
+   is scored against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.core import ApproximateJoiner, Deduplicator
+from repro.datagen import DatasetGenerator, GeneratorParameters, company_names
+
+
+def main() -> None:
+    clean_master = company_names(count=150, seed=41)
+    generator = DatasetGenerator(clean_master)
+    dirty_feed = generator.generate(
+        GeneratorParameters(
+            size=300,
+            num_clean=80,
+            erroneous_fraction=0.8,
+            edit_extent=0.15,
+            token_swap_rate=0.25,
+            abbreviation_rate=0.5,
+            seed=99,
+        )
+    )
+    print(f"Master list : {len(clean_master)} clean company names")
+    print(f"Dirty feed  : {len(dirty_feed)} records, {dirty_feed.num_clusters()} true entities\n")
+
+    print("=== Linking dirty records to the master list (BM25, best match) ===")
+    joiner = ApproximateJoiner(clean_master, predicate="bm25", threshold=0.0)
+    sample = dirty_feed.records[:8]
+    for record in sample:
+        matches = joiner.join([record.text], top_k=1)
+        linked = matches[0].right_text if matches else "(no match)"
+        print(f"  {record.text[:42]:42s} -> {linked}")
+
+    print("\n=== De-duplicating the dirty feed itself (Jaccard self-join) ===")
+    dedup = Deduplicator(dirty_feed.strings, predicate="jaccard", threshold=0.55)
+    clusters = dedup.clusters()
+    multi = [cluster for cluster in clusters if len(cluster) > 1]
+    print(f"  {len(clusters)} clusters found, {len(multi)} with more than one record")
+    example = max(multi, key=len)
+    print(f"  largest cluster (representative: {example.representative!r}):")
+    for tid in example.members[:6]:
+        print(f"    - {dirty_feed.strings[tid]}")
+
+    quality = dedup.quality(dirty_feed.cluster_ids)
+    print(
+        f"\n  pairwise quality vs. ground truth: precision={quality.precision:.3f} "
+        f"recall={quality.recall:.3f} F1={quality.f1:.3f}"
+    )
+    print(
+        "\nApproximate joins reuse the same similarity predicates the paper "
+        "benchmarks for selections; the predicate and threshold trade precision "
+        "against recall exactly as in the accuracy experiments."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro -- Benchmarking Declarative Approximate Selection Predicates.
+
+A reproduction of the SIGMOD 2007 benchmark study of similarity predicates
+for declarative approximate selections.  The package provides:
+
+* :mod:`repro.core` -- the approximate selection API and all similarity
+  predicates (overlap, aggregate-weighted, language-modeling, edit-based and
+  combination classes);
+* :mod:`repro.text` -- tokenizers, string distances, weighting schemes and
+  min-hash;
+* :mod:`repro.dbengine` / :mod:`repro.backends` / :mod:`repro.declarative` --
+  the declarative (pure-SQL) realizations of every predicate, runnable on an
+  in-memory SQL engine or on SQLite;
+* :mod:`repro.datagen` -- the UIS-style benchmark data generator with
+  controlled error injection;
+* :mod:`repro.eval` -- accuracy metrics (MAP / max-F1), experiment runner,
+  timing harness and the IDF-pruning performance enhancement.
+
+Quickstart::
+
+    from repro import ApproximateSelector
+    selector = ApproximateSelector(["AT&T Incorporated", "IBM Corp."], predicate="bm25")
+    selector.top_k("AT&T Inc.", k=1)
+"""
+
+from repro.core import (
+    ApproximateSelector,
+    Predicate,
+    SelectionResult,
+    available_predicates,
+    make_predicate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateSelector",
+    "SelectionResult",
+    "Predicate",
+    "make_predicate",
+    "available_predicates",
+    "__version__",
+]

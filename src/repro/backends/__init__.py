@@ -1,0 +1,22 @@
+"""SQL backends for the declarative framework.
+
+The declarative predicate realizations (Appendix A/B of the paper) are plain
+SQL, so they can run on any engine that provides the small set of features
+they use.  Two backends are provided:
+
+* :class:`MemoryBackend` -- the from-scratch engine in :mod:`repro.dbengine`.
+* :class:`SQLiteBackend` -- the Python standard library ``sqlite3`` module
+  (in-memory by default), standing in for the MySQL server of the original
+  study.
+
+Both expose the same :class:`SQLBackend` interface and register the same
+user-defined functions (``JAROWINKLER``, ``EDITSIM`` and the math functions
+SQLite may lack), so a declarative predicate produces identical rankings on
+either backend -- which the integration tests verify.
+"""
+
+from repro.backends.base import SQLBackend
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SQLiteBackend
+
+__all__ = ["SQLBackend", "MemoryBackend", "SQLiteBackend"]

@@ -1,0 +1,71 @@
+"""Common interface of the SQL backends used by the declarative framework."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.text.strings import edit_similarity, jaro_winkler
+
+__all__ = ["SQLBackend"]
+
+
+class SQLBackend(ABC):
+    """A minimal SQL execution surface shared by the memory and SQLite backends.
+
+    The interface is intentionally tiny: the declarative predicates only need
+    to create tables, bulk-load token/weight rows, run SQL (including
+    ``INSERT ... SELECT``) and fetch query results.  UDF registration is used
+    for the character-level similarity functions that SQL cannot express
+    (Jaro-Winkler for SoftTFIDF, edit similarity for the edit-based
+    predicate), exactly as the original study registered UDFs in MySQL.
+    """
+
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self._register_default_udfs()
+
+    # -- required primitives ----------------------------------------------------
+
+    @abstractmethod
+    def execute(self, sql: str) -> object:
+        """Execute one SQL statement; DML returns an affected-row count."""
+
+    @abstractmethod
+    def query(self, sql: str) -> List[Tuple]:
+        """Execute a SELECT and return all rows."""
+
+    @abstractmethod
+    def create_table(self, name: str, columns: Sequence[str], if_not_exists: bool = False) -> None:
+        """Create a table whose columns are given as ``"name TYPE"`` strings."""
+
+    @abstractmethod
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert rows (the fast path used to load token tables)."""
+
+    @abstractmethod
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        """Drop a table."""
+
+    @abstractmethod
+    def has_table(self, name: str) -> bool:
+        """Whether a table exists."""
+
+    @abstractmethod
+    def register_function(self, name: str, num_args: int, func: Callable) -> None:
+        """Register a scalar UDF callable from SQL."""
+
+    # -- conveniences ------------------------------------------------------------
+
+    def recreate_table(self, name: str, columns: Sequence[str]) -> None:
+        """Drop (if present) and re-create a table."""
+        self.drop_table(name, if_exists=True)
+        self.create_table(name, columns)
+
+    def row_count(self, name: str) -> int:
+        return int(self.query(f"SELECT COUNT(*) FROM {name}")[0][0])
+
+    def _register_default_udfs(self) -> None:
+        self.register_function("JAROWINKLER", 2, lambda a, b: jaro_winkler(str(a), str(b)))
+        self.register_function("EDITSIM", 2, lambda a, b: edit_similarity(str(a), str(b)))

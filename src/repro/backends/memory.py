@@ -1,0 +1,52 @@
+"""Backend adapter for the from-scratch in-memory engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.backends.base import SQLBackend
+from repro.dbengine import Database
+from repro.dbengine.executor import ResultSet
+from repro.dbengine.table import Column
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(SQLBackend):
+    """Runs declarative predicates on :class:`repro.dbengine.Database`."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self.database = Database()
+        super().__init__()
+
+    def execute(self, sql: str) -> object:
+        result = self.database.execute(sql)
+        if isinstance(result, ResultSet):
+            return result.rows
+        return result
+
+    def query(self, sql: str) -> List[Tuple]:
+        return list(self.database.query(sql).rows)
+
+    def create_table(
+        self, name: str, columns: Sequence[str], if_not_exists: bool = False
+    ) -> None:
+        parsed = []
+        for column in columns:
+            parts = column.split(None, 1)
+            parsed.append(Column(parts[0], parts[1] if len(parts) > 1 else "TEXT"))
+        self.database.create_table(name, parsed, if_not_exists=if_not_exists)
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        return self.database.insert_rows(name, rows)
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        self.database.drop_table(name, if_exists=if_exists)
+
+    def has_table(self, name: str) -> bool:
+        return self.database.has_table(name)
+
+    def register_function(self, name: str, num_args: int, func: Callable) -> None:
+        self.database.register_function(name, func)

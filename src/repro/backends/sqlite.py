@@ -1,0 +1,89 @@
+"""Backend adapter for the Python standard-library ``sqlite3`` module.
+
+SQLite stands in for the MySQL 5.0 server of the original study.  The same
+UDFs as the memory backend are registered, plus natural-log ``LOG``, ``EXP``,
+``POWER`` and ``SQRT`` so that weight formulas evaluate identically on both
+backends (SQLite's optional built-in ``LOG`` is base-10, and older builds may
+lack the math functions entirely).
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.backends.base import SQLBackend
+
+__all__ = ["SQLiteBackend"]
+
+
+class SQLiteBackend(SQLBackend):
+    """Runs declarative predicates on an (in-memory by default) SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self._register_math_functions()
+        super().__init__()
+
+    # -- SQLBackend interface ----------------------------------------------------
+
+    def execute(self, sql: str) -> object:
+        cursor = self.connection.execute(sql)
+        self.connection.commit()
+        return cursor.rowcount
+
+    def query(self, sql: str) -> List[Tuple]:
+        cursor = self.connection.execute(sql)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def create_table(
+        self, name: str, columns: Sequence[str], if_not_exists: bool = False
+    ) -> None:
+        clause = "IF NOT EXISTS " if if_not_exists else ""
+        column_sql = ", ".join(columns)
+        self.execute(f"CREATE TABLE {clause}{name} ({column_sql})")
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return 0
+        placeholders = ", ".join("?" for _ in rows[0])
+        self.connection.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})", rows
+        )
+        self.connection.commit()
+        return len(rows)
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        clause = "IF EXISTS " if if_exists else ""
+        self.execute(f"DROP TABLE {clause}{name}")
+
+    def has_table(self, name: str) -> bool:
+        rows = self.query(
+            "SELECT COUNT(*) FROM sqlite_master "
+            f"WHERE type = 'table' AND LOWER(name) = '{name.lower()}'"
+        )
+        return rows[0][0] > 0
+
+    def register_function(self, name: str, num_args: int, func: Callable) -> None:
+        self.connection.create_function(name, num_args, func)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _register_math_functions(self) -> None:
+        self.connection.create_function("LOG", 1, lambda x: math.log(x) if x and x > 0 else None)
+        self.connection.create_function("EXP", 1, lambda x: math.exp(x) if x is not None else None)
+        self.connection.create_function(
+            "POWER", 2, lambda x, y: math.pow(x, y) if x is not None and y is not None else None
+        )
+        self.connection.create_function(
+            "SQRT", 1, lambda x: math.sqrt(x) if x is not None and x >= 0 else None
+        )
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,163 @@
+"""Command-line interface for the reproduction library.
+
+Usage (after installation)::
+
+    python -m repro.cli predicates
+    python -m repro.cli generate --dataset CU1 --size 500 --output data.tsv
+    python -m repro.cli query --base data.tsv --predicate bm25 --query "Morgn Stanley" --top 5
+    python -m repro.cli evaluate --dataset CU1 --size 500 --predicates bm25 jaccard --queries 50
+    python -m repro.cli dedup --base data.tsv --predicate jaccard --threshold 0.6
+
+Each sub-command wraps a public API entry point (dataset generation,
+approximate selection, accuracy evaluation, deduplication), so the CLI
+doubles as executable documentation of the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core import ApproximateSelector, Deduplicator, available_predicates
+from repro.datagen import make_dataset
+from repro.datagen.datasets import DATASET_CONFIGS
+from repro.eval import ExperimentRunner
+from repro.eval.report import ResultSink
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benchmarking declarative approximate selection predicates",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("predicates", help="list the available similarity predicates")
+
+    generate = subparsers.add_parser("generate", help="generate a benchmark dataset")
+    generate.add_argument("--dataset", default="CU1", choices=sorted(DATASET_CONFIGS))
+    generate.add_argument("--size", type=int, default=1000)
+    generate.add_argument("--clean", type=int, default=None, help="number of clean tuples")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", type=Path, default=None, help="write TSV to this path")
+
+    query = subparsers.add_parser("query", help="run one approximate selection")
+    query.add_argument("--base", type=Path, required=True, help="TSV file (tid<TAB>string or one string per line)")
+    query.add_argument("--predicate", default="bm25")
+    query.add_argument("--query", required=True)
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument("--threshold", type=float, default=None)
+
+    evaluate = subparsers.add_parser("evaluate", help="measure accuracy (MAP / max-F1)")
+    evaluate.add_argument("--dataset", default="CU1", choices=sorted(DATASET_CONFIGS))
+    evaluate.add_argument("--size", type=int, default=1000)
+    evaluate.add_argument("--clean", type=int, default=None)
+    evaluate.add_argument("--queries", type=int, default=50)
+    evaluate.add_argument("--seed", type=int, default=42)
+    evaluate.add_argument("--predicates", nargs="+", default=["bm25"])
+    evaluate.add_argument("--output", type=Path, default=None, help="save the report (txt/md/csv)")
+
+    dedup = subparsers.add_parser("dedup", help="cluster duplicates in a relation")
+    dedup.add_argument("--base", type=Path, required=True)
+    dedup.add_argument("--predicate", default="jaccard")
+    dedup.add_argument("--threshold", type=float, default=0.6)
+
+    return parser
+
+
+def _load_strings(path: Path) -> List[str]:
+    strings: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        strings.append(parts[1] if len(parts) > 1 else parts[0])
+    if not strings:
+        raise SystemExit(f"no strings found in {path}")
+    return strings
+
+
+def _cmd_predicates(_: argparse.Namespace) -> int:
+    for name in available_predicates():
+        print(name)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    num_clean = args.clean if args.clean is not None else max(1, args.size // 10)
+    dataset = make_dataset(args.dataset, size=args.size, num_clean=num_clean, seed=args.seed)
+    lines = [f"{record.tid}\t{record.text}\t{record.cluster_id}" for record in dataset]
+    output = "\n".join(lines)
+    if args.output is not None:
+        args.output.write_text(output + "\n", encoding="utf-8")
+        print(
+            f"wrote {len(dataset)} records ({dataset.num_clusters()} clusters) to {args.output}"
+        )
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    strings = _load_strings(args.base)
+    selector = ApproximateSelector(strings, predicate=args.predicate)
+    if args.threshold is not None:
+        results = selector.select(args.query, args.threshold)
+    else:
+        results = selector.top_k(args.query, k=args.top)
+    for result in results:
+        print(f"{result.score:10.4f}\t{result.tid}\t{result.text}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    num_clean = args.clean if args.clean is not None else max(1, args.size // 10)
+    dataset = make_dataset(args.dataset, size=args.size, num_clean=num_clean, seed=args.seed)
+    runner = ExperimentRunner(dataset, args.dataset)
+    sink = ResultSink(title=f"Accuracy on {args.dataset} ({args.size} tuples, {args.queries} queries)")
+    for name in args.predicates:
+        result = runner.evaluate(name, num_queries=args.queries)
+        sink.add(result.summary_row())
+    print(sink.to_text())
+    if args.output is not None:
+        sink.save(args.output)
+        print(f"\nsaved report to {args.output}")
+    return 0
+
+
+def _cmd_dedup(args: argparse.Namespace) -> int:
+    strings = _load_strings(args.base)
+    dedup = Deduplicator(strings, predicate=args.predicate, threshold=args.threshold)
+    clusters = dedup.clusters()
+    for label, cluster in enumerate(clusters):
+        if len(cluster) < 2:
+            continue
+        print(f"cluster {label} (representative: {cluster.representative})")
+        for tid in cluster.members:
+            print(f"    {tid}\t{strings[tid]}")
+    singletons = sum(1 for cluster in clusters if len(cluster) == 1)
+    print(f"\n{len(clusters)} clusters, {singletons} singletons")
+    return 0
+
+
+_COMMANDS = {
+    "predicates": _cmd_predicates,
+    "generate": _cmd_generate,
+    "query": _cmd_query,
+    "evaluate": _cmd_evaluate,
+    "dedup": _cmd_dedup,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

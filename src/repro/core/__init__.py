@@ -1,0 +1,30 @@
+"""Core library: the approximate selection operation and its predicates.
+
+The public entry point is :class:`repro.core.selection.ApproximateSelector`,
+which indexes a base relation of strings under one similarity predicate and
+answers ranked or thresholded approximate selections.  The individual
+predicates live in :mod:`repro.core.predicates` and can also be used
+directly.
+"""
+
+from repro.core.predicates import (
+    Predicate,
+    available_predicates,
+    make_predicate,
+)
+from repro.core.selection import ApproximateSelector, SelectionResult
+from repro.core.join import ApproximateJoiner, JoinMatch
+from repro.core.dedup import Deduplicator, DuplicateCluster, ClusteringQuality
+
+__all__ = [
+    "ApproximateSelector",
+    "SelectionResult",
+    "ApproximateJoiner",
+    "JoinMatch",
+    "Deduplicator",
+    "DuplicateCluster",
+    "ClusteringQuality",
+    "Predicate",
+    "make_predicate",
+    "available_predicates",
+]

@@ -1,0 +1,65 @@
+"""Inverted index over tokenized tuples.
+
+Every token-based predicate restricts score computation to tuples that share
+at least one token with the query (this is exactly what the SQL join between
+``BASE_TOKENS`` and ``QUERY_TOKENS`` does in the declarative realization).
+The :class:`InvertedIndex` provides that candidate generation step and also
+doubles as the per-tuple term-frequency store.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Maps tokens to the tuples containing them (postings with tf)."""
+
+    def __init__(self, token_lists: Sequence[Sequence[str]]):
+        self._postings: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+        self._term_frequencies: List[Counter] = []
+        for tid, tokens in enumerate(token_lists):
+            counts = Counter(tokens)
+            self._term_frequencies.append(counts)
+            for token, tf in counts.items():
+                self._postings[token].append((tid, tf))
+        self._postings = dict(self._postings)
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self._term_frequencies)
+
+    def postings(self, token: str) -> List[Tuple[int, int]]:
+        """``(tid, tf)`` pairs for every tuple containing ``token``."""
+        return self._postings.get(token, [])
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(token, ()))
+
+    def term_frequencies(self, tid: int) -> Counter:
+        return self._term_frequencies[tid]
+
+    def candidates(self, tokens: Iterable[str]) -> Set[int]:
+        """All tuple ids sharing at least one token with ``tokens``."""
+        result: Set[int] = set()
+        for token in set(tokens):
+            for tid, _ in self._postings.get(token, ()):
+                result.add(tid)
+        return result
+
+    def candidate_overlap(self, tokens: Iterable[str]) -> Dict[int, int]:
+        """Number of *distinct* shared tokens per candidate tuple."""
+        overlap: Dict[int, int] = defaultdict(int)
+        for token in set(tokens):
+            for tid, _ in self._postings.get(token, ()):
+                overlap[tid] += 1
+        return dict(overlap)
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def tokens(self) -> Iterable[str]:
+        return self._postings.keys()

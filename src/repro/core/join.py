@@ -1,0 +1,154 @@
+"""Approximate join: the generalization of approximate selection.
+
+The paper studies approximate *selections* and notes (chapter 1) that they
+are special cases of the approximate *join* (record linkage / similarity
+join) operation.  This module provides that generalization on top of the same
+predicate classes:
+
+* :class:`ApproximateJoiner` joins two relations of strings: every tuple of
+  the probe relation is used as a query against an indexed base relation and
+  pairs scoring at or above a threshold are emitted.
+* ``self_join`` performs the similarity self-join used by duplicate
+  detection (each string matched against the rest of its own relation).
+
+The join reuses the predicates' candidate generation, so its cost per probe
+tuple is the same as one approximate selection -- exactly the "index the base
+relation once, stream the probe relation" strategy of the declarative
+framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.predicates.base import Predicate
+from repro.core.predicates.registry import make_predicate
+
+__all__ = ["JoinMatch", "ApproximateJoiner"]
+
+
+@dataclass(frozen=True)
+class JoinMatch:
+    """One matched pair produced by an approximate join."""
+
+    left_id: int
+    right_id: int
+    left_text: str
+    right_text: str
+    score: float
+
+
+class ApproximateJoiner:
+    """Approximate (similarity) join between two relations of strings.
+
+    Parameters
+    ----------
+    base:
+        The relation that is indexed (the "build" side).
+    predicate:
+        A predicate instance or registry name; the paper's accuracy findings
+        for selections carry over directly since the join is a sequence of
+        selections.
+    threshold:
+        Default similarity threshold for emitted pairs.
+
+    Example
+    -------
+    >>> joiner = ApproximateJoiner(["AT&T Inc.", "IBM Corp."], predicate="jaccard")
+    >>> [match.right_id for match in joiner.join(["AT&T Incorporated"], threshold=0.3)]
+    [0]
+    """
+
+    def __init__(
+        self,
+        base: Sequence[str],
+        predicate: Union[Predicate, str] = "bm25",
+        threshold: float = 0.5,
+        **predicate_kwargs,
+    ):
+        if not 0.0 <= threshold:
+            raise ValueError("threshold must be non-negative")
+        self._base = list(base)
+        if isinstance(predicate, str):
+            predicate = make_predicate(predicate, **predicate_kwargs)
+        elif predicate_kwargs:
+            raise ValueError("predicate_kwargs are only valid with a predicate name")
+        self.predicate = predicate
+        self.threshold = threshold
+        self.predicate.fit(self._base)
+
+    # -- joins -------------------------------------------------------------------
+
+    def matches_for(
+        self, probe_id: int, probe_text: str, threshold: Optional[float] = None
+    ) -> List[JoinMatch]:
+        """All base tuples matching one probe string."""
+        limit = self.threshold if threshold is None else threshold
+        results = []
+        for scored in self.predicate.select(probe_text, limit):
+            results.append(
+                JoinMatch(
+                    left_id=probe_id,
+                    right_id=scored.tid,
+                    left_text=probe_text,
+                    right_text=self._base[scored.tid],
+                    score=scored.score,
+                )
+            )
+        return results
+
+    def join(
+        self,
+        probe: Iterable[str],
+        threshold: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> List[JoinMatch]:
+        """Join a probe relation against the indexed base relation.
+
+        ``top_k`` optionally restricts each probe tuple to its best ``k``
+        matches (after thresholding), which is the common record-linkage
+        configuration ("best match per record").
+        """
+        output: List[JoinMatch] = []
+        for probe_id, probe_text in enumerate(probe):
+            matches = self.matches_for(probe_id, probe_text, threshold)
+            if top_k is not None:
+                matches = matches[:top_k]
+            output.extend(matches)
+        return output
+
+    def iter_join(
+        self, probe: Iterable[str], threshold: Optional[float] = None
+    ) -> Iterator[JoinMatch]:
+        """Streaming variant of :meth:`join` (one probe tuple at a time)."""
+        for probe_id, probe_text in enumerate(probe):
+            yield from self.matches_for(probe_id, probe_text, threshold)
+
+    def self_join(
+        self, threshold: Optional[float] = None, include_identity: bool = False
+    ) -> List[JoinMatch]:
+        """Similarity self-join of the base relation.
+
+        Each unordered pair is reported once (``left_id < right_id``); the
+        trivial identity pairs are excluded unless ``include_identity``.
+        """
+        output: List[JoinMatch] = []
+        for tid, text in enumerate(self._base):
+            for match in self.matches_for(tid, text, threshold):
+                if match.right_id == tid and not include_identity:
+                    continue
+                if match.right_id < tid:
+                    continue  # reported when probing the smaller tid
+                output.append(match)
+        return output
+
+    @property
+    def base(self) -> List[str]:
+        return list(self._base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApproximateJoiner(n={len(self._base)}, predicate={self.predicate.name}, "
+            f"threshold={self.threshold})"
+        )

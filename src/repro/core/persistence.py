@@ -1,0 +1,100 @@
+"""Persistence of fitted selectors and predicates.
+
+Preprocessing (tokenization + weight computation) is the expensive part of
+the paper's pipeline, so a long-running application wants to do it once and
+reuse the result across processes.  This module provides simple pickle-based
+persistence with a small versioned header so stale snapshots are detected
+instead of failing obscurely.
+
+The snapshot contains only plain Python objects (token indexes, weight
+dictionaries, the base strings), no open resources, so pickling is safe for
+every predicate class.  Declarative predicates are not persisted here: their
+state lives in the backing database, which has its own durability story
+(e.g. a SQLite file).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.core.predicates.base import Predicate
+from repro.core.selection import ApproximateSelector
+
+__all__ = ["SnapshotError", "save_predicate", "load_predicate", "save_selector", "load_selector"]
+
+_MAGIC = "repro-snapshot"
+_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """Raised when a snapshot file is missing, corrupt or incompatible."""
+
+
+@dataclass
+class _Snapshot:
+    magic: str
+    version: int
+    kind: str
+    payload: object
+
+
+def _write(path: Union[str, Path], kind: str, payload: object) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = _Snapshot(magic=_MAGIC, version=_VERSION, kind=kind, payload=payload)
+    with open(path, "wb") as handle:
+        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _read(path: Union[str, Path], kind: str) -> object:
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"snapshot not found: {path}")
+    try:
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise SnapshotError(f"corrupt snapshot: {path}") from exc
+    if not isinstance(snapshot, _Snapshot) or snapshot.magic != _MAGIC:
+        raise SnapshotError(f"not a repro snapshot: {path}")
+    if snapshot.version != _VERSION:
+        raise SnapshotError(
+            f"snapshot version {snapshot.version} is not supported (expected {_VERSION})"
+        )
+    if snapshot.kind != kind:
+        raise SnapshotError(
+            f"snapshot contains a {snapshot.kind!r}, expected a {kind!r}"
+        )
+    return snapshot.payload
+
+
+def save_predicate(predicate: Predicate, path: Union[str, Path]) -> Path:
+    """Persist a fitted predicate (index + weights) to ``path``."""
+    if not predicate.is_fitted:
+        raise SnapshotError("only fitted predicates can be saved")
+    return _write(path, "predicate", predicate)
+
+
+def load_predicate(path: Union[str, Path]) -> Predicate:
+    """Load a predicate previously saved with :func:`save_predicate`."""
+    payload = _read(path, "predicate")
+    if not isinstance(payload, Predicate):
+        raise SnapshotError("snapshot payload is not a Predicate")
+    return payload
+
+
+def save_selector(selector: ApproximateSelector, path: Union[str, Path]) -> Path:
+    """Persist an :class:`ApproximateSelector` (strings + fitted predicate)."""
+    return _write(path, "selector", selector)
+
+
+def load_selector(path: Union[str, Path]) -> ApproximateSelector:
+    """Load a selector previously saved with :func:`save_selector`."""
+    payload = _read(path, "selector")
+    if not isinstance(payload, ApproximateSelector):
+        raise SnapshotError("snapshot payload is not an ApproximateSelector")
+    return payload

@@ -1,0 +1,107 @@
+"""Aggregate weighted predicates (paper section 3.2).
+
+Both predicates score ``sim(Q, D) = Σ_{t ∈ Q∩D} wq(t, Q) * wd(t, D)``:
+
+* :class:`CosineTfIdf` -- normalized tf-idf weights on both sides, so the sum
+  is the cosine of the two tf-idf vectors.
+* :class:`BM25` -- Okapi BM25 weights with the Robertson-Sparck Jones idf on
+  the document side and the ``(k3+1)tf/(k3+tf)`` saturation on the query
+  side.  Parameter defaults follow section 5.3.2 (k1=1.5, k3=8, b=0.675).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.core.index import InvertedIndex
+from repro.core.predicates.base import Predicate
+from repro.text.tokenize import QgramTokenizer, Tokenizer
+from repro.text.weights import (
+    BM25Parameters,
+    CollectionStatistics,
+    bm25_document_weights,
+    bm25_query_weights,
+    tfidf_weights,
+)
+
+__all__ = ["CosineTfIdf", "BM25"]
+
+
+class _AggregateBase(Predicate):
+    family = "aggregate-weighted"
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        super().__init__()
+        self.tokenizer = tokenizer or QgramTokenizer(q=2)
+        self._token_lists: List[List[str]] = []
+        self._index: InvertedIndex | None = None
+        self._stats: CollectionStatistics | None = None
+        #: per-tuple token -> document-side weight
+        self._doc_weights: List[Dict[str, float]] = []
+
+    def tokenize_phase(self) -> None:
+        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._index = InvertedIndex(self._token_lists)
+
+    def _accumulate(self, query_weights: Dict[str, float]) -> Dict[int, float]:
+        """Dot product of query weights against every candidate's doc weights."""
+        assert self._index is not None
+        scores: Dict[int, float] = {}
+        for token, query_weight in query_weights.items():
+            if query_weight == 0.0:
+                continue
+            for tid, _ in self._index.postings(token):
+                doc_weight = self._doc_weights[tid].get(token, 0.0)
+                if doc_weight:
+                    scores[tid] = scores.get(tid, 0.0) + query_weight * doc_weight
+        return scores
+
+
+class CosineTfIdf(_AggregateBase):
+    """tf-idf cosine similarity (Cohen's WHIRL / Gravano et al. text joins)."""
+
+    name = "Cosine"
+
+    def weight_phase(self) -> None:
+        self._stats = CollectionStatistics(self._token_lists)
+        idf = self._stats.idf_table()
+        self._idf = idf
+        self._doc_weights = [
+            tfidf_weights(self._stats.term_frequencies(tid), idf)
+            for tid in range(len(self._token_lists))
+        ]
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        # Query tokens absent from the base relation are dropped (idf 0),
+        # matching the inner join with BASE_IDF in the declarative realization;
+        # they cannot contribute to any candidate's score anyway.
+        query_tf = Counter(self.tokenizer.tokenize(query))
+        query_weights = tfidf_weights(query_tf, self._idf, default_idf=0.0)
+        return self._accumulate(query_weights)
+
+
+class BM25(_AggregateBase):
+    """Okapi BM25 adapted to approximate selection."""
+
+    name = "BM25"
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        params: BM25Parameters | None = None,
+    ):
+        super().__init__(tokenizer)
+        self.params = params or BM25Parameters()
+
+    def weight_phase(self) -> None:
+        self._stats = CollectionStatistics(self._token_lists)
+        self._doc_weights = [
+            bm25_document_weights(self._stats, tid, self.params)
+            for tid in range(len(self._token_lists))
+        ]
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        query_tf = Counter(self.tokenizer.tokenize(query))
+        query_weights = bm25_query_weights(query_tf, self.params)
+        return self._accumulate(query_weights)

@@ -1,0 +1,125 @@
+"""Base class and shared types for similarity predicates.
+
+Every predicate follows the same life cycle that the paper's declarative
+framework imposes:
+
+1. *Preprocessing* -- :meth:`Predicate.fit` tokenizes the base relation and
+   computes whatever weights/statistics the predicate needs.  The two phases
+   (:meth:`tokenize_phase` and :meth:`weight_phase`) are exposed separately so
+   the timing harness can reproduce Figure 5.2, which reports them
+   individually.
+2. *Query time* -- :meth:`Predicate.rank` returns every candidate tuple with
+   a positive similarity to the query, ordered by decreasing score (this is
+   the unpruned ranking the accuracy metrics are computed over);
+   :meth:`Predicate.select` applies a similarity threshold, which is the
+   approximate selection operation proper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ScoredTuple", "Predicate"]
+
+
+@dataclass(frozen=True)
+class ScoredTuple:
+    """One result of an approximate selection: a tuple id and its score."""
+
+    tid: int
+    score: float
+
+    def __iter__(self):
+        """Allow ``tid, score = scored`` unpacking."""
+        yield self.tid
+        yield self.score
+
+
+class Predicate(ABC):
+    """Abstract base class of all similarity predicates."""
+
+    #: Human-readable predicate name used in reports and benchmarks.
+    name: str = "predicate"
+    #: The paper's class for this predicate (overlap / aggregate-weighted /
+    #: language-modeling / edit-based / combination).
+    family: str = "unspecified"
+
+    def __init__(self) -> None:
+        self._strings: List[str] = []
+        self._fitted = False
+
+    # -- preprocessing --------------------------------------------------------
+
+    def fit(self, strings: Sequence[str]) -> "Predicate":
+        """Preprocess the base relation (tokenization + weights).
+
+        Returns ``self`` so that ``predicate = BM25().fit(strings)`` reads
+        naturally.
+        """
+        self._strings = list(strings)
+        self.tokenize_phase()
+        self.weight_phase()
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def tokenize_phase(self) -> None:
+        """Phase 1 of preprocessing: tokenize the base relation."""
+
+    @abstractmethod
+    def weight_phase(self) -> None:
+        """Phase 2 of preprocessing: compute weights / statistics."""
+
+    # -- query time -----------------------------------------------------------
+
+    @abstractmethod
+    def _scores(self, query: str) -> Dict[int, float]:
+        """Similarity score for every candidate tuple (tuples sharing tokens)."""
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[ScoredTuple]:
+        """Tuples ranked by decreasing similarity to ``query``.
+
+        Only candidate tuples (those with a non-trivial score) are returned;
+        ties are broken by tuple id so rankings are deterministic.
+        """
+        self._require_fitted()
+        scores = self._scores(query)
+        ranked = sorted(
+            (ScoredTuple(tid, score) for tid, score in scores.items()),
+            key=lambda st: (-st.score, st.tid),
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        return ranked
+
+    def select(self, query: str, threshold: float) -> List[ScoredTuple]:
+        """The approximate selection: tuples with ``sim(query, t) >= threshold``."""
+        self._require_fitted()
+        return [scored for scored in self.rank(query) if scored.score >= threshold]
+
+    def score(self, query: str, tid: int) -> float:
+        """Similarity between ``query`` and tuple ``tid`` (0.0 if not a candidate)."""
+        self._require_fitted()
+        return self._scores(query).get(tid, 0.0)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def base_strings(self) -> List[str]:
+        return list(self._strings)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit() on a base relation before querying"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({status}, n={len(self._strings)})"

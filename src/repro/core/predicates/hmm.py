@@ -1,0 +1,81 @@
+"""Hidden Markov Model predicate (paper sections 3.3.2 and 4.3.2).
+
+A two-state HMM generates the query: state "String" emits tokens from the
+tuple ``D`` (with probability ``P(q|D)``, the within-tuple maximum likelihood
+estimate) and state "General English" emits tokens according to their overall
+collection frequency ``P(q|GE)``.  The similarity is the probability of
+generating the query, which after dropping query-constant factors
+(equation 4.6) becomes::
+
+    sim(Q, D) = Π_{q ∈ Q ∩ D} (1 + a1 * P(q|D) / (a0 * P(q|GE)))
+
+The per-(tuple, token) factor is precomputed during preprocessing, exactly
+like the ``BASE_WEIGHTS`` table of the declarative realization; query
+evaluation is then a single index lookup per query token.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List
+
+from repro.core.index import InvertedIndex
+from repro.core.predicates.base import Predicate
+from repro.text.tokenize import QgramTokenizer, Tokenizer
+from repro.text.weights import CollectionStatistics
+
+__all__ = ["HMM"]
+
+
+class HMM(Predicate):
+    """Two-state Hidden Markov Model similarity."""
+
+    name = "HMM"
+    family = "language-modeling"
+
+    def __init__(self, tokenizer: Tokenizer | None = None, a0: float = 0.2):
+        super().__init__()
+        if not 0.0 < a0 < 1.0:
+            raise ValueError("a0 must be strictly between 0 and 1")
+        self.tokenizer = tokenizer or QgramTokenizer(q=2)
+        self.a0 = a0
+        self.a1 = 1.0 - a0
+        self._token_lists: List[List[str]] = []
+        self._index: InvertedIndex | None = None
+        #: per-tuple token -> log(1 + a1 P(q|D) / (a0 P(q|GE)))
+        self._log_weights: List[Dict[str, float]] = []
+
+    def tokenize_phase(self) -> None:
+        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._index = InvertedIndex(self._token_lists)
+
+    def weight_phase(self) -> None:
+        stats = CollectionStatistics(self._token_lists)
+        collection_size = stats.collection_size or 1
+        general_english = {
+            token: stats.collection_frequency(token) / collection_size
+            for token in stats.vocabulary
+        }
+        self._log_weights = []
+        for tid in range(len(self._token_lists)):
+            length = stats.length(tid) or 1
+            weights: Dict[str, float] = {}
+            for token, tf in stats.term_frequencies(tid).items():
+                p_string = tf / length
+                p_general = general_english[token]
+                factor = 1.0 + (self.a1 * p_string) / (self.a0 * p_general)
+                weights[token] = math.log(factor)
+            self._log_weights.append(weights)
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_counts = Counter(self.tokenizer.tokenize(query))
+        log_scores: Dict[int, float] = {}
+        for token, multiplicity in query_counts.items():
+            for tid, _ in self._index.postings(token):
+                log_scores[tid] = (
+                    log_scores.get(tid, 0.0)
+                    + multiplicity * self._log_weights[tid][token]
+                )
+        return {tid: math.exp(value) for tid, value in log_scores.items()}

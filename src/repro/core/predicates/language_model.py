@@ -1,0 +1,120 @@
+"""Language modeling predicate (paper sections 3.3.1 and 4.3.1).
+
+The predicate follows Ponte & Croft's language model: each tuple induces a
+model ``M_D``; the similarity of a query to a tuple is the (rank-equivalent
+transformation of the) probability of generating the query from ``M_D``.
+
+We implement the rank-preserving rewrite the paper uses for its declarative
+realization (equation 4.4): terms that are constant for a given query are
+dropped and only tokens in ``Q ∩ D`` plus a per-tuple precomputed term
+``Σ_{t ∈ D} log(1 - p̂(t|M_D))`` are needed at query time.  Scores are
+computed in log space and exponentiated at the end, exactly like the SQL in
+Figure 4.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.index import InvertedIndex
+from repro.core.predicates.base import Predicate
+from repro.text.tokenize import QgramTokenizer, Tokenizer
+from repro.text.weights import CollectionStatistics
+
+__all__ = ["LanguageModeling"]
+
+# Probabilities are clamped away from 1.0 so log(1 - p) stays finite; this
+# mirrors the behaviour of the SQL realization where such degenerate tuples
+# (a single repeated token) simply saturate the score.
+_MAX_PROBABILITY = 1.0 - 1e-12
+
+
+class LanguageModeling(Predicate):
+    """Ponte-Croft language modeling similarity."""
+
+    name = "LM"
+    family = "language-modeling"
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        super().__init__()
+        self.tokenizer = tokenizer or QgramTokenizer(q=2)
+        self._token_lists: List[List[str]] = []
+        self._index: InvertedIndex | None = None
+        self._stats: CollectionStatistics | None = None
+        #: per-tuple token -> p̂(t | M_D) (only for tokens present in the tuple)
+        self._pm: List[Dict[str, float]] = []
+        #: per-tuple Σ_{t ∈ D} log(1 - p̂(t|M_D))
+        self._sum_complement: List[float] = []
+        #: token -> cf_t / cs
+        self._cfcs: Dict[str, float] = {}
+
+    # -- preprocessing --------------------------------------------------------
+
+    def tokenize_phase(self) -> None:
+        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._index = InvertedIndex(self._token_lists)
+
+    def weight_phase(self) -> None:
+        stats = CollectionStatistics(self._token_lists)
+        self._stats = stats
+        collection_size = stats.collection_size or 1
+
+        # p̂_avg(t): mean maximum-likelihood probability over tuples containing t.
+        pml_sums: Dict[str, float] = {}
+        for tid in range(len(self._token_lists)):
+            length = stats.length(tid) or 1
+            for token, tf in stats.term_frequencies(tid).items():
+                pml_sums[token] = pml_sums.get(token, 0.0) + tf / length
+        pavg = {
+            token: total / stats.document_frequency(token)
+            for token, total in pml_sums.items()
+        }
+        self._cfcs = {
+            token: stats.collection_frequency(token) / collection_size
+            for token in stats.vocabulary
+        }
+
+        self._pm = []
+        self._sum_complement = []
+        for tid in range(len(self._token_lists)):
+            length = stats.length(tid) or 1
+            tuple_pm: Dict[str, float] = {}
+            log_complement_sum = 0.0
+            for token, tf in stats.term_frequencies(tid).items():
+                pml = tf / length
+                expected = pavg[token] * length  # f̄_{t,D}
+                risk = (1.0 / (1.0 + expected)) * (expected / (1.0 + expected)) ** tf
+                pm = (pml ** (1.0 - risk)) * (pavg[token] ** risk)
+                pm = min(pm, _MAX_PROBABILITY)
+                tuple_pm[token] = pm
+                log_complement_sum += math.log(1.0 - pm)
+            self._pm.append(tuple_pm)
+            self._sum_complement.append(log_complement_sum)
+
+    # -- query time -----------------------------------------------------------
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_tokens = set(self.tokenizer.tokenize(query))
+        scores: Dict[int, float] = {}
+        accumulators: Dict[int, float] = {}
+        for token in query_tokens:
+            postings = self._index.postings(token)
+            if not postings:
+                continue
+            cfcs = self._cfcs.get(token, 0.0)
+            log_cfcs = math.log(cfcs) if cfcs > 0 else 0.0
+            for tid, _ in postings:
+                pm = self._pm[tid][token]
+                contribution = math.log(pm) - math.log(1.0 - pm) - log_cfcs
+                accumulators[tid] = accumulators.get(tid, 0.0) + contribution
+        for tid, accumulated in accumulators.items():
+            log_score = accumulated + self._sum_complement[tid]
+            # Exponentiation can underflow for long tuples; underflow to 0.0 is
+            # harmless for ranking because exp is monotone.
+            try:
+                scores[tid] = math.exp(log_score)
+            except OverflowError:  # pragma: no cover - defensive
+                scores[tid] = float("inf")
+        return scores

@@ -1,0 +1,151 @@
+"""Overlap predicates (paper section 3.1).
+
+* :class:`IntersectSize` -- ``|Q ∩ D|`` over distinct tokens.
+* :class:`Jaccard` -- ``|Q ∩ D| / |Q ∪ D|``.
+* :class:`WeightedMatch` -- total weight of the common tokens.
+* :class:`WeightedJaccard` -- weight of the common tokens divided by the
+  weight of the union.
+
+The weighted variants take a weighting scheme; the paper finds that the
+Robertson-Sparck Jones (RS) weights are more accurate than idf (section
+5.3.1), so RS is the default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.index import InvertedIndex
+from repro.core.predicates.base import Predicate
+from repro.text.tokenize import QgramTokenizer, Tokenizer
+from repro.text.weights import CollectionStatistics
+
+__all__ = ["IntersectSize", "Jaccard", "WeightedMatch", "WeightedJaccard"]
+
+
+class _OverlapBase(Predicate):
+    """Shared tokenization/indexing machinery for the overlap predicates."""
+
+    family = "overlap"
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        super().__init__()
+        self.tokenizer = tokenizer or QgramTokenizer(q=2)
+        self._token_lists: list[list[str]] = []
+        self._token_sets: list[set[str]] = []
+        self._index: InvertedIndex | None = None
+
+    def tokenize_phase(self) -> None:
+        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._token_sets = [set(tokens) for tokens in self._token_lists]
+        self._index = InvertedIndex(self._token_lists)
+
+    def weight_phase(self) -> None:
+        """Unweighted predicates need no second phase."""
+
+    def _query_tokens(self, query: str) -> set[str]:
+        return set(self.tokenizer.tokenize(query))
+
+
+class IntersectSize(_OverlapBase):
+    """Number of common distinct tokens between the query and the tuple."""
+
+    name = "IntersectSize"
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_tokens = self._query_tokens(query)
+        return {
+            tid: float(count)
+            for tid, count in self._index.candidate_overlap(query_tokens).items()
+        }
+
+
+class Jaccard(_OverlapBase):
+    """Jaccard coefficient of the query and tuple token sets."""
+
+    name = "Jaccard"
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_tokens = self._query_tokens(query)
+        query_size = len(query_tokens)
+        scores: Dict[int, float] = {}
+        for tid, common in self._index.candidate_overlap(query_tokens).items():
+            union = query_size + len(self._token_sets[tid]) - common
+            scores[tid] = common / union if union else 0.0
+        return scores
+
+
+class _WeightedOverlapBase(_OverlapBase):
+    """Weighted overlap predicates share the RS/idf weight table."""
+
+    def __init__(self, tokenizer: Tokenizer | None = None, weighting: str = "rs"):
+        super().__init__(tokenizer)
+        if weighting not in ("rs", "idf"):
+            raise ValueError("weighting must be 'rs' or 'idf'")
+        self.weighting = weighting
+        self._weights: Dict[str, float] = {}
+        self._stats: CollectionStatistics | None = None
+
+    def weight_phase(self) -> None:
+        self._stats = CollectionStatistics(self._token_lists)
+        if self.weighting == "rs":
+            self._weights = self._stats.rs_table()
+        else:
+            self._weights = self._stats.idf_table()
+
+    def _weight(self, token: str) -> float:
+        return self._weights.get(token, 0.0)
+
+
+class WeightedMatch(_WeightedOverlapBase):
+    """Sum of weights of the common tokens (RS weights by default)."""
+
+    name = "WeightedMatch"
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_tokens = self._query_tokens(query)
+        scores: Dict[int, float] = {}
+        for token in query_tokens:
+            weight = self._weight(token)
+            if weight == 0.0:
+                continue
+            for tid, _ in self._index.postings(token):
+                scores[tid] = scores.get(tid, 0.0) + weight
+        return scores
+
+
+class WeightedJaccard(_WeightedOverlapBase):
+    """Weight of the common tokens over the weight of the union."""
+
+    name = "WeightedJaccard"
+
+    def __init__(self, tokenizer: Tokenizer | None = None, weighting: str = "rs"):
+        super().__init__(tokenizer, weighting)
+        self._tuple_weight_sums: list[float] = []
+
+    def weight_phase(self) -> None:
+        super().weight_phase()
+        self._tuple_weight_sums = [
+            sum(self._weight(token) for token in token_set)
+            for token_set in self._token_sets
+        ]
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._index is not None
+        query_tokens = self._query_tokens(query)
+        query_weight_sum = sum(self._weight(token) for token in query_tokens)
+        common_weight: Dict[int, float] = {}
+        for token in query_tokens:
+            weight = self._weight(token)
+            if weight == 0.0:
+                continue
+            for tid, _ in self._index.postings(token):
+                common_weight[tid] = common_weight.get(tid, 0.0) + weight
+        scores: Dict[int, float] = {}
+        for tid, common in common_weight.items():
+            union = query_weight_sum + self._tuple_weight_sums[tid] - common
+            scores[tid] = common / union if union > 0 else 0.0
+        return scores

@@ -1,0 +1,82 @@
+"""Predicate registry: construct any predicate by name with paper defaults."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.predicates.aggregate import BM25, CosineTfIdf
+from repro.core.predicates.base import Predicate
+from repro.core.predicates.combination import GES, GESApx, GESJaccard, SoftTFIDF
+from repro.core.predicates.edit import EditDistance
+from repro.core.predicates.hmm import HMM
+from repro.core.predicates.language_model import LanguageModeling
+from repro.core.predicates.overlap import (
+    IntersectSize,
+    Jaccard,
+    WeightedJaccard,
+    WeightedMatch,
+)
+
+__all__ = ["PREDICATE_CLASSES", "make_predicate", "available_predicates"]
+
+PREDICATE_CLASSES: Dict[str, Type[Predicate]] = {
+    "intersect": IntersectSize,
+    "jaccard": Jaccard,
+    "weighted_match": WeightedMatch,
+    "weighted_jaccard": WeightedJaccard,
+    "cosine": CosineTfIdf,
+    "bm25": BM25,
+    "lm": LanguageModeling,
+    "hmm": HMM,
+    "edit_distance": EditDistance,
+    "ges": GES,
+    "ges_jaccard": GESJaccard,
+    "ges_apx": GESApx,
+    "soft_tfidf": SoftTFIDF,
+}
+
+#: Aliases accepted by :func:`make_predicate` (case-insensitive).
+_ALIASES: Dict[str, str] = {
+    "intersectsize": "intersect",
+    "xect": "intersect",
+    "jac": "jaccard",
+    "wm": "weighted_match",
+    "weightedmatch": "weighted_match",
+    "wj": "weighted_jaccard",
+    "weightedjaccard": "weighted_jaccard",
+    "tfidf": "cosine",
+    "tf-idf": "cosine",
+    "cosine_tfidf": "cosine",
+    "okapi": "bm25",
+    "language_modeling": "lm",
+    "languagemodel": "lm",
+    "ed": "edit_distance",
+    "edit": "edit_distance",
+    "editdistance": "edit_distance",
+    "gesjaccard": "ges_jaccard",
+    "gesapx": "ges_apx",
+    "softtfidf": "soft_tfidf",
+    "stfidf": "soft_tfidf",
+}
+
+
+def available_predicates() -> List[str]:
+    """Canonical names of every registered predicate."""
+    return sorted(PREDICATE_CLASSES)
+
+
+def make_predicate(name: str, **kwargs) -> Predicate:
+    """Construct a predicate by (case-insensitive) name or alias.
+
+    Keyword arguments are forwarded to the predicate constructor, e.g.
+    ``make_predicate("bm25")`` or ``make_predicate("ges_jaccard", threshold=0.7)``.
+    """
+    key = name.strip().lower().replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    try:
+        cls = PREDICATE_CLASSES[key]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown predicate {name!r}; available: {available_predicates()}"
+        ) from exc
+    return cls(**kwargs)

@@ -1,0 +1,111 @@
+"""The approximate selection operation: the library's public entry point.
+
+:class:`ApproximateSelector` wraps a base relation of strings and a
+similarity predicate and exposes the operations the paper studies:
+
+* ranked retrieval (:meth:`ApproximateSelector.rank`) -- every candidate
+  tuple ordered by decreasing similarity;
+* thresholded approximate selection (:meth:`ApproximateSelector.select`) --
+  all tuples with ``sim(query, t) >= threshold``;
+* top-k retrieval (:meth:`ApproximateSelector.top_k`).
+
+Results are :class:`SelectionResult` objects carrying the tuple id, the
+original string and the similarity score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.predicates.base import Predicate
+from repro.core.predicates.registry import make_predicate
+
+__all__ = ["SelectionResult", "ApproximateSelector"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """One tuple returned by an approximate selection."""
+
+    tid: int
+    text: str
+    score: float
+
+
+class ApproximateSelector:
+    """Approximate (flexible) selection over a relation of strings.
+
+    Parameters
+    ----------
+    strings:
+        The base relation ``R``; tuple ids are positions in this sequence.
+    predicate:
+        Either a :class:`~repro.core.predicates.base.Predicate` instance or a
+        predicate name understood by
+        :func:`~repro.core.predicates.registry.make_predicate`.
+    **predicate_kwargs:
+        Forwarded to ``make_predicate`` when ``predicate`` is a name.
+
+    Example
+    -------
+    >>> selector = ApproximateSelector(
+    ...     ["Morgan Stanley Group Inc.", "Goldman Sachs Group"], predicate="bm25")
+    >>> selector.top_k("Morgn Stanley Inc", k=1)[0].tid
+    0
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str],
+        predicate: Union[Predicate, str] = "bm25",
+        **predicate_kwargs,
+    ):
+        self._strings = list(strings)
+        if isinstance(predicate, str):
+            predicate = make_predicate(predicate, **predicate_kwargs)
+        elif predicate_kwargs:
+            raise ValueError("predicate_kwargs are only valid with a predicate name")
+        self.predicate = predicate
+        self.predicate.fit(self._strings)
+
+    # -- operations -----------------------------------------------------------
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[SelectionResult]:
+        """All candidate tuples ordered by decreasing similarity to ``query``."""
+        return [
+            SelectionResult(st.tid, self._strings[st.tid], st.score)
+            for st in self.predicate.rank(query, limit=limit)
+        ]
+
+    def select(self, query: str, threshold: float) -> List[SelectionResult]:
+        """The approximate selection ``{t | sim(query, t) >= threshold}``."""
+        return [
+            SelectionResult(st.tid, self._strings[st.tid], st.score)
+            for st in self.predicate.select(query, threshold)
+        ]
+
+    def top_k(self, query: str, k: int) -> List[SelectionResult]:
+        """The ``k`` most similar tuples."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.rank(query, limit=k)
+
+    def score(self, query: str, tid: int) -> float:
+        """Similarity between ``query`` and the tuple with id ``tid``."""
+        return self.predicate.score(query, tid)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def strings(self) -> List[str]:
+        return list(self._strings)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApproximateSelector(n={len(self._strings)}, "
+            f"predicate={self.predicate.name})"
+        )

@@ -1,0 +1,62 @@
+"""UIS-style benchmark data generation with controlled error injection.
+
+The paper defines its own benchmark (section 5.1) by enhancing the UIS
+database generator: clean source tuples are duplicated according to a chosen
+distribution and errors are injected into a controlled fraction of the
+duplicates.  This package re-implements that generator:
+
+* :mod:`repro.datagen.sources` -- synthetic clean-source corpora standing in
+  for the paper's proprietary company-names and DBLP-titles datasets, with
+  matching corpus statistics.
+* :mod:`repro.datagen.errors` -- the three error injectors (character edit
+  errors, token swaps, domain abbreviation replacement).
+* :mod:`repro.datagen.distributions` -- uniform / Zipfian / Poisson duplicate
+  count distributions.
+* :mod:`repro.datagen.generator` -- :class:`DatasetGenerator` which combines
+  the above according to the parameters of Table 5.2 and keeps ground-truth
+  cluster ids.
+* :mod:`repro.datagen.datasets` -- the named dataset configurations of Table
+  5.3 (CU1..CU8 and F1..F5) plus the scalability datasets of section 5.5.
+"""
+
+from repro.datagen.errors import (
+    AbbreviationError,
+    EditErrorInjector,
+    TokenSwapInjector,
+)
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratedDataset,
+    GeneratorParameters,
+    Record,
+)
+from repro.datagen.sources import (
+    company_names,
+    clean_source,
+    dblp_titles,
+    source_statistics,
+)
+from repro.datagen.datasets import (
+    DATASET_CONFIGS,
+    DatasetConfig,
+    dataset_class,
+    make_dataset,
+)
+
+__all__ = [
+    "EditErrorInjector",
+    "TokenSwapInjector",
+    "AbbreviationError",
+    "DatasetGenerator",
+    "GeneratorParameters",
+    "GeneratedDataset",
+    "Record",
+    "company_names",
+    "dblp_titles",
+    "clean_source",
+    "source_statistics",
+    "DatasetConfig",
+    "DATASET_CONFIGS",
+    "make_dataset",
+    "dataset_class",
+]

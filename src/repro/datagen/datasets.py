@@ -1,0 +1,173 @@
+"""Named dataset configurations from Table 5.3 of the paper.
+
+The accuracy experiments use 8 company-name datasets (CU1..CU8) each with
+5000 tuples generated from 500 clean records with uniform duplicate
+distribution, classified into *dirty*, *medium* and *low* error classes, plus
+5 single-error-type datasets (F1..F5).  The performance experiments use DBLP
+title datasets of increasing size with a fixed medium error configuration
+(section 5.5).
+
+:data:`DATASET_CONFIGS` maps names to :class:`DatasetConfig`;
+:func:`make_dataset` builds the corresponding :class:`GeneratedDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratedDataset,
+    GeneratorParameters,
+)
+from repro.datagen.sources import clean_source
+
+__all__ = [
+    "DatasetConfig",
+    "DATASET_CONFIGS",
+    "ACCURACY_CLASSES",
+    "make_dataset",
+    "dataset_class",
+    "scalability_config",
+]
+
+# Default accuracy-experiment sizing (paper section 5.1): 5000 tuples from 500
+# clean records.  The sizes can be overridden in make_dataset for faster test
+# runs; the error parameters are what define each dataset.
+DEFAULT_ACCURACY_SIZE = 5000
+DEFAULT_ACCURACY_CLEAN = 500
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """One named benchmark dataset (a row of Table 5.3)."""
+
+    name: str
+    error_class: str                  # 'dirty', 'medium', 'low' or 'single-error'
+    source: str                       # 'company' or 'titles'
+    erroneous_fraction: float         # percentage of erroneous duplicates
+    edit_extent: float                # errors in duplicates (percent of chars)
+    token_swap_rate: float
+    abbreviation_rate: float
+    distribution: str = "uniform"
+
+    def parameters(
+        self,
+        size: int = DEFAULT_ACCURACY_SIZE,
+        num_clean: int = DEFAULT_ACCURACY_CLEAN,
+        seed: int = 42,
+    ) -> GeneratorParameters:
+        return GeneratorParameters(
+            size=size,
+            num_clean=num_clean,
+            distribution=self.distribution,
+            erroneous_fraction=self.erroneous_fraction,
+            edit_extent=self.edit_extent,
+            token_swap_rate=self.token_swap_rate,
+            abbreviation_rate=self.abbreviation_rate,
+            seed=seed,
+        )
+
+
+def _cu(name: str, error_class: str, erroneous: float, edit: float) -> DatasetConfig:
+    """CU datasets share token swap 20% and abbreviation 50% (Table 5.3)."""
+    return DatasetConfig(
+        name=name,
+        error_class=error_class,
+        source="company",
+        erroneous_fraction=erroneous,
+        edit_extent=edit,
+        token_swap_rate=0.20,
+        abbreviation_rate=0.50,
+    )
+
+
+def _f(name: str, erroneous: float, edit: float, swap: float, abbrev: float) -> DatasetConfig:
+    return DatasetConfig(
+        name=name,
+        error_class="single-error",
+        source="company",
+        erroneous_fraction=erroneous,
+        edit_extent=edit,
+        token_swap_rate=swap,
+        abbreviation_rate=abbrev,
+    )
+
+
+DATASET_CONFIGS: Dict[str, DatasetConfig] = {
+    # Dirty / medium / low classes (Table 5.3).
+    "CU1": _cu("CU1", "dirty", erroneous=0.90, edit=0.30),
+    "CU2": _cu("CU2", "dirty", erroneous=0.50, edit=0.30),
+    "CU3": _cu("CU3", "medium", erroneous=0.30, edit=0.30),
+    "CU4": _cu("CU4", "medium", erroneous=0.10, edit=0.30),
+    "CU5": _cu("CU5", "medium", erroneous=0.90, edit=0.10),
+    "CU6": _cu("CU6", "medium", erroneous=0.50, edit=0.10),
+    "CU7": _cu("CU7", "low", erroneous=0.30, edit=0.10),
+    "CU8": _cu("CU8", "low", erroneous=0.10, edit=0.10),
+    # Single-error-type datasets (Table 5.3, bottom rows).
+    "F1": _f("F1", erroneous=0.50, edit=0.00, swap=0.00, abbrev=0.50),
+    "F2": _f("F2", erroneous=0.50, edit=0.00, swap=0.20, abbrev=0.00),
+    "F3": _f("F3", erroneous=0.50, edit=0.10, swap=0.00, abbrev=0.00),
+    "F4": _f("F4", erroneous=0.50, edit=0.20, swap=0.00, abbrev=0.00),
+    "F5": _f("F5", erroneous=0.50, edit=0.30, swap=0.00, abbrev=0.00),
+}
+
+ACCURACY_CLASSES: Dict[str, List[str]] = {
+    "dirty": ["CU1", "CU2"],
+    "medium": ["CU3", "CU4", "CU5", "CU6"],
+    "low": ["CU7", "CU8"],
+}
+
+
+def dataset_class(name: str) -> str:
+    """Error class ('dirty' / 'medium' / 'low' / 'single-error') of a dataset."""
+    return DATASET_CONFIGS[name].error_class
+
+
+def make_dataset(
+    name: str,
+    size: int = DEFAULT_ACCURACY_SIZE,
+    num_clean: int = DEFAULT_ACCURACY_CLEAN,
+    seed: int = 42,
+    source_size: Optional[int] = None,
+) -> GeneratedDataset:
+    """Build the named benchmark dataset.
+
+    ``size`` / ``num_clean`` default to the paper's 5000 / 500 but can be
+    scaled down for quick experiments and tests; errors rates are fixed by the
+    configuration.
+    """
+    try:
+        config = DATASET_CONFIGS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_CONFIGS)}"
+        ) from exc
+    clean = clean_source(config.source, count=source_size)
+    generator = DatasetGenerator(clean)
+    return generator.generate(config.parameters(size=size, num_clean=num_clean, seed=seed))
+
+
+def scalability_config(
+    size: int,
+    erroneous_fraction: float = 0.70,
+    edit_extent: float = 0.20,
+    token_swap_rate: float = 0.20,
+    seed: int = 42,
+) -> GeneratorParameters:
+    """The DBLP-titles configuration of section 5.5 (performance experiments).
+
+    70% erroneous duplicates, 20% extent of edit error, 20% token swap and no
+    abbreviation error, with the number of clean tuples scaled as size / 10.
+    """
+    return GeneratorParameters(
+        size=size,
+        num_clean=max(1, size // 10),
+        distribution="uniform",
+        erroneous_fraction=erroneous_fraction,
+        edit_extent=edit_extent,
+        token_swap_rate=token_swap_rate,
+        abbreviation_rate=0.0,
+        seed=seed,
+    )

@@ -1,0 +1,104 @@
+"""Duplicate-count distributions for the dataset generator.
+
+The generator (section 5.1) assigns each clean tuple a number of duplicates
+drawn from a chosen distribution.  The paper mentions uniform, Zipfian and
+Poisson distributions; all three are provided here.  Each distribution
+produces per-cluster duplicate counts that sum (approximately, then exactly
+after adjustment by the generator) to the requested dataset size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+__all__ = ["duplicate_counts", "DISTRIBUTIONS"]
+
+
+def _uniform_counts(num_clusters: int, total: int, rng: random.Random) -> List[int]:
+    """Spread ``total`` duplicates as evenly as possible over the clusters."""
+    base = total // num_clusters
+    remainder = total - base * num_clusters
+    counts = [base] * num_clusters
+    for index in rng.sample(range(num_clusters), remainder):
+        counts[index] += 1
+    return counts
+
+
+def _zipf_counts(
+    num_clusters: int, total: int, rng: random.Random, exponent: float = 1.0
+) -> List[int]:
+    """Zipfian duplicate counts: a few clusters get many duplicates."""
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_clusters + 1)]
+    rng.shuffle(weights)
+    weight_sum = sum(weights)
+    raw = [total * weight / weight_sum for weight in weights]
+    counts = [max(1, int(value)) for value in raw]
+    _adjust_to_total(counts, total, rng)
+    return counts
+
+
+def _poisson_counts(
+    num_clusters: int, total: int, rng: random.Random
+) -> List[int]:
+    """Poisson-distributed duplicate counts with mean ``total / num_clusters``."""
+    mean = max(total / num_clusters, 0.1)
+    counts = [_poisson_sample(mean, rng) for _ in range(num_clusters)]
+    counts = [max(1, value) for value in counts]
+    _adjust_to_total(counts, total, rng)
+    return counts
+
+
+def _poisson_sample(mean: float, rng: random.Random) -> int:
+    """Knuth's algorithm; adequate for the small means used here."""
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _adjust_to_total(counts: List[int], total: int, rng: random.Random) -> None:
+    """Nudge counts so they sum exactly to ``total`` (keeping each >= 1)."""
+    difference = total - sum(counts)
+    indices = list(range(len(counts)))
+    while difference != 0:
+        index = rng.choice(indices)
+        if difference > 0:
+            counts[index] += 1
+            difference -= 1
+        elif counts[index] > 1:
+            counts[index] -= 1
+            difference += 1
+
+
+DISTRIBUTIONS: Dict[str, Callable[[int, int, random.Random], List[int]]] = {
+    "uniform": _uniform_counts,
+    "zipf": _zipf_counts,
+    "zipfian": _zipf_counts,
+    "poisson": _poisson_counts,
+}
+
+
+def duplicate_counts(
+    distribution: str, num_clusters: int, total: int, rng: random.Random
+) -> List[int]:
+    """Duplicate counts per cluster drawn from the named distribution.
+
+    The counts always sum to ``total`` and every cluster gets at least one
+    tuple (its "clean" representative counts toward the total).
+    """
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    if total < num_clusters:
+        raise ValueError("total must be at least num_clusters (one tuple per cluster)")
+    try:
+        factory = DISTRIBUTIONS[distribution.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; available: {sorted(set(DISTRIBUTIONS))}"
+        ) from exc
+    return factory(num_clusters, total, rng)

@@ -1,0 +1,154 @@
+"""Error injectors used by the benchmark data generator.
+
+Three error types match section 5.1 of the paper:
+
+* :class:`EditErrorInjector` -- character-level edit errors (insertion,
+  deletion, replacement, adjacent swap) applied to a given percentage of the
+  character positions of a string ("extent of error").
+* :class:`TokenSwapInjector` -- swaps a given percentage of adjacent word
+  pairs ("token swap error").
+* :class:`AbbreviationError` -- domain-specific abbreviation substitution for
+  company names (``Inc.`` <-> ``Incorporated`` etc.).
+
+Each injector exposes ``apply(text, rng)`` and is a pure function of its
+arguments plus the supplied random generator, so dataset generation is fully
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "EditErrorInjector",
+    "TokenSwapInjector",
+    "AbbreviationError",
+    "DEFAULT_ABBREVIATIONS",
+]
+
+_ALPHABET = string.ascii_lowercase + string.ascii_uppercase
+
+# Bidirectional long-form/short-form pairs for the company-names domain.
+DEFAULT_ABBREVIATIONS: Tuple[Tuple[str, str], ...] = (
+    ("Incorporated", "Inc."),
+    ("Corporation", "Corp."),
+    ("Limited", "Ltd."),
+    ("Company", "Co."),
+    ("International", "Intl."),
+    ("Brothers", "Bros."),
+    ("Associates", "Assoc."),
+)
+
+
+@dataclass(frozen=True)
+class EditErrorInjector:
+    """Inject character edit errors into a fraction of string positions.
+
+    ``extent`` is the fraction (0..1) of character positions selected for an
+    edit; each selected position receives one of insertion, deletion,
+    replacement or adjacent-character swap, chosen uniformly.
+    """
+
+    extent: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.extent <= 1.0:
+            raise ValueError("extent must be within [0, 1]")
+
+    def apply(self, text: str, rng: random.Random) -> str:
+        if not text or self.extent == 0.0:
+            return text
+        num_edits = max(1, round(len(text) * self.extent)) if self.extent > 0 else 0
+        characters = list(text)
+        for _ in range(num_edits):
+            if not characters:
+                break
+            position = rng.randrange(len(characters))
+            operation = rng.choice(("insert", "delete", "replace", "swap"))
+            if operation == "insert":
+                characters.insert(position, rng.choice(_ALPHABET))
+            elif operation == "delete" and len(characters) > 1:
+                del characters[position]
+            elif operation == "replace":
+                characters[position] = rng.choice(_ALPHABET)
+            elif operation == "swap" and len(characters) > 1:
+                other = position + 1 if position + 1 < len(characters) else position - 1
+                characters[position], characters[other] = (
+                    characters[other],
+                    characters[position],
+                )
+        return "".join(characters)
+
+
+@dataclass(frozen=True)
+class TokenSwapInjector:
+    """Swap a fraction of adjacent word pairs in the string.
+
+    ``swap_rate`` is the fraction (0..1) of word pairs to swap; a string of
+    ``n`` words has ``n // 2`` disjoint adjacent pairs available.
+    """
+
+    swap_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.swap_rate <= 1.0:
+            raise ValueError("swap_rate must be within [0, 1]")
+
+    def apply(self, text: str, rng: random.Random) -> str:
+        words = text.split()
+        if len(words) < 2 or self.swap_rate == 0.0:
+            return text
+        available_pairs = len(words) // 2
+        num_swaps = max(1, round(available_pairs * self.swap_rate))
+        positions = list(range(len(words) - 1))
+        rng.shuffle(positions)
+        swapped = 0
+        used: set[int] = set()
+        for position in positions:
+            if swapped >= num_swaps:
+                break
+            if position in used or position + 1 in used:
+                continue
+            words[position], words[position + 1] = words[position + 1], words[position]
+            used.update((position, position + 1))
+            swapped += 1
+        return " ".join(words)
+
+
+@dataclass(frozen=True)
+class AbbreviationError:
+    """Replace long forms with abbreviations and vice versa.
+
+    ``rate`` is the probability that an occurrence of either form of a known
+    pair is replaced by the opposite form.
+    """
+
+    rate: float
+    pairs: Tuple[Tuple[str, str], ...] = DEFAULT_ABBREVIATIONS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def _mapping(self) -> Dict[str, str]:
+        mapping: Dict[str, str] = {}
+        for long_form, short_form in self.pairs:
+            mapping[long_form.lower()] = short_form
+            mapping[short_form.lower()] = long_form
+        return mapping
+
+    def apply(self, text: str, rng: random.Random) -> str:
+        if self.rate == 0.0:
+            return text
+        mapping = self._mapping()
+        words = text.split()
+        changed = False
+        for index, word in enumerate(words):
+            replacement = mapping.get(word.lower())
+            if replacement is not None and rng.random() < self.rate:
+                words[index] = replacement
+                changed = True
+        return " ".join(words) if changed else text

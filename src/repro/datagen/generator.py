@@ -1,0 +1,181 @@
+"""The dataset generator: clean tuples -> erroneous duplicates with ground truth.
+
+:class:`DatasetGenerator` implements the enhanced UIS generator of section
+5.1.  Given a list of clean strings and a :class:`GeneratorParameters` it
+produces a :class:`GeneratedDataset`: a list of :class:`Record` (tuple id,
+string, cluster id) where every record generated from the same clean tuple
+carries the same cluster id — the ground truth used by the accuracy metrics.
+
+Parameters mirror Table 5.2:
+
+* ``size`` -- total number of generated tuples.
+* ``num_clean`` -- number of clean tuples used to seed clusters.
+* ``distribution`` -- duplicate distribution (uniform / zipf / poisson).
+* ``erroneous_fraction`` -- fraction of duplicates that receive errors.
+* ``edit_extent`` -- percentage of characters edited in an erroneous tuple.
+* ``token_swap_rate`` -- percentage of word pairs swapped.
+* ``abbreviation_rate`` -- probability of abbreviation substitution
+  (company-names domain only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.datagen.distributions import duplicate_counts
+from repro.datagen.errors import (
+    AbbreviationError,
+    EditErrorInjector,
+    TokenSwapInjector,
+)
+
+__all__ = ["Record", "GeneratorParameters", "GeneratedDataset", "DatasetGenerator"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One generated tuple: its id, its string value and its cluster id."""
+
+    tid: int
+    text: str
+    cluster_id: int
+    is_clean: bool
+
+
+@dataclass(frozen=True)
+class GeneratorParameters:
+    """Knobs of the data generator (Table 5.2)."""
+
+    size: int
+    num_clean: int
+    distribution: str = "uniform"
+    erroneous_fraction: float = 0.5
+    edit_extent: float = 0.1
+    token_swap_rate: float = 0.2
+    abbreviation_rate: float = 0.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.num_clean <= 0:
+            raise ValueError("size and num_clean must be positive")
+        if self.size < self.num_clean:
+            raise ValueError("size must be at least num_clean")
+        for name in ("erroneous_fraction", "edit_extent", "token_swap_rate", "abbreviation_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+
+    def scaled(self, size: int, num_clean: Optional[int] = None) -> "GeneratorParameters":
+        """A copy with a different dataset size (for scalability experiments)."""
+        return replace(
+            self,
+            size=size,
+            num_clean=num_clean if num_clean is not None else max(1, size // 10),
+        )
+
+
+class GeneratedDataset:
+    """The output of the generator: records plus ground-truth clusters."""
+
+    def __init__(self, records: Sequence[Record], parameters: GeneratorParameters):
+        self.records: List[Record] = list(records)
+        self.parameters = parameters
+        self._clusters: Dict[int, List[int]] = {}
+        for record in self.records:
+            self._clusters.setdefault(record.cluster_id, []).append(record.tid)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def strings(self) -> List[str]:
+        """The string attribute of every record, in tid order."""
+        return [record.text for record in self.records]
+
+    @property
+    def cluster_ids(self) -> List[int]:
+        return [record.cluster_id for record in self.records]
+
+    def cluster_of(self, tid: int) -> int:
+        return self.records[tid].cluster_id
+
+    def cluster_members(self, cluster_id: int) -> List[int]:
+        """All tuple ids in the given cluster (the relevant set for a query)."""
+        return list(self._clusters.get(cluster_id, []))
+
+    def relevant_for(self, tid: int) -> List[int]:
+        """Ground truth for a query drawn from record ``tid``: its whole cluster."""
+        return self.cluster_members(self.cluster_of(tid))
+
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def sample_query_tids(self, count: int, seed: int = 0) -> List[int]:
+        """Random query workload: ``count`` tuple ids (clean and erroneous mixed)."""
+        rng = random.Random(seed)
+        population = range(len(self.records))
+        if count >= len(self.records):
+            return list(population)
+        return rng.sample(population, count)
+
+
+class DatasetGenerator:
+    """Generate erroneous-duplicate datasets from clean source strings."""
+
+    def __init__(self, clean_strings: Sequence[str]):
+        if not clean_strings:
+            raise ValueError("clean_strings must not be empty")
+        self._clean = list(clean_strings)
+
+    def generate(self, parameters: GeneratorParameters) -> GeneratedDataset:
+        rng = random.Random(parameters.seed)
+        num_clean = min(parameters.num_clean, len(self._clean))
+        chosen = rng.sample(range(len(self._clean)), num_clean)
+        counts = duplicate_counts(
+            parameters.distribution, num_clean, parameters.size, rng
+        )
+
+        edit = EditErrorInjector(parameters.edit_extent)
+        swap = TokenSwapInjector(parameters.token_swap_rate)
+        abbreviation = AbbreviationError(parameters.abbreviation_rate)
+
+        records: List[Record] = []
+        tid = 0
+        for cluster_id, (source_index, count) in enumerate(zip(chosen, counts)):
+            clean_text = self._clean[source_index]
+            for duplicate_index in range(count):
+                if duplicate_index == 0:
+                    # The first member of each cluster is the clean tuple itself.
+                    records.append(Record(tid, clean_text, cluster_id, is_clean=True))
+                    tid += 1
+                    continue
+                text = clean_text
+                if rng.random() < parameters.erroneous_fraction:
+                    text = self._inject(text, rng, edit, swap, abbreviation)
+                    is_clean = text == clean_text
+                else:
+                    is_clean = True
+                records.append(Record(tid, text, cluster_id, is_clean=is_clean))
+                tid += 1
+        return GeneratedDataset(records, parameters)
+
+    @staticmethod
+    def _inject(
+        text: str,
+        rng: random.Random,
+        edit: EditErrorInjector,
+        swap: TokenSwapInjector,
+        abbreviation: AbbreviationError,
+    ) -> str:
+        """Apply the three injectors in the paper's order: abbrev, swap, edit."""
+        text = abbreviation.apply(text, rng)
+        text = swap.apply(text, rng)
+        text = edit.apply(text, rng)
+        return text

@@ -1,0 +1,192 @@
+"""Synthetic clean-source corpora.
+
+The paper uses two clean datasets (Table 5.1):
+
+* *Company Names* -- 2139 tuples, average length 21.03 characters, 2.92
+  words per tuple.
+* *DBLP Titles* -- 10425 tuples, average length 33.55 characters, 4.53 words
+  per tuple.
+
+Neither raw dataset ships with the paper, so we synthesize corpora with the
+same flavour and very similar statistics: company names are composed from
+surname/place stems plus an industry word and a legal-form suffix; titles are
+composed from research topic phrases.  Generation is deterministic given the
+seed, and duplicates are removed so that every clean string is unique (a
+requirement for unambiguous ground-truth clusters).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = [
+    "company_names",
+    "dblp_titles",
+    "clean_source",
+    "source_statistics",
+    "SourceStatistics",
+    "COMPANY_SOURCE_SIZE",
+    "TITLES_SOURCE_SIZE",
+]
+
+COMPANY_SOURCE_SIZE = 2139
+TITLES_SOURCE_SIZE = 10425
+
+_NAME_STEMS = [
+    "Morgan", "Stanley", "Goldman", "Harris", "Walker", "Hudson", "Sterling",
+    "Pacific", "Atlantic", "Northern", "Southern", "Western", "Eastern",
+    "Global", "National", "United", "Allied", "Consolidated", "Continental",
+    "Pioneer", "Summit", "Crescent", "Beacon", "Cascade", "Granite", "Keystone",
+    "Liberty", "Meridian", "Orion", "Phoenix", "Quantum", "Regal", "Silicon",
+    "Titan", "Vanguard", "Zenith", "Apex", "Borealis", "Cobalt", "Dorado",
+    "Everest", "Falcon", "Garnet", "Horizon", "Ivory", "Juniper", "Kodiak",
+    "Lakeside", "Monarch", "Nimbus", "Oakwood", "Pinnacle", "Redwood",
+    "Sapphire", "Thornton", "Underwood", "Vermont", "Whitfield", "Yorkshire",
+    "Ashford", "Bradford", "Carlisle", "Dunmore", "Ellsworth", "Fairbanks",
+    "Glenwood", "Hartford", "Ironside", "Jefferson", "Kensington", "Lancaster",
+    "Madison", "Norwood", "Oxford", "Preston", "Quincy", "Radcliffe",
+    "Somerset", "Trenton", "Uxbridge", "Valencia", "Wexford", "Beijing",
+    "Shanghai", "Tokyo", "Osaka", "Mumbai", "Delhi", "Toronto", "Montreal",
+    "Geneva", "Zurich", "Vienna", "Lisbon", "Dublin", "Helsinki", "Oslo",
+]
+
+_INDUSTRY_WORDS = [
+    "Financial", "Capital", "Securities", "Holdings", "Trust", "Partners",
+    "Industries", "Systems", "Technologies", "Software", "Networks", "Data",
+    "Energy", "Petroleum", "Mining", "Steel", "Motors", "Airlines", "Foods",
+    "Pharmaceuticals", "Biotech", "Chemical", "Textiles", "Logistics",
+    "Shipping", "Insurance", "Realty", "Properties", "Media", "Communications",
+    "Electric", "Instruments", "Semiconductors", "Aerospace", "Dynamics",
+    "Laboratories", "Research", "Consulting", "Services", "Solutions",
+    "Hotel", "Resorts", "Brewing", "Packaging", "Printing", "Publishing",
+]
+
+_LEGAL_FORMS = [
+    "Inc.", "Incorporated", "Corp.", "Corporation", "Ltd.", "Limited",
+    "LLC", "Co.", "Company", "Group", "Intl.", "International", "Bros.",
+    "Brothers", "& Sons", "Assoc.", "Associates",
+]
+
+_TITLE_OPENERS = [
+    "Efficient", "Scalable", "Adaptive", "Approximate", "Declarative",
+    "Incremental", "Distributed", "Parallel", "Robust", "Optimal",
+    "Probabilistic", "Dynamic", "Online", "Secure", "Flexible", "Fast",
+    "Unified", "Hybrid", "Interactive", "Automatic", "Learning", "Streaming",
+]
+
+_TITLE_SUBJECTS = [
+    "query processing", "similarity joins", "duplicate detection",
+    "data cleaning", "record linkage", "string matching", "index structures",
+    "view maintenance", "schema matching", "data integration",
+    "transaction management", "concurrency control", "query optimization",
+    "selectivity estimation", "top-k retrieval", "keyword search",
+    "information extraction", "entity resolution", "graph mining",
+    "stream processing", "spatial indexing", "text classification",
+    "sensor networks", "workflow management", "provenance tracking",
+    "privacy preservation", "access control", "load shedding",
+    "cache management", "skyline computation", "web services",
+    "xml publishing", "ranked retrieval", "data warehousing",
+    "cardinality estimation", "join ordering", "materialized views",
+    "nearest neighbor search", "outlier detection", "pattern mining",
+]
+
+_TITLE_CONNECTIVES = [
+    "for", "over", "in", "with", "using", "under", "beyond", "towards",
+]
+
+_TITLE_CONTEXTS = [
+    "relational databases", "large data warehouses", "peer-to-peer systems",
+    "distributed environments", "sensor networks", "the web", "main memory",
+    "parallel architectures", "column stores", "data streams",
+    "uncertain data", "probabilistic databases", "moving objects",
+    "high-dimensional spaces", "social networks", "scientific workflows",
+    "multi-tenant systems", "federated systems", "dynamic workloads",
+    "heterogeneous sources", "semistructured data", "mobile devices",
+]
+
+
+@dataclass(frozen=True)
+class SourceStatistics:
+    """Summary statistics of a clean corpus (compare against Table 5.1)."""
+
+    num_tuples: int
+    average_length: float
+    average_words: float
+
+
+def company_names(count: int = COMPANY_SOURCE_SIZE, seed: int = 7) -> List[str]:
+    """Generate ``count`` distinct company-name-like strings."""
+    rng = random.Random(seed)
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        parts: List[str] = [rng.choice(_NAME_STEMS)]
+        if rng.random() < 0.45:
+            parts.append(rng.choice(_NAME_STEMS))
+        if rng.random() < 0.72:
+            parts.append(rng.choice(_INDUSTRY_WORDS))
+        parts.append(rng.choice(_LEGAL_FORMS))
+        name = " ".join(parts)
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def dblp_titles(count: int = TITLES_SOURCE_SIZE, seed: int = 11) -> List[str]:
+    """Generate ``count`` distinct publication-title-like strings."""
+    rng = random.Random(seed)
+    titles: List[str] = []
+    seen = set()
+    while len(titles) < count:
+        opener = rng.choice(_TITLE_OPENERS)
+        subject = rng.choice(_TITLE_SUBJECTS)
+        parts = [opener, subject]
+        if rng.random() < 0.8:
+            parts.append(rng.choice(_TITLE_CONNECTIVES))
+            parts.append(rng.choice(_TITLE_CONTEXTS))
+        if rng.random() < 0.2:
+            parts.insert(0, rng.choice(["On", "Revisiting", "A Study of", "Benchmarking"]))
+        title = " ".join(parts)
+        title = title[0].upper() + title[1:]
+        if title not in seen:
+            seen.add(title)
+            titles.append(title)
+    return titles
+
+
+_SOURCES: Dict[str, Callable[[int, int], List[str]]] = {
+    "company": company_names,
+    "titles": dblp_titles,
+}
+
+
+def clean_source(name: str, count: int | None = None, seed: int | None = None) -> List[str]:
+    """Return a named clean corpus (``'company'`` or ``'titles'``)."""
+    try:
+        factory = _SOURCES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown source {name!r}; available: {sorted(_SOURCES)}"
+        ) from exc
+    defaults = {
+        "company": (COMPANY_SOURCE_SIZE, 7),
+        "titles": (TITLES_SOURCE_SIZE, 11),
+    }[name]
+    return factory(count if count is not None else defaults[0],
+                   seed if seed is not None else defaults[1])
+
+
+def source_statistics(strings: List[str]) -> SourceStatistics:
+    """Compute the Table 5.1 statistics for a corpus."""
+    if not strings:
+        return SourceStatistics(num_tuples=0, average_length=0.0, average_words=0.0)
+    total_length = sum(len(s) for s in strings)
+    total_words = sum(len(s.split()) for s in strings)
+    return SourceStatistics(
+        num_tuples=len(strings),
+        average_length=total_length / len(strings),
+        average_words=total_words / len(strings),
+    )

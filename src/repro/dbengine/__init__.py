@@ -1,0 +1,39 @@
+"""A small in-memory relational engine with a SQL subset.
+
+The paper expresses every similarity predicate as plain SQL over token and
+weight tables stored in a relational database (MySQL in the original study).
+This package provides the substrate for that declarative realization without
+requiring an external database server:
+
+* :mod:`repro.dbengine.table` -- in-memory tables with named columns.
+* :mod:`repro.dbengine.catalog` -- a :class:`Database` holding tables and a
+  scalar-function / UDF registry.
+* :mod:`repro.dbengine.lexer` / :mod:`repro.dbengine.parser` -- a SQL-subset
+  tokenizer and recursive-descent parser (SELECT / INSERT / CREATE / DROP /
+  DELETE, joins, subqueries in FROM, GROUP BY / HAVING, UNION ALL, ORDER BY,
+  LIMIT, aggregate and scalar functions).
+* :mod:`repro.dbengine.executor` -- an AST-walking executor with hash
+  equi-joins and grouped aggregation.
+
+The supported SQL subset is exactly what the declarative predicate
+realizations in :mod:`repro.declarative` emit, which mirrors Appendix A/B of
+the paper.
+"""
+
+from repro.dbengine.catalog import Database
+from repro.dbengine.errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    ParseError,
+)
+from repro.dbengine.table import Table
+
+__all__ = [
+    "Database",
+    "Table",
+    "EngineError",
+    "ParseError",
+    "ExecutionError",
+    "CatalogError",
+]

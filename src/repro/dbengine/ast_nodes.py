@@ -1,0 +1,250 @@
+"""Abstract syntax tree nodes for the SQL subset.
+
+Two families of nodes:
+
+* *expressions* (:class:`Expression` subclasses) -- column references,
+  literals, arithmetic / comparison / boolean operators, function calls
+  (scalar and aggregate), ``CASE`` expressions, ``IN`` lists and subqueries.
+* *statements* (:class:`Statement` subclasses) -- ``SELECT`` (with joins,
+  grouping, set operations, ordering), ``INSERT``, ``CREATE TABLE``,
+  ``DROP TABLE`` and ``DELETE``.
+
+The nodes are plain dataclasses; evaluation lives in
+:mod:`repro.dbengine.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "UnaryOp",
+    "BinaryOp",
+    "FunctionCall",
+    "CaseExpression",
+    "InList",
+    "InSubquery",
+    "ScalarSubquery",
+    "Between",
+    "IsNull",
+    "SelectItem",
+    "TableRef",
+    "SubqueryRef",
+    "Join",
+    "OrderItem",
+    "SelectCore",
+    "Select",
+    "Statement",
+    "Insert",
+    "CreateTable",
+    "DropTable",
+    "Delete",
+    "AGGREGATE_FUNCTIONS",
+]
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # '-', '+', 'NOT'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # arithmetic, comparison, AND, OR, LIKE
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in AGGREGATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END`` (searched form)."""
+
+    whens: Tuple[Tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    operand: Expression
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+# -- FROM clause -------------------------------------------------------------
+
+
+class TableSource:
+    """Base class for items appearing in a FROM clause."""
+
+
+@dataclass(frozen=True)
+class TableRef(TableSource):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableSource):
+    subquery: "Select"
+    alias: str
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join(TableSource):
+    """An explicit ``[INNER|LEFT] JOIN ... ON ...`` between two sources."""
+
+    left: TableSource
+    right: TableSource
+    condition: Optional[Expression]
+    kind: str = "INNER"  # INNER or LEFT
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Statement:
+    """Base class for all statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    """One SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ... block."""
+
+    items: Tuple[SelectItem, ...]
+    sources: Tuple[TableSource, ...]
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A full select: one or more cores combined with UNION [ALL]."""
+
+    cores: Tuple[SelectCore, ...]
+    union_alls: Tuple[bool, ...] = ()  # len == len(cores) - 1
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+    @property
+    def core(self) -> SelectCore:
+        return self.cores[0]
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Tuple[Expression, ...], ...] = ()
+    select: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: Tuple[Tuple[str, str], ...]  # (name, type)
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None

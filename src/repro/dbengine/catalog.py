@@ -1,0 +1,178 @@
+"""The :class:`Database` catalog: tables, functions and statement execution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dbengine.ast_nodes import (
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Statement,
+)
+from repro.dbengine.errors import CatalogError, ExecutionError
+from repro.dbengine.executor import Relation, ResultSet, SelectExecutor
+from repro.dbengine.functions import FunctionRegistry
+from repro.dbengine.parser import parse_statement, parse_statements
+from repro.dbengine.table import Column, Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory database: a set of named tables plus scalar functions.
+
+    The public surface mirrors the tiny subset of DB-API-ish behaviour needed
+    by the declarative framework:
+
+    * :meth:`execute` -- parse and run one SQL statement; SELECTs return a
+      :class:`~repro.dbengine.executor.ResultSet`, other statements return the
+      affected row count.
+    * :meth:`execute_script` -- run a semicolon-separated script.
+    * :meth:`create_table`, :meth:`insert_rows` -- fast-path catalog
+      manipulation that skips SQL parsing for bulk preprocessing loads.
+    * :meth:`register_function` -- register a UDF usable from SQL (e.g. the
+      ``JAROWINKLER`` and ``EDITSIM`` functions used by the paper's
+      edit-based and combination predicates).
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self.functions = FunctionRegistry()
+        self._executor = SelectExecutor(self, self.functions)
+
+    # -- catalog --------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"unknown table: {name}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str | Column],
+        if_not_exists: bool = False,
+    ) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table already exists: {name}")
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown table: {name}")
+        del self._tables[key]
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert rows without SQL parsing (preprocessing fast path)."""
+        return self.table(name).insert_many(rows)
+
+    def register_function(self, name: str, func, null_safe: bool = True) -> None:
+        self.functions.register(name, func, null_safe=null_safe)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet | int:
+        """Parse and execute a single SQL statement."""
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> List[ResultSet | int]:
+        """Execute a semicolon-separated script; returns one result per statement."""
+        return [self.execute_statement(stmt) for stmt in parse_statements(sql)]
+
+    def query(self, sql: str) -> ResultSet:
+        """Execute a statement that must be a SELECT."""
+        result = self.execute(sql)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() requires a SELECT statement")
+        return result
+
+    def execute_statement(self, statement: Statement) -> ResultSet | int:
+        if isinstance(statement, Select):
+            return self._executor.execute(statement)
+        if isinstance(statement, CreateTable):
+            columns = [Column(name, type_name) for name, type_name in statement.columns]
+            self.create_table(statement.table, columns, if_not_exists=statement.if_not_exists)
+            return 0
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.table, if_exists=statement.if_exists)
+            return 0
+        if isinstance(statement, Insert):
+            return self._insert(statement)
+        if isinstance(statement, Delete):
+            return self._delete(statement)
+        raise ExecutionError(f"unsupported statement {statement!r}")
+
+    # -- statement handlers ---------------------------------------------------
+
+    def _insert(self, statement: Insert) -> int:
+        table = self.table(statement.table)
+        if statement.columns:
+            positions = [table.column_index(name) for name in statement.columns]
+        else:
+            positions = list(range(len(table.columns)))
+
+        def place(values: Sequence[object]) -> List[object]:
+            if len(values) != len(positions):
+                raise ExecutionError(
+                    f"INSERT into {table.name!r} expects {len(positions)} values, "
+                    f"got {len(values)}"
+                )
+            row: List[object] = [None] * len(table.columns)
+            for position, value in zip(positions, values):
+                row[position] = value
+            return row
+
+        count = 0
+        if statement.select is not None:
+            result = self._executor.execute(statement.select)
+            for row in result.rows:
+                table.insert(place(row))
+                count += 1
+            return count
+        empty_relation = Relation(columns=[], rows=[()])
+        for value_row in statement.values:
+            values = [
+                self._executor._evaluate(expression, empty_relation, ())
+                for expression in value_row
+            ]
+            table.insert(place(values))
+            count += 1
+        return count
+
+    def _delete(self, statement: Delete) -> int:
+        table = self.table(statement.table)
+        if statement.where is None:
+            count = len(table.rows)
+            table.clear()
+            return count
+        relation = Relation(
+            columns=[(statement.table, name) for name in table.column_names],
+            rows=list(table.rows),
+        )
+        keep: List[tuple] = []
+        removed = 0
+        for row in relation.rows:
+            if self._executor._evaluate(statement.where, relation, row):
+                removed += 1
+            else:
+                keep.append(row)
+        table.rows = keep
+        return removed

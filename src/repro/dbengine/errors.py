@@ -1,0 +1,27 @@
+"""Exception hierarchy of the in-memory relational engine."""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "ParseError", "ExecutionError", "CatalogError"]
+
+
+class EngineError(Exception):
+    """Base class for all engine errors."""
+
+
+class ParseError(EngineError):
+    """Raised when a SQL statement cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(EngineError):
+    """Raised for unknown / duplicate tables or functions."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a parsed statement cannot be executed."""

@@ -1,0 +1,142 @@
+"""SQL tokenizer for the engine's SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.dbengine.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "DROP", "DELETE",
+    "IF", "EXISTS", "DISTINCT", "UNION", "ALL", "JOIN", "INNER", "LEFT",
+    "OUTER", "ON", "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC",
+    "TRUE", "FALSE",
+}
+
+_PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    "*": "STAR",
+    "+": "PLUS",
+    "-": "MINUS",
+    "/": "SLASH",
+    "%": "PERCENT",
+    ";": "SEMICOLON",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # KEYWORD, IDENT, NUMBER, STRING, OP, or punctuation kind
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in keywords
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a SQL string into a list of :class:`Token`."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # line comments
+        if ch == "-" and i + 1 < length and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        # string literal (single quotes, '' escapes a quote)
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= length:
+                    raise ParseError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < length and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        # quoted identifiers (double quotes or backticks)
+        if ch in ('"', "`"):
+            closing = sql.find(ch, i + 1)
+            if closing == -1:
+                raise ParseError("unterminated quoted identifier", i)
+            tokens.append(Token("IDENT", sql[i + 1 : closing], i))
+            i = closing + 1
+            continue
+        # numbers (integer or float, optional exponent)
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < length:
+                cj = sql[j]
+                if cj.isdigit():
+                    j += 1
+                elif cj == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif cj in "eE" and not seen_exp and j > i:
+                    # exponent must be followed by digits or sign+digits
+                    k = j + 1
+                    if k < length and sql[k] in "+-":
+                        k += 1
+                    if k < length and sql[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        # multi-character operators
+        two = sql[i : i + 2]
+        if two in ("<=", ">=", "<>", "!=", "||"):
+            tokens.append(Token("OP", two, i))
+            i += 2
+            continue
+        if ch in ("<", ">", "="):
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,193 @@
+"""Render parsed SQL ASTs back to SQL text.
+
+The printer serves three purposes:
+
+* debugging / logging of the statements the declarative framework executes;
+* an ``EXPLAIN``-style inspection aid (`format_statement` produces canonical,
+  normalized SQL);
+* a strong parser test: printing a parsed statement and re-parsing the result
+  must yield the same AST (round-trip property, covered in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dbengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Insert,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    Select,
+    SelectCore,
+    Star,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    TableSource,
+    UnaryOp,
+)
+from repro.dbengine.errors import EngineError
+
+__all__ = ["format_expression", "format_statement"]
+
+
+def format_expression(expression: Expression) -> str:
+    """Render an expression AST as SQL text."""
+    if isinstance(expression, Literal):
+        return _literal(expression.value)
+    if isinstance(expression, ColumnRef):
+        return expression.qualified
+    if isinstance(expression, Star):
+        return f"{expression.table}.*" if expression.table else "*"
+    if isinstance(expression, UnaryOp):
+        operand = format_expression(expression.operand)
+        if expression.op == "NOT":
+            return f"NOT ({operand})"
+        return f"{expression.op}{operand}"
+    if isinstance(expression, BinaryOp):
+        left = format_expression(expression.left)
+        right = format_expression(expression.right)
+        return f"({left} {expression.op} {right})"
+    if isinstance(expression, FunctionCall):
+        prefix = "DISTINCT " if expression.distinct else ""
+        args = ", ".join(format_expression(arg) for arg in expression.args)
+        return f"{expression.name}({prefix}{args})"
+    if isinstance(expression, CaseExpression):
+        parts = ["CASE"]
+        for condition, value in expression.whens:
+            parts.append(f"WHEN {format_expression(condition)} THEN {format_expression(value)}")
+        if expression.default is not None:
+            parts.append(f"ELSE {format_expression(expression.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expression, InList):
+        items = ", ".join(format_expression(item) for item in expression.items)
+        negation = "NOT " if expression.negated else ""
+        return f"{format_expression(expression.operand)} {negation}IN ({items})"
+    if isinstance(expression, InSubquery):
+        negation = "NOT " if expression.negated else ""
+        return (
+            f"{format_expression(expression.operand)} {negation}IN "
+            f"({format_statement(expression.subquery)})"
+        )
+    if isinstance(expression, ScalarSubquery):
+        return f"({format_statement(expression.subquery)})"
+    if isinstance(expression, Between):
+        negation = "NOT " if expression.negated else ""
+        return (
+            f"{format_expression(expression.operand)} {negation}BETWEEN "
+            f"{format_expression(expression.low)} AND {format_expression(expression.high)}"
+        )
+    if isinstance(expression, IsNull):
+        suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{format_expression(expression.operand)} {suffix}"
+    raise EngineError(f"cannot format expression {expression!r}")
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _format_source(source: TableSource) -> str:
+    if isinstance(source, TableRef):
+        return f"{source.name} {source.alias}" if source.alias else source.name
+    if isinstance(source, SubqueryRef):
+        return f"({format_statement(source.subquery)}) {source.alias}"
+    if isinstance(source, Join):
+        left = _format_source(source.left)
+        right = _format_source(source.right)
+        keyword = "LEFT JOIN" if source.kind == "LEFT" else "INNER JOIN"
+        clause = f"{left} {keyword} {right}"
+        if source.condition is not None:
+            clause += f" ON {format_expression(source.condition)}"
+        return clause
+    raise EngineError(f"cannot format table source {source!r}")
+
+
+def _format_core(core: SelectCore) -> str:
+    items = []
+    for item in core.items:
+        text = format_expression(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts: List[str] = ["SELECT "]
+    if core.distinct:
+        parts[0] += "DISTINCT "
+    parts[0] += ", ".join(items)
+    if core.sources:
+        parts.append("FROM " + ", ".join(_format_source(source) for source in core.sources))
+    if core.where is not None:
+        parts.append("WHERE " + format_expression(core.where))
+    if core.group_by:
+        parts.append("GROUP BY " + ", ".join(format_expression(e) for e in core.group_by))
+    if core.having is not None:
+        parts.append("HAVING " + format_expression(core.having))
+    return " ".join(parts)
+
+
+def _format_order(order_by: tuple) -> str:
+    rendered = []
+    for item in order_by:
+        text = format_expression(item.expression)
+        if item.descending:
+            text += " DESC"
+        rendered.append(text)
+    return "ORDER BY " + ", ".join(rendered)
+
+
+def format_statement(statement: Statement) -> str:
+    """Render a statement AST as SQL text."""
+    if isinstance(statement, Select):
+        parts = [_format_core(statement.cores[0])]
+        for index, core in enumerate(statement.cores[1:]):
+            keyword = "UNION ALL" if statement.union_alls[index] else "UNION"
+            parts.append(f"{keyword} {_format_core(core)}")
+        if statement.order_by:
+            parts.append(_format_order(statement.order_by))
+        if statement.limit is not None:
+            parts.append(f"LIMIT {statement.limit}")
+        return " ".join(parts)
+    if isinstance(statement, Insert):
+        columns = f" ({', '.join(statement.columns)})" if statement.columns else ""
+        if statement.select is not None:
+            return f"INSERT INTO {statement.table}{columns} {format_statement(statement.select)}"
+        rows = ", ".join(
+            "(" + ", ".join(format_expression(value) for value in row) + ")"
+            for row in statement.values
+        )
+        return f"INSERT INTO {statement.table}{columns} VALUES {rows}"
+    if isinstance(statement, CreateTable):
+        clause = "IF NOT EXISTS " if statement.if_not_exists else ""
+        columns = ", ".join(f"{name} {type_name}" for name, type_name in statement.columns)
+        return f"CREATE TABLE {clause}{statement.table} ({columns})"
+    if isinstance(statement, DropTable):
+        clause = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {clause}{statement.table}"
+    if isinstance(statement, Delete):
+        where = f" WHERE {format_expression(statement.where)}" if statement.where is not None else ""
+        return f"DELETE FROM {statement.table}{where}"
+    raise EngineError(f"cannot format statement {statement!r}")

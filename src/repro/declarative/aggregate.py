@@ -1,0 +1,154 @@
+"""Declarative realizations of the aggregate weighted predicates (Appendix B.2).
+
+Both predicates store per-(tid, token) document-side weights in
+``BASE_WEIGHTS`` during preprocessing; query-time scoring is the single-join
+statement of Figure 4.3 with the query-side weights computed on the fly as a
+subquery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.declarative.base import DeclarativePredicate
+from repro.text.weights import BM25Parameters
+
+__all__ = ["DeclarativeCosine", "DeclarativeBM25"]
+
+
+class _DeclarativeAggregateBase(DeclarativePredicate):
+    family = "aggregate-weighted"
+
+    def _materialize_size_and_tf(self) -> None:
+        self.backend.recreate_table("BASE_SIZE", ["size INTEGER"])
+        self.backend.execute(
+            "INSERT INTO BASE_SIZE (size) SELECT COUNT(*) FROM BASE_TABLE"
+        )
+        self.backend.recreate_table(
+            "BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_TF (tid, token, tf) "
+            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
+        )
+
+
+class DeclarativeCosine(_DeclarativeAggregateBase):
+    """tf-idf cosine similarity (Appendix B.2.1)."""
+
+    name = "Cosine"
+
+    def weight_phase(self) -> None:
+        self._materialize_size_and_tf()
+        self.backend.recreate_table("BASE_IDF", ["token TEXT", "idf REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_IDF (token, idf) "
+            "SELECT T.token, LOG(S.size) - LOG(COUNT(DISTINCT T.tid)) "
+            "FROM BASE_TOKENS T, BASE_SIZE S "
+            "GROUP BY T.token, S.size"
+        )
+        self.backend.recreate_table("BASE_LENGTH", ["tid INTEGER", "len REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_LENGTH (tid, len) "
+            "SELECT T.tid, SQRT(SUM(I.idf * I.idf * T.tf * T.tf)) "
+            "FROM BASE_IDF I, BASE_TF T "
+            "WHERE I.token = T.token "
+            "GROUP BY T.tid"
+        )
+        self.backend.recreate_table(
+            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
+            "SELECT T.tid, T.token, I.idf * T.tf / L.len "
+            "FROM BASE_IDF I, BASE_TF T, BASE_LENGTH L "
+            "WHERE I.token = T.token AND T.tid = L.tid"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        # The query-side weights are normalized tf-idf computed on the fly;
+        # query tokens absent from BASE_IDF are dropped by the inner join.
+        query_weights = (
+            "(SELECT QTF.token, QIDF.idf * QTF.tf / QLEN.length AS weight "
+            " FROM (SELECT R.token, R.idf "
+            "       FROM (SELECT DISTINCT token FROM QUERY_TOKENS) S, BASE_IDF R "
+            "       WHERE S.token = R.token) QIDF, "
+            "      (SELECT T.token, COUNT(*) AS tf "
+            "       FROM QUERY_TOKENS T GROUP BY T.token) QTF, "
+            "      (SELECT SQRT(SUM(QI.idf * QI.idf * QT.tf * QT.tf)) AS length "
+            "       FROM (SELECT R.token, R.idf "
+            "             FROM (SELECT DISTINCT token FROM QUERY_TOKENS) S, BASE_IDF R "
+            "             WHERE S.token = R.token) QI, "
+            "            (SELECT T.token, COUNT(*) AS tf "
+            "             FROM QUERY_TOKENS T GROUP BY T.token) QT "
+            "       WHERE QI.token = QT.token) QLEN "
+            " WHERE QIDF.token = QTF.token)"
+        )
+        return self.backend.query(
+            "SELECT R1W.tid, SUM(R1W.weight * R2W.weight) AS score "
+            f"FROM BASE_WEIGHTS R1W, {query_weights} R2W "
+            "WHERE R1W.token = R2W.token "
+            "GROUP BY R1W.tid"
+        )
+
+
+class DeclarativeBM25(_DeclarativeAggregateBase):
+    """Okapi BM25 (Appendix B.2.2)."""
+
+    name = "BM25"
+
+    def __init__(self, *args, params: BM25Parameters | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.params = params or BM25Parameters()
+
+    def weight_phase(self) -> None:
+        k1, b = self.params.k1, self.params.b
+        self._materialize_size_and_tf()
+        self.backend.recreate_table("BASE_BMIDF", ["token TEXT", "midf REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_BMIDF (token, midf) "
+            "SELECT T.token, LOG(S.size - COUNT(T.tid) + 0.5) - LOG(COUNT(T.tid) + 0.5) "
+            "FROM BASE_TF T, BASE_SIZE S "
+            "GROUP BY T.token, S.size"
+        )
+        self.backend.recreate_table("BASE_BMLENGTH", ["tid INTEGER", "dl REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_BMLENGTH (tid, dl) "
+            "SELECT T.tid, SUM(T.tf) FROM BASE_TF T GROUP BY T.tid"
+        )
+        self.backend.recreate_table("BASE_BMAVGLENGTH", ["avgdl REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_BMAVGLENGTH (avgdl) SELECT AVG(dl) FROM BASE_BMLENGTH"
+        )
+        self.backend.recreate_table(
+            "BASE_BMMODTF", ["tid INTEGER", "token TEXT", "mtf REAL"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_BMMODTF (tid, token, mtf) "
+            f"SELECT T.tid, T.token, (T.tf * ({k1} + 1)) / "
+            f"((((1 - {b}) + ({b} * L.dl / A.avgdl)) * {k1}) + T.tf) "
+            "FROM BASE_BMLENGTH L, BASE_BMAVGLENGTH A, BASE_TF T "
+            "WHERE L.tid = T.tid"
+        )
+        self.backend.recreate_table(
+            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
+            "SELECT T.tid, T.token, T.mtf * I.midf "
+            "FROM BASE_BMMODTF T, BASE_BMIDF I "
+            "WHERE T.token = I.token"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        k3 = self.params.k3
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT B.tid, SUM(B.weight * S.mtf) AS score "
+            "FROM BASE_WEIGHTS B, "
+            f"(SELECT token, (COUNT(*) * ({k3} + 1)) / ({k3} + COUNT(*)) AS mtf "
+            " FROM QUERY_TOKENS T GROUP BY T.token) S "
+            "WHERE B.token = S.token "
+            "GROUP BY B.tid"
+        )

@@ -1,0 +1,113 @@
+"""Base class of the declarative predicate realizations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.backends.base import SQLBackend
+from repro.backends.memory import MemoryBackend
+from repro.core.predicates.base import ScoredTuple
+from repro.declarative import tokens as token_tables
+from repro.text.tokenize import QgramTokenizer, Tokenizer
+
+__all__ = ["DeclarativePredicate"]
+
+
+class DeclarativePredicate(ABC):
+    """A similarity predicate realized as SQL over a :class:`SQLBackend`.
+
+    Life cycle (mirroring chapter 4 of the paper):
+
+    1. :meth:`preprocess` -- load ``BASE_TABLE``, tokenize into
+       ``BASE_TOKENS`` (in Python or, when ``sql_tokenization=True``, with the
+       Appendix A.1 SQL) and run the predicate's weight-materialization SQL.
+    2. :meth:`rank` / :meth:`select` -- load ``QUERY_TOKENS`` for the query
+       string, run the predicate's query-time SQL and return scored tuples.
+
+    Subclasses implement :meth:`weight_phase` (the preprocessing SQL beyond
+    tokenization) and :meth:`query_scores` (the query-time SQL).
+    """
+
+    name: str = "declarative"
+    family: str = "unspecified"
+
+    def __init__(
+        self,
+        backend: Optional[SQLBackend] = None,
+        tokenizer: Optional[Tokenizer] = None,
+        sql_tokenization: bool = False,
+    ):
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.tokenizer = tokenizer or QgramTokenizer(q=2)
+        self.sql_tokenization = sql_tokenization
+        self._strings: List[str] = []
+        self._preprocessed = False
+
+    # -- preprocessing ----------------------------------------------------------
+
+    def preprocess(self, strings: Sequence[str]) -> "DeclarativePredicate":
+        """Materialize all base-relation tables this predicate needs."""
+        self._strings = list(strings)
+        token_tables.load_base_table(self.backend, self._strings)
+        self.tokenize_phase()
+        self.weight_phase()
+        self._preprocessed = True
+        return self
+
+    # Alias so declarative and direct predicates can be used interchangeably.
+    fit = preprocess
+
+    def tokenize_phase(self) -> None:
+        """Populate ``BASE_TOKENS`` (Appendix A)."""
+        if self.sql_tokenization:
+            if not isinstance(self.tokenizer, QgramTokenizer):
+                raise ValueError("sql_tokenization is only supported for q-gram tokenizers")
+            token_tables.load_base_tokens_sql(self.backend, self._strings, self.tokenizer.q)
+        else:
+            token_tables.load_base_tokens_python(self.backend, self._strings, self.tokenizer)
+
+    @abstractmethod
+    def weight_phase(self) -> None:
+        """Materialize the predicate-specific weight tables (Appendix B)."""
+
+    # -- query time --------------------------------------------------------------
+
+    @abstractmethod
+    def query_scores(self, query: str) -> List[tuple]:
+        """Run the query-time SQL; returns ``(tid, score)`` rows (unordered)."""
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[ScoredTuple]:
+        """Tuples ranked by decreasing score, ties broken by tuple id."""
+        self._require_preprocessed()
+        rows = [
+            ScoredTuple(int(tid), float(score))
+            for tid, score in self.query_scores(query)
+            if score is not None
+        ]
+        rows.sort(key=lambda st: (-st.score, st.tid))
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def select(self, query: str, threshold: float) -> List[ScoredTuple]:
+        """Approximate selection with a similarity threshold."""
+        return [scored for scored in self.rank(query) if scored.score >= threshold]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def load_query_tokens(self, query: str) -> None:
+        token_tables.load_query_tokens(self.backend, query, self.tokenizer)
+
+    @property
+    def is_preprocessed(self) -> bool:
+        return self._preprocessed
+
+    def _require_preprocessed(self) -> None:
+        if not self._preprocessed:
+            raise RuntimeError(
+                f"{type(self).__name__} must preprocess() a base relation before querying"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(backend={self.backend.name})"

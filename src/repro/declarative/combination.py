@@ -1,0 +1,340 @@
+"""Declarative realizations of the combination predicates (Appendix B.4).
+
+These predicates tokenize at two levels (words, then q-grams of each word).
+``BASE_TOKENS`` therefore holds *word* tokens here, and preprocessing
+additionally materializes ``BASE_QGRAMS`` (q-grams per word), idf weights of
+words and per-word q-gram counts.
+
+* :class:`DeclarativeSoftTFIDF` follows Figure 4.7: Jaro-Winkler similarities
+  between base and query words are computed with the ``JAROWINKLER`` UDF, the
+  per-query-word maxima are materialized and the final score is a single
+  aggregation.
+* :class:`DeclarativeGESJaccard` and :class:`DeclarativeGESApx` implement the
+  *filtering step* of Appendix B.4.1 / B.4.2 in SQL (q-gram Jaccard or
+  min-hash similarity between words); candidates whose over-estimated score
+  reaches the threshold are then verified with the exact GES computation,
+  playing the role of the UDF in the original study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.backends.base import SQLBackend
+from repro.core.predicates.combination import GES
+from repro.declarative.base import DeclarativePredicate
+from repro.declarative.tokens import sql_escape
+from repro.text.minhash import MinHasher
+from repro.text.tokenize import Tokenizer, WordTokenizer, qgrams
+
+__all__ = ["DeclarativeSoftTFIDF", "DeclarativeGESJaccard", "DeclarativeGESApx"]
+
+
+class _DeclarativeCombinationBase(DeclarativePredicate):
+    """Shared word-level preprocessing for the combination predicates."""
+
+    family = "combination"
+
+    def __init__(
+        self,
+        backend: Optional[SQLBackend] = None,
+        tokenizer: Optional[Tokenizer] = None,
+        q: int = 2,
+    ):
+        super().__init__(backend=backend, tokenizer=tokenizer or WordTokenizer())
+        self.q = q
+
+    def _materialize_word_tables(self) -> None:
+        """BASE_SIZE, BASE_IDF, BASE_IDFAVG over word tokens."""
+        backend = self.backend
+        backend.recreate_table("BASE_SIZE", ["size INTEGER"])
+        backend.execute("INSERT INTO BASE_SIZE (size) SELECT COUNT(*) FROM BASE_TABLE")
+        backend.recreate_table("BASE_IDF", ["token TEXT", "idf REAL"])
+        backend.execute(
+            "INSERT INTO BASE_IDF (token, idf) "
+            "SELECT T.token, LOG(S.size) - LOG(COUNT(DISTINCT T.tid)) "
+            "FROM BASE_TOKENS T, BASE_SIZE S GROUP BY T.token, S.size"
+        )
+        backend.recreate_table("BASE_IDFAVG", ["idfavg REAL"])
+        backend.execute("INSERT INTO BASE_IDFAVG (idfavg) SELECT AVG(idf) FROM BASE_IDF")
+        backend.recreate_table("BASE_TOKENS_DIST", ["tid INTEGER", "token TEXT"])
+        backend.execute(
+            "INSERT INTO BASE_TOKENS_DIST (tid, token) "
+            "SELECT DISTINCT tid, token FROM BASE_TOKENS"
+        )
+
+    def _materialize_word_qgrams(self) -> None:
+        """BASE_QGRAMS(tid, token, qgram) and BASE_TOKENSIZE(tid, token, len)."""
+        backend = self.backend
+        backend.recreate_table(
+            "BASE_QGRAMS", ["tid INTEGER", "token TEXT", "qgram TEXT"]
+        )
+        rows = []
+        seen = set()
+        for tid, text in enumerate(self._strings):
+            for word in set(self.tokenizer.tokenize(text)):
+                for gram in set(qgrams(word, self.q)):
+                    key = (tid, word, gram)
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(key)
+        backend.insert_rows("BASE_QGRAMS", rows)
+        backend.recreate_table(
+            "BASE_TOKENSIZE", ["tid INTEGER", "token TEXT", "len INTEGER"]
+        )
+        backend.execute(
+            "INSERT INTO BASE_TOKENSIZE (tid, token, len) "
+            "SELECT tid, token, COUNT(*) FROM BASE_QGRAMS GROUP BY tid, token"
+        )
+
+    def _load_query_word_tables(self, query: str) -> List[str]:
+        """QUERY_TOKENS (distinct words) and QUERY_QGRAMS(token, qgram)."""
+        backend = self.backend
+        words = list(dict.fromkeys(self.tokenizer.tokenize(query)))
+        backend.recreate_table("QUERY_TOKENS", ["token TEXT"])
+        backend.insert_rows("QUERY_TOKENS", [(word,) for word in words])
+        backend.recreate_table("QUERY_QGRAMS", ["token TEXT", "qgram TEXT"])
+        rows = []
+        for word in words:
+            for gram in set(qgrams(word, self.q)):
+                rows.append((word, gram))
+        backend.insert_rows("QUERY_QGRAMS", rows)
+        return words
+
+    # QUERY_IDF with the average-idf fallback for unseen tokens (Appendix B.4).
+    _QUERY_IDF_SQL = (
+        "INSERT INTO QUERY_IDF (token, idf) "
+        "SELECT S.token, R.idf FROM QUERY_TOKENS S, BASE_IDF R WHERE S.token = R.token "
+        "UNION "
+        "SELECT S.token, A.idfavg FROM QUERY_TOKENS S, BASE_IDFAVG A "
+        "WHERE S.token NOT IN (SELECT I.token FROM BASE_IDF I)"
+    )
+
+    def _load_query_idf(self) -> None:
+        backend = self.backend
+        backend.recreate_table("QUERY_IDF", ["token TEXT", "idf REAL"])
+        backend.execute(self._QUERY_IDF_SQL)
+        backend.recreate_table("SUM_IDF", ["sumidf REAL"])
+        backend.execute("INSERT INTO SUM_IDF (sumidf) SELECT SUM(idf) FROM QUERY_IDF")
+
+
+class DeclarativeSoftTFIDF(_DeclarativeCombinationBase):
+    """SoftTFIDF with Jaro-Winkler word matching (Figure 4.7)."""
+
+    name = "SoftTFIDF"
+
+    def __init__(self, *args, theta: float = 0.8, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be within [0, 1]")
+        self.theta = theta
+
+    def weight_phase(self) -> None:
+        backend = self.backend
+        self._materialize_word_tables()
+        backend.recreate_table("BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_TF (tid, token, tf) "
+            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
+        )
+        backend.recreate_table("BASE_LENGTH", ["tid INTEGER", "len REAL"])
+        backend.execute(
+            "INSERT INTO BASE_LENGTH (tid, len) "
+            "SELECT T.tid, SQRT(SUM(I.idf * I.idf * T.tf * T.tf)) "
+            "FROM BASE_IDF I, BASE_TF T WHERE I.token = T.token GROUP BY T.tid"
+        )
+        backend.recreate_table(
+            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
+        )
+        backend.execute(
+            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
+            "SELECT T.tid, T.token, I.idf * T.tf / L.len "
+            "FROM BASE_IDF I, BASE_TF T, BASE_LENGTH L "
+            "WHERE I.token = T.token AND T.tid = L.tid"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        backend = self.backend
+        self._load_query_word_tables(query)
+        self._load_query_idf()
+
+        # Normalized tf-idf weights of the query words.
+        backend.recreate_table("QUERY_WEIGHTS", ["token TEXT", "weight REAL"])
+        backend.execute(
+            "INSERT INTO QUERY_WEIGHTS (token, weight) "
+            "SELECT I.token, I.idf / L.length "
+            "FROM QUERY_IDF I, "
+            "(SELECT SQRT(SUM(Q.idf * Q.idf)) AS length FROM QUERY_IDF Q) L"
+        )
+
+        # Jaro-Winkler similarities above theta between base and query words.
+        backend.recreate_table(
+            "CLOSE_SIM_SCORES",
+            ["tid INTEGER", "token1 TEXT", "token2 TEXT", "sim REAL"],
+        )
+        backend.execute(
+            "INSERT INTO CLOSE_SIM_SCORES (tid, token1, token2, sim) "
+            "SELECT R1.tid, R1.token, R2.token, JAROWINKLER(R1.token, R2.token) "
+            "FROM BASE_TOKENS_DIST R1, QUERY_TOKENS R2 "
+            f"WHERE JAROWINKLER(R1.token, R2.token) > {self.theta}"
+        )
+        backend.recreate_table(
+            "MAXSIM", ["tid INTEGER", "token2 TEXT", "maxsim REAL"]
+        )
+        backend.execute(
+            "INSERT INTO MAXSIM (tid, token2, maxsim) "
+            "SELECT tid, token2, MAX(sim) FROM CLOSE_SIM_SCORES GROUP BY tid, token2"
+        )
+        backend.recreate_table(
+            "MAXTOKEN",
+            ["tid INTEGER", "token1 TEXT", "token2 TEXT", "maxsim REAL"],
+        )
+        backend.execute(
+            "INSERT INTO MAXTOKEN (tid, token1, token2, maxsim) "
+            "SELECT CS.tid, CS.token1, CS.token2, MS.maxsim "
+            "FROM MAXSIM MS, CLOSE_SIM_SCORES CS "
+            "WHERE CS.tid = MS.tid AND CS.token2 = MS.token2 AND MS.maxsim = CS.sim"
+        )
+        return backend.query(
+            "SELECT TM.tid, SUM(WQ.weight * WB.weight * TM.maxsim) AS score "
+            "FROM MAXTOKEN TM, QUERY_WEIGHTS WQ, BASE_WEIGHTS WB "
+            "WHERE TM.token2 = WQ.token AND TM.tid = WB.tid AND TM.token1 = WB.token "
+            "GROUP BY TM.tid"
+        )
+
+
+class DeclarativeGESJaccard(_DeclarativeCombinationBase):
+    """GES with the q-gram Jaccard filtering step of Appendix B.4.1."""
+
+    name = "GESJaccard"
+
+    def __init__(self, *args, threshold: float = 0.8, cins: float = 0.5, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        self.threshold = threshold
+        self.cins = cins
+        #: exact GES scorer used for the post-filter verification (the role
+        #: played by a UDF in the original study).
+        self._verifier: Optional[GES] = None
+
+    def weight_phase(self) -> None:
+        self._materialize_word_tables()
+        self._materialize_word_qgrams()
+        self._verifier = GES(q=self.q, cins=self.cins).fit(self._strings)
+
+    def _filter_sql(self) -> str:
+        """The filtering-step SELECT: over-estimated GES score per tuple."""
+        q = self.q
+        return (
+            "SELECT MAXSIM.tid AS tid, "
+            f"(1.0 - 1.0 / {q}) + (1.0 / SI.sumidf) * "
+            f"SUM(I.idf * (2.0 / {q}) * MAXSIM.maxsim) AS score "
+            "FROM (SELECT JS.tid, JS.token2, MAX(JS.sim) AS maxsim "
+            "      FROM (SELECT BSIZE.tid AS tid, BSIZE.token AS token1, Q.token AS token2, "
+            "                   COUNT(*) * 1.0 / (BSIZE.len + QSIZE.len - COUNT(*)) AS sim "
+            "            FROM BASE_QGRAMS BQ, BASE_TOKENSIZE BSIZE, QUERY_QGRAMS Q, "
+            "                 (SELECT token, COUNT(*) AS len FROM QUERY_QGRAMS GROUP BY token) QSIZE "
+            "            WHERE BQ.qgram = Q.qgram AND BQ.tid = BSIZE.tid AND BQ.token = BSIZE.token "
+            "                  AND Q.token = QSIZE.token "
+            "            GROUP BY BSIZE.tid, BSIZE.token, Q.token, BSIZE.len, QSIZE.len) JS "
+            "      GROUP BY JS.tid, JS.token2) MAXSIM, "
+            "     QUERY_IDF I, SUM_IDF SI "
+            "WHERE MAXSIM.token2 = I.token "
+            "GROUP BY MAXSIM.tid, SI.sumidf "
+            f"HAVING (1.0 - 1.0 / {q}) + (1.0 / SI.sumidf) * "
+            f"SUM(I.idf * (2.0 / {q}) * MAXSIM.maxsim) >= {self.threshold}"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        assert self._verifier is not None
+        self._load_query_word_tables(query)
+        self._load_query_idf()
+        candidates = self.backend.query(self._filter_sql())
+        query_words = self.tokenizer.tokenize(query)
+        results = []
+        for tid, _filter_score in candidates:
+            tid = int(tid)
+            exact = self._verifier.ges_score(
+                query_words, self._verifier._word_lists[tid]
+            )
+            results.append((tid, exact))
+        return results
+
+
+class DeclarativeGESApx(DeclarativeGESJaccard):
+    """GES with the min-hash filtering step of Appendix B.4.2."""
+
+    name = "GESapx"
+
+    def __init__(self, *args, num_hashes: int = 5, seed: int = 20070411, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hasher = MinHasher(num_hashes=num_hashes, seed=seed)
+
+    def weight_phase(self) -> None:
+        super().weight_phase()
+        # BASE_MINHASH(token, fid, value): min-hash signature per distinct word.
+        backend = self.backend
+        backend.recreate_table(
+            "BASE_MINHASH", ["token TEXT", "fid INTEGER", "value INTEGER"]
+        )
+        rows = []
+        seen = set()
+        for text in self._strings:
+            for word in self.tokenizer.tokenize(text):
+                if word in seen:
+                    continue
+                seen.add(word)
+                signature = self.hasher.signature(qgrams(word, self.q))
+                for fid, value in enumerate(signature):
+                    rows.append((word, fid, value))
+        backend.insert_rows("BASE_MINHASH", rows)
+
+    def _load_query_minhash(self, words: List[str]) -> None:
+        backend = self.backend
+        backend.recreate_table(
+            "QUERY_MINHASH", ["token TEXT", "fid INTEGER", "value INTEGER"]
+        )
+        rows = []
+        for word in words:
+            signature = self.hasher.signature(qgrams(word, self.q))
+            for fid, value in enumerate(signature):
+                rows.append((word, fid, value))
+        backend.insert_rows("QUERY_MINHASH", rows)
+
+    def _filter_sql(self) -> str:
+        q = self.q
+        num_hashes = self.hasher.num_hashes
+        return (
+            "SELECT MAXSIM.tid AS tid, "
+            f"(1.0 - 1.0 / {q}) + (1.0 / SI.sumidf) * "
+            f"SUM(I.idf * (2.0 / {q}) * MAXSIM.maxsim) AS score "
+            "FROM (SELECT MH.tid, MH.token2, MAX(MH.sim) AS maxsim "
+            "      FROM (SELECT D.tid AS tid, D.token AS token1, QS.token AS token2, "
+            f"                  COUNT(*) * 1.0 / {num_hashes} AS sim "
+            "            FROM BASE_TOKENS_DIST D, BASE_MINHASH BS, QUERY_MINHASH QS "
+            "            WHERE D.token = BS.token AND BS.fid = QS.fid AND BS.value = QS.value "
+            "            GROUP BY D.tid, D.token, QS.token) MH "
+            "      GROUP BY MH.tid, MH.token2) MAXSIM, "
+            "     QUERY_IDF I, SUM_IDF SI "
+            "WHERE MAXSIM.token2 = I.token "
+            "GROUP BY MAXSIM.tid, SI.sumidf "
+            f"HAVING (1.0 - 1.0 / {q}) + (1.0 / SI.sumidf) * "
+            f"SUM(I.idf * (2.0 / {q}) * MAXSIM.maxsim) >= {self.threshold}"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        assert self._verifier is not None
+        words = self._load_query_word_tables(query)
+        self._load_query_idf()
+        self._load_query_minhash(words)
+        candidates = self.backend.query(self._filter_sql())
+        query_words = self.tokenizer.tokenize(query)
+        results = []
+        for tid, _filter_score in candidates:
+            tid = int(tid)
+            exact = self._verifier.ges_score(
+                query_words, self._verifier._word_lists[tid]
+            )
+            results.append((tid, exact))
+        return results

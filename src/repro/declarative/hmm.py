@@ -1,0 +1,75 @@
+"""Declarative realization of the HMM predicate (Appendix B.3.2).
+
+Preprocessing stores ``LOG(1 + a1 * P(q|D) / (a0 * P(q|GE)))`` per
+(tid, token) in ``BASE_WEIGHTS_HMM``; the query statement joins the query
+tokens (with multiplicity) against that table and exponentiates the sum,
+exactly as in Figure 4.5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.declarative.base import DeclarativePredicate
+
+__all__ = ["DeclarativeHMM"]
+
+
+class DeclarativeHMM(DeclarativePredicate):
+    """Two-state Hidden Markov Model similarity in SQL."""
+
+    name = "HMM"
+    family = "language-modeling"
+
+    def __init__(self, *args, a0: float = 0.2, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < a0 < 1.0:
+            raise ValueError("a0 must be strictly between 0 and 1")
+        self.a0 = a0
+        self.a1 = 1.0 - a0
+
+    def weight_phase(self) -> None:
+        backend = self.backend
+        backend.recreate_table("BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_TF (tid, token, tf) "
+            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
+        )
+        backend.recreate_table("BASE_DL", ["tid INTEGER", "dl INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_DL (tid, dl) "
+            "SELECT T.tid, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid"
+        )
+        backend.recreate_table("BASE_PML", ["tid INTEGER", "token TEXT", "pml REAL"])
+        backend.execute(
+            "INSERT INTO BASE_PML (tid, token, pml) "
+            "SELECT T.tid, T.token, T.tf * 1.0 / D.dl "
+            "FROM BASE_TF T, BASE_DL D WHERE T.tid = D.tid"
+        )
+        backend.recreate_table("BASE_SUMDL", ["sdl INTEGER"])
+        backend.execute("INSERT INTO BASE_SUMDL (sdl) SELECT SUM(dl) FROM BASE_DL")
+        backend.recreate_table("BASE_PTGE", ["token TEXT", "ptge REAL"])
+        backend.execute(
+            "INSERT INTO BASE_PTGE (token, ptge) "
+            "SELECT T.token, SUM(T.tf) * 1.0 / D.sdl "
+            "FROM BASE_TF T, BASE_SUMDL D "
+            "GROUP BY T.token, D.sdl"
+        )
+        backend.recreate_table(
+            "BASE_WEIGHTS_HMM", ["tid INTEGER", "token TEXT", "weight REAL"]
+        )
+        backend.execute(
+            "INSERT INTO BASE_WEIGHTS_HMM (tid, token, weight) "
+            f"SELECT M.tid, M.token, LOG(1 + ({self.a1} * M.pml) / ({self.a0} * P.ptge)) "
+            "FROM BASE_PTGE P, BASE_PML M "
+            "WHERE P.token = M.token"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT W1.tid, EXP(SUM(W1.weight)) AS score "
+            "FROM BASE_WEIGHTS_HMM W1, QUERY_TOKENS T2 "
+            "WHERE W1.token = T2.token "
+            "GROUP BY W1.tid"
+        )

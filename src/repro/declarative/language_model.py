@@ -1,0 +1,111 @@
+"""Declarative realization of the language modeling predicate (Appendix B.3.1).
+
+Preprocessing materializes the chain of tables from the paper
+(``BASE_TF`` -> ``BASE_DL`` -> ``BASE_PML`` -> ``BASE_PAVG`` -> ``BASE_FREQ``
+-> ``BASE_RISK`` -> ``BASE_CFCS`` -> ``BASE_PM`` -> ``BASE_SUMCOMPM``); the
+query statement is the two-term formula of Figure 4.4 computed in log space.
+
+The only deviation from the verbatim appendix SQL is a ``CASE`` clamp on
+``p̂(t|M_D)`` so that ``LOG(1 - pm)`` stays finite for degenerate tuples
+consisting of a single repeated token; the direct implementation applies the
+same clamp.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.declarative.base import DeclarativePredicate
+
+__all__ = ["DeclarativeLanguageModeling"]
+
+_PM_CLAMP = "0.999999999999"
+
+
+class DeclarativeLanguageModeling(DeclarativePredicate):
+    """Ponte-Croft language modeling similarity in SQL."""
+
+    name = "LM"
+    family = "language-modeling"
+
+    def weight_phase(self) -> None:
+        backend = self.backend
+        backend.recreate_table("BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_TF (tid, token, tf) "
+            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
+        )
+        backend.recreate_table("BASE_DL", ["tid INTEGER", "dl INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_DL (tid, dl) "
+            "SELECT T.tid, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid"
+        )
+        backend.recreate_table("BASE_PML", ["tid INTEGER", "token TEXT", "pml REAL"])
+        backend.execute(
+            "INSERT INTO BASE_PML (tid, token, pml) "
+            "SELECT T.tid, T.token, T.tf * 1.0 / D.dl "
+            "FROM BASE_TF T, BASE_DL D WHERE T.tid = D.tid"
+        )
+        backend.recreate_table("BASE_PAVG", ["token TEXT", "pavg REAL"])
+        backend.execute(
+            "INSERT INTO BASE_PAVG (token, pavg) "
+            "SELECT P.token, AVG(P.pml) FROM BASE_PML P GROUP BY P.token"
+        )
+        backend.recreate_table("BASE_FREQ", ["tid INTEGER", "token TEXT", "freq REAL"])
+        backend.execute(
+            "INSERT INTO BASE_FREQ (tid, token, freq) "
+            "SELECT T.tid, T.token, P.pavg * D.dl "
+            "FROM BASE_TF T, BASE_PAVG P, BASE_DL D "
+            "WHERE T.token = P.token AND T.tid = D.tid"
+        )
+        backend.recreate_table("BASE_RISK", ["tid INTEGER", "token TEXT", "risk REAL"])
+        backend.execute(
+            "INSERT INTO BASE_RISK (tid, token, risk) "
+            "SELECT T.tid, T.token, "
+            "(1.0 / (1.0 + Q.freq)) * POWER(Q.freq / (1.0 + Q.freq), T.tf) "
+            "FROM BASE_TF T, BASE_FREQ Q "
+            "WHERE T.tid = Q.tid AND T.token = Q.token"
+        )
+        backend.recreate_table("BASE_TSIZE", ["size INTEGER"])
+        backend.execute(
+            "INSERT INTO BASE_TSIZE (size) SELECT COUNT(*) FROM BASE_TOKENS"
+        )
+        backend.recreate_table("BASE_CFCS", ["token TEXT", "cfcs REAL"])
+        backend.execute(
+            "INSERT INTO BASE_CFCS (token, cfcs) "
+            "SELECT T.token, COUNT(*) * 1.0 / S.size "
+            "FROM BASE_TOKENS T, BASE_TSIZE S "
+            "GROUP BY T.token, S.size"
+        )
+        backend.recreate_table(
+            "BASE_PM", ["tid INTEGER", "token TEXT", "pm REAL", "cfcs REAL"]
+        )
+        backend.execute(
+            "INSERT INTO BASE_PM (tid, token, pm, cfcs) "
+            "SELECT T.tid, T.token, "
+            f"CASE WHEN POWER(M.pml, 1.0 - R.risk) * POWER(A.pavg, R.risk) >= 1.0 "
+            f"     THEN {_PM_CLAMP} "
+            "      ELSE POWER(M.pml, 1.0 - R.risk) * POWER(A.pavg, R.risk) END, "
+            "C.cfcs "
+            "FROM BASE_TF T, BASE_RISK R, BASE_PML M, BASE_PAVG A, BASE_CFCS C "
+            "WHERE T.tid = R.tid AND T.token = R.token AND T.tid = M.tid "
+            "AND T.token = M.token AND T.token = A.token AND T.token = C.token"
+        )
+        backend.recreate_table("BASE_SUMCOMPM", ["tid INTEGER", "sumcompm REAL"])
+        backend.execute(
+            "INSERT INTO BASE_SUMCOMPM (tid, sumcompm) "
+            "SELECT P.tid, SUM(LOG(1.0 - P.pm)) FROM BASE_PM P GROUP BY P.tid"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT B1.tid, EXP(B1.score + B2.sumcompm) AS score "
+            "FROM (SELECT P1.tid AS tid, "
+            "             SUM(LOG(P1.pm)) - SUM(LOG(1.0 - P1.pm)) - SUM(LOG(P1.cfcs)) AS score "
+            "      FROM BASE_PM P1, (SELECT DISTINCT token FROM QUERY_TOKENS) T2 "
+            "      WHERE P1.token = T2.token "
+            "      GROUP BY P1.tid) B1, "
+            "BASE_SUMCOMPM B2 "
+            "WHERE B1.tid = B2.tid"
+        )

@@ -1,0 +1,162 @@
+"""Declarative realizations of the overlap predicates (Appendix B.1).
+
+All four predicates operate on *distinct* (tid, token) pairs, so preprocessing
+first materializes ``BASE_TOKENS_DIST``; the weighted variants additionally
+materialize the Robertson-Sparck Jones weight table (the paper's preferred
+weighting for this class, section 5.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.declarative.base import DeclarativePredicate
+
+__all__ = [
+    "DeclarativeIntersectSize",
+    "DeclarativeJaccard",
+    "DeclarativeWeightedMatch",
+    "DeclarativeWeightedJaccard",
+]
+
+_DISTINCT_QUERY_TOKENS = "(SELECT DISTINCT token FROM QUERY_TOKENS)"
+
+
+class _DeclarativeOverlapBase(DeclarativePredicate):
+    family = "overlap"
+
+    def _materialize_distinct_tokens(self) -> None:
+        self.backend.recreate_table("BASE_TOKENS_DIST", ["tid INTEGER", "token TEXT"])
+        self.backend.execute(
+            "INSERT INTO BASE_TOKENS_DIST (tid, token) "
+            "SELECT DISTINCT tid, token FROM BASE_TOKENS"
+        )
+
+    def _materialize_rs_weights(self) -> None:
+        """``BASE_WEIGHTS(tid, token, weight)`` with RS weights (equation 3.5)."""
+        self.backend.recreate_table("BASE_SIZE", ["size INTEGER"])
+        self.backend.execute(
+            "INSERT INTO BASE_SIZE (size) SELECT COUNT(*) FROM BASE_TABLE"
+        )
+        self.backend.recreate_table("BASE_RSW", ["token TEXT", "weight REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_RSW (token, weight) "
+            "SELECT T.token, LOG(S.size - COUNT(DISTINCT T.tid) + 0.5) "
+            "- LOG(COUNT(DISTINCT T.tid) + 0.5) "
+            "FROM BASE_TOKENS T, BASE_SIZE S "
+            "GROUP BY T.token, S.size"
+        )
+        self.backend.recreate_table(
+            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
+            "SELECT D.tid, D.token, W.weight "
+            "FROM BASE_TOKENS_DIST D, BASE_RSW W "
+            "WHERE D.token = W.token"
+        )
+
+
+class DeclarativeIntersectSize(_DeclarativeOverlapBase):
+    """IntersectSize: number of common distinct tokens (Figure 4.1)."""
+
+    name = "IntersectSize"
+
+    def weight_phase(self) -> None:
+        self._materialize_distinct_tokens()
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT R1.tid, COUNT(*) AS score "
+            f"FROM BASE_TOKENS_DIST R1, {_DISTINCT_QUERY_TOKENS} R2 "
+            "WHERE R1.token = R2.token "
+            "GROUP BY R1.tid"
+        )
+
+
+class DeclarativeJaccard(_DeclarativeOverlapBase):
+    """Jaccard coefficient (Figure 4.2)."""
+
+    name = "Jaccard"
+
+    def weight_phase(self) -> None:
+        self._materialize_distinct_tokens()
+        self.backend.recreate_table("BASE_DDL", ["tid INTEGER", "len INTEGER"])
+        self.backend.execute(
+            "INSERT INTO BASE_DDL (tid, len) "
+            "SELECT tid, COUNT(*) FROM BASE_TOKENS_DIST GROUP BY tid"
+        )
+        self.backend.recreate_table(
+            "BASE_TOKENSDDL", ["tid INTEGER", "token TEXT", "len INTEGER"]
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_TOKENSDDL (tid, token, len) "
+            "SELECT T.tid, T.token, D.len "
+            "FROM BASE_TOKENS_DIST T, BASE_DDL D WHERE T.tid = D.tid"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT S1.tid, COUNT(*) * 1.0 / (S1.len + S2.len - COUNT(*)) AS score "
+            f"FROM BASE_TOKENSDDL S1, {_DISTINCT_QUERY_TOKENS} R2, "
+            f"(SELECT COUNT(*) AS len FROM {_DISTINCT_QUERY_TOKENS} QT) S2 "
+            "WHERE S1.token = R2.token "
+            "GROUP BY S1.tid, S1.len, S2.len"
+        )
+
+
+class DeclarativeWeightedMatch(_DeclarativeOverlapBase):
+    """WeightedMatch: total RS weight of the common tokens."""
+
+    name = "WeightedMatch"
+
+    def weight_phase(self) -> None:
+        self._materialize_distinct_tokens()
+        self._materialize_rs_weights()
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT W1.tid, SUM(W1.weight) AS score "
+            f"FROM BASE_WEIGHTS W1, {_DISTINCT_QUERY_TOKENS} T2 "
+            "WHERE W1.token = T2.token "
+            "GROUP BY W1.tid"
+        )
+
+
+class DeclarativeWeightedJaccard(_DeclarativeOverlapBase):
+    """WeightedJaccard: RS weight of the intersection over the union."""
+
+    name = "WeightedJaccard"
+
+    def weight_phase(self) -> None:
+        self._materialize_distinct_tokens()
+        self._materialize_rs_weights()
+        self.backend.recreate_table("BASE_DDL", ["tid INTEGER", "ddl REAL"])
+        self.backend.execute(
+            "INSERT INTO BASE_DDL (tid, ddl) "
+            "SELECT W.tid, SUM(W.weight) FROM BASE_WEIGHTS W GROUP BY W.tid"
+        )
+        self.backend.recreate_table(
+            "BASE_TOKENSDDL",
+            ["tid INTEGER", "token TEXT", "weight REAL", "ddl REAL"],
+        )
+        self.backend.execute(
+            "INSERT INTO BASE_TOKENSDDL (tid, token, weight, ddl) "
+            "SELECT W.tid, W.token, W.weight, D.ddl "
+            "FROM BASE_WEIGHTS W, BASE_DDL D WHERE W.tid = D.tid"
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self.load_query_tokens(query)
+        return self.backend.query(
+            "SELECT S1.tid, SUM(S1.weight) / (S1.ddl + S2.ddl - SUM(S1.weight)) AS score "
+            f"FROM BASE_TOKENSDDL S1, {_DISTINCT_QUERY_TOKENS} R2, "
+            "(SELECT SUM(W.weight) AS ddl "
+            f" FROM BASE_RSW W, {_DISTINCT_QUERY_TOKENS} QT"
+            " WHERE W.token = QT.token) S2 "
+            "WHERE S1.token = R2.token "
+            "GROUP BY S1.tid, S1.ddl, S2.ddl"
+        )

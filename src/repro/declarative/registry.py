@@ -1,0 +1,67 @@
+"""Registry of declarative predicate realizations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.declarative.aggregate import DeclarativeBM25, DeclarativeCosine
+from repro.declarative.base import DeclarativePredicate
+from repro.declarative.combination import (
+    DeclarativeGESApx,
+    DeclarativeGESJaccard,
+    DeclarativeSoftTFIDF,
+)
+from repro.declarative.edit import DeclarativeEditDistance
+from repro.declarative.hmm import DeclarativeHMM
+from repro.declarative.language_model import DeclarativeLanguageModeling
+from repro.declarative.overlap import (
+    DeclarativeIntersectSize,
+    DeclarativeJaccard,
+    DeclarativeWeightedJaccard,
+    DeclarativeWeightedMatch,
+)
+
+__all__ = [
+    "DECLARATIVE_CLASSES",
+    "make_declarative_predicate",
+    "available_declarative_predicates",
+]
+
+DECLARATIVE_CLASSES: Dict[str, Type[DeclarativePredicate]] = {
+    "intersect": DeclarativeIntersectSize,
+    "jaccard": DeclarativeJaccard,
+    "weighted_match": DeclarativeWeightedMatch,
+    "weighted_jaccard": DeclarativeWeightedJaccard,
+    "cosine": DeclarativeCosine,
+    "bm25": DeclarativeBM25,
+    "lm": DeclarativeLanguageModeling,
+    "hmm": DeclarativeHMM,
+    "edit_distance": DeclarativeEditDistance,
+    "ges_jaccard": DeclarativeGESJaccard,
+    "ges_apx": DeclarativeGESApx,
+    "soft_tfidf": DeclarativeSoftTFIDF,
+}
+
+
+def available_declarative_predicates() -> List[str]:
+    """Canonical names of every declarative predicate realization."""
+    return sorted(DECLARATIVE_CLASSES)
+
+
+def make_declarative_predicate(name: str, **kwargs) -> DeclarativePredicate:
+    """Construct a declarative predicate by name.
+
+    The names match :func:`repro.core.predicates.make_predicate` (except for
+    plain ``ges``, whose exact form the paper computes with a UDF rather than
+    declaratively); keyword arguments are forwarded to the constructor, e.g.
+    ``make_declarative_predicate("bm25", backend=SQLiteBackend())``.
+    """
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    try:
+        cls = DECLARATIVE_CLASSES[key]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown declarative predicate {name!r}; "
+            f"available: {available_declarative_predicates()}"
+        ) from exc
+    return cls(**kwargs)

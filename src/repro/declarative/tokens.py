@@ -1,0 +1,92 @@
+"""Token-table preparation for the declarative framework (paper Appendix A).
+
+Tokenization of the base relation can be performed either
+
+* *in SQL* (``sql_tokenization=True``) with the INTEGERS-table join of
+  Appendix A.1 -- faithful to the paper but quadratic in string length on the
+  nested-loop engine, so intended for small relations and fidelity tests; or
+* *in Python* (the default) with the same padding rules, bulk-loading the
+  resulting ``BASE_TOKENS`` rows -- the behaviour is identical, only the
+  mechanism differs.
+
+Either way the resulting tables are exactly the ones the paper's query-time
+SQL expects: ``BASE_TABLE(tid, string)``, ``BASE_TOKENS(tid, token)`` and, at
+query time, ``QUERY_TOKENS(token)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.backends.base import SQLBackend
+from repro.text.tokenize import Tokenizer, normalize_string
+
+__all__ = [
+    "sql_escape",
+    "load_base_table",
+    "load_base_tokens_python",
+    "load_base_tokens_sql",
+    "load_query_tokens",
+    "qgram_tokenization_sql",
+]
+
+
+def sql_escape(value: str) -> str:
+    """Escape a string literal for inclusion in SQL (single-quote doubling)."""
+    return value.replace("'", "''")
+
+
+def load_base_table(backend: SQLBackend, strings: Sequence[str]) -> None:
+    """(Re)create and populate ``BASE_TABLE(tid, string)``."""
+    backend.recreate_table("BASE_TABLE", ["tid INTEGER", "string TEXT"])
+    backend.insert_rows("BASE_TABLE", [(tid, text) for tid, text in enumerate(strings)])
+
+
+def load_base_tokens_python(
+    backend: SQLBackend, strings: Sequence[str], tokenizer: Tokenizer
+) -> None:
+    """Populate ``BASE_TOKENS`` by tokenizing in Python (the fast path)."""
+    backend.recreate_table("BASE_TOKENS", ["tid INTEGER", "token TEXT"])
+    rows: List[tuple] = []
+    for tid, text in enumerate(strings):
+        for token in tokenizer.tokenize(text):
+            rows.append((tid, token))
+    backend.insert_rows("BASE_TOKENS", rows)
+
+
+def qgram_tokenization_sql(q: int, source_table: str, target_table: str,
+                           include_tid: bool = True) -> str:
+    """The Appendix A.1 q-gram generation statement for the given tables.
+
+    The statement upper-cases the string, replaces every space by ``q - 1``
+    padding characters, pads both ends and emits every window of length ``q``
+    by joining against the INTEGERS table.
+    """
+    pad = "$" * (q - 1)
+    padded = f"'{pad}' || UPPER(REPLACE(string, ' ', '{pad}')) || '{pad}'"
+    tid_select = "tid, " if include_tid else ""
+    tid_insert = "(tid, token)" if include_tid else "(token)"
+    return (
+        f"INSERT INTO {target_table} {tid_insert} "
+        f"SELECT {tid_select}SUBSTR({padded}, INTEGERS.i, {q}) "
+        f"FROM INTEGERS INNER JOIN {source_table} "
+        f"ON INTEGERS.i <= LENGTH(REPLACE(string, ' ', '{pad}')) + {q - 1}"
+    )
+
+
+def load_base_tokens_sql(backend: SQLBackend, strings: Sequence[str], q: int) -> None:
+    """Populate ``BASE_TOKENS`` with the SQL q-gram generation of Appendix A.1."""
+    max_padded_length = max(
+        (len(normalize_string(text).replace(" ", "$" * (q - 1))) + (q - 1) for text in strings),
+        default=q,
+    )
+    backend.recreate_table("INTEGERS", ["i INTEGER"])
+    backend.insert_rows("INTEGERS", [(i,) for i in range(1, max_padded_length + 1)])
+    backend.recreate_table("BASE_TOKENS", ["tid INTEGER", "token TEXT"])
+    backend.execute(qgram_tokenization_sql(q, "BASE_TABLE", "BASE_TOKENS"))
+
+
+def load_query_tokens(backend: SQLBackend, query: str, tokenizer: Tokenizer) -> None:
+    """(Re)create and populate ``QUERY_TOKENS(token)`` for one query string."""
+    backend.recreate_table("QUERY_TOKENS", ["token TEXT"])
+    backend.insert_rows("QUERY_TOKENS", [(token,) for token in tokenizer.tokenize(query)])

@@ -1,0 +1,56 @@
+"""Evaluation machinery: accuracy metrics, experiment runner, timing, pruning.
+
+* :mod:`repro.eval.metrics` -- average precision, MAP, precision/recall and
+  maximum F1 (section 5.2).
+* :mod:`repro.eval.runner` -- runs a query workload for a predicate over a
+  generated dataset and aggregates accuracy metrics against the ground-truth
+  clusters.
+* :mod:`repro.eval.timing` -- preprocessing- and query-time measurement split
+  into the phases reported by Figures 5.2/5.3.
+* :mod:`repro.eval.pruning` -- the IDF-threshold token pruning enhancement of
+  section 5.6.
+* :mod:`repro.eval.report` / :mod:`repro.eval.figures` -- result tables
+  (text / markdown / CSV) and ASCII charts used by the CLI and the benchmark
+  harness.
+"""
+
+from repro.eval.metrics import (
+    average_precision,
+    max_f1,
+    mean_average_precision,
+    mean_max_f1,
+    precision_at,
+    precision_recall_curve,
+    recall_at,
+)
+from repro.eval.runner import AccuracyResult, ExperimentRunner, QueryOutcome
+from repro.eval.timing import PreprocessingTiming, QueryTiming, time_preprocessing, time_queries
+from repro.eval.pruning import IdfPruner, prune_rate_threshold
+from repro.eval.report import ResultSink, markdown_table, text_table, to_csv
+from repro.eval.figures import bar_chart, grouped_bar_chart, line_chart
+
+__all__ = [
+    "ResultSink",
+    "text_table",
+    "markdown_table",
+    "to_csv",
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "average_precision",
+    "mean_average_precision",
+    "max_f1",
+    "mean_max_f1",
+    "precision_at",
+    "recall_at",
+    "precision_recall_curve",
+    "ExperimentRunner",
+    "AccuracyResult",
+    "QueryOutcome",
+    "PreprocessingTiming",
+    "QueryTiming",
+    "time_preprocessing",
+    "time_queries",
+    "IdfPruner",
+    "prune_rate_threshold",
+]

@@ -1,0 +1,126 @@
+"""Plain-text charts for benchmark reports.
+
+The paper presents several results as figures (bar charts of MAP and timing,
+line charts of scalability).  The benchmark harness runs in a terminal, so
+this module renders the same information as ASCII charts:
+
+* :func:`bar_chart` -- horizontal bars with labels and values;
+* :func:`grouped_bar_chart` -- one bar per (group, series) pair, used for the
+  per-error-class accuracy figure;
+* :func:`line_chart` -- a simple multi-series scatter/line plot over a numeric
+  x axis, used for the scalability figure.
+
+The functions are deterministic pure-string builders so they are easy to test
+and safe to embed in persisted reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
+
+
+def _format_value(value: float) -> str:
+    if abs(value) >= 1000 or value == int(value):
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Bars are scaled to the maximum value; negative values are clamped to zero
+    (the benchmark metrics are all non-negative).
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    lines: List[str] = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in values)
+    maximum = max(max(values.values()), 0.0)
+    for label, value in values.items():
+        clamped = max(value, 0.0)
+        bar_length = int(round(width * clamped / maximum)) if maximum > 0 else 0
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)} | {bar} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Bar chart with one section per group (e.g. one per dataset class)."""
+    sections: List[str] = [title] if title else []
+    all_values = [
+        value for series in groups.values() for value in series.values()
+    ]
+    maximum = max(all_values, default=0.0)
+    for group, series in groups.items():
+        sections.append(f"[{group}]")
+        if not series:
+            sections.append("  (no data)")
+            continue
+        label_width = max(len(label) for label in series)
+        for label, value in series.items():
+            clamped = max(value, 0.0)
+            bar_length = int(round(width * clamped / maximum)) if maximum > 0 else 0
+            sections.append(
+                f"  {label.ljust(label_width)} | {'#' * bar_length} {_format_value(value)}"
+            )
+    return "\n".join(sections)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+) -> str:
+    """Multi-series character plot over a shared numeric x/y range.
+
+    Each series is a sequence of ``(x, y)`` points; points are marked with the
+    first letter of the series name (collisions keep the earlier mark).  Axis
+    extents are annotated below the plot.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    points = [(x, y) for values in series.values() for x, y in values]
+    lines: List[str] = [title] if title else []
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        mark = name[0].upper() if name else "*"
+        for x, y in values:
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_low) / y_span * (height - 1)))
+            if grid[row][column] == " ":
+                grid[row][column] = mark
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"x: [{_format_value(x_low)} .. {_format_value(x_high)}]  "
+        f"y: [{_format_value(y_low)} .. {_format_value(y_high)}]"
+    )
+    legend = ", ".join(f"{name[0].upper() if name else '*'}={name}" for name in series)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Accuracy metrics from information retrieval (paper section 5.2).
+
+Given a ranked list of tuple ids returned for a query and the set of tuple
+ids that are *relevant* (the query's ground-truth cluster), we compute:
+
+* :func:`average_precision` -- the mean of the precision values measured at
+  the rank of each relevant record retrieved, divided by the total number of
+  relevant records (equation 5.1);
+* :func:`max_f1` -- the maximum F1 score over all prefixes of the ranking
+  (equation 5.2);
+* :func:`precision_at` / :func:`recall_at` / :func:`precision_recall_curve`
+  -- the building blocks.
+
+``mean_average_precision`` / ``mean_max_f1`` aggregate over a query workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "precision_at",
+    "recall_at",
+    "average_precision",
+    "max_f1",
+    "precision_recall_curve",
+    "mean_average_precision",
+    "mean_max_f1",
+]
+
+
+def _as_set(relevant: Iterable[int]) -> Set[int]:
+    relevant_set = set(relevant)
+    return relevant_set
+
+
+def precision_at(ranking: Sequence[int], relevant: Iterable[int], rank: int) -> float:
+    """Precision among the first ``rank`` results (1-based rank)."""
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    relevant_set = _as_set(relevant)
+    top = ranking[:rank]
+    if not top:
+        return 0.0
+    hits = sum(1 for tid in top if tid in relevant_set)
+    return hits / len(top)
+
+
+def recall_at(ranking: Sequence[int], relevant: Iterable[int], rank: int) -> float:
+    """Recall among the first ``rank`` results (1-based rank)."""
+    if rank <= 0:
+        raise ValueError("rank must be positive")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = ranking[:rank]
+    hits = sum(1 for tid in top if tid in relevant_set)
+    return hits / len(relevant_set)
+
+
+def average_precision(ranking: Sequence[int], relevant: Iterable[int]) -> float:
+    """Average precision of a ranking (equation 5.1).
+
+    The denominator is the *total* number of relevant records, so relevant
+    records that are never retrieved count against the score.
+    """
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, tid in enumerate(ranking, start=1):
+        if tid in relevant_set:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(relevant_set)
+
+
+def precision_recall_curve(
+    ranking: Sequence[int], relevant: Iterable[int]
+) -> List[Tuple[float, float]]:
+    """``(precision, recall)`` after each rank position."""
+    relevant_set = _as_set(relevant)
+    curve: List[Tuple[float, float]] = []
+    hits = 0
+    for rank, tid in enumerate(ranking, start=1):
+        if tid in relevant_set:
+            hits += 1
+        precision = hits / rank
+        recall = hits / len(relevant_set) if relevant_set else 0.0
+        curve.append((precision, recall))
+    return curve
+
+
+def max_f1(ranking: Sequence[int], relevant: Iterable[int]) -> float:
+    """Maximum F1 over all prefixes of the ranking (equation 5.2)."""
+    best = 0.0
+    for precision, recall in precision_recall_curve(ranking, relevant):
+        if precision + recall == 0.0:
+            continue
+        f1 = 2.0 * precision * recall / (precision + recall)
+        if f1 > best:
+            best = f1
+    return best
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[int]], relevants: Sequence[Iterable[int]]
+) -> float:
+    """MAP over a query workload."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must have the same length")
+    if not rankings:
+        return 0.0
+    return sum(
+        average_precision(ranking, relevant)
+        for ranking, relevant in zip(rankings, relevants)
+    ) / len(rankings)
+
+
+def mean_max_f1(
+    rankings: Sequence[Sequence[int]], relevants: Sequence[Iterable[int]]
+) -> float:
+    """Mean maximum F1 over a query workload."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must have the same length")
+    if not rankings:
+        return 0.0
+    return sum(
+        max_f1(ranking, relevant) for ranking, relevant in zip(rankings, relevants)
+    ) / len(rankings)

@@ -1,0 +1,148 @@
+"""Report formatting and export for experiment results.
+
+The benchmark harness and the examples need to present accuracy/timing
+results as text tables and to persist them (CSV / markdown) so that runs can
+be compared.  This module keeps that presentation logic in one place:
+
+* :func:`text_table` -- fixed-width table for terminals;
+* :func:`markdown_table` -- GitHub-flavoured markdown;
+* :func:`to_csv` -- RFC-4180-ish CSV without external dependencies;
+* :class:`ResultSink` -- collects rows incrementally and renders/saves them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["text_table", "markdown_table", "to_csv", "ResultSink"]
+
+Cell = Union[str, int, float, None]
+
+
+def _stringify(value: Cell, float_format: str = "{:.4g}") -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Fixed-width text table (first column left-aligned, rest right-aligned)."""
+    materialized = [[_stringify(value, float_format) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(
+            header.ljust(widths[i]) if i == 0 else header.rjust(widths[i])
+            for i, header in enumerate(headers)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(
+                value.ljust(widths[i]) if i == 0 else value.rjust(widths[i])
+                for i, value in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_stringify(value, float_format) for value in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(["" if value is None else value for value in row])
+    return buffer.getvalue()
+
+
+class ResultSink:
+    """Accumulates result rows and renders them in several formats.
+
+    Rows are mappings; the column set is the union of keys in insertion
+    order, so heterogeneous rows are handled gracefully (missing values
+    render as empty cells).
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._columns: List[str] = []
+        self._rows: List[Dict[str, Cell]] = []
+
+    def add(self, row: Mapping[str, Cell]) -> None:
+        """Append one result row."""
+        for key in row:
+            if key not in self._columns:
+                self._columns.append(key)
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, Cell]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def rows(self) -> List[List[Cell]]:
+        return [[row.get(column) for column in self._columns] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        table = text_table(self._columns, self.rows, float_format)
+        return f"{self.title}\n\n{table}" if self.title else table
+
+    def to_markdown(self, float_format: str = "{:.4g}") -> str:
+        table = markdown_table(self._columns, self.rows, float_format)
+        return f"### {self.title}\n\n{table}" if self.title else table
+
+    def to_csv(self) -> str:
+        return to_csv(self._columns, self.rows)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Save as text / markdown / CSV depending on the file extension."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".csv":
+            content = self.to_csv()
+        elif suffix in (".md", ".markdown"):
+            content = self.to_markdown()
+        else:
+            content = self.to_text()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path

@@ -1,0 +1,116 @@
+"""Timing harness for the performance experiments (paper section 5.5).
+
+The paper splits *preprocessing* into a tokenization phase and a weight
+calculation phase (Figure 5.2) and reports *query time* as the average over a
+query workload (Figure 5.3), plus its growth with base-table size
+(Figure 5.4).  :func:`time_preprocessing` and :func:`time_queries` produce
+exactly those measurements for any predicate that follows the
+``tokenize_phase`` / ``weight_phase`` / ``rank`` protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.core.predicates.base import Predicate
+from repro.core.predicates.registry import make_predicate
+
+__all__ = [
+    "PreprocessingTiming",
+    "QueryTiming",
+    "time_preprocessing",
+    "time_queries",
+]
+
+
+@dataclass(frozen=True)
+class PreprocessingTiming:
+    """Preprocessing time split into the two phases of Figure 5.2 (seconds)."""
+
+    predicate_name: str
+    num_tuples: int
+    tokenization_seconds: float
+    weights_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tokenization_seconds + self.weights_seconds
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Query-time statistics over a workload (seconds)."""
+
+    predicate_name: str
+    num_tuples: int
+    num_queries: int
+    total_seconds: float
+
+    @property
+    def average_seconds(self) -> float:
+        return self.total_seconds / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def average_milliseconds(self) -> float:
+        return self.average_seconds * 1000.0
+
+
+def _resolve(predicate: Union[Predicate, str], **kwargs) -> Predicate:
+    if isinstance(predicate, str):
+        return make_predicate(predicate, **kwargs)
+    return predicate
+
+
+def time_preprocessing(
+    predicate: Union[Predicate, str],
+    strings: Sequence[str],
+    **predicate_kwargs,
+) -> PreprocessingTiming:
+    """Measure the tokenization and weight phases of preprocessing."""
+    predicate = _resolve(predicate, **predicate_kwargs)
+    predicate._strings = list(strings)
+
+    started = time.perf_counter()
+    predicate.tokenize_phase()
+    tokenized = time.perf_counter()
+    predicate.weight_phase()
+    finished = time.perf_counter()
+    predicate._fitted = True
+
+    return PreprocessingTiming(
+        predicate_name=getattr(predicate, "name", type(predicate).__name__),
+        num_tuples=len(strings),
+        tokenization_seconds=tokenized - started,
+        weights_seconds=finished - tokenized,
+    )
+
+
+def time_queries(
+    predicate: Union[Predicate, str],
+    strings: Sequence[str],
+    queries: Sequence[str],
+    **predicate_kwargs,
+) -> QueryTiming:
+    """Measure average query (ranking) time over a workload.
+
+    The predicate is fit first (not included in the measurement) unless it is
+    already fitted on the given relation.
+    """
+    predicate = _resolve(predicate, **predicate_kwargs)
+    if not getattr(predicate, "is_fitted", False) and not getattr(
+        predicate, "is_preprocessed", False
+    ):
+        predicate.fit(strings)
+
+    started = time.perf_counter()
+    for query in queries:
+        predicate.rank(query)
+    elapsed = time.perf_counter() - started
+    return QueryTiming(
+        predicate_name=getattr(predicate, "name", type(predicate).__name__),
+        num_tuples=len(strings),
+        num_queries=len(queries),
+        total_seconds=elapsed,
+    )

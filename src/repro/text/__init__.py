@@ -1,0 +1,54 @@
+"""Text substrate: tokenizers, string distances, token weighting and minhash.
+
+This package contains everything the similarity predicates need that operates
+purely on strings and token multisets:
+
+* :mod:`repro.text.strings` -- character-level distances (Levenshtein, Jaro,
+  Jaro-Winkler) and the derived edit similarity used by the paper.
+* :mod:`repro.text.tokenize` -- q-gram and word tokenizers, including the
+  paper's ``$``-padded q-gram scheme (section 5.3.3) and the two-level
+  tokenization used by combination predicates.
+* :mod:`repro.text.weights` -- collection statistics and token weighting
+  schemes (idf, Robertson-Sparck Jones, normalized tf-idf, BM25).
+* :mod:`repro.text.minhash` -- min-wise independent permutations used by the
+  ``GESapx`` predicate.
+"""
+
+from repro.text.strings import (
+    edit_similarity,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+)
+from repro.text.tokenize import (
+    QgramTokenizer,
+    WordTokenizer,
+    TwoLevelTokenizer,
+    qgrams,
+    word_tokens,
+)
+from repro.text.weights import (
+    CollectionStatistics,
+    idf_weights,
+    rs_weights,
+    tfidf_weights,
+)
+from repro.text.minhash import MinHasher, minhash_similarity
+
+__all__ = [
+    "levenshtein",
+    "edit_similarity",
+    "jaro",
+    "jaro_winkler",
+    "qgrams",
+    "word_tokens",
+    "QgramTokenizer",
+    "WordTokenizer",
+    "TwoLevelTokenizer",
+    "CollectionStatistics",
+    "idf_weights",
+    "rs_weights",
+    "tfidf_weights",
+    "MinHasher",
+    "minhash_similarity",
+]

@@ -1,0 +1,108 @@
+"""Min-wise independent permutations (min-hash) for set-similarity estimation.
+
+The ``GESapx`` combination predicate (section 4.5) replaces the exact Jaccard
+similarity between the q-gram sets of two word tokens with a min-hash
+estimate.  A :class:`MinHasher` draws ``num_hashes`` random hash functions of
+the form ``h_i(x) = (a_i * x + b_i) mod p`` over token hashes; the signature
+of a set is the element-wise minimum of each hash over the set, and the
+estimated Jaccard similarity of two sets is the fraction of signature
+positions that agree.
+
+The hash functions are seeded deterministically so that preprocessing is
+reproducible across runs (mirroring the paper's stored ``BASE_HASHFUNC``
+table).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["MinHasher", "MinHashSignature", "minhash_similarity"]
+
+# A Mersenne prime comfortably larger than any 32-bit token hash.
+_PRIME = (1 << 61) - 1
+
+
+def _stable_token_hash(token: str) -> int:
+    """Deterministic 32-bit hash of a token (independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0xFFFFFFFF
+
+
+MinHashSignature = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _HashFunction:
+    a: int
+    b: int
+
+    def __call__(self, value: int) -> int:
+        return (self.a * value + self.b) % _PRIME
+
+
+class MinHasher:
+    """Family of min-wise independent permutations over token sets.
+
+    Parameters
+    ----------
+    num_hashes:
+        Signature length.  The paper uses 5 hash functions for GESapx and
+        notes diminishing returns beyond that.
+    seed:
+        Seed for drawing the hash-function coefficients; fixed by default for
+        reproducible preprocessing.
+    """
+
+    def __init__(self, num_hashes: int = 5, seed: int = 20070411):
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self._num_hashes = num_hashes
+        self._seed = seed
+        rng = random.Random(seed)
+        self._functions: List[_HashFunction] = [
+            _HashFunction(a=rng.randrange(1, _PRIME), b=rng.randrange(0, _PRIME))
+            for _ in range(num_hashes)
+        ]
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def signature(self, tokens: Iterable[str]) -> MinHashSignature:
+        """Min-hash signature of a token set.
+
+        Duplicates are ignored (min-hash operates on sets).  An empty set
+        yields a signature of ``_PRIME`` sentinels which never collides with a
+        non-empty signature position.
+        """
+        hashed = {_stable_token_hash(token) for token in tokens}
+        if not hashed:
+            return tuple([_PRIME] * self._num_hashes)
+        return tuple(
+            min(function(value) for value in hashed) for function in self._functions
+        )
+
+    def similarity(self, left: Iterable[str], right: Iterable[str]) -> float:
+        """Estimated Jaccard similarity between two token sets."""
+        return minhash_similarity(self.signature(left), self.signature(right))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MinHasher(num_hashes={self._num_hashes}, seed={self._seed})"
+
+
+def minhash_similarity(left: Sequence[int], right: Sequence[int]) -> float:
+    """Fraction of matching positions between two equal-length signatures."""
+    if len(left) != len(right):
+        raise ValueError("signatures must have the same length")
+    if not left:
+        return 0.0
+    matches = sum(1 for a, b in zip(left, right) if a == b and a != _PRIME)
+    return matches / len(left)

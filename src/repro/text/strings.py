@@ -1,0 +1,209 @@
+"""Character-level string similarity functions.
+
+These are the building blocks for the edit-based and combination predicates of
+the paper (chapter 3.4 and 3.5):
+
+* :func:`levenshtein` -- classic unit-cost edit distance.
+* :func:`edit_similarity` -- the paper's normalized edit similarity
+  ``1 - tc(Q, D) / max(|Q|, |D|)`` (equation 3.13).
+* :func:`jaro` and :func:`jaro_winkler` -- the census-style name matching
+  similarities used as the word-level matcher inside SoftTFIDF.
+
+All functions are pure Python with no third-party dependencies so that they
+can also be registered as UDFs on the SQL backends.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "levenshtein",
+    "levenshtein_within",
+    "edit_similarity",
+    "jaro",
+    "jaro_winkler",
+    "ngram_overlap",
+]
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Return the unit-cost Levenshtein edit distance between two strings.
+
+    Insertions, deletions and substitutions each cost 1; copies cost 0.
+
+    >>> levenshtein("kitten", "sitting")
+    3
+    >>> levenshtein("", "abc")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for a smaller row.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,       # deletion
+                current[j - 1] + 1,    # insertion
+                previous[j - 1] + cost,  # substitution / copy
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def levenshtein_within(a: str, b: str, max_distance: int) -> int | None:
+    """Return ``levenshtein(a, b)`` if it is ``<= max_distance``, else ``None``.
+
+    This is the banded variant used by the q-gram filtering step of the
+    edit-distance predicate: candidate tuples only need their exact distance
+    when it can fall under the selection threshold, so the dynamic program is
+    restricted to a diagonal band of width ``2 * max_distance + 1``.
+    """
+    if max_distance < 0:
+        return None
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > max_distance:
+        return None
+    if not a or not b:
+        distance = max(len(a), len(b))
+        return distance if distance <= max_distance else None
+    if len(a) < len(b):
+        a, b = b, a
+
+    infinity = max_distance + 1
+    previous = [j if j <= max_distance else infinity for j in range(len(b) + 1)]
+    current = [infinity] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        lo = max(1, i - max_distance)
+        hi = min(len(b), i + max_distance)
+        current[lo - 1] = i if (lo - 1) == 0 and i <= max_distance else infinity
+        for j in range(lo, hi + 1):
+            cb = b[j - 1]
+            cost = 0 if ca == cb else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            current[j] = best
+        if hi + 1 <= len(b):
+            current[hi + 1] = infinity
+        previous, current = current, [infinity] * (len(b) + 1)
+    distance = previous[len(b)]
+    return distance if distance <= max_distance else None
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity, equation 3.13 of the paper.
+
+    ``sim_edit(Q, D) = 1 - tc(Q, D) / max(|Q|, |D|)`` where ``tc`` is the
+    unit-cost Levenshtein distance.  Two empty strings are defined to have
+    similarity 1.0.
+
+    >>> edit_similarity("stanley", "stanley")
+    1.0
+    >>> round(edit_similarity("stanley", "stanle"), 3)
+    0.857
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity between two strings.
+
+    The Jaro similarity counts matching characters within a sliding window of
+    half the longer string's length and penalizes transpositions.  Returns a
+    value in ``[0, 1]``; identical strings score 1.0 and strings with no
+    matching characters score 0.0.
+    """
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    match_window = max(la, lb) // 2 - 1
+    if match_window < 0:
+        match_window = 0
+    a_matched = [False] * la
+    b_matched = [False] * lb
+
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - match_window)
+        hi = min(lb, i + match_window + 1)
+        for j in range(lo, hi):
+            if b_matched[j] or b[j] != ca:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, ca in enumerate(a):
+        if not a_matched[i]:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if ca != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    m = float(matches)
+    return (m / la + m / lb + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
+
+    ``jw = jaro + prefix_len * prefix_scale * (1 - jaro)`` where
+    ``prefix_len`` is the length of the common prefix capped at
+    ``max_prefix``.  The standard scaling factor is 0.1.
+
+    >>> jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+    True
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25] to keep the score <= 1")
+    base = jaro(a, b)
+    prefix_len = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix_len >= max_prefix:
+            break
+        prefix_len += 1
+    return base + prefix_len * prefix_scale * (1.0 - base)
+
+
+def ngram_overlap(a: str, b: str, n: int = 2) -> float:
+    """Dice-style character n-gram overlap, used only as a sanity baseline.
+
+    Returns ``2 * |common n-grams| / (|ngrams(a)| + |ngrams(b)|)``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if a == b:
+        return 1.0
+    grams_a = [a[i : i + n] for i in range(max(0, len(a) - n + 1))]
+    grams_b = [b[i : i + n] for i in range(max(0, len(b) - n + 1))]
+    if not grams_a or not grams_b:
+        return 0.0
+    from collections import Counter
+
+    common = sum((Counter(grams_a) & Counter(grams_b)).values())
+    return 2.0 * common / (len(grams_a) + len(grams_b))

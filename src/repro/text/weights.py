@@ -1,0 +1,234 @@
+"""Token weighting schemes and collection statistics.
+
+Every weighted predicate in the paper is driven by statistics gathered over
+the *base relation* during preprocessing:
+
+* document frequency ``n_t`` (number of tuples containing a token),
+* term frequency ``tf(t, D)`` within each tuple,
+* tuple length in tokens and the average tuple length,
+* collection frequency ``cf_t`` and total collection size ``cs``.
+
+:class:`CollectionStatistics` computes all of these once from the tokenized
+relation.  On top of it we provide the weighting schemes used by the paper:
+
+* ``idf(t) = log(N) - log(n_t)`` -- plain inverse document frequency,
+* ``rs(t) = log(N - n_t + 0.5) - log(n_t + 0.5)`` -- the Robertson-Sparck
+  Jones weight (equation 3.5), used by WeightedMatch / WeightedJaccard and as
+  the idf part of BM25,
+* length-normalized tf-idf weights (section 3.2.1),
+* BM25 document-side weights (section 3.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "CollectionStatistics",
+    "idf_weights",
+    "rs_weights",
+    "tfidf_weights",
+    "bm25_document_weights",
+    "bm25_query_weights",
+    "BM25Parameters",
+]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """Independent parameters of the BM25 weighting scheme.
+
+    Defaults follow section 5.3.2 of the paper (``k1=1.5``, ``k3=8``,
+    ``b=0.675``), themselves taken from the TREC-4 Okapi experiments.
+    """
+
+    k1: float = 1.5
+    k3: float = 8.0
+    b: float = 0.675
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0 or self.k3 < 0:
+            raise ValueError("k1 and k3 must be non-negative")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must be within [0, 1]")
+
+
+class CollectionStatistics:
+    """Corpus-level statistics over a tokenized relation.
+
+    Parameters
+    ----------
+    token_lists:
+        One token list per tuple of the base relation, in tuple-id order.
+
+    The object is immutable after construction; all derived statistics are
+    computed eagerly because every weighting scheme needs most of them.
+    """
+
+    def __init__(self, token_lists: Sequence[Sequence[str]]):
+        self._token_lists: List[List[str]] = [list(tokens) for tokens in token_lists]
+        self._num_tuples = len(self._token_lists)
+        self._term_frequencies: List[Counter] = [Counter(tokens) for tokens in self._token_lists]
+        self._lengths: List[int] = [len(tokens) for tokens in self._token_lists]
+
+        document_frequency: Counter = Counter()
+        collection_frequency: Counter = Counter()
+        for tf in self._term_frequencies:
+            document_frequency.update(tf.keys())
+            collection_frequency.update(tf)
+        self._document_frequency: Dict[str, int] = dict(document_frequency)
+        self._collection_frequency: Dict[str, int] = dict(collection_frequency)
+        self._collection_size = sum(self._lengths)
+        self._average_length = (
+            self._collection_size / self._num_tuples if self._num_tuples else 0.0
+        )
+
+    # -- raw statistics -----------------------------------------------------
+
+    @property
+    def num_tuples(self) -> int:
+        """``N``: number of tuples in the base relation."""
+        return self._num_tuples
+
+    @property
+    def vocabulary(self) -> Iterable[str]:
+        """All distinct tokens appearing in the relation."""
+        return self._document_frequency.keys()
+
+    @property
+    def collection_size(self) -> int:
+        """``cs``: total number of token occurrences in the relation."""
+        return self._collection_size
+
+    @property
+    def average_length(self) -> float:
+        """``avgdl``: average number of tokens per tuple."""
+        return self._average_length
+
+    def length(self, tid: int) -> int:
+        """``|D|``: number of tokens of tuple ``tid``."""
+        return self._lengths[tid]
+
+    def lengths(self) -> List[int]:
+        return list(self._lengths)
+
+    def term_frequency(self, tid: int, token: str) -> int:
+        """``tf(t, D)`` for tuple ``tid``."""
+        return self._term_frequencies[tid].get(token, 0)
+
+    def term_frequencies(self, tid: int) -> Counter:
+        """The full term-frequency Counter of tuple ``tid``."""
+        return self._term_frequencies[tid]
+
+    def document_frequency(self, token: str) -> int:
+        """``n_t`` / ``df_t``: number of tuples containing ``token``."""
+        return self._document_frequency.get(token, 0)
+
+    def collection_frequency(self, token: str) -> int:
+        """``cf_t``: total number of occurrences of ``token`` in the relation."""
+        return self._collection_frequency.get(token, 0)
+
+    def tokens(self, tid: int) -> List[str]:
+        """The raw token list of tuple ``tid`` (duplicates preserved)."""
+        return list(self._token_lists[tid])
+
+    def __len__(self) -> int:
+        return self._num_tuples
+
+    # -- weighting schemes ---------------------------------------------------
+
+    def idf(self, token: str) -> float:
+        """``log(N) - log(n_t)``; unseen tokens get the average idf."""
+        df = self.document_frequency(token)
+        if df == 0:
+            return self.average_idf()
+        return math.log(self._num_tuples) - math.log(df)
+
+    def average_idf(self) -> float:
+        """Mean idf over the vocabulary, used for unseen query tokens."""
+        if not self._document_frequency:
+            return 0.0
+        total = sum(
+            math.log(self._num_tuples) - math.log(df)
+            for df in self._document_frequency.values()
+        )
+        return total / len(self._document_frequency)
+
+    def rs_weight(self, token: str) -> float:
+        """Robertson-Sparck Jones weight ``w^(1)`` (equation 3.5)."""
+        df = self.document_frequency(token)
+        return math.log(self._num_tuples - df + 0.5) - math.log(df + 0.5)
+
+    def idf_table(self) -> Dict[str, float]:
+        """idf weight for every token in the vocabulary."""
+        return {token: self.idf(token) for token in self._document_frequency}
+
+    def rs_table(self) -> Dict[str, float]:
+        """RS weight for every token in the vocabulary."""
+        return {token: self.rs_weight(token) for token in self._document_frequency}
+
+
+def idf_weights(stats: CollectionStatistics, tokens: Iterable[str]) -> Dict[str, float]:
+    """idf weight for each distinct token in ``tokens`` (unseen -> average idf)."""
+    return {token: stats.idf(token) for token in set(tokens)}
+
+
+def rs_weights(stats: CollectionStatistics, tokens: Iterable[str]) -> Dict[str, float]:
+    """RS weight for each distinct token in ``tokens``.
+
+    Tokens absent from the collection get ``log(N + 0.5) - log(0.5)``, the
+    natural limit of equation 3.5 for ``n_t = 0``.
+    """
+    return {token: stats.rs_weight(token) for token in set(tokens)}
+
+
+def tfidf_weights(
+    token_frequency: Mapping[str, int],
+    idf: Mapping[str, float],
+    default_idf: float = 0.0,
+) -> Dict[str, float]:
+    """Length-normalized tf-idf weights for one string (section 3.2.1).
+
+    ``w'(t, S) = tf(t, S) * idf(t)`` and the result is divided by the L2 norm
+    of the ``w'`` vector so that cosine similarity reduces to a dot product.
+    """
+    raw = {
+        token: tf * idf.get(token, default_idf)
+        for token, tf in token_frequency.items()
+    }
+    norm = math.sqrt(sum(value * value for value in raw.values()))
+    if norm == 0.0:
+        return {token: 0.0 for token in raw}
+    return {token: value / norm for token, value in raw.items()}
+
+
+def bm25_document_weights(
+    stats: CollectionStatistics,
+    tid: int,
+    params: BM25Parameters | None = None,
+) -> Dict[str, float]:
+    """BM25 document-side weights ``wd(t, D)`` for tuple ``tid`` (section 3.2.2)."""
+    params = params or BM25Parameters()
+    length = stats.length(tid)
+    avgdl = stats.average_length or 1.0
+    k_d = params.k1 * ((1.0 - params.b) + params.b * length / avgdl)
+    weights: Dict[str, float] = {}
+    for token, tf in stats.term_frequencies(tid).items():
+        w1 = stats.rs_weight(token)
+        weights[token] = w1 * (params.k1 + 1.0) * tf / (k_d + tf)
+    return weights
+
+
+def bm25_query_weights(
+    query_frequency: Mapping[str, int],
+    params: BM25Parameters | None = None,
+) -> Dict[str, float]:
+    """BM25 query-side weights ``wq(t, Q)`` (section 3.2.2)."""
+    params = params or BM25Parameters()
+    return {
+        token: (params.k3 + 1.0) * tf / (params.k3 + tf)
+        for token, tf in query_frequency.items()
+    }

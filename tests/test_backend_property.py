@@ -1,0 +1,98 @@
+"""Property-based differential testing: memory engine vs. SQLite.
+
+The declarative framework treats the two backends as interchangeable.  These
+tests generate random token tables with Hypothesis and check that a family of
+query templates (the joins / aggregations the predicate SQL is built from)
+return identical result sets on both backends.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import MemoryBackend, SQLiteBackend
+
+tokens = st.sampled_from(["AB", "BC", "CD", "DE", "EF", "$A", "A$", "ZZ"])
+base_rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), tokens), min_size=0, max_size=25
+)
+query_rows = st.lists(tokens, min_size=0, max_size=6)
+
+QUERY_TEMPLATES = [
+    # candidate generation join + count (IntersectSize)
+    "SELECT B.tid, COUNT(*) FROM base_tokens B, query_tokens Q "
+    "WHERE B.token = Q.token GROUP BY B.tid",
+    # distinct tokens per tuple
+    "SELECT tid, COUNT(DISTINCT token) FROM base_tokens GROUP BY tid",
+    # document frequency per token
+    "SELECT token, COUNT(DISTINCT tid) FROM base_tokens GROUP BY token",
+    # tuples containing no query token
+    "SELECT DISTINCT tid FROM base_tokens "
+    "WHERE token NOT IN (SELECT token FROM query_tokens)",
+    # HAVING filter over aggregated counts
+    "SELECT tid FROM base_tokens GROUP BY tid HAVING COUNT(*) >= 2",
+    # arithmetic over aggregates
+    "SELECT tid, COUNT(*) * 1.0 / 2 + 1 FROM base_tokens GROUP BY tid",
+    # scalar subquery
+    "SELECT (SELECT COUNT(*) FROM query_tokens)",
+    # union of token sets
+    "SELECT token FROM base_tokens UNION SELECT token FROM query_tokens",
+]
+
+
+def _normalize(rows):
+    """Sort rows and round floats so both backends compare equal."""
+    normalized = []
+    for row in rows:
+        normalized.append(
+            tuple(
+                round(value, 9) if isinstance(value, float) and math.isfinite(value) else value
+                for value in row
+            )
+        )
+    return sorted(normalized, key=repr)
+
+
+def _load(backend, base, query):
+    backend.create_table("base_tokens", ["tid INTEGER", "token TEXT"])
+    backend.create_table("query_tokens", ["token TEXT"])
+    backend.insert_rows("base_tokens", base)
+    backend.insert_rows("query_tokens", [(token,) for token in query])
+
+
+class TestBackendEquivalence:
+    @given(base_rows, query_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_query_templates_agree(self, base, query):
+        memory = MemoryBackend()
+        sqlite = SQLiteBackend()
+        try:
+            _load(memory, base, query)
+            _load(sqlite, base, query)
+            for sql in QUERY_TEMPLATES:
+                assert _normalize(memory.query(sql)) == _normalize(sqlite.query(sql)), sql
+        finally:
+            sqlite.close()
+
+    @given(base_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_weight_computation_agrees(self, base):
+        """The RS-weight SQL (the trickiest arithmetic) matches across backends."""
+        memory = MemoryBackend()
+        sqlite = SQLiteBackend()
+        try:
+            _load(memory, base, [])
+            _load(sqlite, base, [])
+            sql = (
+                "SELECT T.token, LOG(S.size - COUNT(DISTINCT T.tid) + 0.5) "
+                "- LOG(COUNT(DISTINCT T.tid) + 0.5) "
+                "FROM base_tokens T, (SELECT COUNT(*) + 6 AS size FROM base_tokens) S "
+                "GROUP BY T.token, S.size"
+            )
+            assert _normalize(memory.query(sql)) == _normalize(sqlite.query(sql))
+        finally:
+            sqlite.close()

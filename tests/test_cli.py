@@ -1,0 +1,165 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def base_file(tmp_path, company_strings):
+    path = tmp_path / "base.tsv"
+    path.write_text(
+        "\n".join(f"{tid}\t{text}" for tid, text in enumerate(company_strings)),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.dataset == "CU1"
+        assert args.size == 1000
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "XX9"])
+
+
+class TestCommands:
+    def test_predicates_lists_all(self, capsys):
+        assert main(["predicates"]) == 0
+        output = capsys.readouterr().out.split()
+        assert "bm25" in output
+        assert len(output) == 13
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--dataset", "F1", "--size", "50", "--clean", "10"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 50
+        tid, text, cluster = lines[0].split("\t")
+        assert tid == "0"
+        assert text
+        assert cluster.isdigit()
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        output = tmp_path / "data.tsv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--dataset",
+                    "CU5",
+                    "--size",
+                    "40",
+                    "--clean",
+                    "8",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        assert output.exists()
+        assert len(output.read_text().strip().splitlines()) == 40
+        assert "wrote 40 records" in capsys.readouterr().out
+
+    def test_query_top_k(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--base",
+                    str(base_file),
+                    "--predicate",
+                    "bm25",
+                    "--query",
+                    "Morgn Stanley Group",
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert "Morgan Stanley Group Inc." in lines[0]
+
+    def test_query_with_threshold(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--base",
+                    str(base_file),
+                    "--predicate",
+                    "jaccard",
+                    "--query",
+                    "Beijing Hotel",
+                    "--threshold",
+                    "0.9",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2  # Beijing Hotel and Hotel Beijing
+
+    def test_query_missing_base(self, tmp_path):
+        empty = tmp_path / "empty.tsv"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["query", "--base", str(empty), "--query", "x"])
+
+    def test_evaluate_and_save(self, tmp_path, capsys):
+        report = tmp_path / "report.csv"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset",
+                    "F2",
+                    "--size",
+                    "120",
+                    "--clean",
+                    "30",
+                    "--queries",
+                    "10",
+                    "--predicates",
+                    "jaccard",
+                    "bm25",
+                    "--output",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Jaccard" in output and "BM25" in output
+        assert report.exists()
+        assert report.read_text().startswith("predicate,")
+
+    def test_dedup(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "dedup",
+                    "--base",
+                    str(base_file),
+                    "--predicate",
+                    "jaccard",
+                    "--threshold",
+                    "0.6",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "clusters" in output
+        assert "Beijing" in output  # the Beijing Hotel / Hotel Beijing cluster

@@ -1,0 +1,137 @@
+"""Unit and property tests for the error injectors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.errors import (
+    DEFAULT_ABBREVIATIONS,
+    AbbreviationError,
+    EditErrorInjector,
+    TokenSwapInjector,
+)
+from repro.text.strings import levenshtein
+
+words_text = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=65, max_codepoint=90), min_size=1, max_size=8),
+    min_size=1,
+    max_size=6,
+).map(" ".join)
+
+
+class TestEditErrorInjector:
+    def test_extent_validation(self):
+        with pytest.raises(ValueError):
+            EditErrorInjector(extent=1.5)
+
+    def test_zero_extent_is_identity(self):
+        injector = EditErrorInjector(extent=0.0)
+        assert injector.apply("Morgan Stanley", random.Random(1)) == "Morgan Stanley"
+
+    def test_empty_string_unchanged(self):
+        injector = EditErrorInjector(extent=0.3)
+        assert injector.apply("", random.Random(1)) == ""
+
+    def test_injects_at_least_one_edit(self):
+        injector = EditErrorInjector(extent=0.05)
+        rng = random.Random(7)
+        corrupted = injector.apply("Morgan Stanley Group", rng)
+        assert corrupted != "Morgan Stanley Group" or levenshtein(
+            corrupted, "Morgan Stanley Group"
+        ) == 0  # a swap of identical adjacent chars can be a no-op
+
+    def test_higher_extent_means_more_damage_on_average(self):
+        text = "Morgan Stanley Group Incorporated"
+        low = EditErrorInjector(extent=0.05)
+        high = EditErrorInjector(extent=0.40)
+        low_damage = sum(
+            levenshtein(text, low.apply(text, random.Random(seed))) for seed in range(30)
+        )
+        high_damage = sum(
+            levenshtein(text, high.apply(text, random.Random(seed))) for seed in range(30)
+        )
+        assert high_damage > low_damage
+
+    def test_deterministic_given_rng_state(self):
+        injector = EditErrorInjector(extent=0.2)
+        assert injector.apply("Beijing Hotel", random.Random(3)) == injector.apply(
+            "Beijing Hotel", random.Random(3)
+        )
+
+    @given(words_text, st.floats(min_value=0.05, max_value=0.5), st.integers(0, 100))
+    @settings(max_examples=60)
+    def test_damage_bounded_by_edit_count(self, text, extent, seed):
+        injector = EditErrorInjector(extent=extent)
+        corrupted = injector.apply(text, random.Random(seed))
+        max_edits = max(1, round(len(text) * extent))
+        # insert/delete/replace change the Levenshtein distance by at most 1;
+        # an adjacent-character swap changes it by at most 2.
+        assert levenshtein(text, corrupted) <= 2 * max_edits
+
+
+class TestTokenSwapInjector:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TokenSwapInjector(swap_rate=-0.1)
+
+    def test_zero_rate_is_identity(self):
+        injector = TokenSwapInjector(swap_rate=0.0)
+        assert injector.apply("Beijing Hotel", random.Random(1)) == "Beijing Hotel"
+
+    def test_single_word_unchanged(self):
+        injector = TokenSwapInjector(swap_rate=1.0)
+        assert injector.apply("Beijing", random.Random(1)) == "Beijing"
+
+    def test_two_words_swap(self):
+        injector = TokenSwapInjector(swap_rate=1.0)
+        assert injector.apply("Beijing Hotel", random.Random(1)) == "Hotel Beijing"
+
+    def test_words_preserved_as_multiset(self):
+        injector = TokenSwapInjector(swap_rate=0.6)
+        text = "Pacific Gas and Electric Company"
+        swapped = injector.apply(text, random.Random(9))
+        assert sorted(swapped.split()) == sorted(text.split())
+
+    @given(words_text, st.integers(0, 50))
+    @settings(max_examples=60)
+    def test_multiset_invariant(self, text, seed):
+        injector = TokenSwapInjector(swap_rate=0.5)
+        swapped = injector.apply(text, random.Random(seed))
+        assert sorted(swapped.split()) == sorted(text.split())
+
+
+class TestAbbreviationError:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            AbbreviationError(rate=2.0)
+
+    def test_zero_rate_is_identity(self):
+        injector = AbbreviationError(rate=0.0)
+        assert injector.apply("AT&T Incorporated", random.Random(1)) == "AT&T Incorporated"
+
+    def test_long_form_to_short_form(self):
+        injector = AbbreviationError(rate=1.0)
+        assert injector.apply("AT&T Incorporated", random.Random(1)) == "AT&T Inc."
+
+    def test_short_form_to_long_form(self):
+        injector = AbbreviationError(rate=1.0)
+        assert injector.apply("AT&T Inc.", random.Random(1)) == "AT&T Incorporated"
+
+    def test_unknown_words_untouched(self):
+        injector = AbbreviationError(rate=1.0)
+        assert injector.apply("Beijing Hotel", random.Random(1)) == "Beijing Hotel"
+
+    def test_case_insensitive_lookup(self):
+        injector = AbbreviationError(rate=1.0)
+        assert injector.apply("acme incorporated", random.Random(1)) == "acme Inc."
+
+    def test_all_default_pairs_are_bidirectional(self):
+        injector = AbbreviationError(rate=1.0)
+        rng = random.Random(5)
+        for long_form, short_form in DEFAULT_ABBREVIATIONS:
+            assert injector.apply(f"X {long_form}", rng).endswith(short_form)
+            assert injector.apply(f"X {short_form}", rng).endswith(long_form)

@@ -1,0 +1,215 @@
+"""Unit tests for duplicate distributions, the generator and named datasets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.datasets import (
+    ACCURACY_CLASSES,
+    DATASET_CONFIGS,
+    dataset_class,
+    make_dataset,
+    scalability_config,
+)
+from repro.datagen.distributions import duplicate_counts
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratedDataset,
+    GeneratorParameters,
+)
+from repro.datagen.sources import company_names
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", ["uniform", "zipf", "zipfian", "poisson"])
+    def test_counts_sum_to_total(self, name):
+        counts = duplicate_counts(name, 20, 200, random.Random(1))
+        assert sum(counts) == 200
+        assert len(counts) == 20
+        assert all(count >= 1 for count in counts)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            duplicate_counts("normal", 10, 100, random.Random(1))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            duplicate_counts("uniform", 0, 10, random.Random(1))
+        with pytest.raises(ValueError):
+            duplicate_counts("uniform", 10, 5, random.Random(1))
+
+    def test_uniform_is_even(self):
+        counts = duplicate_counts("uniform", 10, 100, random.Random(1))
+        assert max(counts) - min(counts) <= 1
+
+    def test_zipf_is_skewed(self):
+        counts = duplicate_counts("zipf", 50, 1000, random.Random(1))
+        assert max(counts) > 3 * (1000 // 50)
+
+    @given(st.integers(1, 30), st.integers(1, 20), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_sum_property(self, clusters, extra_per_cluster, seed):
+        total = clusters * (1 + extra_per_cluster)
+        for name in ("uniform", "zipf", "poisson"):
+            counts = duplicate_counts(name, clusters, total, random.Random(seed))
+            assert sum(counts) == total
+
+
+class TestGeneratorParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorParameters(size=0, num_clean=1)
+        with pytest.raises(ValueError):
+            GeneratorParameters(size=10, num_clean=20)
+        with pytest.raises(ValueError):
+            GeneratorParameters(size=10, num_clean=5, edit_extent=2.0)
+
+    def test_scaled(self):
+        parameters = GeneratorParameters(size=100, num_clean=10)
+        scaled = parameters.scaled(1000)
+        assert scaled.size == 1000
+        assert scaled.num_clean == 100
+        assert scaled.edit_extent == parameters.edit_extent
+
+
+class TestDatasetGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self) -> GeneratedDataset:
+        generator = DatasetGenerator(company_names(count=120, seed=2))
+        return generator.generate(
+            GeneratorParameters(
+                size=600,
+                num_clean=100,
+                erroneous_fraction=0.7,
+                edit_extent=0.2,
+                token_swap_rate=0.3,
+                abbreviation_rate=0.5,
+                seed=5,
+            )
+        )
+
+    def test_requires_clean_strings(self):
+        with pytest.raises(ValueError):
+            DatasetGenerator([])
+
+    def test_size(self, dataset):
+        assert len(dataset) == 600
+        assert len(dataset.strings) == 600
+
+    def test_number_of_clusters(self, dataset):
+        assert dataset.num_clusters() == 100
+
+    def test_tids_are_sequential(self, dataset):
+        assert [record.tid for record in dataset.records] == list(range(600))
+
+    def test_every_cluster_has_a_clean_representative(self, dataset):
+        for cluster_id in range(dataset.num_clusters()):
+            members = dataset.cluster_members(cluster_id)
+            assert any(dataset.records[tid].is_clean for tid in members)
+
+    def test_relevant_for_is_symmetric_within_cluster(self, dataset):
+        record = dataset.records[42]
+        relevant = dataset.relevant_for(42)
+        assert 42 in relevant
+        assert all(dataset.cluster_of(tid) == record.cluster_id for tid in relevant)
+
+    def test_some_records_are_erroneous(self, dataset):
+        assert any(not record.is_clean for record in dataset.records)
+
+    def test_errors_respect_cluster_source(self, dataset):
+        # Erroneous strings should still be closer to their own clean tuple
+        # than a random string from a different cluster, in the vast majority
+        # of cases (sanity of error injection).
+        from repro.text.strings import edit_similarity
+
+        closer = 0
+        total = 0
+        for record in dataset.records[:200]:
+            if record.is_clean:
+                continue
+            own_clean = next(
+                dataset.records[tid]
+                for tid in dataset.cluster_members(record.cluster_id)
+                if dataset.records[tid].is_clean
+            )
+            other = dataset.records[(record.tid + 137) % len(dataset.records)]
+            if other.cluster_id == record.cluster_id:
+                continue
+            total += 1
+            if edit_similarity(record.text, own_clean.text) > edit_similarity(
+                record.text, other.text
+            ):
+                closer += 1
+        assert total > 0
+        assert closer / total > 0.9
+
+    def test_reproducible_for_seed(self):
+        generator = DatasetGenerator(company_names(count=50, seed=2))
+        parameters = GeneratorParameters(size=200, num_clean=40, seed=9)
+        first = generator.generate(parameters)
+        second = generator.generate(parameters)
+        assert first.strings == second.strings
+        assert first.cluster_ids == second.cluster_ids
+
+    def test_sample_query_tids(self, dataset):
+        sample = dataset.sample_query_tids(50, seed=1)
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+        assert dataset.sample_query_tids(10_000) == list(range(600))
+
+
+class TestNamedDatasets:
+    def test_all_thirteen_configs_present(self):
+        assert len(DATASET_CONFIGS) == 13
+        assert set(ACCURACY_CLASSES) == {"dirty", "medium", "low"}
+
+    def test_dataset_class_lookup(self):
+        assert dataset_class("CU1") == "dirty"
+        assert dataset_class("CU8") == "low"
+        assert dataset_class("F3") == "single-error"
+
+    def test_table_5_3_parameters(self):
+        cu1 = DATASET_CONFIGS["CU1"]
+        assert cu1.erroneous_fraction == 0.90
+        assert cu1.edit_extent == 0.30
+        assert cu1.token_swap_rate == 0.20
+        assert cu1.abbreviation_rate == 0.50
+        f1 = DATASET_CONFIGS["F1"]
+        assert f1.edit_extent == 0.0
+        assert f1.token_swap_rate == 0.0
+        assert f1.abbreviation_rate == 0.50
+
+    def test_make_dataset_scaled_down(self):
+        dataset = make_dataset("CU5", size=200, num_clean=40)
+        assert len(dataset) == 200
+        assert dataset.num_clusters() == 40
+
+    def test_make_dataset_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("CU99")
+
+    def test_f1_contains_only_abbreviation_errors(self):
+        dataset = make_dataset("F1", size=150, num_clean=30, seed=3)
+        # No edit or swap errors: every erroneous tuple differs from its clean
+        # representative only by whole-word substitutions.
+        for record in dataset.records:
+            if record.is_clean:
+                continue
+            clean = next(
+                dataset.records[tid].text
+                for tid in dataset.cluster_members(record.cluster_id)
+                if dataset.records[tid].is_clean
+            )
+            assert len(record.text.split()) == len(clean.split())
+
+    def test_scalability_config_matches_section_5_5(self):
+        config = scalability_config(10_000)
+        assert config.size == 10_000
+        assert config.erroneous_fraction == 0.70
+        assert config.edit_extent == 0.20
+        assert config.token_swap_rate == 0.20
+        assert config.abbreviation_rate == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the synthetic clean-source corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.sources import (
+    COMPANY_SOURCE_SIZE,
+    TITLES_SOURCE_SIZE,
+    clean_source,
+    company_names,
+    dblp_titles,
+    source_statistics,
+)
+
+
+class TestCompanyNames:
+    def test_default_size_matches_paper(self):
+        names = company_names()
+        assert len(names) == COMPANY_SOURCE_SIZE == 2139
+
+    def test_all_distinct(self):
+        names = company_names(count=500)
+        assert len(set(names)) == 500
+
+    def test_deterministic_for_seed(self):
+        assert company_names(count=50, seed=1) == company_names(count=50, seed=1)
+        assert company_names(count=50, seed=1) != company_names(count=50, seed=2)
+
+    def test_statistics_close_to_table_5_1(self):
+        """Average length and words/tuple should resemble Table 5.1 (21.03 / 2.92)."""
+        stats = source_statistics(company_names())
+        assert 15 <= stats.average_length <= 30
+        assert 2.0 <= stats.average_words <= 4.0
+
+    def test_names_contain_legal_forms(self):
+        names = company_names(count=200, seed=5)
+        assert any(name.split()[-1].rstrip(".") in
+                   {"Inc", "Incorporated", "Corp", "Corporation", "Ltd", "Limited",
+                    "LLC", "Co", "Company", "Group", "Intl", "International",
+                    "Bros", "Brothers", "Sons", "Assoc", "Associates"}
+                   for name in names)
+
+
+class TestDblpTitles:
+    def test_default_size_matches_paper(self):
+        assert len(dblp_titles(count=1000)) == 1000
+        assert TITLES_SOURCE_SIZE == 10425
+
+    def test_all_distinct(self):
+        titles = dblp_titles(count=800)
+        assert len(set(titles)) == 800
+
+    def test_statistics_close_to_table_5_1(self):
+        """Average length and words/tuple should resemble Table 5.1 (33.55 / 4.53)."""
+        stats = source_statistics(dblp_titles(count=3000))
+        assert 25 <= stats.average_length <= 50
+        assert 3.5 <= stats.average_words <= 6.5
+
+    def test_titles_longer_than_company_names(self):
+        company_stats = source_statistics(company_names(count=1000))
+        title_stats = source_statistics(dblp_titles(count=1000))
+        assert title_stats.average_length > company_stats.average_length
+        assert title_stats.average_words > company_stats.average_words
+
+
+class TestCleanSource:
+    def test_named_sources(self):
+        assert len(clean_source("company", count=100)) == 100
+        assert len(clean_source("titles", count=100)) == 100
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            clean_source("censuses")
+
+    def test_statistics_of_empty_corpus(self):
+        stats = source_statistics([])
+        assert stats.num_tuples == 0
+        assert stats.average_length == 0.0

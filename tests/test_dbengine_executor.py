@@ -1,0 +1,345 @@
+"""Unit tests for the SQL executor and Database catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbengine import CatalogError, Database, ExecutionError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE tokens (tid INTEGER, token TEXT)")
+    database.insert_rows(
+        "tokens",
+        [
+            (1, "AB"), (1, "BC"), (1, "AB"),
+            (2, "AB"), (2, "CD"),
+            (3, "XY"),
+        ],
+    )
+    database.execute("CREATE TABLE query_tokens (token TEXT)")
+    database.insert_rows("query_tokens", [("AB",), ("BC",)])
+    return database
+
+
+class TestCatalog:
+    def test_create_and_list_tables(self, db):
+        assert set(db.table_names()) == {"tokens", "query_tokens"}
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE tokens (x INT)")
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS tokens (x INT)")
+        assert db.table("tokens").column_names == ["tid", "token"]
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE query_tokens")
+        assert not db.has_table("query_tokens")
+
+    def test_drop_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")
+
+    def test_unknown_table_in_query(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM missing")
+
+    def test_query_requires_select(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("DROP TABLE tokens")
+
+    def test_insert_values_and_count(self, db):
+        count = db.execute("INSERT INTO query_tokens (token) VALUES ('ZZ'), ('YY')")
+        assert count == 2
+        assert db.table("query_tokens").rows[-1] == ("YY",)
+
+    def test_insert_wrong_arity(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO tokens (tid, token) VALUES (1)")
+
+    def test_delete_with_where(self, db):
+        removed = db.execute("DELETE FROM tokens WHERE tid = 1")
+        assert removed == 3
+        assert len(db.table("tokens")) == 3
+
+    def test_delete_all(self, db):
+        removed = db.execute("DELETE FROM query_tokens")
+        assert removed == 2
+        assert len(db.table("query_tokens")) == 0
+
+    def test_table_to_dicts(self, db):
+        dicts = db.table("query_tokens").to_dicts()
+        assert dicts[0] == {"token": "AB"}
+
+
+class TestSelectBasics:
+    def test_select_constant(self, db):
+        assert db.query("SELECT 1 + 1 AS two").rows == [(2,)]
+
+    def test_select_star(self, db):
+        result = db.query("SELECT * FROM query_tokens")
+        assert result.columns == ["token"]
+        assert len(result) == 2
+
+    def test_projection_and_alias(self, db):
+        result = db.query("SELECT tid AS id, token FROM tokens WHERE tid = 3")
+        assert result.columns == ["id", "token"]
+        assert result.rows == [(3, "XY")]
+
+    def test_where_filtering(self, db):
+        result = db.query("SELECT token FROM tokens WHERE tid = 2")
+        assert sorted(result.rows) == [("AB",), ("CD",)]
+
+    def test_where_with_and_or(self, db):
+        result = db.query(
+            "SELECT tid FROM tokens WHERE token = 'AB' AND (tid = 1 OR tid = 2)"
+        )
+        assert sorted({row[0] for row in result.rows}) == [1, 2]
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT tid FROM tokens")
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_order_by_and_limit(self, db):
+        result = db.query("SELECT DISTINCT tid FROM tokens ORDER BY tid DESC LIMIT 2")
+        assert result.rows == [(3,), (2,)]
+
+    def test_order_by_ordinal(self, db):
+        result = db.query("SELECT DISTINCT tid FROM tokens ORDER BY 1")
+        assert result.rows == [(1,), (2,), (3,)]
+
+    def test_like(self, db):
+        result = db.query("SELECT token FROM tokens WHERE token LIKE 'a%'")
+        assert set(row[0] for row in result.rows) == {"AB"}
+
+    def test_in_list(self, db):
+        result = db.query("SELECT DISTINCT tid FROM tokens WHERE token IN ('AB', 'XY')")
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_between(self, db):
+        result = db.query("SELECT DISTINCT tid FROM tokens WHERE tid BETWEEN 2 AND 3")
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_case_expression(self, db):
+        result = db.query(
+            "SELECT DISTINCT tid, CASE WHEN tid = 1 THEN 'one' ELSE 'other' END AS label "
+            "FROM tokens ORDER BY tid"
+        )
+        assert result.rows[0] == (1, "one")
+        assert result.rows[1] == (2, "other")
+
+    def test_is_null(self, db):
+        db.execute("CREATE TABLE sparse (a INTEGER, b TEXT)")
+        db.insert_rows("sparse", [(1, None), (2, "x")])
+        assert db.query("SELECT a FROM sparse WHERE b IS NULL").rows == [(1,)]
+        assert db.query("SELECT a FROM sparse WHERE b IS NOT NULL").rows == [(2,)]
+
+    def test_division_by_zero_yields_null(self, db):
+        assert db.query("SELECT 1 / 0 AS x").rows == [(None,)]
+
+    def test_string_concatenation(self, db):
+        assert db.query("SELECT 'a' || 'b' || 'c' AS s").rows == [("abc",)]
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query(
+                "SELECT token FROM tokens T1, query_tokens T2 WHERE T1.token = T2.token"
+            )
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT nope FROM tokens")
+
+
+class TestJoinsAndSubqueries:
+    def test_comma_join_with_equi_condition(self, db):
+        result = db.query(
+            "SELECT T1.tid FROM tokens T1, query_tokens T2 WHERE T1.token = T2.token"
+        )
+        # tid 1 has AB twice and BC once; tid 2 has AB once.
+        assert sorted(row[0] for row in result.rows) == [1, 1, 1, 2]
+
+    def test_explicit_inner_join(self, db):
+        result = db.query(
+            "SELECT T1.tid FROM tokens T1 INNER JOIN query_tokens T2 ON T1.token = T2.token"
+        )
+        assert sorted(row[0] for row in result.rows) == [1, 1, 1, 2]
+
+    def test_left_join_pads_with_null(self, db):
+        result = db.query(
+            "SELECT T1.tid, T2.token FROM tokens T1 "
+            "LEFT JOIN query_tokens T2 ON T1.token = T2.token "
+            "WHERE T1.tid = 3"
+        )
+        assert result.rows == [(3, None)]
+
+    def test_non_equi_join_condition(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM tokens T1 INNER JOIN query_tokens T2 ON T1.token <> T2.token"
+        )
+        # 6 base rows x 2 query rows = 12 pairs, minus the 4 equal pairs.
+        assert result.rows == [(8,)]
+
+    def test_subquery_in_from(self, db):
+        result = db.query(
+            "SELECT S.tid, S.cnt FROM "
+            "(SELECT tid, COUNT(*) AS cnt FROM tokens GROUP BY tid) S "
+            "WHERE S.cnt >= 2 ORDER BY S.tid"
+        )
+        assert result.rows == [(1, 3), (2, 2)]
+
+    def test_scalar_subquery(self, db):
+        result = db.query("SELECT (SELECT COUNT(*) FROM query_tokens) AS n")
+        assert result.rows == [(2,)]
+
+    def test_in_subquery(self, db):
+        result = db.query(
+            "SELECT DISTINCT tid FROM tokens "
+            "WHERE token IN (SELECT token FROM query_tokens) ORDER BY tid"
+        )
+        assert result.rows == [(1,), (2,)]
+
+    def test_not_in_subquery(self, db):
+        result = db.query(
+            "SELECT DISTINCT tid FROM tokens "
+            "WHERE token NOT IN (SELECT token FROM query_tokens) ORDER BY tid"
+        )
+        assert result.rows == [(2,), (3,)]
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE names (tid INTEGER, name TEXT)")
+        db.insert_rows("names", [(1, "one"), (2, "two"), (3, "three")])
+        result = db.query(
+            "SELECT N.name, COUNT(*) FROM tokens T, query_tokens Q, names N "
+            "WHERE T.token = Q.token AND T.tid = N.tid "
+            "GROUP BY N.name ORDER BY N.name"
+        )
+        assert result.rows == [("one", 3), ("two", 1)]
+
+
+class TestAggregation:
+    def test_count_star_group_by(self, db):
+        result = db.query("SELECT tid, COUNT(*) FROM tokens GROUP BY tid ORDER BY tid")
+        assert result.rows == [(1, 3), (2, 2), (3, 1)]
+
+    def test_count_distinct(self, db):
+        result = db.query(
+            "SELECT tid, COUNT(DISTINCT token) FROM tokens GROUP BY tid ORDER BY tid"
+        )
+        assert result.rows == [(1, 2), (2, 2), (3, 1)]
+
+    def test_sum_avg_min_max(self, db):
+        db.execute("CREATE TABLE numbers (grp TEXT, value REAL)")
+        db.insert_rows("numbers", [("a", 1.0), ("a", 3.0), ("b", 5.0)])
+        result = db.query(
+            "SELECT grp, SUM(value), AVG(value), MIN(value), MAX(value) "
+            "FROM numbers GROUP BY grp ORDER BY grp"
+        )
+        assert result.rows == [("a", 4.0, 2.0, 1.0, 3.0), ("b", 5.0, 5.0, 5.0, 5.0)]
+
+    def test_aggregate_without_group_by(self, db):
+        assert db.query("SELECT COUNT(*) FROM tokens").rows == [(6,)]
+
+    def test_aggregate_over_empty_input(self, db):
+        assert db.query("SELECT COUNT(*) FROM tokens WHERE tid = 99").rows == [(0,)]
+        assert db.query("SELECT SUM(tid) FROM tokens WHERE tid = 99").rows == [(None,)]
+
+    def test_having(self, db):
+        result = db.query(
+            "SELECT tid, COUNT(*) FROM tokens GROUP BY tid HAVING COUNT(*) >= 2 ORDER BY tid"
+        )
+        assert result.rows == [(1, 3), (2, 2)]
+
+    def test_having_with_expression(self, db):
+        result = db.query(
+            "SELECT tid FROM tokens GROUP BY tid HAVING COUNT(*) * 2 > 5"
+        )
+        assert result.rows == [(1,)]
+
+    def test_expression_around_aggregate(self, db):
+        result = db.query(
+            "SELECT tid, COUNT(*) * 1.0 / 2 AS half FROM tokens GROUP BY tid ORDER BY tid"
+        )
+        assert result.rows[0] == (1, 1.5)
+
+    def test_aggregate_of_expression(self, db):
+        db.execute("CREATE TABLE pairs (x INTEGER, y INTEGER)")
+        db.insert_rows("pairs", [(1, 2), (3, 4)])
+        assert db.query("SELECT SUM(x * y) FROM pairs").rows == [(14,)]
+
+    def test_aggregate_outside_group_context_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT tid FROM tokens WHERE COUNT(*) > 1")
+
+    def test_scalar_functions_inside_aggregates(self, db):
+        db.execute("CREATE TABLE values_table (v REAL)")
+        db.insert_rows("values_table", [(1.0,), (2.718281828,)])
+        result = db.query("SELECT SUM(LOG(v)) FROM values_table")
+        assert result.rows[0][0] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSetOperations:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.query(
+            "SELECT token FROM query_tokens UNION ALL SELECT token FROM query_tokens"
+        )
+        assert len(result.rows) == 4
+
+    def test_union_removes_duplicates(self, db):
+        result = db.query(
+            "SELECT token FROM query_tokens UNION SELECT token FROM query_tokens"
+        )
+        assert len(result.rows) == 2
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT tid, token FROM tokens UNION SELECT token FROM query_tokens")
+
+    def test_insert_from_union(self, db):
+        db.execute("CREATE TABLE all_tokens (token TEXT)")
+        db.execute(
+            "INSERT INTO all_tokens (token) "
+            "SELECT token FROM tokens UNION SELECT token FROM query_tokens"
+        )
+        assert len(db.table("all_tokens")) == 4  # AB, BC, CD, XY
+
+
+class TestFunctionsAndUdfs:
+    def test_builtin_math(self, db):
+        row = db.query("SELECT LOG(EXP(1.0)), POWER(2, 10), SQRT(16), ABS(-3)").rows[0]
+        assert row[0] == pytest.approx(1.0)
+        assert row[1] == 1024
+        assert row[2] == 4
+        assert row[3] == 3
+
+    def test_builtin_strings(self, db):
+        row = db.query(
+            "SELECT UPPER('ab'), LOWER('AB'), LENGTH('abc'), SUBSTR('hello', 2, 3), "
+            "REPLACE('a b', ' ', '$'), REVERSE('abc')"
+        ).rows[0]
+        assert row == ("AB", "ab", 3, "ell", "a$b", "cba")
+
+    def test_null_propagation(self, db):
+        assert db.query("SELECT LOG(NULL)").rows == [(None,)]
+        assert db.query("SELECT COALESCE(NULL, 5)").rows == [(5,)]
+        assert db.query("SELECT IFNULL(NULL, 'x')").rows == [("x",)]
+
+    def test_unknown_function(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT NOSUCHFUNC(1)")
+
+    def test_udf_registration(self, db):
+        db.register_function("TRIPLE", lambda x: 3 * x)
+        assert db.query("SELECT TRIPLE(tid) FROM tokens WHERE token = 'XY'").rows == [(9,)]
+
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TABLE s (a INTEGER); INSERT INTO s (a) VALUES (1); SELECT a FROM s"
+        )
+        assert results[1] == 1
+        assert results[2].rows == [(1,)]

@@ -1,0 +1,272 @@
+"""Unit tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Insert,
+    IsNull,
+    Join,
+    Literal,
+    ScalarSubquery,
+    Select,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.dbengine.errors import ParseError
+from repro.dbengine.parser import parse_expression, parse_statement, parse_statements
+
+
+class TestExpressionParsing:
+    def test_literals(self):
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("4.5") == Literal(4.5)
+        assert parse_expression("'abc'") == Literal("abc")
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+
+    def test_column_references(self):
+        assert parse_expression("price") == ColumnRef("price")
+        assert parse_expression("t.price") == ColumnRef("price", table="t")
+
+    def test_arithmetic_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp)
+        assert expression.op == "+"
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op == "*"
+        assert expression.left.op == "+"
+
+    def test_unary_minus(self):
+        expression = parse_expression("-x")
+        assert isinstance(expression, UnaryOp)
+        assert expression.op == "-"
+
+    def test_comparison_and_boolean(self):
+        expression = parse_expression("a = 1 AND b > 2 OR c < 3")
+        assert expression.op == "OR"
+        assert expression.left.op == "AND"
+
+    def test_not_equal_normalized(self):
+        assert parse_expression("a != 1").op == "<>"
+        assert parse_expression("a <> 1").op == "<>"
+
+    def test_function_call(self):
+        expression = parse_expression("LOG(x)")
+        assert isinstance(expression, FunctionCall)
+        assert expression.name == "LOG"
+        assert expression.args == (ColumnRef("x"),)
+
+    def test_count_star(self):
+        expression = parse_expression("COUNT(*)")
+        assert isinstance(expression, FunctionCall)
+        assert isinstance(expression.args[0], Star)
+
+    def test_count_distinct(self):
+        expression = parse_expression("COUNT(DISTINCT t.x)")
+        assert expression.distinct is True
+
+    def test_in_list(self):
+        expression = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expression, InList)
+        assert len(expression.items) == 3
+
+    def test_not_in_subquery(self):
+        expression = parse_expression("x NOT IN (SELECT y FROM t)")
+        assert isinstance(expression, InSubquery)
+        assert expression.negated
+
+    def test_between(self):
+        expression = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expression, Between)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_like(self):
+        expression = parse_expression("name LIKE 'A%'")
+        assert expression.op == "LIKE"
+
+    def test_case_expression(self):
+        expression = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expression, CaseExpression)
+        assert len(expression.whens) == 1
+        assert expression.default == Literal("small")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")
+
+    def test_scalar_subquery(self):
+        expression = parse_expression("(SELECT COUNT(*) FROM t)")
+        assert isinstance(expression, ScalarSubquery)
+
+    def test_string_concatenation(self):
+        assert parse_expression("a || b").op == "||"
+
+
+class TestSelectParsing:
+    def test_minimal_select(self):
+        statement = parse_statement("SELECT 1")
+        assert isinstance(statement, Select)
+        assert statement.core.sources == ()
+
+    def test_select_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert isinstance(statement.core.items[0].expression, Star)
+
+    def test_select_table_star(self):
+        statement = parse_statement("SELECT t.* FROM t")
+        assert statement.core.items[0].expression.table == "t"
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t")
+        assert statement.core.items[0].alias == "x"
+        assert statement.core.items[1].alias == "y"
+
+    def test_table_alias_forms(self):
+        statement = parse_statement("SELECT * FROM base AS b1, other o2")
+        first, second = statement.core.sources
+        assert first.alias == "b1"
+        assert second.alias == "o2"
+
+    def test_subquery_in_from_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM (SELECT 1)")
+
+    def test_subquery_in_from(self):
+        statement = parse_statement("SELECT * FROM (SELECT 1 AS x) sub")
+        assert isinstance(statement.core.sources[0], SubqueryRef)
+
+    def test_where_group_having(self):
+        statement = parse_statement(
+            "SELECT tid, COUNT(*) FROM tok WHERE token = 'A' "
+            "GROUP BY tid HAVING COUNT(*) > 2"
+        )
+        core = statement.core
+        assert core.where is not None
+        assert len(core.group_by) == 1
+        assert core.having is not None
+
+    def test_explicit_join(self):
+        statement = parse_statement(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        source = statement.core.sources[0]
+        assert isinstance(source, Join)
+        assert source.kind == "LEFT"
+        assert isinstance(source.left, Join)
+        assert source.left.kind == "INNER"
+
+    def test_union_all(self):
+        statement = parse_statement("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3")
+        assert len(statement.cores) == 3
+        assert statement.union_alls == (True, False)
+
+    def test_order_by_and_limit(self):
+        statement = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert statement.order_by[0].descending is True
+        assert statement.order_by[1].descending is False
+        assert statement.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").core.distinct is True
+
+    def test_trailing_semicolon_allowed(self):
+        assert isinstance(parse_statement("SELECT 1;"), Select)
+
+    def test_garbage_after_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE base_tokens (tid INTEGER, token VARCHAR(255))"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.columns[0] == ("tid", "INTEGER")
+        assert statement.columns[1][0] == "token"
+
+    def test_create_table_if_not_exists(self):
+        statement = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert statement.if_not_exists
+
+    def test_drop_table(self):
+        statement = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTable)
+        assert statement.if_exists
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, Delete)
+        assert statement.where is not None
+
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert len(statement.values) == 2
+        assert statement.columns == ("a", "b")
+
+    def test_insert_select(self):
+        statement = parse_statement(
+            "INSERT INTO scores (tid, score) SELECT tid, COUNT(*) FROM t GROUP BY tid"
+        )
+        assert statement.select is not None
+        assert statement.values == ()
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE t SET a = 1")
+
+    def test_parse_script(self):
+        statements = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t (a) VALUES (1); SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+        assert isinstance(statements[0], CreateTable)
+        assert isinstance(statements[1], Insert)
+        assert isinstance(statements[2], Select)
+
+    def test_paper_figure_4_1_parses(self):
+        """The IntersectSize query of Figure 4.1 must be accepted verbatim."""
+        statement = parse_statement(
+            "INSERT INTO INTERSECT_SCORES (tid, score) "
+            "SELECT R1.tid, COUNT(*) "
+            "FROM BASE_TOKENS R1, QUERY_TOKENS R2 "
+            "WHERE R1.token = R2.token "
+            "GROUP BY R1.tid"
+        )
+        assert isinstance(statement, Insert)
+
+    def test_paper_figure_4_4_parses(self):
+        """The language-modeling query of Figure 4.4 must be accepted."""
+        statement = parse_statement(
+            "SELECT B1.tid2, EXP(B1.score + B2.sumcompm) "
+            "FROM (SELECT P1.tid AS tid1, T2.tid AS tid2, "
+            "SUM(LOG(P1.pm)) - SUM(LOG(1.0 - P1.pm)) - SUM(LOG(P1.cfcs)) AS score "
+            "FROM BASE_PM P1, QUERY_TOKENS T2 "
+            "WHERE P1.token = T2.token "
+            "GROUP BY P1.tid, T2.tid) B1, BASE_SUMCOMPMBASE B2 "
+            "WHERE B1.tid1 = B2.tid"
+        )
+        assert isinstance(statement, Select)

@@ -1,0 +1,99 @@
+"""Unit tests for the declarative token-table helpers (Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.declarative.tokens import (
+    load_base_table,
+    load_base_tokens_python,
+    load_base_tokens_sql,
+    load_query_tokens,
+    qgram_tokenization_sql,
+    sql_escape,
+)
+from repro.text.tokenize import QgramTokenizer, WordTokenizer, qgrams
+
+
+class TestSqlEscape:
+    def test_plain_string_unchanged(self):
+        assert sql_escape("Morgan Stanley") == "Morgan Stanley"
+
+    def test_single_quote_doubled(self):
+        assert sql_escape("O'Reilly & Sons") == "O''Reilly & Sons"
+
+    def test_escaped_literal_round_trips_through_sql(self):
+        backend = MemoryBackend()
+        literal = sql_escape("It's a 'test'")
+        rows = backend.query(f"SELECT '{literal}'")
+        assert rows == [("It's a 'test'",)]
+
+
+class TestBaseTables:
+    def test_load_base_table(self):
+        backend = MemoryBackend()
+        load_base_table(backend, ["a", "b"])
+        assert backend.query("SELECT tid, string FROM BASE_TABLE ORDER BY tid") == [
+            (0, "a"),
+            (1, "b"),
+        ]
+
+    def test_load_base_table_is_idempotent(self):
+        backend = MemoryBackend()
+        load_base_table(backend, ["a"])
+        load_base_table(backend, ["x", "y"])
+        assert backend.row_count("BASE_TABLE") == 2
+
+    def test_python_tokenization_matches_tokenizer(self):
+        backend = MemoryBackend()
+        strings = ["db lab", "data cleaning"]
+        load_base_table(backend, strings)
+        load_base_tokens_python(backend, strings, QgramTokenizer(q=2))
+        rows = backend.query("SELECT tid, token FROM BASE_TOKENS")
+        expected = [
+            (tid, token)
+            for tid, text in enumerate(strings)
+            for token in qgrams(text, 2)
+        ]
+        assert sorted(rows) == sorted(expected)
+
+    def test_word_tokenization_supported(self):
+        backend = MemoryBackend()
+        strings = ["Morgan Stanley"]
+        load_base_table(backend, strings)
+        load_base_tokens_python(backend, strings, WordTokenizer())
+        rows = backend.query("SELECT token FROM BASE_TOKENS")
+        assert sorted(row[0] for row in rows) == ["MORGAN", "STANLEY"]
+
+    def test_query_tokens(self):
+        backend = MemoryBackend()
+        load_query_tokens(backend, "db lab", QgramTokenizer(q=2))
+        assert backend.row_count("QUERY_TOKENS") == len(qgrams("db lab", 2))
+
+
+class TestSqlTokenization:
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_sql_generation_matches_python(self, q):
+        strings = ["db lab", "Data cleaning", "a"]
+        for backend in (MemoryBackend(), SQLiteBackend()):
+            load_base_table(backend, strings)
+            load_base_tokens_sql(backend, strings, q)
+            sql_rows = sorted(backend.query("SELECT tid, token FROM BASE_TOKENS"))
+            expected = sorted(
+                (tid, token)
+                for tid, text in enumerate(strings)
+                for token in qgrams(text, q)
+            )
+            assert sql_rows == expected
+
+    def test_statement_text_mentions_integers_join(self):
+        statement = qgram_tokenization_sql(2, "BASE_TABLE", "BASE_TOKENS")
+        assert "INTEGERS" in statement
+        assert "SUBSTR" in statement
+        assert "BASE_TOKENS" in statement
+
+    def test_statement_without_tid(self):
+        statement = qgram_tokenization_sql(2, "QUERY_TABLE", "QUERY_TOKENS", include_tid=False)
+        assert "(token)" in statement
+        assert "tid," not in statement

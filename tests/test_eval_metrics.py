@@ -1,0 +1,132 @@
+"""Unit and property tests for the accuracy metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_precision,
+    max_f1,
+    mean_average_precision,
+    mean_max_f1,
+    precision_at,
+    precision_recall_curve,
+    recall_at,
+)
+
+rankings = st.lists(st.integers(0, 30), min_size=0, max_size=20, unique=True)
+relevants = st.sets(st.integers(0, 30), min_size=1, max_size=10)
+
+
+class TestPrecisionRecall:
+    def test_precision_at_rank(self):
+        ranking = [1, 9, 2, 8]
+        relevant = {1, 2, 3}
+        assert precision_at(ranking, relevant, 1) == 1.0
+        assert precision_at(ranking, relevant, 2) == 0.5
+        assert precision_at(ranking, relevant, 3) == pytest.approx(2 / 3)
+
+    def test_recall_at_rank(self):
+        ranking = [1, 9, 2, 8]
+        relevant = {1, 2, 3}
+        assert recall_at(ranking, relevant, 1) == pytest.approx(1 / 3)
+        assert recall_at(ranking, relevant, 4) == pytest.approx(2 / 3)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            precision_at([1], {1}, 0)
+        with pytest.raises(ValueError):
+            recall_at([1], {1}, -1)
+
+    def test_curve_shape(self):
+        curve = precision_recall_curve([1, 9, 2], {1, 2})
+        assert curve == [
+            (1.0, 0.5),
+            (0.5, 0.5),
+            (pytest.approx(2 / 3), 1.0),
+        ]
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 3], {1, 2, 3}) == 1.0
+
+    def test_worst_ranking(self):
+        assert average_precision([9, 8, 7], {1, 2}) == 0.0
+
+    def test_partial_retrieval_penalized(self):
+        # only one of two relevant records retrieved, at rank 1
+        assert average_precision([1, 9], {1, 2}) == 0.5
+
+    def test_textbook_example(self):
+        ranking = [5, 1, 9, 2]
+        relevant = {1, 2}
+        # hits at ranks 2 (precision 1/2) and 4 (precision 2/4)
+        assert average_precision(ranking, relevant) == pytest.approx((0.5 + 0.5) / 2)
+
+    def test_empty_relevant_set(self):
+        assert average_precision([1, 2], set()) == 0.0
+
+    def test_empty_ranking(self):
+        assert average_precision([], {1}) == 0.0
+
+    @given(rankings, relevants)
+    def test_range(self, ranking, relevant):
+        assert 0.0 <= average_precision(ranking, relevant) <= 1.0
+
+    @given(relevants)
+    def test_perfect_prefix_property(self, relevant):
+        ranking = sorted(relevant)
+        assert average_precision(ranking, relevant) == pytest.approx(1.0)
+
+    @given(rankings, relevants)
+    @settings(max_examples=60)
+    def test_prepending_irrelevant_never_helps(self, ranking, relevant):
+        prefixed = [99] + ranking  # 99 is outside the relevant universe
+        assert average_precision(prefixed, relevant) <= average_precision(ranking, relevant) + 1e-12
+
+
+class TestMaxF1:
+    def test_perfect(self):
+        assert max_f1([1, 2], {1, 2}) == 1.0
+
+    def test_zero_when_nothing_relevant_retrieved(self):
+        assert max_f1([8, 9], {1}) == 0.0
+
+    def test_intermediate(self):
+        # Best prefix is [1]: precision 1, recall 0.5 -> F1 = 2/3
+        assert max_f1([1, 9, 8], {1, 2}) == pytest.approx(2 / 3)
+
+    @given(rankings, relevants)
+    def test_range(self, ranking, relevant):
+        assert 0.0 <= max_f1(ranking, relevant) <= 1.0
+
+    @given(rankings, relevants)
+    @settings(max_examples=60)
+    def test_at_least_any_prefix_f1(self, ranking, relevant):
+        best = max_f1(ranking, relevant)
+        for precision, recall in precision_recall_curve(ranking, relevant):
+            if precision + recall:
+                assert best >= 2 * precision * recall / (precision + recall) - 1e-12
+
+
+class TestMeans:
+    def test_mean_average_precision(self):
+        value = mean_average_precision([[1], [9]], [{1}, {1}])
+        assert value == pytest.approx(0.5)
+
+    def test_mean_max_f1(self):
+        value = mean_max_f1([[1], [9]], [{1}, {1}])
+        assert value == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([[1]], [{1}, {2}])
+        with pytest.raises(ValueError):
+            mean_max_f1([[1], [2]], [{1}])
+
+    def test_empty_workload(self):
+        assert mean_average_precision([], []) == 0.0
+        assert mean_max_f1([], []) == 0.0

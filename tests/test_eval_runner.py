@@ -1,0 +1,143 @@
+"""Unit tests for the experiment runner, timing harness and pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import BM25, Jaccard
+from repro.eval.pruning import IdfPruner, PrunedTokenizer, prune_rate_threshold
+from repro.eval.runner import AccuracyResult, ExperimentRunner
+from repro.eval.timing import time_preprocessing, time_queries
+from repro.text.tokenize import QgramTokenizer
+
+
+class TestExperimentRunner:
+    def test_evaluate_by_name(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        result = runner.evaluate("bm25", num_queries=20)
+        assert isinstance(result, AccuracyResult)
+        assert result.predicate_name == "BM25"
+        assert result.dataset_name == "small"
+        assert result.num_queries == 20
+        assert 0.0 <= result.mean_average_precision <= 1.0
+        assert 0.0 <= result.mean_max_f1 <= 1.0
+
+    def test_evaluate_reuses_fitted_predicate(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        predicate = BM25().fit(small_dataset.strings)
+        result = runner.evaluate(predicate, num_queries=10)
+        assert result.num_queries == 10
+
+    def test_keep_outcomes(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        result = runner.evaluate("jaccard", num_queries=5, keep_outcomes=True)
+        assert len(result.outcomes) == 5
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.average_precision <= 1.0
+            assert outcome.num_relevant >= 1
+
+    def test_workload_is_deterministic(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        assert runner.query_workload(15, seed=3) == runner.query_workload(15, seed=3)
+        assert runner.query_workload(15, seed=3) != runner.query_workload(15, seed=4)
+
+    def test_evaluate_many(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        results = runner.evaluate_many(["jaccard", "bm25"], num_queries=10)
+        assert [r.predicate_name for r in results] == ["Jaccard", "BM25"]
+
+    def test_weighted_predicate_beats_unweighted_on_dirty_data(self, small_dataset):
+        """The headline finding: BM25 is at least as accurate as plain Jaccard."""
+        runner = ExperimentRunner(small_dataset, "small")
+        jaccard = runner.evaluate("jaccard", num_queries=40)
+        bm25 = runner.evaluate("bm25", num_queries=40)
+        assert bm25.mean_average_precision >= jaccard.mean_average_precision - 0.02
+
+    def test_summary_row(self, small_dataset):
+        runner = ExperimentRunner(small_dataset, "small")
+        row = runner.evaluate("jaccard", num_queries=5).summary_row()
+        assert set(row) == {"predicate", "dataset", "MAP", "maxF1", "queries"}
+
+
+class TestTiming:
+    def test_preprocessing_phases(self, small_dataset):
+        timing = time_preprocessing("bm25", small_dataset.strings)
+        assert timing.predicate_name == "BM25"
+        assert timing.num_tuples == len(small_dataset)
+        assert timing.tokenization_seconds >= 0.0
+        assert timing.weights_seconds >= 0.0
+        assert timing.total_seconds == pytest.approx(
+            timing.tokenization_seconds + timing.weights_seconds
+        )
+
+    def test_query_timing(self, small_dataset):
+        queries = [small_dataset.strings[i] for i in range(10)]
+        timing = time_queries("jaccard", small_dataset.strings, queries)
+        assert timing.num_queries == 10
+        assert timing.total_seconds > 0.0
+        assert timing.average_seconds == pytest.approx(timing.total_seconds / 10)
+        assert timing.average_milliseconds == pytest.approx(timing.average_seconds * 1000)
+
+    def test_query_timing_reuses_fitted_predicate(self, small_dataset):
+        predicate = Jaccard().fit(small_dataset.strings)
+        timing = time_queries(predicate, small_dataset.strings, ["Morgan"])
+        assert timing.num_queries == 1
+
+
+class TestPruning:
+    def test_threshold_formula(self):
+        assert prune_rate_threshold([1.0, 3.0], 0.5) == 2.0
+        assert prune_rate_threshold([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            prune_rate_threshold([1.0], 2.0)
+
+    def test_pruner_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            IdfPruner(0.3).pruned_tokenizer()
+
+    def test_rate_zero_prunes_nothing(self, small_dataset):
+        pruner = IdfPruner(0.0).fit(small_dataset.strings)
+        assert pruner.pruned_tokens == set()
+        assert pruner.retained_fraction == 1.0
+
+    def test_rate_one_keeps_only_top_idf(self, small_dataset):
+        pruner = IdfPruner(1.0).fit(small_dataset.strings)
+        assert pruner.retained_fraction < 0.5
+
+    def test_moderate_rate_drops_frequent_tokens(self, small_dataset):
+        pruner = IdfPruner(0.3, tokenizer=QgramTokenizer(q=2)).fit(small_dataset.strings)
+        idf = pruner.idf_table()
+        for token in pruner.pruned_tokens:
+            assert idf[token] < pruner.threshold
+
+    def test_pruned_tokenizer_filters(self, small_dataset):
+        pruner = IdfPruner(0.3).fit(small_dataset.strings)
+        tokenizer = pruner.pruned_tokenizer()
+        assert isinstance(tokenizer, PrunedTokenizer)
+        tokens = tokenizer.tokenize(small_dataset.strings[0])
+        assert not set(tokens) & pruner.pruned_tokens
+        # attribute forwarding to the wrapped tokenizer
+        assert tokenizer.q == 2
+
+    def test_idf_histogram(self, small_dataset):
+        pruner = IdfPruner(0.3).fit(small_dataset.strings)
+        histogram = pruner.idf_histogram(num_bins=8)
+        assert len(histogram) == 8
+        assert sum(histogram) == pruner.vocabulary_size
+        with pytest.raises(ValueError):
+            pruner.idf_histogram(num_bins=0)
+
+    def test_apply_builds_pruned_predicate(self, small_dataset):
+        pruner = IdfPruner(0.3)
+        predicate = pruner.apply("jaccard", small_dataset.strings)
+        assert predicate.is_fitted
+        ranked = predicate.rank(small_dataset.strings[0])
+        assert ranked and ranked[0].score <= 1.0
+
+    def test_pruning_keeps_accuracy_reasonable(self, small_dataset):
+        """Moderate pruning must not destroy accuracy (paper section 5.6)."""
+        runner = ExperimentRunner(small_dataset, "small")
+        baseline = runner.evaluate("bm25", num_queries=30)
+        pruned_predicate = IdfPruner(0.2).apply("bm25", small_dataset.strings)
+        pruned = runner.evaluate(pruned_predicate, num_queries=30)
+        assert pruned.mean_average_precision >= baseline.mean_average_precision - 0.1

@@ -1,0 +1,97 @@
+"""Unit tests for the ASCII chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        chart = bar_chart({"BM25": 0.9, "Jaccard": 0.45}, width=10, title="MAP")
+        lines = chart.splitlines()
+        assert lines[0] == "MAP"
+        assert lines[1].startswith("BM25")
+        assert lines[1].count("#") == 10          # the maximum fills the width
+        assert lines[2].count("#") == 5           # half the maximum -> half the bars
+
+    def test_empty_values(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_negative_values_clamped(self):
+        chart = bar_chart({"a": -1.0, "b": 2.0}, width=4)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_zero_maximum(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1.0, "a much longer label": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGroupedBarChart:
+    def test_sections_per_group(self):
+        chart = grouped_bar_chart(
+            {"dirty": {"BM25": 0.8}, "low": {"BM25": 1.0}}, width=10, title="Figure 5.1"
+        )
+        assert "[dirty]" in chart
+        assert "[low]" in chart
+        assert chart.splitlines()[0] == "Figure 5.1"
+
+    def test_scaling_is_global_across_groups(self):
+        chart = grouped_bar_chart({"g1": {"a": 1.0}, "g2": {"a": 0.5}}, width=10)
+        lines = [line for line in chart.splitlines() if "#" in line]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_group(self):
+        chart = grouped_bar_chart({"g": {}})
+        assert "(no data)" in chart
+
+
+class TestLineChart:
+    def test_marks_and_axes(self):
+        chart = line_chart(
+            {"g1": [(0, 0.0), (10, 10.0)], "lm": [(0, 5.0), (10, 5.0)]},
+            width=20,
+            height=5,
+            title="scalability",
+        )
+        assert chart.splitlines()[0] == "scalability"
+        assert "G" in chart       # marks use the first letter, upper-cased
+        assert "L" in chart
+        assert "legend: G=g1, L=lm" in chart
+        assert "x: [0 .. 10]" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({})
+
+    def test_single_point(self):
+        chart = line_chart({"a": [(1.0, 2.0)]}, width=10, height=4)
+        assert "A" in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=1)
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, height=1)
+
+    def test_monotone_series_renders_monotone_marks(self):
+        chart = line_chart({"t": [(0, 0.0), (5, 5.0), (10, 10.0)]}, width=21, height=11)
+        rows = [line[1:] for line in chart.splitlines() if line.startswith("|")]
+        positions = {}
+        for row_index, row in enumerate(rows):
+            for column_index, char in enumerate(row):
+                if char == "T":
+                    positions[column_index] = row_index
+        columns = sorted(positions)
+        # larger x -> larger y -> smaller row index (higher on the plot)
+        assert positions[columns[0]] > positions[columns[-1]]

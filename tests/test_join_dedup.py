@@ -1,0 +1,156 @@
+"""Unit and integration tests for the approximate join and deduplication."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dedup import ClusteringQuality, Deduplicator, UnionFind
+from repro.core.join import ApproximateJoiner, JoinMatch
+from repro.core.predicates import Jaccard
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(4)
+        assert len(uf.groups()) == 4
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1) is True
+        assert uf.union(1, 2) is True
+        assert uf.union(0, 2) is False  # already connected
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_groups_partition_everything(self):
+        uf = UnionFind(6)
+        uf.union(0, 5)
+        uf.union(2, 3)
+        groups = uf.groups()
+        members = sorted(tid for group in groups.values() for tid in group)
+        assert members == list(range(6))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40))
+    @settings(max_examples=40)
+    def test_transitivity_property(self, edges):
+        uf = UnionFind(20)
+        for left, right in edges:
+            uf.union(left, right)
+        # connectivity is an equivalence relation: same-root pairs share groups
+        groups = uf.groups()
+        for root, members in groups.items():
+            for member in members:
+                assert uf.find(member) == root
+
+
+class TestApproximateJoiner:
+    def test_basic_join(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.4)
+        matches = joiner.join(["AT&T Incorporated"])
+        assert any(match.right_text == "AT&T Incorporated" for match in matches)
+        for match in matches:
+            assert isinstance(match, JoinMatch)
+            assert match.score >= 0.4
+            assert match.left_id == 0
+
+    def test_join_with_predicate_instance(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate=Jaccard(), threshold=0.3)
+        assert joiner.predicate.name == "Jaccard"
+
+    def test_kwargs_only_with_name(self, company_strings):
+        with pytest.raises(ValueError):
+            ApproximateJoiner(company_strings, predicate=Jaccard(), q=3)
+
+    def test_top_k_limits_matches_per_probe(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.1)
+        matches = joiner.join(["Beijing Hotel"], top_k=1)
+        assert len(matches) == 1
+        assert matches[0].right_text in ("Beijing Hotel", "Hotel Beijing")
+
+    def test_iter_join_streams(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.9)
+        streamed = list(joiner.iter_join(["Beijing Hotel", "nothing similar"]))
+        assert all(match.left_id == 0 for match in streamed)
+
+    def test_self_join_reports_each_pair_once(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.5)
+        pairs = {(match.left_id, match.right_id) for match in joiner.self_join()}
+        assert all(left < right for left, right in pairs)
+        # Beijing Hotel / Hotel Beijing are near-identical under q-grams.
+        assert (5, 7) in pairs
+
+    def test_self_join_identity_flag(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.99)
+        with_identity = joiner.self_join(include_identity=True)
+        assert any(match.left_id == match.right_id for match in with_identity)
+
+    def test_threshold_validation(self, company_strings):
+        with pytest.raises(ValueError):
+            ApproximateJoiner(company_strings, predicate="jaccard", threshold=-0.5)
+
+    def test_probe_relation_different_from_base(self, company_strings):
+        queries = ["Morgn Stanley Group", "Beijing Htoel"]
+        joiner = ApproximateJoiner(company_strings, predicate="bm25", threshold=0.0)
+        matches = joiner.join(queries, top_k=1)
+        assert len(matches) == 2
+        assert matches[0].right_id == 0
+        assert matches[1].right_id in (5, 7)
+
+
+class TestDeduplicator:
+    def test_clusters_partition_the_relation(self, company_strings):
+        dedup = Deduplicator(company_strings, predicate="jaccard", threshold=0.6)
+        clusters = dedup.clusters()
+        members = sorted(tid for cluster in clusters for tid in cluster.members)
+        assert members == list(range(len(company_strings)))
+
+    def test_known_duplicates_clustered_together(self, company_strings):
+        dedup = Deduplicator(company_strings, predicate="jaccard", threshold=0.6)
+        labels = dedup.assignments()
+        assert labels[5] == labels[7]          # Beijing Hotel / Hotel Beijing
+        assert labels[5] != labels[1]          # unrelated company
+
+    def test_representative_is_longest_member(self, company_strings):
+        dedup = Deduplicator(company_strings, predicate="jaccard", threshold=0.6)
+        for cluster in dedup.clusters():
+            assert cluster.representative == max(
+                (company_strings[tid] for tid in cluster.members), key=len
+            )
+
+    def test_high_threshold_yields_singletons(self, company_strings):
+        dedup = Deduplicator(company_strings, predicate="jaccard", threshold=0.999)
+        clusters = dedup.clusters()
+        # Only the q-gram-identical pair may merge; everything else is a singleton.
+        assert len(clusters) >= len(company_strings) - 1
+
+    def test_quality_against_ground_truth(self, small_dataset):
+        strings = small_dataset.strings[:150]
+        truth = small_dataset.cluster_ids[:150]
+        dedup = Deduplicator(strings, predicate="jaccard", threshold=0.55)
+        quality = dedup.quality(truth)
+        assert isinstance(quality, ClusteringQuality)
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+        assert quality.f1 > 0.3  # far better than random clustering
+        assert quality.num_true_pairs > 0
+
+    def test_quality_length_mismatch(self, company_strings):
+        dedup = Deduplicator(company_strings, predicate="jaccard")
+        with pytest.raises(ValueError):
+            dedup.quality([0, 1])
+
+    def test_threshold_tradeoff(self, small_dataset):
+        """Lower thresholds raise recall; higher thresholds raise precision."""
+        strings = small_dataset.strings[:120]
+        truth = small_dataset.cluster_ids[:120]
+        dedup = Deduplicator(strings, predicate="jaccard")
+        loose = dedup.quality(truth, threshold=0.35)
+        strict = dedup.quality(truth, threshold=0.8)
+        assert loose.recall >= strict.recall - 1e-9
+        assert strict.precision >= loose.precision - 0.05

@@ -1,0 +1,80 @@
+"""Unit tests for predicate/selector persistence."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import ApproximateSelector
+from repro.core.persistence import (
+    SnapshotError,
+    load_predicate,
+    load_selector,
+    save_predicate,
+    save_selector,
+)
+from repro.core.predicates import BM25, available_predicates, make_predicate
+
+
+class TestPredicateSnapshots:
+    def test_round_trip_preserves_rankings(self, tmp_path, company_strings):
+        predicate = BM25().fit(company_strings)
+        path = save_predicate(predicate, tmp_path / "bm25.bin")
+        restored = load_predicate(path)
+        query = "Morgn Stanley Group"
+        assert [s.tid for s in restored.rank(query)] == [s.tid for s in predicate.rank(query)]
+
+    def test_every_predicate_round_trips(self, tmp_path, company_strings):
+        for name in available_predicates():
+            predicate = make_predicate(name).fit(company_strings)
+            path = save_predicate(predicate, tmp_path / f"{name}.bin")
+            restored = load_predicate(path)
+            original_top = predicate.rank(company_strings[0], limit=1)
+            restored_top = restored.rank(company_strings[0], limit=1)
+            assert [s.tid for s in restored_top] == [s.tid for s in original_top], name
+
+    def test_unfitted_predicate_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            save_predicate(BM25(), tmp_path / "x.bin")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_predicate(tmp_path / "does-not-exist.bin")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.bin"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(SnapshotError):
+            load_predicate(path)
+
+    def test_wrong_payload_type(self, tmp_path, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="jaccard")
+        path = save_selector(selector, tmp_path / "selector.bin")
+        with pytest.raises(SnapshotError):
+            load_predicate(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.bin"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a snapshot"}, handle)
+        with pytest.raises(SnapshotError):
+            load_predicate(path)
+
+
+class TestSelectorSnapshots:
+    def test_round_trip(self, tmp_path, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="hmm")
+        path = save_selector(selector, tmp_path / "nested" / "selector.bin")
+        restored = load_selector(path)
+        assert restored.strings == selector.strings
+        query = "AT&T Incorporated"
+        assert [r.tid for r in restored.top_k(query, k=3)] == [
+            r.tid for r in selector.top_k(query, k=3)
+        ]
+
+    def test_wrong_kind(self, tmp_path, company_strings):
+        predicate = BM25().fit(company_strings)
+        path = save_predicate(predicate, tmp_path / "predicate.bin")
+        with pytest.raises(SnapshotError):
+            load_selector(path)

@@ -1,0 +1,129 @@
+"""Unit tests for the overlap predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import (
+    IntersectSize,
+    Jaccard,
+    WeightedJaccard,
+    WeightedMatch,
+)
+from repro.text.tokenize import QgramTokenizer, WordTokenizer
+
+strings_strategy = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=65, max_codepoint=90), min_size=1, max_size=12),
+    min_size=2,
+    max_size=8,
+)
+
+
+class TestIntersectSize:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            IntersectSize().rank("query")
+
+    def test_exact_count_with_word_tokens(self, company_strings):
+        predicate = IntersectSize(tokenizer=WordTokenizer()).fit(company_strings)
+        scores = dict(predicate.rank("Beijing Hotel"))
+        assert scores[5] == 2.0  # Beijing Hotel
+        assert scores[6] == 1.0  # Beijing Labs
+        assert scores[7] == 2.0  # Hotel Beijing (order ignored)
+
+    def test_identity_query_ranks_itself_first(self, company_strings):
+        predicate = IntersectSize().fit(company_strings)
+        assert predicate.rank(company_strings[0])[0].tid == 0
+
+    def test_score_for_non_candidate_is_zero(self, company_strings):
+        predicate = IntersectSize(tokenizer=WordTokenizer()).fit(company_strings)
+        assert predicate.score("Beijing Hotel", 3) == 0.0
+
+    def test_select_threshold(self, company_strings):
+        predicate = IntersectSize(tokenizer=WordTokenizer()).fit(company_strings)
+        results = predicate.select("Beijing Hotel", threshold=2.0)
+        assert {r.tid for r in results} == {5, 7}
+
+    def test_family(self):
+        assert IntersectSize.family == "overlap"
+
+
+class TestJaccard:
+    def test_identical_string_scores_one(self, company_strings):
+        predicate = Jaccard().fit(company_strings)
+        assert predicate.score(company_strings[3], 3) == pytest.approx(1.0)
+
+    def test_scores_in_unit_interval(self, company_strings):
+        predicate = Jaccard().fit(company_strings)
+        for scored in predicate.rank("Morgan Stanly Group"):
+            assert 0.0 <= scored.score <= 1.0
+
+    def test_word_level_jaccard_value(self, company_strings):
+        predicate = Jaccard(tokenizer=WordTokenizer()).fit(company_strings)
+        # "Beijing Hotel" vs "Beijing Labs": intersection 1, union 3.
+        assert predicate.score("Beijing Hotel", 6) == pytest.approx(1 / 3)
+
+    def test_abbreviation_weakness(self, company_strings):
+        """Unweighted overlap prefers IBM Incorporated over AT&T Inc. (paper 5.4)."""
+        predicate = Jaccard().fit(company_strings)
+        scores = dict(predicate.rank("AT&T Incorporated"))
+        assert scores[3] > scores[4]  # IBM Incorporated beats AT&T Inc.
+
+    @given(strings_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_self_similarity_is_maximal(self, strings):
+        predicate = Jaccard().fit(strings)
+        for tid, text in enumerate(strings):
+            ranked = predicate.rank(text)
+            top_score = ranked[0].score
+            assert predicate.score(text, tid) == pytest.approx(top_score)
+
+
+class TestWeightedMatch:
+    def test_weighting_scheme_validation(self):
+        with pytest.raises(ValueError):
+            WeightedMatch(weighting="bm25")
+
+    def test_rare_tokens_dominate(self, company_strings):
+        """Weighted overlap is robust to abbreviation errors (paper 5.4)."""
+        predicate = WeightedMatch(tokenizer=WordTokenizer()).fit(company_strings)
+        scores = dict(predicate.rank("AT&T Incorporated"))
+        assert scores[4] > scores[3]  # AT&T Inc. now beats IBM Incorporated
+
+    def test_rs_weights_default(self, company_strings):
+        predicate = WeightedMatch().fit(company_strings)
+        assert predicate.weighting == "rs"
+
+    def test_idf_variant(self, company_strings):
+        predicate = WeightedMatch(weighting="idf").fit(company_strings)
+        ranked = predicate.rank("Morgan Stanley Group Inc.")
+        assert ranked[0].tid == 0
+
+    def test_score_is_sum_of_common_weights(self, company_strings):
+        predicate = WeightedMatch(tokenizer=WordTokenizer()).fit(company_strings)
+        weights = predicate._weights
+        expected = weights["BEIJING"] + weights["HOTEL"]
+        assert predicate.score("Beijing Hotel", 5) == pytest.approx(expected)
+
+
+class TestWeightedJaccard:
+    def test_identity_scores_one(self, company_strings):
+        predicate = WeightedJaccard().fit(company_strings)
+        assert predicate.score(company_strings[1], 1) == pytest.approx(1.0)
+
+    def test_score_range(self, company_strings):
+        predicate = WeightedJaccard(tokenizer=WordTokenizer()).fit(company_strings)
+        for scored in predicate.rank("Morgan Stanley Group Inc."):
+            # RS weights can be negative for frequent tokens, so the score is
+            # not strictly bounded by 1; it must still rank the exact match first.
+            assert scored.score == predicate.score("Morgan Stanley Group Inc.", scored.tid)
+        assert predicate.rank("Morgan Stanley Group Inc.")[0].tid == 0
+
+    def test_more_selective_than_weighted_match(self, company_strings):
+        wj = WeightedJaccard(tokenizer=WordTokenizer()).fit(company_strings)
+        scores = dict(wj.rank("Beijing Hotel"))
+        # The full-overlap tuples (5 and 7) must beat the partial overlap (6).
+        assert scores[5] > scores[6]
+        assert scores[7] > scores[6]

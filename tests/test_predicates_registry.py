@@ -1,0 +1,127 @@
+"""Unit tests for the predicate registry and the selection API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ApproximateSelector, SelectionResult, available_predicates, make_predicate
+from repro.core.predicates import (
+    BM25,
+    GES,
+    HMM,
+    CosineTfIdf,
+    EditDistance,
+    GESApx,
+    GESJaccard,
+    IntersectSize,
+    Jaccard,
+    LanguageModeling,
+    Predicate,
+    SoftTFIDF,
+    WeightedJaccard,
+    WeightedMatch,
+)
+
+
+class TestRegistry:
+    def test_all_thirteen_predicates_registered(self):
+        assert len(available_predicates()) == 13
+
+    def test_make_each_predicate(self):
+        expected = {
+            "intersect": IntersectSize,
+            "jaccard": Jaccard,
+            "weighted_match": WeightedMatch,
+            "weighted_jaccard": WeightedJaccard,
+            "cosine": CosineTfIdf,
+            "bm25": BM25,
+            "lm": LanguageModeling,
+            "hmm": HMM,
+            "edit_distance": EditDistance,
+            "ges": GES,
+            "ges_jaccard": GESJaccard,
+            "ges_apx": GESApx,
+            "soft_tfidf": SoftTFIDF,
+        }
+        for name, cls in expected.items():
+            assert isinstance(make_predicate(name), cls)
+
+    def test_aliases(self):
+        assert isinstance(make_predicate("tf-idf"), CosineTfIdf)
+        assert isinstance(make_predicate("ED"), EditDistance)
+        assert isinstance(make_predicate("WeightedJaccard"), WeightedJaccard)
+        assert isinstance(make_predicate("SoftTFIDF"), SoftTFIDF)
+
+    def test_kwargs_forwarded(self):
+        predicate = make_predicate("ges_jaccard", threshold=0.6)
+        assert predicate.threshold == 0.6
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_predicate("soundex")
+
+    def test_every_predicate_declares_its_family(self):
+        families = {
+            make_predicate(name).family for name in available_predicates()
+        }
+        assert families == {
+            "overlap",
+            "aggregate-weighted",
+            "language-modeling",
+            "edit-based",
+            "combination",
+        }
+
+
+class TestApproximateSelector:
+    def test_selector_with_name(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="bm25")
+        results = selector.top_k("Morgn Stanley Inc", k=1)
+        assert results[0].tid == 0
+        assert isinstance(results[0], SelectionResult)
+        assert results[0].text == company_strings[0]
+
+    def test_selector_with_instance(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate=Jaccard())
+        assert selector.predicate.name == "Jaccard"
+
+    def test_kwargs_only_with_name(self, company_strings):
+        with pytest.raises(ValueError):
+            ApproximateSelector(company_strings, predicate=Jaccard(), q=3)
+
+    def test_select_threshold(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="jaccard")
+        results = selector.select("Beijing Hotel", threshold=0.5)
+        assert {r.tid for r in results} >= {5}
+        assert all(r.score >= 0.5 for r in results)
+
+    def test_rank_returns_texts(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="cosine")
+        for result in selector.rank("AT&T Inc."):
+            assert result.text == company_strings[result.tid]
+
+    def test_top_k_negative(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="jaccard")
+        with pytest.raises(ValueError):
+            selector.top_k("x", k=-1)
+
+    def test_score(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="jaccard")
+        assert selector.score(company_strings[2], 2) == pytest.approx(1.0)
+
+    def test_len_and_strings(self, company_strings):
+        selector = ApproximateSelector(company_strings, predicate="intersect")
+        assert len(selector) == len(company_strings)
+        assert selector.strings == list(company_strings)
+
+    def test_unfitted_predicate_rejected_at_query(self):
+        predicate = Jaccard()
+        with pytest.raises(RuntimeError):
+            predicate.rank("x")
+
+    def test_every_registered_predicate_finds_exact_duplicate(self, company_strings):
+        """End-to-end sanity: each predicate ranks an exact copy first."""
+        for name in available_predicates():
+            selector = ApproximateSelector(company_strings, predicate=name)
+            top = selector.top_k(company_strings[0], k=1)
+            assert top and top[0].tid == 0, name

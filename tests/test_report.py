@@ -1,0 +1,90 @@
+"""Unit tests for the report/export helpers."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.eval.report import ResultSink, markdown_table, text_table, to_csv
+
+
+class TestTextTable:
+    def test_alignment_and_widths(self):
+        table = text_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("-----")
+        assert lines[2].startswith("alpha")
+        # right alignment of the numeric column
+        assert lines[3].endswith("22")
+
+    def test_float_formatting(self):
+        table = text_table(["x"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in table
+
+    def test_none_rendered_empty(self):
+        table = text_table(["a", "b"], [["x", None]])
+        assert table.splitlines()[2].rstrip().endswith("x")
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["a", "b"], [[1, 2]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestCsv:
+    def test_round_trip(self):
+        text = to_csv(["a", "b"], [[1, "x,y"], [None, "z"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "x,y"]
+        assert rows[2] == ["", "z"]
+
+
+class TestResultSink:
+    def test_add_and_columns_union(self):
+        sink = ResultSink("demo")
+        sink.add({"predicate": "bm25", "MAP": 0.9})
+        sink.add({"predicate": "jaccard", "MAP": 0.8, "time": 1.5})
+        assert sink.columns == ["predicate", "MAP", "time"]
+        assert len(sink) == 2
+        assert sink.rows[0] == ["bm25", 0.9, None]
+
+    def test_extend(self):
+        sink = ResultSink()
+        sink.extend([{"a": 1}, {"a": 2}])
+        assert len(sink) == 2
+
+    def test_to_text_includes_title(self):
+        sink = ResultSink("My title")
+        sink.add({"a": 1})
+        assert sink.to_text().startswith("My title")
+
+    def test_to_markdown(self):
+        sink = ResultSink("T")
+        sink.add({"a": 1})
+        markdown = sink.to_markdown()
+        assert markdown.startswith("### T")
+        assert "| a |" in markdown
+
+    def test_save_dispatches_on_extension(self, tmp_path):
+        sink = ResultSink("T")
+        sink.add({"a": 1, "b": 2.5})
+        csv_path = sink.save(tmp_path / "out.csv")
+        md_path = sink.save(tmp_path / "out.md")
+        txt_path = sink.save(tmp_path / "out.txt")
+        assert csv_path.read_text().startswith("a,b")
+        assert md_path.read_text().startswith("### T")
+        assert txt_path.read_text().startswith("T")
+
+    def test_save_creates_directories(self, tmp_path):
+        sink = ResultSink()
+        sink.add({"a": 1})
+        path = sink.save(tmp_path / "nested" / "dir" / "out.txt")
+        assert path.exists()

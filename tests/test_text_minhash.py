@@ -1,0 +1,78 @@
+"""Unit and property tests for min-wise independent permutations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.minhash import MinHasher, minhash_similarity
+from repro.text.tokenize import qgrams
+
+token_sets = st.sets(st.text(min_size=1, max_size=4), min_size=1, max_size=15)
+
+
+class TestMinHasher:
+    def test_requires_positive_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    def test_signature_length(self):
+        hasher = MinHasher(num_hashes=7)
+        assert len(hasher.signature({"a", "b"})) == 7
+
+    def test_deterministic_for_fixed_seed(self):
+        first = MinHasher(num_hashes=5, seed=1).signature({"a", "b", "c"})
+        second = MinHasher(num_hashes=5, seed=1).signature({"c", "b", "a"})
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = MinHasher(num_hashes=5, seed=1).signature({"a", "b", "c"})
+        second = MinHasher(num_hashes=5, seed=2).signature({"a", "b", "c"})
+        assert first != second
+
+    def test_identical_sets_have_similarity_one(self):
+        hasher = MinHasher(num_hashes=10)
+        assert hasher.similarity({"x", "y"}, {"y", "x"}) == 1.0
+
+    def test_disjoint_sets_have_low_similarity(self):
+        hasher = MinHasher(num_hashes=32)
+        similarity = hasher.similarity({"aa", "bb", "cc"}, {"dd", "ee", "ff"})
+        assert similarity <= 0.25
+
+    def test_empty_set_similarity_is_zero(self):
+        hasher = MinHasher(num_hashes=5)
+        assert hasher.similarity(set(), {"a"}) == 0.0
+        assert hasher.similarity(set(), set()) == 0.0
+
+    def test_duplicates_ignored(self):
+        hasher = MinHasher(num_hashes=5)
+        assert hasher.signature(["a", "a", "b"]) == hasher.signature(["a", "b"])
+
+    @given(token_sets, token_sets)
+    @settings(max_examples=50)
+    def test_estimate_tracks_true_jaccard(self, left, right):
+        """With enough hash functions the estimate is close to exact Jaccard."""
+        hasher = MinHasher(num_hashes=128)
+        estimate = hasher.similarity(left, right)
+        true_jaccard = len(left & right) / len(left | right)
+        assert abs(estimate - true_jaccard) <= 0.35
+
+    def test_estimates_word_qgram_similarity(self):
+        hasher = MinHasher(num_hashes=64)
+        similar = hasher.similarity(qgrams("stanley", 2), qgrams("stanley", 2))
+        dissimilar = hasher.similarity(qgrams("stanley", 2), qgrams("valley", 2))
+        assert similar == 1.0
+        assert dissimilar < similar
+
+
+class TestMinhashSimilarity:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            minhash_similarity((1, 2), (1,))
+
+    def test_empty_signatures(self):
+        assert minhash_similarity((), ()) == 0.0
+
+    def test_fraction_of_matches(self):
+        assert minhash_similarity((1, 2, 3, 4), (1, 9, 3, 8)) == 0.5

@@ -1,0 +1,184 @@
+"""Unit and property tests for character-level string similarities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.strings import (
+    edit_similarity,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_within,
+    ngram_overlap,
+)
+
+short_text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20)
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein("stanley", "stanley") == 0
+
+    def test_empty_strings(self):
+        assert levenshtein("", "") == 0
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("morgan", "morgen") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein("morgan", "morgans") == 1
+
+    def test_single_deletion(self):
+        assert levenshtein("morgan", "organ") == 1
+
+    def test_completely_different(self):
+        assert levenshtein("abc", "xyz") == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestLevenshteinWithin:
+    def test_within_budget_matches_exact(self):
+        assert levenshtein_within("kitten", "sitting", 3) == 3
+
+    def test_over_budget_returns_none(self):
+        assert levenshtein_within("kitten", "sitting", 2) is None
+
+    def test_negative_budget(self):
+        assert levenshtein_within("a", "b", -1) is None
+
+    def test_equal_strings_zero_budget(self):
+        assert levenshtein_within("same", "same", 0) == 0
+
+    def test_length_difference_prunes(self):
+        assert levenshtein_within("a", "abcdef", 2) is None
+
+    def test_empty_string(self):
+        assert levenshtein_within("", "ab", 2) == 2
+        assert levenshtein_within("", "abc", 2) is None
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=25))
+    @settings(max_examples=100)
+    def test_agrees_with_exact(self, a, b, budget):
+        exact = levenshtein(a, b)
+        banded = levenshtein_within(a, b, budget)
+        if exact <= budget:
+            assert banded == exact
+        else:
+            assert banded is None
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("stanley", "stanley") == 1.0
+
+    def test_empty_pair(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_against_empty(self):
+        assert edit_similarity("abc", "") == 0.0
+
+    def test_normalization(self):
+        # one edit over max length 7
+        assert edit_similarity("stanley", "stanlee") == pytest.approx(1 - 1 / 7)
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert edit_similarity(a, b) == pytest.approx(edit_similarity(b, a))
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_martha(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_classic_dixon(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.767, abs=1e-3)
+
+    def test_no_match(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_range_and_symmetry(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler("stanley", "stanley") == 1.0
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("abcd", "xbcd") == pytest.approx(jaro("abcd", "xbcd"))
+
+    def test_prefix_capped_at_four(self):
+        # Only the first four characters of the shared prefix matter.
+        long_prefix = jaro_winkler("abcdefgh", "abcdefgx")
+        explicit = jaro("abcdefgh", "abcdefgx")
+        assert long_prefix == pytest.approx(explicit + 4 * 0.1 * (1 - explicit))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+class TestNgramOverlap:
+    def test_identical(self):
+        assert ngram_overlap("stanley", "stanley") == 1.0
+
+    def test_disjoint(self):
+        assert ngram_overlap("aaaa", "bbbb") == 0.0
+
+    def test_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            ngram_overlap("ab", "cd", n=0)
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= ngram_overlap(a, b) <= 1.0

@@ -1,0 +1,170 @@
+"""Unit tests for collection statistics and weighting schemes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.weights import (
+    BM25Parameters,
+    CollectionStatistics,
+    bm25_document_weights,
+    bm25_query_weights,
+    idf_weights,
+    rs_weights,
+    tfidf_weights,
+)
+
+
+@pytest.fixture()
+def stats() -> CollectionStatistics:
+    return CollectionStatistics(
+        [
+            ["A", "B", "B"],
+            ["A", "C"],
+            ["D"],
+            ["A", "B", "C", "D"],
+        ]
+    )
+
+
+class TestCollectionStatistics:
+    def test_num_tuples(self, stats):
+        assert stats.num_tuples == 4
+        assert len(stats) == 4
+
+    def test_collection_size(self, stats):
+        assert stats.collection_size == 10
+
+    def test_average_length(self, stats):
+        assert stats.average_length == pytest.approx(2.5)
+
+    def test_lengths(self, stats):
+        assert stats.lengths() == [3, 2, 1, 4]
+        assert stats.length(0) == 3
+
+    def test_term_frequency(self, stats):
+        assert stats.term_frequency(0, "B") == 2
+        assert stats.term_frequency(0, "Z") == 0
+
+    def test_document_frequency(self, stats):
+        assert stats.document_frequency("A") == 3
+        assert stats.document_frequency("D") == 2
+        assert stats.document_frequency("Z") == 0
+
+    def test_collection_frequency(self, stats):
+        assert stats.collection_frequency("B") == 3
+        assert stats.collection_frequency("Z") == 0
+
+    def test_tokens_roundtrip(self, stats):
+        assert stats.tokens(1) == ["A", "C"]
+
+    def test_vocabulary(self, stats):
+        assert set(stats.vocabulary) == {"A", "B", "C", "D"}
+
+    def test_idf_definition(self, stats):
+        assert stats.idf("A") == pytest.approx(math.log(4) - math.log(3))
+        assert stats.idf("D") == pytest.approx(math.log(4) - math.log(2))
+
+    def test_idf_unseen_token_gets_average(self, stats):
+        assert stats.idf("Z") == pytest.approx(stats.average_idf())
+
+    def test_rs_weight_definition(self, stats):
+        expected = math.log(4 - 3 + 0.5) - math.log(3 + 0.5)
+        assert stats.rs_weight("A") == pytest.approx(expected)
+
+    def test_rs_weight_is_negative_for_very_frequent_tokens(self, stats):
+        # A appears in 3 of 4 tuples -> RS weight below zero.
+        assert stats.rs_weight("A") < 0
+
+    def test_rs_more_selective_than_idf_ordering(self, stats):
+        # Both schemes must rank the rare token above the frequent one.
+        assert stats.idf("D") > stats.idf("A")
+        assert stats.rs_weight("D") > stats.rs_weight("A")
+
+    def test_tables(self, stats):
+        idf_table = stats.idf_table()
+        rs_table = stats.rs_table()
+        assert set(idf_table) == set(rs_table) == {"A", "B", "C", "D"}
+
+    def test_empty_collection(self):
+        empty = CollectionStatistics([])
+        assert empty.num_tuples == 0
+        assert empty.average_length == 0.0
+        assert empty.average_idf() == 0.0
+
+
+class TestWeightHelpers:
+    def test_idf_weights_for_tokens(self, stats):
+        weights = idf_weights(stats, ["A", "Z"])
+        assert weights["A"] == pytest.approx(stats.idf("A"))
+        assert weights["Z"] == pytest.approx(stats.average_idf())
+
+    def test_rs_weights_for_tokens(self, stats):
+        weights = rs_weights(stats, ["D"])
+        assert weights["D"] == pytest.approx(stats.rs_weight("D"))
+
+    def test_tfidf_weights_are_normalized(self):
+        weights = tfidf_weights({"A": 2, "B": 1}, {"A": 1.0, "B": 2.0})
+        norm = math.sqrt(sum(value * value for value in weights.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_tfidf_weights_zero_norm(self):
+        weights = tfidf_weights({"A": 1}, {"A": 0.0})
+        assert weights == {"A": 0.0}
+
+    def test_tfidf_default_idf_used_for_unknown(self):
+        weights = tfidf_weights({"A": 1, "B": 1}, {"A": 1.0}, default_idf=1.0)
+        assert weights["A"] == pytest.approx(weights["B"])
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=3), st.integers(1, 5), min_size=1, max_size=6))
+    def test_tfidf_norm_property(self, tf):
+        idf = {token: 1.0 for token in tf}
+        weights = tfidf_weights(tf, idf)
+        norm = math.sqrt(sum(value * value for value in weights.values()))
+        assert norm == pytest.approx(1.0)
+
+
+class TestBM25Weights:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(k1=-1)
+        with pytest.raises(ValueError):
+            BM25Parameters(b=1.5)
+
+    def test_default_parameters_match_paper(self):
+        params = BM25Parameters()
+        assert params.k1 == 1.5
+        assert params.k3 == 8.0
+        assert params.b == 0.675
+
+    def test_document_weights_sign_follows_rs(self, stats):
+        weights = bm25_document_weights(stats, 3)
+        # The frequent token A (3 of 4 tuples) gets a negative RS-based
+        # weight; the rarer token D (exactly half the tuples) sits at the
+        # RS zero point and must be weighted strictly higher than A.
+        assert weights["A"] < 0
+        assert weights["D"] == pytest.approx(0.0)
+        assert weights["D"] > weights["A"]
+
+    def test_document_weight_formula(self, stats):
+        params = BM25Parameters()
+        weights = bm25_document_weights(stats, 2, params)
+        tf = 1
+        k_d = params.k1 * ((1 - params.b) + params.b * stats.length(2) / stats.average_length)
+        expected = stats.rs_weight("D") * (params.k1 + 1) * tf / (k_d + tf)
+        assert weights["D"] == pytest.approx(expected)
+
+    def test_query_weights_saturate(self):
+        params = BM25Parameters(k3=8)
+        weights = bm25_query_weights({"A": 1, "B": 100}, params)
+        assert weights["A"] == pytest.approx(9 / 9)
+        assert weights["B"] < (params.k3 + 1)
+        assert weights["B"] > weights["A"]
+
+    def test_query_weight_monotone_in_tf(self):
+        weights = bm25_query_weights({"A": 1, "B": 2, "C": 3})
+        assert weights["A"] < weights["B"] < weights["C"]
