@@ -8,6 +8,9 @@ for declarative approximate selections.  The package provides:
   combination classes);
 * :mod:`repro.text` -- tokenizers, string distances, weighting schemes and
   min-hash;
+* :mod:`repro.blocking` -- candidate blockers (length / prefix filtering,
+  MinHash-LSH, pipelines) that prune the candidate sets of selections, joins
+  and deduplication;
 * :mod:`repro.dbengine` / :mod:`repro.backends` / :mod:`repro.declarative` --
   the declarative (pure-SQL) realizations of every predicate, runnable on an
   in-memory SQL engine or on SQLite;
@@ -30,8 +33,16 @@ from repro.core import (
     available_predicates,
     make_predicate,
 )
+from repro.blocking import (
+    Blocker,
+    BlockingPipeline,
+    LengthFilter,
+    MinHashLSH,
+    PrefixFilter,
+    make_blocker,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApproximateSelector",
@@ -39,5 +50,11 @@ __all__ = [
     "Predicate",
     "make_predicate",
     "available_predicates",
+    "Blocker",
+    "LengthFilter",
+    "PrefixFilter",
+    "MinHashLSH",
+    "BlockingPipeline",
+    "make_blocker",
     "__version__",
 ]

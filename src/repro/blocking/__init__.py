@@ -1,0 +1,44 @@
+"""Blocking & candidate pruning for approximate selections, joins and dedup.
+
+The candidate-generation layer between the inverted index and the similarity
+predicates.  The seed implementation treated every tuple sharing *any* token
+with the query as a candidate; on realistic vocabularies that makes
+selections, joins and duplicate detection quadratic in all but name.  This
+package provides pluggable blockers behind the common
+:class:`~repro.blocking.base.Blocker` interface:
+
+* :class:`~repro.blocking.length.LengthFilter` -- exact token-count bounds
+  derived from the similarity threshold;
+* :class:`~repro.blocking.prefix.PrefixFilter` -- exact prefix filtering over
+  rarest-first ordered tokens (AllPairs/PPJoin-style);
+* :class:`~repro.blocking.lsh.MinHashLSH` -- approximate MinHash-LSH banding
+  built on :class:`repro.text.minhash.MinHasher`;
+* :class:`~repro.blocking.pipeline.BlockingPipeline` -- chains blockers and
+  reports per-stage candidate-reduction statistics;
+* :func:`~repro.blocking.factory.make_blocker` -- builds any of the above
+  from a spec string such as ``"length+prefix"`` (used by the CLI).
+
+Integration points: ``InvertedIndex.candidates(..., blocker=...)``,
+``Predicate.set_blocker``, ``ApproximateJoiner(blocker=...)`` /
+``Deduplicator(blocker=...)`` and the CLI's ``--blocker`` / ``--lsh-bands``
+flags.  ``benchmarks/bench_blocking.py`` measures speedup and recall against
+the unblocked baseline.
+"""
+
+from repro.blocking.base import Blocker, BlockingStats
+from repro.blocking.factory import BLOCKER_NAMES, make_blocker
+from repro.blocking.length import LengthFilter
+from repro.blocking.lsh import MinHashLSH
+from repro.blocking.pipeline import BlockingPipeline
+from repro.blocking.prefix import PrefixFilter
+
+__all__ = [
+    "Blocker",
+    "BlockingStats",
+    "LengthFilter",
+    "PrefixFilter",
+    "MinHashLSH",
+    "BlockingPipeline",
+    "make_blocker",
+    "BLOCKER_NAMES",
+]

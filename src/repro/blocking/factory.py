@@ -1,0 +1,70 @@
+"""Construct blockers from compact specification strings.
+
+The CLI (``--blocker``) and programmatic callers describe blockers with a
+``+``-separated spec, e.g. ``"length"``, ``"length+prefix"`` or
+``"length+lsh"``.  Multi-stage specs become a
+:class:`~repro.blocking.pipeline.BlockingPipeline` in the given order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blocking.base import Blocker
+from repro.blocking.length import LengthFilter
+from repro.blocking.lsh import MinHashLSH
+from repro.blocking.pipeline import BlockingPipeline
+from repro.blocking.prefix import PrefixFilter
+from repro.text.tokenize import Tokenizer
+
+__all__ = ["BLOCKER_NAMES", "make_blocker"]
+
+#: Names accepted in a blocker spec (besides ``none``).
+BLOCKER_NAMES = ("length", "prefix", "lsh")
+
+
+def make_blocker(
+    spec: Optional[str],
+    threshold: Optional[float] = None,
+    lsh_bands: int = 16,
+    lsh_rows: int = 4,
+    tokenizer: Optional[Tokenizer] = None,
+    seed: int = 20070411,
+) -> Optional[Blocker]:
+    """Build a blocker (or pipeline) from a ``+``-separated spec string.
+
+    ``None``, ``""`` and ``"none"`` yield ``None`` (no blocking).  The exact
+    filters require ``threshold`` because their pruning bounds derive from it.
+
+    >>> make_blocker("length+prefix", threshold=0.6).name
+    'length+prefix'
+    """
+    if spec is None or spec.strip().lower() in ("", "none"):
+        return None
+    stages = []
+    for part in spec.split("+"):
+        name = part.strip().lower()
+        if name in ("length", "len"):
+            if threshold is None:
+                raise ValueError("the 'length' blocker needs a similarity threshold")
+            stages.append(LengthFilter(threshold, tokenizer=tokenizer))
+        elif name in ("prefix", "pf"):
+            if threshold is None:
+                raise ValueError("the 'prefix' blocker needs a similarity threshold")
+            stages.append(PrefixFilter(threshold, tokenizer=tokenizer))
+        elif name in ("lsh", "minhash", "minhash_lsh"):
+            stages.append(
+                MinHashLSH(
+                    num_bands=lsh_bands,
+                    rows_per_band=lsh_rows,
+                    tokenizer=tokenizer,
+                    seed=seed,
+                )
+            )
+        else:
+            raise ValueError(
+                f"unknown blocker {name!r}; expected one of {', '.join(BLOCKER_NAMES)}"
+            )
+    if len(stages) == 1:
+        return stages[0]
+    return BlockingPipeline(stages)

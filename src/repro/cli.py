@@ -7,6 +7,8 @@ Usage (after installation)::
     python -m repro.cli query --base data.tsv --predicate bm25 --query "Morgn Stanley" --top 5
     python -m repro.cli evaluate --dataset CU1 --size 500 --predicates bm25 jaccard --queries 50
     python -m repro.cli dedup --base data.tsv --predicate jaccard --threshold 0.6
+    python -m repro.cli dedup --base data.tsv --threshold 0.6 --blocker length+prefix
+    python -m repro.cli dedup --base data.tsv --threshold 0.6 --blocker lsh --lsh-bands 24
 
 Each sub-command wraps a public API entry point (dataset generation,
 approximate selection, accuracy evaluation, deduplication), so the CLI
@@ -20,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.blocking import make_blocker
 from repro.core import ApproximateSelector, Deduplicator, available_predicates
 from repro.datagen import make_dataset
 from repro.datagen.datasets import DATASET_CONFIGS
@@ -27,6 +30,37 @@ from repro.eval import ExperimentRunner
 from repro.eval.report import ResultSink
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_blocker_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Shared candidate-blocking flags (see :mod:`repro.blocking`)."""
+    subparser.add_argument(
+        "--blocker",
+        default="none",
+        help=(
+            "candidate blocker spec: none, length, prefix, lsh, or a "
+            "'+'-separated pipeline such as length+prefix (length/prefix "
+            "require a --threshold)"
+        ),
+    )
+    subparser.add_argument(
+        "--lsh-bands", type=int, default=16, help="number of MinHash-LSH bands"
+    )
+    subparser.add_argument(
+        "--lsh-rows", type=int, default=4, help="signature rows per LSH band"
+    )
+
+
+def _blocker_from_args(args: argparse.Namespace, threshold: Optional[float]):
+    try:
+        return make_blocker(
+            args.blocker,
+            threshold=threshold,
+            lsh_bands=args.lsh_bands,
+            lsh_rows=args.lsh_rows,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--query", required=True)
     query.add_argument("--top", type=int, default=10)
     query.add_argument("--threshold", type=float, default=None)
+    _add_blocker_arguments(query)
 
     evaluate = subparsers.add_parser("evaluate", help="measure accuracy (MAP / max-F1)")
     evaluate.add_argument("--dataset", default="CU1", choices=sorted(DATASET_CONFIGS))
@@ -65,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     dedup.add_argument("--base", type=Path, required=True)
     dedup.add_argument("--predicate", default="jaccard")
     dedup.add_argument("--threshold", type=float, default=0.6)
+    _add_blocker_arguments(dedup)
 
     return parser
 
@@ -104,7 +140,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     strings = _load_strings(args.base)
+    blocker = _blocker_from_args(args, args.threshold)
     selector = ApproximateSelector(strings, predicate=args.predicate)
+    if blocker is not None:
+        selector.predicate.set_blocker(blocker)
     if args.threshold is not None:
         results = selector.select(args.query, args.threshold)
     else:
@@ -131,7 +170,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_dedup(args: argparse.Namespace) -> int:
     strings = _load_strings(args.base)
-    dedup = Deduplicator(strings, predicate=args.predicate, threshold=args.threshold)
+    blocker = _blocker_from_args(args, args.threshold)
+    dedup = Deduplicator(
+        strings, predicate=args.predicate, threshold=args.threshold, blocker=blocker
+    )
     clusters = dedup.clusters()
     for label, cluster in enumerate(clusters):
         if len(cluster) < 2:
@@ -141,6 +183,13 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
             print(f"    {tid}\t{strings[tid]}")
     singletons = sum(1 for cluster in clusters if len(cluster) == 1)
     print(f"\n{len(clusters)} clusters, {singletons} singletons")
+    stats = dedup.joiner.last_self_join_stats
+    if blocker is not None and stats is not None:
+        print(
+            f"blocking[{blocker.name}]: {stats.pairs_examined} candidate pairs "
+            f"examined over {stats.probes} probes "
+            f"({stats.probes_skipped} probes skipped with no block partners)"
+        )
     return 0
 
 

@@ -13,7 +13,7 @@ from repro.core.predicates import (
     make_predicate,
 )
 from repro.core.selection import ApproximateSelector, SelectionResult
-from repro.core.join import ApproximateJoiner, JoinMatch
+from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
 from repro.core.dedup import Deduplicator, DuplicateCluster, ClusteringQuality
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "SelectionResult",
     "ApproximateJoiner",
     "JoinMatch",
+    "SelfJoinStats",
     "Deduplicator",
     "DuplicateCluster",
     "ClusteringQuality",

@@ -25,6 +25,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.join import ApproximateJoiner
 from repro.core.predicates.base import Predicate
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.blocking.base import Blocker
+
 __all__ = ["UnionFind", "DuplicateCluster", "ClusteringQuality", "Deduplicator"]
 
 
@@ -87,23 +92,40 @@ class ClusteringQuality:
 
 
 class Deduplicator:
-    """Detect duplicate clusters in a relation of strings."""
+    """Detect duplicate clusters in a relation of strings.
+
+    ``blocker`` (a :class:`repro.blocking.Blocker`) makes the underlying
+    similarity self-join probe only within candidate blocks -- essential for
+    large relations.  The length/prefix filters are exact for Jaccard-style
+    predicates (use ``predicate="jaccard"`` with them; on score-based
+    predicates such as the default BM25 they are heuristics and warn);
+    MinHash-LSH is approximate (bounded recall loss) for any predicate.
+    """
 
     def __init__(
         self,
         strings: Sequence[str],
         predicate: Union[Predicate, str] = "bm25",
         threshold: float = 0.5,
+        blocker: Optional["Blocker"] = None,
         **predicate_kwargs,
     ):
         self._strings = list(strings)
         self._joiner = ApproximateJoiner(
-            self._strings, predicate=predicate, threshold=threshold, **predicate_kwargs
+            self._strings,
+            predicate=predicate,
+            threshold=threshold,
+            blocker=blocker,
+            **predicate_kwargs,
         )
 
     @property
     def joiner(self) -> ApproximateJoiner:
         return self._joiner
+
+    @property
+    def blocker(self) -> Optional["Blocker"]:
+        return self._joiner.blocker
 
     def clusters(self, threshold: Optional[float] = None) -> List[DuplicateCluster]:
         """Duplicate clusters (connected components of the match graph).

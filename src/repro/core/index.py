@@ -10,7 +10,10 @@ doubles as the per-tuple term-frequency store.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (blocking uses text only)
+    from repro.blocking.base import Blocker
 
 __all__ = ["InvertedIndex"]
 
@@ -42,12 +45,24 @@ class InvertedIndex:
     def term_frequencies(self, tid: int) -> Counter:
         return self._term_frequencies[tid]
 
-    def candidates(self, tokens: Iterable[str]) -> Set[int]:
-        """All tuple ids sharing at least one token with ``tokens``."""
+    def candidates(
+        self, tokens: Iterable[str], blocker: Optional["Blocker"] = None
+    ) -> Set[int]:
+        """All tuple ids sharing at least one token with ``tokens``.
+
+        With a :class:`~repro.blocking.base.Blocker`, only the blocker's probe
+        tokens are looked up (prefix filtering touches just the rare postings)
+        and the resulting set is pruned of candidates that cannot reach the
+        blocker's threshold.
+        """
+        query_tokens = set(tokens)
+        probe = query_tokens if blocker is None else blocker.probe_tokens(query_tokens)
         result: Set[int] = set()
-        for token in set(tokens):
+        for token in probe:
             for tid, _ in self._postings.get(token, ()):
                 result.add(tid)
+        if blocker is not None:
+            result = blocker.prune(query_tokens, result)
         return result
 
     def candidate_overlap(self, tokens: Iterable[str]) -> Dict[int, int]:

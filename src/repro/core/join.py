@@ -20,12 +20,15 @@ framework.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 from repro.core.predicates.base import Predicate
 from repro.core.predicates.registry import make_predicate
 
-__all__ = ["JoinMatch", "ApproximateJoiner"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.blocking.base import Blocker
+
+__all__ = ["JoinMatch", "SelfJoinStats", "ApproximateJoiner"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +40,27 @@ class JoinMatch:
     left_text: str
     right_text: str
     score: float
+
+
+@dataclass
+class SelfJoinStats:
+    """Work counters of one :meth:`ApproximateJoiner.self_join` run.
+
+    ``pairs_examined`` counts (probe, candidate) pairs actually scored --
+    the quantity blocking exists to reduce.  Note the blocked path also
+    excludes identity pairs and already-reported orientations *before*
+    scoring, so each unordered pair is examined at most once there, while
+    the unblocked baseline scores both orientations; up to 2x of a reported
+    reduction therefore comes from orientation pruning rather than blocking
+    proper.  ``probes_skipped`` counts tuples never probed at all because
+    their block left no admissible partner (singleton blocks, or blocks
+    whose other members were already probed from the smaller-id side).
+    """
+
+    probes: int = 0
+    probes_skipped: int = 0
+    pairs_examined: int = 0
+    pairs_emitted: int = 0
 
 
 class ApproximateJoiner:
@@ -52,6 +76,11 @@ class ApproximateJoiner:
         selections.
     threshold:
         Default similarity threshold for emitted pairs.
+    blocker:
+        Optional :class:`repro.blocking.Blocker` for candidate pruning.  It is
+        attached to the predicate (pruning every probe) and additionally
+        drives the blocked :meth:`self_join`, which only probes within blocks
+        and skips singleton blocks entirely.
 
     Example
     -------
@@ -65,6 +94,7 @@ class ApproximateJoiner:
         base: Sequence[str],
         predicate: Union[Predicate, str] = "bm25",
         threshold: float = 0.5,
+        blocker: Optional["Blocker"] = None,
         **predicate_kwargs,
     ):
         if not 0.0 <= threshold:
@@ -76,7 +106,16 @@ class ApproximateJoiner:
             raise ValueError("predicate_kwargs are only valid with a predicate name")
         self.predicate = predicate
         self.threshold = threshold
+        if blocker is not None:
+            self.predicate.set_blocker(blocker)
+        #: Statistics of the most recent :meth:`self_join` run.
+        self.last_self_join_stats: Optional[SelfJoinStats] = None
         self.predicate.fit(self._base)
+
+    @property
+    def blocker(self) -> Optional["Blocker"]:
+        """The blocker attached to the underlying predicate (``None`` = off)."""
+        return self.predicate.blocker
 
     # -- joins -------------------------------------------------------------------
 
@@ -110,11 +149,17 @@ class ApproximateJoiner:
         matches (after thresholding), which is the common record-linkage
         configuration ("best match per record").
         """
+        if top_k is not None and top_k < 0:
+            raise ValueError("top_k must be non-negative")
         output: List[JoinMatch] = []
         for probe_id, probe_text in enumerate(probe):
             matches = self.matches_for(probe_id, probe_text, threshold)
             if top_k is not None:
-                matches = matches[:top_k]
+                # Guarantee the k *highest-scoring* matches survive even if a
+                # custom predicate returns its selection unsorted.
+                matches = sorted(
+                    matches, key=lambda match: (-match.score, match.right_id)
+                )[:top_k]
             output.extend(matches)
         return output
 
@@ -132,15 +177,56 @@ class ApproximateJoiner:
 
         Each unordered pair is reported once (``left_id < right_id``); the
         trivial identity pairs are excluded unless ``include_identity``.
+
+        With a blocker attached, each tuple is only probed against its block
+        partners with ids above its own (identity pairs and already-reported
+        orientations are excluded *before* scoring), and tuples whose block
+        leaves no admissible partner -- singleton blocks included -- are
+        never probed at all.  Work counters are recorded in
+        :attr:`last_self_join_stats`.
         """
+        limit = self.threshold if threshold is None else threshold
+        blocker = self.blocker
+        # Check once up front: probes skipped via singleton blocks would
+        # otherwise bypass the predicate-level guard entirely.
+        if blocker is not None and not blocker.supports_threshold(limit):
+            raise ValueError(
+                f"self-join threshold {limit} is below the threshold the "
+                f"attached {blocker.name!r} blocker was built for; "
+                "rebuild the blocker with the lower threshold"
+            )
+        stats = SelfJoinStats()
+        self.last_self_join_stats = stats
         output: List[JoinMatch] = []
         for tid, text in enumerate(self._base):
-            for match in self.matches_for(tid, text, threshold):
-                if match.right_id == tid and not include_identity:
+            allowed: Optional[Set[int]] = None
+            if blocker is not None:
+                partners = blocker.partners(tid)
+                if partners is not None:
+                    allowed = {other for other in partners if other > tid}
+                    if include_identity:
+                        allowed.add(tid)
+                    if not allowed:
+                        stats.probes_skipped += 1
+                        continue
+            stats.probes += 1
+            if allowed is not None:
+                with self.predicate.restrict_candidates(allowed):
+                    scored = self.predicate.select(text, limit)
+            else:
+                scored = self.predicate.select(text, limit)
+            stats.pairs_examined += self.predicate.last_num_candidates or 0
+            for result in scored:
+                if result.tid == tid:
+                    if include_identity:
+                        output.append(JoinMatch(tid, tid, text, text, result.score))
                     continue
-                if match.right_id < tid:
+                if result.tid < tid:
                     continue  # reported when probing the smaller tid
-                output.append(match)
+                output.append(
+                    JoinMatch(tid, result.tid, text, self._base[result.tid], result.score)
+                )
+        stats.pairs_emitted = len(output)
         return output
 
     @property

@@ -18,8 +18,12 @@ framework imposes:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.blocking.base import Blocker
 
 __all__ = ["ScoredTuple", "Predicate"]
 
@@ -45,10 +49,24 @@ class Predicate(ABC):
     #: The paper's class for this predicate (overlap / aggregate-weighted /
     #: language-modeling / edit-based / combination).
     family: str = "unspecified"
+    #: Subclasses that apply the blocker *before* scoring (inside
+    #: :meth:`_scores`) set this to ``True`` so :meth:`rank` does not filter
+    #: (and count) the candidates a second time.
+    _prunes_before_scoring: bool = False
+    #: Score semantics relevant to exact blocking: ``"jaccard"`` for scores
+    #: bounded by the Jaccard overlap fraction (length/prefix filters stay
+    #: exact), ``"score"`` otherwise (those filters become heuristics).
+    similarity_kind: str = "score"
 
     def __init__(self) -> None:
         self._strings: List[str] = []
         self._fitted = False
+        self._blocker: Optional["Blocker"] = None
+        self._restriction: Optional[Set[int]] = None
+        #: Number of candidates scored by the most recent :meth:`rank` /
+        #: :meth:`select` call (after blocking); joins aggregate this into
+        #: their candidate-pair statistics.
+        self.last_num_candidates: Optional[int] = None
 
     # -- preprocessing --------------------------------------------------------
 
@@ -62,6 +80,8 @@ class Predicate(ABC):
         self.tokenize_phase()
         self.weight_phase()
         self._fitted = True
+        if self._blocker is not None:
+            self._fit_blocker(self._blocker)
         return self
 
     @abstractmethod
@@ -71,6 +91,88 @@ class Predicate(ABC):
     @abstractmethod
     def weight_phase(self) -> None:
         """Phase 2 of preprocessing: compute weights / statistics."""
+
+    # -- blocking -------------------------------------------------------------
+
+    @property
+    def blocker(self) -> Optional["Blocker"]:
+        """The candidate blocker attached to this predicate (``None`` = off)."""
+        return self._blocker
+
+    def set_blocker(self, blocker: Optional["Blocker"]) -> "Predicate":
+        """Attach a :class:`repro.blocking.Blocker` for candidate pruning.
+
+        The blocker is (re)fitted on this predicate's base relation -- with
+        the predicate's own token lists where available -- so that blocker
+        and predicate agree on tokenization.  Pass ``None`` to detach.
+
+        Attaching a Jaccard-derived exact filter (length/prefix) to a
+        predicate with different score semantics (e.g. BM25) demotes it to a
+        heuristic: candidates whose *score* clears the threshold may still be
+        pruned.  A :class:`UserWarning` is emitted in that case.
+
+        A blocker narrows *every* subsequent query: :meth:`select` stays
+        exact at (or above) the blocker's threshold and refuses lower ones,
+        while :meth:`rank` / :meth:`score` only see candidates that survive
+        blocking -- ranked retrieval under a threshold-derived blocker is
+        deliberately restricted to threshold-reachable candidates.  Detach
+        the blocker for full unpruned rankings.
+        """
+        if (
+            blocker is not None
+            and getattr(blocker, "semantics", "any") == "jaccard"
+            and self.similarity_kind != "jaccard"
+        ):
+            import warnings
+
+            warnings.warn(
+                f"{type(blocker).__name__} derives its bounds from Jaccard "
+                f"semantics; with the {self.name} predicate it is a heuristic "
+                "and may drop candidates whose score reaches the threshold",
+                UserWarning,
+                stacklevel=2,
+            )
+        self._blocker = blocker
+        if blocker is not None and self._fitted:
+            self._fit_blocker(blocker)
+        return self
+
+    def _fit_blocker(self, blocker: "Blocker") -> None:
+        blocker.fit(self._blocker_corpus(blocker))
+
+    def _blocker_corpus(self, blocker: "Blocker") -> List[List[str]]:
+        """Token lists the blocker is fitted on.
+
+        Token-based predicates override this to share their own token lists;
+        the default tokenizes the base strings with the blocker's tokenizer.
+        """
+        return blocker.tokenizer.tokenize_many(self._strings)
+
+    def _blocker_query_tokens(self, query: str, blocker: "Blocker") -> Set[str]:
+        """Query-side tokens handed to the blocker (same source as the corpus)."""
+        return set(blocker.tokenizer.tokenize(query))
+
+    @contextmanager
+    def restrict_candidates(self, allowed: Optional[Set[int]]) -> Iterator[None]:
+        """Scope queries to the given tuple ids (used by blocked self-joins)."""
+        previous = self._restriction
+        self._restriction = allowed
+        try:
+            yield
+        finally:
+            self._restriction = previous
+
+    def _generic_allowed(self, query: str, scores: Dict[int, float]) -> Optional[Set[int]]:
+        """Post-scoring candidate allowance for predicates without index pruning."""
+        blocker, restriction = self._blocker, self._restriction
+        if blocker is None and restriction is None:
+            return None
+        allowed = set(scores)
+        if restriction is not None:
+            allowed &= restriction
+        if blocker is not None:
+            allowed = blocker.prune(self._blocker_query_tokens(query, blocker), allowed)
+        return allowed
 
     # -- query time -----------------------------------------------------------
 
@@ -82,10 +184,17 @@ class Predicate(ABC):
         """Tuples ranked by decreasing similarity to ``query``.
 
         Only candidate tuples (those with a non-trivial score) are returned;
-        ties are broken by tuple id so rankings are deterministic.
+        ties are broken by tuple id so rankings are deterministic.  With a
+        blocker attached (see :meth:`set_blocker`), only candidates that
+        survive blocking are ranked.
         """
         self._require_fitted()
         scores = self._scores(query)
+        if not self._prunes_before_scoring:
+            allowed = self._generic_allowed(query, scores)
+            if allowed is not None:
+                scores = {tid: score for tid, score in scores.items() if tid in allowed}
+        self.last_num_candidates = len(scores)
         ranked = sorted(
             (ScoredTuple(tid, score) for tid, score in scores.items()),
             key=lambda st: (-st.score, st.tid),
@@ -97,7 +206,21 @@ class Predicate(ABC):
     def select(self, query: str, threshold: float) -> List[ScoredTuple]:
         """The approximate selection: tuples with ``sim(query, t) >= threshold``."""
         self._require_fitted()
+        self._check_blocker_threshold(threshold)
         return [scored for scored in self.rank(query) if scored.score >= threshold]
+
+    def _check_blocker_threshold(self, threshold: float) -> None:
+        """Refuse selections below the threshold an exact blocker was built for.
+
+        An exact blocker prunes everything that cannot reach *its* configured
+        threshold; selecting at a lower one would silently lose true matches.
+        """
+        if self._blocker is not None and not self._blocker.supports_threshold(threshold):
+            raise ValueError(
+                f"selection threshold {threshold} is below the threshold the "
+                f"attached {self._blocker.name!r} blocker was built for; "
+                "rebuild the blocker with the lower threshold"
+            )
 
     def score(self, query: str, tid: int) -> float:
         """Similarity between ``query`` and tuple ``tid`` (0.0 if not a candidate)."""

@@ -52,14 +52,27 @@ class EditDistance(Predicate):
     def weight_phase(self) -> None:
         """Edit distance needs no weights."""
 
+    def _blocker_corpus(self, blocker) -> List[List[str]]:
+        """Blockers reuse the predicate's q-gram token lists."""
+        return self._token_lists
+
+    def _blocker_query_tokens(self, query: str, blocker):
+        return set(self.tokenizer.tokenize(query))
+
     # -- scoring ---------------------------------------------------------------
+
+    #: Candidates are pruned before the (expensive) edit-distance DP below.
+    _prunes_before_scoring = True
 
     def _scores(self, query: str) -> Dict[int, float]:
         assert self._index is not None
         normalized_query = normalize_string(query)
         query_tokens = self.tokenizer.tokenize(query)
+        candidates = self._index.candidates(query_tokens, blocker=self.blocker)
+        if self._restriction is not None:
+            candidates &= self._restriction
         scores: Dict[int, float] = {}
-        for tid in self._index.candidates(query_tokens):
+        for tid in candidates:
             scores[tid] = edit_similarity(normalized_query, self._normalized[tid])
         return scores
 
@@ -75,6 +88,7 @@ class EditDistance(Predicate):
         assert self._index is not None
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be within [0, 1]")
+        self._check_blocker_threshold(threshold)
         normalized_query = normalize_string(query)
         query_tokens = self.tokenizer.tokenize(query)
         query_counts = Counter(query_tokens)
@@ -84,6 +98,13 @@ class EditDistance(Predicate):
         for token, query_tf in query_counts.items():
             for tid, base_tf in self._index.postings(token):
                 shared[tid] = shared.get(tid, 0) + min(query_tf, base_tf)
+
+        # Honor an active blocker / self-join restriction (this select()
+        # bypasses rank(), so the generic filtering there does not apply).
+        allowed = self._generic_allowed(query, shared)
+        if allowed is not None:
+            shared = {tid: common for tid, common in shared.items() if tid in allowed}
+        self.last_num_candidates = len(shared)
 
         results: List[ScoredTuple] = []
         for tid, common in shared.items():

@@ -13,12 +13,15 @@ Robertson-Sparck Jones (RS) weights are more accurate than idf (section
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set
 
 from repro.core.index import InvertedIndex
 from repro.core.predicates.base import Predicate
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 from repro.text.weights import CollectionStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.blocking.base import Blocker
 
 __all__ = ["IntersectSize", "Jaccard", "WeightedMatch", "WeightedJaccard"]
 
@@ -27,6 +30,8 @@ class _OverlapBase(Predicate):
     """Shared tokenization/indexing machinery for the overlap predicates."""
 
     family = "overlap"
+    #: Blocking happens inside :meth:`_scores` (before any scoring work).
+    _prunes_before_scoring = True
 
     def __init__(self, tokenizer: Tokenizer | None = None):
         super().__init__()
@@ -46,6 +51,32 @@ class _OverlapBase(Predicate):
     def _query_tokens(self, query: str) -> set[str]:
         return set(self.tokenizer.tokenize(query))
 
+    # -- blocking -------------------------------------------------------------
+
+    def _blocker_corpus(self, blocker: "Blocker") -> list[list[str]]:
+        """Blockers share the predicate's own token lists (same tokenizer)."""
+        return self._token_lists
+
+    def _blocker_query_tokens(self, query: str, blocker: "Blocker") -> Set[str]:
+        return self._query_tokens(query)
+
+    def _candidate_ids(self, query_tokens: Set[str]) -> Optional[Set[int]]:
+        """Allowed candidates from the blocker hook and/or an active restriction.
+
+        ``None`` means unrestricted (take the index's full candidate set).
+        This runs *before* any scoring, which is where blocking pays off.
+        """
+        blocker, restriction = self._blocker, self._restriction
+        if blocker is None and restriction is None:
+            return None
+        allowed: Optional[Set[int]] = None
+        if blocker is not None:
+            assert self._index is not None
+            allowed = self._index.candidates(query_tokens, blocker=blocker)
+        if restriction is not None:
+            allowed = set(restriction) if allowed is None else allowed & restriction
+        return allowed
+
 
 class IntersectSize(_OverlapBase):
     """Number of common distinct tokens between the query and the tuple."""
@@ -55,24 +86,45 @@ class IntersectSize(_OverlapBase):
     def _scores(self, query: str) -> Dict[int, float]:
         assert self._index is not None
         query_tokens = self._query_tokens(query)
-        return {
-            tid: float(count)
-            for tid, count in self._index.candidate_overlap(query_tokens).items()
-        }
+        allowed = self._candidate_ids(query_tokens)
+        if allowed is None:
+            return {
+                tid: float(count)
+                for tid, count in self._index.candidate_overlap(query_tokens).items()
+            }
+        scores: Dict[int, float] = {}
+        for tid in allowed:
+            common = len(query_tokens & self._token_sets[tid])
+            if common:
+                scores[tid] = float(common)
+        return scores
 
 
 class Jaccard(_OverlapBase):
     """Jaccard coefficient of the query and tuple token sets."""
 
     name = "Jaccard"
+    #: The length/prefix blockers' exactness guarantee is stated for exactly
+    #: this score: an overlap fraction bounded by min/max set size.
+    similarity_kind = "jaccard"
 
     def _scores(self, query: str) -> Dict[int, float]:
         assert self._index is not None
         query_tokens = self._query_tokens(query)
         query_size = len(query_tokens)
+        allowed = self._candidate_ids(query_tokens)
         scores: Dict[int, float] = {}
-        for tid, common in self._index.candidate_overlap(query_tokens).items():
-            union = query_size + len(self._token_sets[tid]) - common
+        if allowed is None:
+            for tid, common in self._index.candidate_overlap(query_tokens).items():
+                union = query_size + len(self._token_sets[tid]) - common
+                scores[tid] = common / union if union else 0.0
+            return scores
+        for tid in allowed:
+            token_set = self._token_sets[tid]
+            common = len(query_tokens & token_set)
+            if not common:
+                continue
+            union = query_size + len(token_set) - common
             scores[tid] = common / union if union else 0.0
         return scores
 
@@ -98,6 +150,28 @@ class _WeightedOverlapBase(_OverlapBase):
     def _weight(self, token: str) -> float:
         return self._weights.get(token, 0.0)
 
+    def _restricted_common_weight(
+        self, query_tokens: Set[str], allowed: Set[int]
+    ) -> Dict[int, float]:
+        """Weight of the common tokens per allowed candidate.
+
+        Candidates sharing only zero-weight tokens are omitted, matching the
+        postings-driven accumulation of the unrestricted path.
+        """
+        common_weight: Dict[int, float] = {}
+        for tid in allowed:
+            total = 0.0
+            matched = False
+            for token in query_tokens & self._token_sets[tid]:
+                weight = self._weight(token)
+                if weight == 0.0:
+                    continue
+                total += weight
+                matched = True
+            if matched:
+                common_weight[tid] = total
+        return common_weight
+
 
 class WeightedMatch(_WeightedOverlapBase):
     """Sum of weights of the common tokens (RS weights by default)."""
@@ -107,6 +181,9 @@ class WeightedMatch(_WeightedOverlapBase):
     def _scores(self, query: str) -> Dict[int, float]:
         assert self._index is not None
         query_tokens = self._query_tokens(query)
+        allowed = self._candidate_ids(query_tokens)
+        if allowed is not None:
+            return self._restricted_common_weight(query_tokens, allowed)
         scores: Dict[int, float] = {}
         for token in query_tokens:
             weight = self._weight(token)
@@ -137,13 +214,17 @@ class WeightedJaccard(_WeightedOverlapBase):
         assert self._index is not None
         query_tokens = self._query_tokens(query)
         query_weight_sum = sum(self._weight(token) for token in query_tokens)
-        common_weight: Dict[int, float] = {}
-        for token in query_tokens:
-            weight = self._weight(token)
-            if weight == 0.0:
-                continue
-            for tid, _ in self._index.postings(token):
-                common_weight[tid] = common_weight.get(tid, 0.0) + weight
+        allowed = self._candidate_ids(query_tokens)
+        if allowed is not None:
+            common_weight = self._restricted_common_weight(query_tokens, allowed)
+        else:
+            common_weight = {}
+            for token in query_tokens:
+                weight = self._weight(token)
+                if weight == 0.0:
+                    continue
+                for tid, _ in self._index.postings(token):
+                    common_weight[tid] = common_weight.get(tid, 0.0) + weight
         scores: Dict[int, float] = {}
         for tid, common in common_weight.items():
             union = query_weight_sum + self._tuple_weight_sums[tid] - common

@@ -33,7 +33,7 @@ from repro.text.weights import (
     rs_weights,
     tfidf_weights,
 )
-from repro.text.minhash import MinHasher, minhash_similarity
+from repro.text.minhash import MinHasher, minhash_similarity, stable_token_hash
 
 __all__ = [
     "levenshtein",
@@ -51,4 +51,5 @@ __all__ = [
     "tfidf_weights",
     "MinHasher",
     "minhash_similarity",
+    "stable_token_hash",
 ]

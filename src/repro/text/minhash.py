@@ -20,16 +20,25 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-__all__ = ["MinHasher", "MinHashSignature", "minhash_similarity"]
+__all__ = [
+    "MinHasher",
+    "MinHashSignature",
+    "minhash_similarity",
+    "stable_token_hash",
+]
 
 # A Mersenne prime comfortably larger than any 32-bit token hash.
 _PRIME = (1 << 61) - 1
 
 
-def _stable_token_hash(token: str) -> int:
+def stable_token_hash(token: str) -> int:
     """Deterministic 32-bit hash of a token (independent of PYTHONHASHSEED)."""
     digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") & 0xFFFFFFFF
+
+
+#: Backwards-compatible private alias (pre-blocking callers used this name).
+_stable_token_hash = stable_token_hash
 
 
 MinHashSignature = Tuple[int, ...]
@@ -83,11 +92,21 @@ class MinHasher:
         yields a signature of ``_PRIME`` sentinels which never collides with a
         non-empty signature position.
         """
-        hashed = {_stable_token_hash(token) for token in tokens}
-        if not hashed:
+        hashed = {stable_token_hash(token) for token in tokens}
+        return self.signature_from_hashes(hashed)
+
+    def signature_from_hashes(self, hashed: Iterable[int]) -> MinHashSignature:
+        """Signature over pre-hashed token values (see :func:`stable_token_hash`).
+
+        Callers that hash many overlapping token sets (e.g. LSH blocking over
+        a whole relation) can hash each distinct token once and reuse the
+        values across tuples.
+        """
+        values = set(hashed)
+        if not values:
             return tuple([_PRIME] * self._num_hashes)
         return tuple(
-            min(function(value) for value in hashed) for function in self._functions
+            min(function(value) for value in values) for function in self._functions
         )
 
     def similarity(self, left: Iterable[str], right: Iterable[str]) -> float:

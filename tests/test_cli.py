@@ -117,6 +117,91 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["query", "--base", str(empty), "--query", "x"])
 
+    def test_query_with_blocker(self, base_file, capsys):
+        args = [
+            "query",
+            "--base",
+            str(base_file),
+            "--predicate",
+            "jaccard",
+            "--query",
+            "Beijing Hotel",
+            "--threshold",
+            "0.9",
+        ]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        assert main(args + ["--blocker", "length+prefix"]) == 0
+        assert capsys.readouterr().out == baseline  # exact filters change nothing
+
+    def test_query_blocker_requires_threshold(self, base_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--base",
+                    str(base_file),
+                    "--query",
+                    "Beijing Hotel",
+                    "--blocker",
+                    "length",
+                ]
+            )
+
+    def test_dedup_with_blocker_reports_stats(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "dedup",
+                    "--base",
+                    str(base_file),
+                    "--threshold",
+                    "0.6",
+                    "--blocker",
+                    "length+prefix",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "blocking[length+prefix]" in output
+        assert "candidate pairs" in output
+
+    def test_dedup_with_lsh_blocker(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "dedup",
+                    "--base",
+                    str(base_file),
+                    "--threshold",
+                    "0.6",
+                    "--blocker",
+                    "lsh",
+                    "--lsh-bands",
+                    "8",
+                    "--lsh-rows",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "blocking[lsh]" in capsys.readouterr().out
+
+    def test_unknown_blocker_rejected(self, base_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "dedup",
+                    "--base",
+                    str(base_file),
+                    "--threshold",
+                    "0.6",
+                    "--blocker",
+                    "sorted-neighborhood",
+                ]
+            )
+
     def test_evaluate_and_save(self, tmp_path, capsys):
         report = tmp_path / "report.csv"
         assert (

@@ -7,8 +7,28 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dedup import ClusteringQuality, Deduplicator, UnionFind
-from repro.core.join import ApproximateJoiner, JoinMatch
+from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
 from repro.core.predicates import Jaccard
+from repro.core.predicates.base import Predicate, ScoredTuple
+
+
+class _UnsortedPredicate(Predicate):
+    """Pathological predicate whose select() ignores rank order entirely."""
+
+    name = "unsorted"
+
+    def tokenize_phase(self) -> None:
+        pass
+
+    def weight_phase(self) -> None:
+        pass
+
+    def _scores(self, query):
+        return {0: 0.1, 1: 0.9, 2: 0.5}
+
+    def select(self, query, threshold):
+        # Deliberately worst-score-first to exercise the join's top_k sort.
+        return [ScoredTuple(0, 0.1), ScoredTuple(2, 0.5), ScoredTuple(1, 0.9)]
 
 
 class TestUnionFind:
@@ -72,6 +92,29 @@ class TestApproximateJoiner:
         matches = joiner.join(["Beijing Hotel"], top_k=1)
         assert len(matches) == 1
         assert matches[0].right_text in ("Beijing Hotel", "Hotel Beijing")
+
+    def test_top_k_keeps_highest_scores_even_if_predicate_unsorted(self):
+        """Regression: top_k must keep the k best matches, not the k first."""
+        joiner = ApproximateJoiner(
+            ["a", "b", "c"], predicate=_UnsortedPredicate(), threshold=0.0
+        )
+        matches = joiner.join(["query"], top_k=2)
+        assert [match.right_id for match in matches] == [1, 2]
+        assert [match.score for match in matches] == [0.9, 0.5]
+
+    def test_top_k_rejects_negative(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.1)
+        with pytest.raises(ValueError):
+            joiner.join(["Beijing Hotel"], top_k=-1)
+
+    def test_self_join_records_stats(self, company_strings):
+        joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.5)
+        matches = joiner.self_join()
+        stats = joiner.last_self_join_stats
+        assert isinstance(stats, SelfJoinStats)
+        assert stats.probes == len(company_strings)
+        assert stats.pairs_emitted == len(matches)
+        assert stats.pairs_examined >= stats.pairs_emitted
 
     def test_iter_join_streams(self, company_strings):
         joiner = ApproximateJoiner(company_strings, predicate="jaccard", threshold=0.9)
