@@ -1,18 +1,19 @@
-"""Quickstart: approximate selection over a small relation of company names.
+"""Quickstart: the unified similarity engine over a small relation of names.
 
 Run with::
 
     python examples/quickstart.py
 
-The example indexes a handful of company names under several similarity
-predicates and shows how the same dirty query is ranked by each of them,
-illustrating the paper's predicate classes (overlap, aggregate weighted,
-language modeling, edit based and combination).
+The example drives one :class:`repro.SimilarityEngine` query through the
+operations the paper studies -- top-k retrieval, thresholded selection --
+in both realizations (direct in-memory Python and declarative SQL on
+SQLite), batches a workload with ``run_many`` and prints an ``explain()``
+report with the emitted SQL.
 """
 
 from __future__ import annotations
 
-from repro import ApproximateSelector, available_predicates
+from repro import SimilarityEngine, available_predicates
 
 COMPANIES = [
     "Morgan Stanley Group Inc.",
@@ -38,22 +39,30 @@ def main() -> None:
     print(f"Base relation: {len(COMPANIES)} company names")
     print(f"Query string : {QUERY!r}\n")
 
+    engine = SimilarityEngine()
+    base = engine.from_strings(COMPANIES)
+
     print("=== Ranked retrieval with BM25 (the paper's best predicate) ===")
-    selector = ApproximateSelector(COMPANIES, predicate="bm25")
-    for result in selector.top_k(QUERY, k=3):
-        print(f"  score={result.score:8.3f}  tid={result.tid:2d}  {result.text}")
+    for result in base.predicate("bm25").top_k(QUERY, 3):
+        print(f"  score={result.score:8.3f}  tid={result.tid:2d}  {result.string}")
+
+    print("\n=== The same query, realized declaratively in SQL on SQLite ===")
+    declarative = base.predicate("bm25").realization("declarative").backend("sqlite")
+    for result in declarative.top_k(QUERY, 3):
+        print(f"  score={result.score:8.3f}  tid={result.tid:2d}  {result.string}")
 
     print("\n=== Thresholded approximate selection with Jaccard ===")
-    jaccard = ApproximateSelector(COMPANIES, predicate="jaccard")
-    for result in jaccard.select(QUERY, threshold=0.45):
-        print(f"  score={result.score:8.3f}  tid={result.tid:2d}  {result.text}")
+    for result in base.predicate("jaccard").select(QUERY, 0.45):
+        print(f"  score={result.score:8.3f}  tid={result.tid:2d}  {result.string}")
 
-    print("\n=== Top match for every registered predicate ===")
+    print("\n=== Top match for every registered predicate (one batch each) ===")
     for name in available_predicates():
-        selector = ApproximateSelector(COMPANIES, predicate=name)
-        top = selector.top_k(QUERY, k=1)
-        match = top[0].text if top else "(no candidate)"
+        top = base.predicate(name).run_many([QUERY], op="top_k", k=1)[0]
+        match = top[0].string if top else "(no candidate)"
         print(f"  {name:16s} -> {match}")
+
+    print("\n=== explain(): plan, emitted SQL, candidate counts ===")
+    print(declarative.explain(QUERY, k=3).describe())
 
 
 if __name__ == "__main__":

@@ -1,33 +1,54 @@
 """repro -- Benchmarking Declarative Approximate Selection Predicates.
 
 A reproduction of the SIGMOD 2007 benchmark study of similarity predicates
-for declarative approximate selections.  The package provides:
-
-* :mod:`repro.core` -- the approximate selection API and all similarity
-  predicates (overlap, aggregate-weighted, language-modeling, edit-based and
-  combination classes);
-* :mod:`repro.text` -- tokenizers, string distances, weighting schemes and
-  min-hash;
-* :mod:`repro.blocking` -- candidate blockers (length / prefix filtering,
-  MinHash-LSH, pipelines) that prune the candidate sets of selections, joins
-  and deduplication;
-* :mod:`repro.dbengine` / :mod:`repro.backends` / :mod:`repro.declarative` --
-  the declarative (pure-SQL) realizations of every predicate, runnable on an
-  in-memory SQL engine or on SQLite;
-* :mod:`repro.datagen` -- the UIS-style benchmark data generator with
-  controlled error injection;
-* :mod:`repro.eval` -- accuracy metrics (MAP / max-F1), experiment runner,
-  timing harness and the IDF-pruning performance enhancement.
+for declarative approximate selections.  The front door is the unified
+similarity engine:
 
 Quickstart::
 
-    from repro import ApproximateSelector
-    selector = ApproximateSelector(["AT&T Incorporated", "IBM Corp."], predicate="bm25")
-    selector.top_k("AT&T Inc.", k=1)
+    from repro import SimilarityEngine
+
+    engine = SimilarityEngine()
+    query = engine.from_strings(["AT&T Incorporated", "IBM Corp."]).predicate("bm25")
+    query.top_k("AT&T Inc.", 1)          # -> [Match(tid=0, score=..., string=...)]
+
+The same fluent query runs every paper predicate in either *realization*
+(direct in-memory Python, or the paper's declarative SQL on the bundled
+in-memory engine / SQLite), with optional candidate blocking, batched
+workloads and plan inspection::
+
+    query.realization("declarative").backend("sqlite").top_k("AT&T Inc.", 1)
+    query.blocker("length+prefix").select("AT&T Inc.", 0.6)
+    query.run_many(["AT&T", "IBM"], op="top_k", k=3)   # preprocessing paid once
+    print(query.explain("AT&T Inc.", k=1))             # plan, SQL, blocker stats
+
+Package map:
+
+* :mod:`repro.engine` -- the :class:`SimilarityEngine` facade, fluent
+  :class:`~repro.engine.query.Query` builder, merged predicate registry,
+  plans and explain reports;
+* :mod:`repro.core` -- the direct predicate realizations plus the
+  approximate join and deduplication operators;
+* :mod:`repro.declarative` / :mod:`repro.dbengine` / :mod:`repro.backends`
+  -- the declarative (pure SQL / UDF) realizations and their backends;
+* :mod:`repro.blocking` -- candidate blockers (length / prefix filtering,
+  MinHash-LSH, pipelines);
+* :mod:`repro.text` -- tokenizers, string distances, weighting schemes;
+* :mod:`repro.datagen` -- the UIS-style benchmark data generator;
+* :mod:`repro.eval` -- accuracy metrics, experiment runner, timing harness.
+
+Migrating from ``ApproximateSelector``: the class remains as a deprecated
+thin shim; ``ApproximateSelector(strings, predicate="bm25").top_k(q, 5)`` is
+now spelled ``SimilarityEngine().from_strings(strings).predicate("bm25")
+.top_k(q, 5)``.  Results everywhere are :class:`~repro.engine.Match`
+objects; ``SelectionResult`` and ``ScoredTuple`` are backward-compatible
+aliases of :class:`~repro.engine.Match` (the old ``.text`` attribute is kept
+as a property).
 """
 
 from repro.core import (
     ApproximateSelector,
+    Match,
     Predicate,
     SelectionResult,
     available_predicates,
@@ -41,10 +62,23 @@ from repro.blocking import (
     PrefixFilter,
     make_blocker,
 )
+from repro.engine import (
+    ExplainReport,
+    Query,
+    QueryPlan,
+    SimilarityEngine,
+    SimilarityPredicateProtocol,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "SimilarityEngine",
+    "Query",
+    "Match",
+    "QueryPlan",
+    "ExplainReport",
+    "SimilarityPredicateProtocol",
     "ApproximateSelector",
     "SelectionResult",
     "Predicate",

@@ -32,7 +32,7 @@ pipelines and benchmarks can report the achieved reduction.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
 from repro.text.tokenize import QgramTokenizer, Tokenizer

@@ -5,14 +5,18 @@ Usage (after installation)::
     python -m repro.cli predicates
     python -m repro.cli generate --dataset CU1 --size 500 --output data.tsv
     python -m repro.cli query --base data.tsv --predicate bm25 --query "Morgn Stanley" --top 5
+    python -m repro.cli query --base data.tsv --predicate bm25 --query "Morgn Stanley" \
+        --realization declarative --backend sqlite --explain
     python -m repro.cli evaluate --dataset CU1 --size 500 --predicates bm25 jaccard --queries 50
     python -m repro.cli dedup --base data.tsv --predicate jaccard --threshold 0.6
     python -m repro.cli dedup --base data.tsv --threshold 0.6 --blocker length+prefix
     python -m repro.cli dedup --base data.tsv --threshold 0.6 --blocker lsh --lsh-bands 24
 
-Each sub-command wraps a public API entry point (dataset generation,
-approximate selection, accuracy evaluation, deduplication), so the CLI
-doubles as executable documentation of the library.
+Every sub-command routes through :class:`repro.engine.SimilarityEngine`, so
+the CLI doubles as executable documentation of the unified query API:
+``--realization {direct,declarative}`` switches between the in-memory Python
+predicates and their pure-SQL realizations, ``--backend {memory,sqlite}``
+picks the SQL backend, and ``--blocker`` attaches candidate pruning.
 """
 
 from __future__ import annotations
@@ -22,14 +26,30 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.blocking import make_blocker
-from repro.core import ApproximateSelector, Deduplicator, available_predicates
 from repro.datagen import make_dataset
 from repro.datagen.datasets import DATASET_CONFIGS
+from repro.engine import SimilarityEngine, Query
+from repro.engine import registry as engine_registry
 from repro.eval import ExperimentRunner
 from repro.eval.report import ResultSink
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Shared realization/backend flags (see :mod:`repro.engine`)."""
+    subparser.add_argument(
+        "--realization",
+        default="direct",
+        choices=sorted(engine_registry.REALIZATIONS),
+        help="predicate realization: in-memory Python (direct) or pure SQL (declarative)",
+    )
+    subparser.add_argument(
+        "--backend",
+        default="memory",
+        choices=sorted(engine_registry.BACKENDS),
+        help="SQL backend for the declarative realization",
+    )
 
 
 def _add_blocker_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -51,16 +71,21 @@ def _add_blocker_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _blocker_from_args(args: argparse.Namespace, threshold: Optional[float]):
-    try:
-        return make_blocker(
-            args.blocker,
-            threshold=threshold,
-            lsh_bands=args.lsh_bands,
-            lsh_rows=args.lsh_rows,
+def _engine_query(args: argparse.Namespace, strings: List[str]) -> Query:
+    """Build the engine query all sub-commands share."""
+    query = (
+        SimilarityEngine()
+        .from_strings(strings)
+        .predicate(args.predicate)
+        .realization(args.realization)
+    )
+    if args.realization == "declarative":
+        query = query.backend(args.backend)
+    if getattr(args, "blocker", "none") != "none":
+        query = query.blocker(
+            args.blocker, lsh_bands=args.lsh_bands, lsh_rows=args.lsh_rows
         )
-    except ValueError as error:
-        raise SystemExit(f"error: {error}")
+    return query
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("predicates", help="list the available similarity predicates")
+    subparsers.add_parser(
+        "predicates",
+        help="list the available similarity predicates (realizations and aliases)",
+    )
 
     generate = subparsers.add_parser("generate", help="generate a benchmark dataset")
     generate.add_argument("--dataset", default="CU1", choices=sorted(DATASET_CONFIGS))
@@ -85,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--query", required=True)
     query.add_argument("--top", type=int, default=10)
     query.add_argument("--threshold", type=float, default=None)
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the engine's plan, emitted SQL and blocker statistics",
+    )
+    _add_engine_arguments(query)
     _add_blocker_arguments(query)
 
     evaluate = subparsers.add_parser("evaluate", help="measure accuracy (MAP / max-F1)")
@@ -95,11 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=42)
     evaluate.add_argument("--predicates", nargs="+", default=["bm25"])
     evaluate.add_argument("--output", type=Path, default=None, help="save the report (txt/md/csv)")
+    _add_engine_arguments(evaluate)
 
     dedup = subparsers.add_parser("dedup", help="cluster duplicates in a relation")
     dedup.add_argument("--base", type=Path, required=True)
     dedup.add_argument("--predicate", default="jaccard")
     dedup.add_argument("--threshold", type=float, default=0.6)
+    _add_engine_arguments(dedup)
     _add_blocker_arguments(dedup)
 
     return parser
@@ -118,8 +154,11 @@ def _load_strings(path: Path) -> List[str]:
 
 
 def _cmd_predicates(_: argparse.Namespace) -> int:
-    for name in available_predicates():
-        print(name)
+    for name in engine_registry.available_predicates():
+        spec = engine_registry.spec_for(name)
+        realizations = "+".join(spec.realizations)
+        aliases = ", ".join(spec.aliases) if spec.aliases else "-"
+        print(f"{name:18s} {spec.family:20s} {realizations:20s} aliases: {aliases}")
     return 0
 
 
@@ -140,16 +179,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     strings = _load_strings(args.base)
-    blocker = _blocker_from_args(args, args.threshold)
-    selector = ApproximateSelector(strings, predicate=args.predicate)
-    if blocker is not None:
-        selector.predicate.set_blocker(blocker)
-    if args.threshold is not None:
-        results = selector.select(args.query, args.threshold)
-    else:
-        results = selector.top_k(args.query, k=args.top)
+    query = _engine_query(args, strings)
+    try:
+        if args.explain:
+            # explain() executes the operation once and carries its matches,
+            # so the explained run and the printed results are the same run.
+            report = query.explain(
+                args.query,
+                threshold=args.threshold,
+                k=None if args.threshold is not None else args.top,
+            )
+            print(report.describe())
+            print()
+            results = list(report.results or ())
+        elif args.threshold is not None:
+            results = query.select(args.query, args.threshold)
+        else:
+            results = query.top_k(args.query, k=args.top)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
     for result in results:
-        print(f"{result.score:10.4f}\t{result.tid}\t{result.text}")
+        print(f"{result.score:10.4f}\t{result.tid}\t{result.string}")
     return 0
 
 
@@ -159,7 +209,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(dataset, args.dataset)
     sink = ResultSink(title=f"Accuracy on {args.dataset} ({args.size} tuples, {args.queries} queries)")
     for name in args.predicates:
-        result = runner.evaluate(name, num_queries=args.queries)
+        result = runner.evaluate(
+            name,
+            num_queries=args.queries,
+            realization=args.realization,
+            backend=args.backend,
+        )
         sink.add(result.summary_row())
     print(sink.to_text())
     if args.output is not None:
@@ -170,11 +225,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_dedup(args: argparse.Namespace) -> int:
     strings = _load_strings(args.base)
-    blocker = _blocker_from_args(args, args.threshold)
-    dedup = Deduplicator(
-        strings, predicate=args.predicate, threshold=args.threshold, blocker=blocker
-    )
-    clusters = dedup.clusters()
+    query = _engine_query(args, strings)
+    try:
+        clusters = query.dedup(args.threshold)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
     for label, cluster in enumerate(clusters):
         if len(cluster) < 2:
             continue
@@ -183,10 +238,10 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
             print(f"    {tid}\t{strings[tid]}")
     singletons = sum(1 for cluster in clusters if len(cluster) == 1)
     print(f"\n{len(clusters)} clusters, {singletons} singletons")
-    stats = dedup.joiner.last_self_join_stats
-    if blocker is not None and stats is not None:
+    stats = query.last_self_join_stats
+    if args.blocker != "none" and stats is not None:
         print(
-            f"blocking[{blocker.name}]: {stats.pairs_examined} candidate pairs "
+            f"blocking[{args.blocker}]: {stats.pairs_examined} candidate pairs "
             f"examined over {stats.probes} probes "
             f"({stats.probes_skipped} probes skipped with no block partners)"
         )

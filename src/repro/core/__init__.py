@@ -1,13 +1,13 @@
-"""Core library: the approximate selection operation and its predicates.
+"""Core library: the similarity predicates and the operations over them.
 
-The public entry point is :class:`repro.core.selection.ApproximateSelector`,
-which indexes a base relation of strings under one similarity predicate and
-answers ranked or thresholded approximate selections.  The individual
-predicates live in :mod:`repro.core.predicates` and can also be used
-directly.
+The preferred public entry point is :class:`repro.engine.SimilarityEngine`;
+this package provides the direct (in-memory Python) predicate realizations
+(:mod:`repro.core.predicates`), the approximate join and deduplication
+operators and the deprecated :class:`ApproximateSelector` shim.
 """
 
 from repro.core.predicates import (
+    Match,
     Predicate,
     available_predicates,
     make_predicate,
@@ -18,6 +18,7 @@ from repro.core.dedup import Deduplicator, DuplicateCluster, ClusteringQuality
 
 __all__ = [
     "ApproximateSelector",
+    "Match",
     "SelectionResult",
     "ApproximateJoiner",
     "JoinMatch",

@@ -20,7 +20,7 @@ recall / F1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.join import ApproximateJoiner
 from repro.core.predicates.base import Predicate

@@ -110,7 +110,14 @@ class ApproximateJoiner:
             self.predicate.set_blocker(blocker)
         #: Statistics of the most recent :meth:`self_join` run.
         self.last_self_join_stats: Optional[SelfJoinStats] = None
-        self.predicate.fit(self._base)
+        # Predicates already fitted on this very relation (e.g. handed over by
+        # the engine's fitted-state cache) are reused without re-preprocessing.
+        already_fitted = (
+            getattr(predicate, "is_fitted", False)
+            or getattr(predicate, "is_preprocessed", False)
+        ) and getattr(predicate, "base_strings", None) == self._base
+        if not already_fitted:
+            self.predicate.fit(self._base)
 
     @property
     def blocker(self) -> Optional["Blocker"]:

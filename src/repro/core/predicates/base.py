@@ -25,20 +25,62 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.blocking.base import Blocker
 
-__all__ = ["ScoredTuple", "Predicate"]
+__all__ = ["Match", "ScoredTuple", "Predicate"]
 
 
 @dataclass(frozen=True)
-class ScoredTuple:
-    """One result of an approximate selection: a tuple id and its score."""
+class Match:
+    """One result of an approximate selection, join probe or engine query.
+
+    The single result type shared by every realization: ``tid`` is the
+    position of the matched tuple in the base relation, ``score`` its
+    similarity to the query and ``string`` the matched text itself.
+    Predicates score tuples without materializing their text, so results
+    produced below the engine/selector layer carry ``string=None``; the
+    engine fills it in before handing results to callers.
+
+    Backward compatibility with the two result types this class replaced:
+
+    * ``ScoredTuple(tid, score)`` -- ``ScoredTuple`` is an alias of this
+      class (the field order keeps ``string`` last and optional), and
+      ``tid, score = match`` unpacking still works;
+    * ``SelectionResult(tid, text, score)`` -- ``SelectionResult`` (in
+      :mod:`repro.core.selection`) is also an alias; the old ``.text``
+      attribute is kept as a read-only property of :attr:`string`.
+    """
 
     tid: int
     score: float
+    string: Optional[str] = None
+
+    def __post_init__(self):
+        # The retired SelectionResult took (tid, text, score) positionally;
+        # Match keeps ScoredTuple's (tid, score[, string]) order instead.
+        # Fail loudly on the old pattern rather than silently swapping fields.
+        if isinstance(self.score, str):
+            raise TypeError(
+                "Match fields are (tid, score, string); construct with "
+                "keywords when porting SelectionResult(tid, text, score) calls"
+            )
+
+    @property
+    def text(self) -> Optional[str]:
+        """Alias of :attr:`string` (the old ``SelectionResult`` field name)."""
+        return self.string
 
     def __iter__(self):
-        """Allow ``tid, score = scored`` unpacking."""
+        """Allow ``tid, score = match`` unpacking (the ``ScoredTuple`` contract)."""
         yield self.tid
         yield self.score
+
+    def with_string(self, string: str) -> "Match":
+        """A copy of this match carrying the matched text."""
+        return Match(self.tid, self.score, string)
+
+
+#: Backward-compatible alias: the realization-internal scored pair is now the
+#: same class as the public result type.
+ScoredTuple = Match
 
 
 class Predicate(ABC):

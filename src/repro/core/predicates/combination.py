@@ -24,9 +24,8 @@ for candidate generation.
 
 from __future__ import annotations
 
-import math
 from collections import Counter, defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.core.predicates.base import Predicate
 from repro.text.minhash import MinHasher, MinHashSignature, minhash_similarity

@@ -13,7 +13,7 @@ Robertson-Sparck Jones (RS) weights are more accurate than idf (section
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.index import InvertedIndex
 from repro.core.predicates.base import Predicate

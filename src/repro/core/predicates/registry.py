@@ -1,4 +1,11 @@
-"""Predicate registry: construct any predicate by name with paper defaults."""
+"""Direct-predicate registry (delegates name resolution to the engine).
+
+The class table below is the data source for the *direct* (in-memory Python)
+realizations; name/alias resolution lives in the merged
+:mod:`repro.engine.registry`, which both this module and
+:mod:`repro.declarative.registry` delegate to, so every entry point accepts
+exactly the same names.
+"""
 
 from __future__ import annotations
 
@@ -35,30 +42,6 @@ PREDICATE_CLASSES: Dict[str, Type[Predicate]] = {
     "soft_tfidf": SoftTFIDF,
 }
 
-#: Aliases accepted by :func:`make_predicate` (case-insensitive).
-_ALIASES: Dict[str, str] = {
-    "intersectsize": "intersect",
-    "xect": "intersect",
-    "jac": "jaccard",
-    "wm": "weighted_match",
-    "weightedmatch": "weighted_match",
-    "wj": "weighted_jaccard",
-    "weightedjaccard": "weighted_jaccard",
-    "tfidf": "cosine",
-    "tf-idf": "cosine",
-    "cosine_tfidf": "cosine",
-    "okapi": "bm25",
-    "language_modeling": "lm",
-    "languagemodel": "lm",
-    "ed": "edit_distance",
-    "edit": "edit_distance",
-    "editdistance": "edit_distance",
-    "gesjaccard": "ges_jaccard",
-    "gesapx": "ges_apx",
-    "softtfidf": "soft_tfidf",
-    "stfidf": "soft_tfidf",
-}
-
 
 def available_predicates() -> List[str]:
     """Canonical names of every registered predicate."""
@@ -66,17 +49,13 @@ def available_predicates() -> List[str]:
 
 
 def make_predicate(name: str, **kwargs) -> Predicate:
-    """Construct a predicate by (case-insensitive) name or alias.
+    """Construct a direct predicate by (case-insensitive) name or alias.
 
     Keyword arguments are forwarded to the predicate constructor, e.g.
     ``make_predicate("bm25")`` or ``make_predicate("ges_jaccard", threshold=0.7)``.
+    Name resolution is shared with the declarative factory through
+    :func:`repro.engine.registry.make`.
     """
-    key = name.strip().lower().replace(" ", "_")
-    key = _ALIASES.get(key, key)
-    try:
-        cls = PREDICATE_CLASSES[key]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown predicate {name!r}; available: {available_predicates()}"
-        ) from exc
-    return cls(**kwargs)
+    from repro.engine.registry import make
+
+    return make(name, realization="direct", **kwargs)

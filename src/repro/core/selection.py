@@ -1,40 +1,39 @@
-"""The approximate selection operation: the library's public entry point.
+"""The legacy approximate-selection entry point (thin shim over the engine).
 
-:class:`ApproximateSelector` wraps a base relation of strings and a
-similarity predicate and exposes the operations the paper studies:
+.. deprecated::
+    :class:`ApproximateSelector` predates :class:`repro.engine.SimilarityEngine`
+    and is kept as a thin backward-compatible shim.  New code should use the
+    engine's fluent query API, which exposes the same operations over *both*
+    realizations (direct and declarative), both SQL backends and the blocking
+    subsystem::
 
-* ranked retrieval (:meth:`ApproximateSelector.rank`) -- every candidate
-  tuple ordered by decreasing similarity;
-* thresholded approximate selection (:meth:`ApproximateSelector.select`) --
-  all tuples with ``sim(query, t) >= threshold``;
-* top-k retrieval (:meth:`ApproximateSelector.top_k`).
+        from repro import SimilarityEngine
 
-Results are :class:`SelectionResult` objects carrying the tuple id, the
-original string and the similarity score.
+        query = SimilarityEngine().from_strings(strings).predicate("bm25")
+        query.top_k("Morgn Stanley Inc", 1)
+
+    Results are :class:`~repro.core.predicates.base.Match` objects;
+    ``SelectionResult`` is a backward-compatible alias of :class:`Match`
+    (the old ``.text`` attribute is kept as a property).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
-from repro.core.predicates.base import Predicate
-from repro.core.predicates.registry import make_predicate
+from repro.core.predicates.base import Match, Predicate
 
 __all__ = ["SelectionResult", "ApproximateSelector"]
 
-
-@dataclass(frozen=True)
-class SelectionResult:
-    """One tuple returned by an approximate selection."""
-
-    tid: int
-    text: str
-    score: float
+#: Backward-compatible alias of the unified result type.
+SelectionResult = Match
 
 
 class ApproximateSelector:
     """Approximate (flexible) selection over a relation of strings.
+
+    .. deprecated:: use :class:`repro.engine.SimilarityEngine` instead; this
+       class now merely forwards to an engine query bound to ``strings``.
 
     Parameters
     ----------
@@ -42,10 +41,10 @@ class ApproximateSelector:
         The base relation ``R``; tuple ids are positions in this sequence.
     predicate:
         Either a :class:`~repro.core.predicates.base.Predicate` instance or a
-        predicate name understood by
-        :func:`~repro.core.predicates.registry.make_predicate`.
+        predicate name understood by the merged
+        :mod:`repro.engine.registry`.
     **predicate_kwargs:
-        Forwarded to ``make_predicate`` when ``predicate`` is a name.
+        Forwarded to the predicate constructor when ``predicate`` is a name.
 
     Example
     -------
@@ -61,39 +60,36 @@ class ApproximateSelector:
         predicate: Union[Predicate, str] = "bm25",
         **predicate_kwargs,
     ):
-        self._strings = list(strings)
-        if isinstance(predicate, str):
-            predicate = make_predicate(predicate, **predicate_kwargs)
-        elif predicate_kwargs:
+        from repro.engine import SimilarityEngine
+
+        if not isinstance(predicate, str) and predicate_kwargs:
             raise ValueError("predicate_kwargs are only valid with a predicate name")
-        self.predicate = predicate
-        self.predicate.fit(self._strings)
+        self._strings = list(strings)
+        self._query = (
+            SimilarityEngine()
+            .from_strings(self._strings)
+            .predicate(predicate, **predicate_kwargs)
+        )
+        # Preserve the historical fit-at-construction contract.
+        self.predicate = self._query.fitted_predicate()
 
     # -- operations -----------------------------------------------------------
 
-    def rank(self, query: str, limit: Optional[int] = None) -> List[SelectionResult]:
+    def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
         """All candidate tuples ordered by decreasing similarity to ``query``."""
-        return [
-            SelectionResult(st.tid, self._strings[st.tid], st.score)
-            for st in self.predicate.rank(query, limit=limit)
-        ]
+        return self._query.rank(query, limit=limit)
 
-    def select(self, query: str, threshold: float) -> List[SelectionResult]:
+    def select(self, query: str, threshold: float) -> List[Match]:
         """The approximate selection ``{t | sim(query, t) >= threshold}``."""
-        return [
-            SelectionResult(st.tid, self._strings[st.tid], st.score)
-            for st in self.predicate.select(query, threshold)
-        ]
+        return self._query.select(query, threshold)
 
-    def top_k(self, query: str, k: int) -> List[SelectionResult]:
+    def top_k(self, query: str, k: int) -> List[Match]:
         """The ``k`` most similar tuples."""
-        if k < 0:
-            raise ValueError("k must be non-negative")
-        return self.rank(query, limit=k)
+        return self._query.top_k(query, k)
 
     def score(self, query: str, tid: int) -> float:
         """Similarity between ``query`` and the tuple with id ``tid``."""
-        return self.predicate.score(query, tid)
+        return self._query.score(query, tid)
 
     # -- introspection ----------------------------------------------------------
 

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import random
 import string
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 __all__ = [
     "EditErrorInjector",

@@ -21,8 +21,8 @@ Parameters mirror Table 5.2:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.datagen.distributions import duplicate_counts
 from repro.datagen.errors import (

@@ -15,8 +15,8 @@ The nodes are plain dataclasses; evaluation lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 __all__ = [
     "Expression",

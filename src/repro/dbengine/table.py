@@ -7,7 +7,7 @@ are retained so ``CREATE TABLE`` round-trips and tests can introspect them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.dbengine.errors import ExecutionError

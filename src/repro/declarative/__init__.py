@@ -23,6 +23,7 @@ from repro.declarative.language_model import DeclarativeLanguageModeling
 from repro.declarative.hmm import DeclarativeHMM
 from repro.declarative.edit import DeclarativeEditDistance
 from repro.declarative.combination import (
+    DeclarativeGES,
     DeclarativeGESApx,
     DeclarativeGESJaccard,
     DeclarativeSoftTFIDF,
@@ -44,6 +45,7 @@ __all__ = [
     "DeclarativeLanguageModeling",
     "DeclarativeHMM",
     "DeclarativeEditDistance",
+    "DeclarativeGES",
     "DeclarativeGESJaccard",
     "DeclarativeGESApx",
     "DeclarativeSoftTFIDF",

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Set
 
 from repro.backends.base import SQLBackend
 from repro.backends.memory import MemoryBackend
-from repro.core.predicates.base import ScoredTuple
+from repro.core.predicates.base import Match
 from repro.declarative import tokens as token_tables
 from repro.text.tokenize import QgramTokenizer, Tokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.blocking.base import Blocker
 
 __all__ = ["DeclarativePredicate"]
 
@@ -27,10 +31,20 @@ class DeclarativePredicate(ABC):
 
     Subclasses implement :meth:`weight_phase` (the preprocessing SQL beyond
     tokenization) and :meth:`query_scores` (the query-time SQL).
+
+    The class satisfies the same
+    :class:`repro.engine.protocol.SimilarityPredicateProtocol` as the direct
+    predicates (``fit`` is an alias of :meth:`preprocess`; blocking and
+    candidate restriction are applied to the SQL result rows), so declarative
+    predicates are drop-in replacements in the engine, the approximate join
+    and deduplication.
     """
 
     name: str = "declarative"
     family: str = "unspecified"
+    #: Score semantics relevant to exact blocking (see
+    #: :attr:`repro.core.predicates.base.Predicate.similarity_kind`).
+    similarity_kind: str = "score"
 
     def __init__(
         self,
@@ -43,6 +57,11 @@ class DeclarativePredicate(ABC):
         self.sql_tokenization = sql_tokenization
         self._strings: List[str] = []
         self._preprocessed = False
+        self._blocker: Optional["Blocker"] = None
+        self._restriction: Optional[Set[int]] = None
+        #: Number of candidates scored by the most recent :meth:`rank` /
+        #: :meth:`select` call (after blocking), as for direct predicates.
+        self.last_num_candidates: Optional[int] = None
 
     # -- preprocessing ----------------------------------------------------------
 
@@ -53,6 +72,8 @@ class DeclarativePredicate(ABC):
         self.tokenize_phase()
         self.weight_phase()
         self._preprocessed = True
+        if self._blocker is not None:
+            self._fit_blocker(self._blocker)
         return self
 
     # Alias so declarative and direct predicates can be used interchangeably.
@@ -71,28 +92,122 @@ class DeclarativePredicate(ABC):
     def weight_phase(self) -> None:
         """Materialize the predicate-specific weight tables (Appendix B)."""
 
+    # -- blocking ----------------------------------------------------------------
+
+    @property
+    def blocker(self) -> Optional["Blocker"]:
+        """The candidate blocker attached to this predicate (``None`` = off)."""
+        return self._blocker
+
+    def set_blocker(self, blocker: Optional["Blocker"]) -> "DeclarativePredicate":
+        """Attach a :class:`repro.blocking.Blocker` for candidate pruning.
+
+        Declarative predicates compute scores in SQL, so the blocker prunes
+        the returned candidate rows rather than the SQL itself; the semantics
+        (exactness at the blocker's threshold, Jaccard-derived filters
+        demoting to heuristics on other score kinds) match
+        :meth:`repro.core.predicates.base.Predicate.set_blocker`.
+        """
+        if (
+            blocker is not None
+            and getattr(blocker, "semantics", "any") == "jaccard"
+            and self.similarity_kind != "jaccard"
+        ):
+            import warnings
+
+            warnings.warn(
+                f"{type(blocker).__name__} derives its bounds from Jaccard "
+                f"semantics; with the {self.name} predicate it is a heuristic "
+                "and may drop candidates whose score reaches the threshold",
+                UserWarning,
+                stacklevel=2,
+            )
+        self._blocker = blocker
+        if blocker is not None and self._preprocessed:
+            self._fit_blocker(blocker)
+        return self
+
+    def _fit_blocker(self, blocker: "Blocker") -> None:
+        blocker.fit(self._blocker_corpus(blocker))
+
+    def _blocker_corpus(self, blocker: "Blocker") -> List[List[str]]:
+        """Token lists the blocker is fitted on (the blocker's own tokenizer,
+        exactly as for direct predicates without shared token lists)."""
+        return blocker.tokenizer.tokenize_many(self._strings)
+
+    def _blocker_query_tokens(self, query: str, blocker: "Blocker") -> Set[str]:
+        return set(blocker.tokenizer.tokenize(query))
+
+    @contextmanager
+    def restrict_candidates(self, allowed: Optional[Set[int]]) -> Iterator[None]:
+        """Scope queries to the given tuple ids (used by blocked self-joins)."""
+        previous = self._restriction
+        self._restriction = allowed
+        try:
+            yield
+        finally:
+            self._restriction = previous
+
+    def _apply_candidate_filter(self, query: str, rows: List[Match]) -> List[Match]:
+        """Apply the active restriction and blocker to scored SQL rows.
+
+        Also records :attr:`last_num_candidates` (the number of candidates
+        that survive, i.e. the per-query work a blocker saves).
+        """
+        blocker, restriction = self._blocker, self._restriction
+        if blocker is not None or restriction is not None:
+            allowed = {scored.tid for scored in rows}
+            if restriction is not None:
+                allowed &= set(restriction)
+            if blocker is not None:
+                allowed = blocker.prune(
+                    self._blocker_query_tokens(query, blocker), allowed
+                )
+            rows = [scored for scored in rows if scored.tid in allowed]
+        self.last_num_candidates = len(rows)
+        return rows
+
+    def _check_blocker_threshold(self, threshold: float) -> None:
+        """Refuse selections below the threshold an exact blocker was built for."""
+        if self._blocker is not None and not self._blocker.supports_threshold(threshold):
+            raise ValueError(
+                f"selection threshold {threshold} is below the threshold the "
+                f"attached {self._blocker.name!r} blocker was built for; "
+                "rebuild the blocker with the lower threshold"
+            )
+
     # -- query time --------------------------------------------------------------
 
     @abstractmethod
     def query_scores(self, query: str) -> List[tuple]:
         """Run the query-time SQL; returns ``(tid, score)`` rows (unordered)."""
 
-    def rank(self, query: str, limit: Optional[int] = None) -> List[ScoredTuple]:
+    def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
         """Tuples ranked by decreasing score, ties broken by tuple id."""
         self._require_preprocessed()
         rows = [
-            ScoredTuple(int(tid), float(score))
+            Match(int(tid), float(score))
             for tid, score in self.query_scores(query)
             if score is not None
         ]
+        rows = self._apply_candidate_filter(query, rows)
         rows.sort(key=lambda st: (-st.score, st.tid))
         if limit is not None:
             rows = rows[:limit]
         return rows
 
-    def select(self, query: str, threshold: float) -> List[ScoredTuple]:
+    def select(self, query: str, threshold: float) -> List[Match]:
         """Approximate selection with a similarity threshold."""
+        self._check_blocker_threshold(threshold)
         return [scored for scored in self.rank(query) if scored.score >= threshold]
+
+    def score(self, query: str, tid: int) -> float:
+        """Similarity between ``query`` and tuple ``tid`` (0.0 if not scored)."""
+        self._require_preprocessed()
+        for scored in self.rank(query):
+            if scored.tid == tid:
+                return scored.score
+        return 0.0
 
     # -- helpers ----------------------------------------------------------------
 
@@ -102,6 +217,10 @@ class DeclarativePredicate(ABC):
     @property
     def is_preprocessed(self) -> bool:
         return self._preprocessed
+
+    @property
+    def base_strings(self) -> List[str]:
+        return list(self._strings)
 
     def _require_preprocessed(self) -> None:
         if not self._preprocessed:

@@ -18,16 +18,20 @@ words and per-word q-gram counts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.backends.base import SQLBackend
 from repro.core.predicates.combination import GES
 from repro.declarative.base import DeclarativePredicate
-from repro.declarative.tokens import sql_escape
 from repro.text.minhash import MinHasher
 from repro.text.tokenize import Tokenizer, WordTokenizer, qgrams
 
-__all__ = ["DeclarativeSoftTFIDF", "DeclarativeGESJaccard", "DeclarativeGESApx"]
+__all__ = [
+    "DeclarativeSoftTFIDF",
+    "DeclarativeGES",
+    "DeclarativeGESJaccard",
+    "DeclarativeGESApx",
+]
 
 
 class _DeclarativeCombinationBase(DeclarativePredicate):
@@ -200,6 +204,52 @@ class DeclarativeSoftTFIDF(_DeclarativeCombinationBase):
             "FROM MAXTOKEN TM, QUERY_WEIGHTS WQ, BASE_WEIGHTS WB "
             "WHERE TM.token2 = WQ.token AND TM.tid = WB.tid AND TM.token1 = WB.token "
             "GROUP BY TM.tid"
+        )
+
+
+class DeclarativeGES(_DeclarativeCombinationBase):
+    """Plain GES computed with a registered UDF (paper section 4.5).
+
+    The paper computes the exact generalized edit similarity with a UDF
+    installed in the database server rather than with pure SQL; this
+    realization does the same: candidate generation (tuples sharing at least
+    one word q-gram with the query) runs in SQL over ``BASE_QGRAMS`` /
+    ``QUERY_QGRAMS`` and a ``GESSCORE`` UDF -- registered on either backend --
+    scores each candidate tuple with equation 3.14.
+    """
+
+    name = "GES"
+
+    def __init__(self, *args, cins: float = 0.5, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= cins <= 1.0:
+            raise ValueError("cins must be within [0, 1]")
+        self.cins = cins
+        #: exact GES scorer backing the UDF.
+        self._verifier: Optional[GES] = None
+        #: word tokens of the query currently being scored (set per query so
+        #: the UDF does not re-tokenize the query for every candidate row).
+        self._query_words: List[str] = []
+
+    def weight_phase(self) -> None:
+        self._materialize_word_tables()
+        self._materialize_word_qgrams()
+        self._verifier = GES(q=self.q, cins=self.cins).fit(self._strings)
+        self.backend.register_function("GESSCORE", 1, self._ges_udf)
+
+    def _ges_udf(self, tid: object) -> float:
+        assert self._verifier is not None
+        return self._verifier.ges_score(
+            self._query_words, self._verifier._word_lists[int(tid)]
+        )
+
+    def query_scores(self, query: str) -> List[tuple]:
+        self._load_query_word_tables(query)
+        self._query_words = self.tokenizer.tokenize(query)
+        return self.backend.query(
+            "SELECT C.tid, GESSCORE(C.tid) AS score "
+            "FROM (SELECT DISTINCT BQ.tid AS tid FROM BASE_QGRAMS BQ, QUERY_QGRAMS Q "
+            "      WHERE BQ.qgram = Q.qgram) C"
         )
 
 

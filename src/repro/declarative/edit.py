@@ -60,6 +60,7 @@ class DeclarativeEditDistance(DeclarativePredicate):
         self._require_preprocessed()
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be within [0, 1]")
+        self._check_blocker_threshold(threshold)
         self.load_query_tokens(query)
         normalized = normalize_string(query)
         literal = sql_escape(normalized)
@@ -70,11 +71,16 @@ class DeclarativeEditDistance(DeclarativePredicate):
         # yields the q-gram count filter and the length filter pushed into the
         # candidate-generation statement below.
         rows = self._select_rows(literal, threshold, q, query_length, num_query_tokens)
-        results = [
+        scored = [
             ScoredTuple(int(tid), float(score))
             for tid, score in rows
-            if score is not None and float(score) >= threshold
+            if score is not None
         ]
+        # Blocking/restriction applies to the scored candidates *before* the
+        # threshold cut, so last_num_candidates counts candidates scored (as
+        # in every other predicate), not final results.
+        scored = self._apply_candidate_filter(query, scored)
+        results = [st for st in scored if st.score >= threshold]
         results.sort(key=lambda st: (-st.score, st.tid))
         return results
 

@@ -79,6 +79,8 @@ class DeclarativeJaccard(_DeclarativeOverlapBase):
     """Jaccard coefficient (Figure 4.2)."""
 
     name = "Jaccard"
+    #: Length/prefix blockers stay exact for this score (see the direct twin).
+    similarity_kind = "jaccard"
 
     def weight_phase(self) -> None:
         self._materialize_distinct_tokens()

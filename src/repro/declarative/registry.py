@@ -1,4 +1,11 @@
-"""Registry of declarative predicate realizations."""
+"""Declarative-predicate registry (delegates name resolution to the engine).
+
+The class table below is the data source for the *declarative* (pure SQL /
+UDF) realizations; name/alias resolution lives in the merged
+:mod:`repro.engine.registry`, shared with
+:mod:`repro.core.predicates.registry`, so the two factories accept exactly
+the same names -- the registry-drift the two tables used to have is gone.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Dict, List, Type
 from repro.declarative.aggregate import DeclarativeBM25, DeclarativeCosine
 from repro.declarative.base import DeclarativePredicate
 from repro.declarative.combination import (
+    DeclarativeGES,
     DeclarativeGESApx,
     DeclarativeGESJaccard,
     DeclarativeSoftTFIDF,
@@ -37,6 +45,7 @@ DECLARATIVE_CLASSES: Dict[str, Type[DeclarativePredicate]] = {
     "lm": DeclarativeLanguageModeling,
     "hmm": DeclarativeHMM,
     "edit_distance": DeclarativeEditDistance,
+    "ges": DeclarativeGES,
     "ges_jaccard": DeclarativeGESJaccard,
     "ges_apx": DeclarativeGESApx,
     "soft_tfidf": DeclarativeSoftTFIDF,
@@ -49,19 +58,13 @@ def available_declarative_predicates() -> List[str]:
 
 
 def make_declarative_predicate(name: str, **kwargs) -> DeclarativePredicate:
-    """Construct a declarative predicate by name.
+    """Construct a declarative predicate by name or alias.
 
-    The names match :func:`repro.core.predicates.make_predicate` (except for
-    plain ``ges``, whose exact form the paper computes with a UDF rather than
-    declaratively); keyword arguments are forwarded to the constructor, e.g.
-    ``make_declarative_predicate("bm25", backend=SQLiteBackend())``.
+    The names and aliases match :func:`repro.core.predicates.make_predicate`
+    exactly (plain ``ges`` runs its exact scoring through a registered UDF,
+    as in the original study); keyword arguments are forwarded to the
+    constructor, e.g. ``make_declarative_predicate("bm25", backend="sqlite")``.
     """
-    key = name.strip().lower().replace(" ", "_").replace("-", "_")
-    try:
-        cls = DECLARATIVE_CLASSES[key]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown declarative predicate {name!r}; "
-            f"available: {available_declarative_predicates()}"
-        ) from exc
-    return cls(**kwargs)
+    from repro.engine.registry import make
+
+    return make(name, realization="declarative", **kwargs)

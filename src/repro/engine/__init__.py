@@ -1,0 +1,58 @@
+"""Unified similarity engine: one query API over every realization.
+
+The engine is the library's front door (see :class:`SimilarityEngine`):
+
+* one fluent :class:`Query` builder covering the four operations the paper
+  studies -- thresholded selection, top-k / ranked retrieval, approximate
+  join and deduplication;
+* both realizations of every predicate (direct in-memory Python and
+  declarative SQL), both SQL backends (bundled in-memory engine / SQLite)
+  and the :mod:`repro.blocking` subsystem behind the same calls;
+* a merged, alias-aware predicate registry
+  (:mod:`repro.engine.registry`) that the legacy per-realization factories
+  delegate to;
+* batch execution (:meth:`Query.run_many`) amortizing fitted predicate and
+  token-table state across a query workload, and :meth:`Query.explain`
+  reporting the chosen plan, emitted SQL and blocker reduction statistics.
+"""
+
+from repro.core.predicates.base import Match
+from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
+from repro.engine.protocol import SimilarityPredicateProtocol
+from repro.engine.query import Query, SimilarityEngine
+from repro.engine.registry import (
+    ALIASES,
+    BACKENDS,
+    REALIZATIONS,
+    SPECS,
+    PredicateSpec,
+    aliases_for,
+    available_predicates,
+    available_realizations,
+    canonical_name,
+    make,
+    make_backend,
+    spec_for,
+)
+
+__all__ = [
+    "SimilarityEngine",
+    "Query",
+    "Match",
+    "QueryPlan",
+    "ExplainReport",
+    "RecordingBackend",
+    "SimilarityPredicateProtocol",
+    "PredicateSpec",
+    "SPECS",
+    "ALIASES",
+    "BACKENDS",
+    "REALIZATIONS",
+    "canonical_name",
+    "spec_for",
+    "aliases_for",
+    "available_predicates",
+    "available_realizations",
+    "make",
+    "make_backend",
+]

@@ -1,0 +1,166 @@
+"""Query plans, explain reports, and SQL capture for the similarity engine.
+
+:class:`QueryPlan` is the lazily-derived description of how a
+:class:`repro.engine.query.Query` will execute (predicate, realization,
+backend, blocker); :class:`ExplainReport` adds what actually happened when a
+sample query ran -- the emitted SQL (declarative realization), blocker
+candidate-reduction statistics and timings.  :class:`RecordingBackend` is the
+transparent backend wrapper that captures every SQL statement the declarative
+realization emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.backends.base import SQLBackend
+from repro.blocking.base import BlockingStats
+from repro.core.predicates.base import Match
+
+__all__ = ["QueryPlan", "ExplainReport", "RecordingBackend"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How the engine will execute one operation (before/without running it)."""
+
+    operation: str
+    predicate: str
+    realization: str
+    num_tuples: int
+    backend: Optional[str] = None
+    blocker: Optional[str] = None
+    blocker_threshold: Optional[float] = None
+    predicate_params: Tuple[Tuple[str, object], ...] = ()
+    notes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan (the CLI's ``--explain`` output)."""
+        lines = [
+            f"operation:   {self.operation}",
+            f"predicate:   {self.predicate}"
+            + (
+                " (" + ", ".join(f"{k}={v!r}" for k, v in self.predicate_params) + ")"
+                if self.predicate_params
+                else ""
+            ),
+            f"realization: {self.realization}",
+            f"backend:     {self.backend if self.backend else '-'}",
+            f"blocker:     {self.blocker if self.blocker else '-'}"
+            + (
+                f" (threshold={self.blocker_threshold})"
+                if self.blocker_threshold is not None
+                else ""
+            ),
+            f"base size:   {self.num_tuples} tuples",
+        ]
+        for note in self.notes:
+            lines.append(f"note:        {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass
+class ExplainReport:
+    """A plan plus the measurements of one executed sample query."""
+
+    plan: QueryPlan
+    #: SQL statements emitted while answering the sample query (declarative
+    #: realization only; the direct realization executes in-process).
+    sql: Tuple[str, ...] = ()
+    #: Blocker candidate-reduction counters for the sample query.
+    blocker_stats: Optional[BlockingStats] = None
+    #: Candidates actually scored (after blocking) for the sample query.
+    num_candidates: Optional[int] = None
+    num_results: Optional[int] = None
+    seconds: Optional[float] = None
+    #: The sample query's matches (with strings), so callers that want both
+    #: the explanation and the answer pay for one execution, not two.
+    results: Optional[Tuple[Match, ...]] = None
+
+    def describe(self) -> str:
+        lines = [self.plan.describe()]
+        if self.seconds is not None:
+            lines.append(f"query time:  {self.seconds * 1000.0:.2f} ms")
+        if self.num_candidates is not None:
+            lines.append(f"candidates:  {self.num_candidates} scored")
+        if self.num_results is not None:
+            lines.append(f"results:     {self.num_results}")
+        if self.blocker_stats is not None:
+            stats = self.blocker_stats
+            lines.append(
+                f"blocking:    {stats.candidates_in} -> {stats.candidates_out} "
+                f"candidates ({stats.pruned} pruned, "
+                f"reduction {stats.reduction_ratio:.1f}x)"
+            )
+        if self.sql:
+            lines.append("emitted SQL:")
+            for statement in self.sql:
+                lines.append(f"  {statement}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class RecordingBackend(SQLBackend):
+    """A transparent :class:`SQLBackend` proxy that records every statement.
+
+    Wraps the real backend the declarative realization runs on; the engine
+    inspects :attr:`statements` to report emitted SQL in ``explain()``.
+    Table loads that bypass SQL (bulk ``insert_rows``) are recorded as SQL
+    comments so the full preprocessing/query script is visible.
+    """
+
+    def __init__(self, inner: SQLBackend):
+        # Deliberately no ``super().__init__()``: the inner backend already
+        # registered the default UDFs, and this proxy adds no state of its own.
+        self.inner = inner
+        self.name = inner.name
+        self.statements: List[str] = []
+
+    # -- SQLBackend interface ----------------------------------------------------
+
+    def execute(self, sql: str) -> object:
+        self.statements.append(sql)
+        return self.inner.execute(sql)
+
+    def query(self, sql: str) -> List[Tuple]:
+        self.statements.append(sql)
+        return self.inner.query(sql)
+
+    def create_table(
+        self, name: str, columns: Sequence[str], if_not_exists: bool = False
+    ) -> None:
+        clause = "IF NOT EXISTS " if if_not_exists else ""
+        self.statements.append(f"CREATE TABLE {clause}{name} ({', '.join(columns)})")
+        self.inner.create_table(name, columns, if_not_exists=if_not_exists)
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        materialized = [tuple(row) for row in rows]
+        self.statements.append(f"-- bulk load {len(materialized)} rows into {name}")
+        return self.inner.insert_rows(name, materialized)
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        clause = "IF EXISTS " if if_exists else ""
+        self.statements.append(f"DROP TABLE {clause}{name}")
+        self.inner.drop_table(name, if_exists=if_exists)
+
+    def has_table(self, name: str) -> bool:
+        return self.inner.has_table(name)
+
+    def register_function(self, name: str, num_args: int, func: Callable) -> None:
+        self.inner.register_function(name, num_args, func)
+
+    # -- recording ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.statements.clear()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,619 @@
+"""The unified similarity engine and its fluent, lazily-planned query builder.
+
+:class:`SimilarityEngine` is the single entry point over everything the
+library can do with a relation of strings: the four operations the paper
+studies (thresholded selection, top-k / ranked retrieval, approximate join,
+deduplication), both realizations of every predicate (direct in-memory Python
+and declarative SQL), both SQL backends (the bundled in-memory engine and
+SQLite) and the blocking subsystem::
+
+    from repro import SimilarityEngine
+
+    engine = SimilarityEngine()
+    matches = (
+        engine.from_strings(rows)
+        .predicate("bm25")
+        .realization("declarative")
+        .backend("sqlite")
+        .top_k("Morgn Stanley Inc", 10)
+    )
+
+:class:`Query` objects are cheap immutable builders: each fluent setter
+returns a new query, and nothing is fitted until a terminal operation runs.
+Fitted predicate state (token tables, weights, blocker indexes) is cached on
+the engine keyed by the full plan, so repeated queries -- and
+:meth:`Query.run_many` batches -- pay preprocessing once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.blocking.base import Blocker, BlockingStats
+from repro.blocking.factory import make_blocker
+from repro.core.dedup import Deduplicator, DuplicateCluster
+from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
+from repro.core.predicates.base import Match, Predicate
+from repro.declarative.base import DeclarativePredicate
+from repro.engine import registry
+from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
+
+__all__ = ["SimilarityEngine", "Query"]
+
+#: Blocker spec stages whose pruning bounds derive from a selection threshold.
+_THRESHOLD_BLOCKERS = ("length", "len", "prefix", "pf")
+
+
+@dataclass
+class _Corpus:
+    """One base relation handed to :meth:`SimilarityEngine.from_strings`."""
+
+    key: int
+    strings: List[str]
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+
+@dataclass
+class _FittedState:
+    """A fitted predicate (plus blocker / SQL recorder) cached on the engine."""
+
+    predicate: Union[Predicate, DeclarativePredicate]
+    blocker: Optional[Blocker] = None
+    recorder: Optional[RecordingBackend] = None
+
+
+class SimilarityEngine:
+    """Facade unifying selections, joins and dedup over every realization.
+
+    Parameters are the session-wide defaults a :class:`Query` starts from;
+    each can be overridden per query through the fluent builder.
+
+    Example
+    -------
+    >>> engine = SimilarityEngine()
+    >>> query = engine.from_strings(["AT&T Inc.", "IBM Corp."]).predicate("jaccard")
+    >>> [match.tid for match in query.top_k("AT&T Incorporated", 1)]
+    [0]
+    """
+
+    def __init__(
+        self,
+        predicate: str = "bm25",
+        realization: str = "direct",
+        backend: str = "memory",
+    ):
+        self.default_predicate = predicate
+        self.default_realization = realization
+        self.default_backend = backend
+        self._states: Dict[tuple, _FittedState] = {}
+        self._blockers: Dict[tuple, Blocker] = {}
+        #: ids of blockers this engine attached itself (vs. blockers a caller
+        #: attached to a predicate instance before handing it over) -- only
+        #: engine-attached blockers are detached for blocker-less queries.
+        self._attached_blocker_ids: set = set()
+        self._corpora: Dict[tuple, _Corpus] = {}
+        self._corpus_counter = 0
+
+    # -- building queries -------------------------------------------------------
+
+    def from_strings(self, rows: Sequence[str]) -> "Query":
+        """Bind a base relation and return a fresh :class:`Query` builder.
+
+        Corpora are interned by content: calling ``from_strings`` twice with
+        the same strings yields queries that share fitted predicate state.
+        """
+        content = tuple(rows)
+        corpus = self._corpora.get(content)
+        if corpus is None:
+            self._corpus_counter += 1
+            corpus = _Corpus(key=self._corpus_counter, strings=list(content))
+            self._corpora[content] = corpus
+        return Query(self, corpus)
+
+    # -- registry passthrough ---------------------------------------------------
+
+    @staticmethod
+    def available_predicates(realization: Optional[str] = None) -> List[str]:
+        """Canonical names of every registered predicate."""
+        return registry.available_predicates(realization)
+
+    # -- fitted-state cache -----------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every cached fitted predicate (frees token tables/backends)."""
+        self._states.clear()
+        self._blockers.clear()
+        self._attached_blocker_ids.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of fitted predicate states currently cached."""
+        return len(self._states)
+
+    def _state(self, key: tuple, build) -> _FittedState:
+        state = self._states.get(key)
+        if state is None:
+            state = build()
+            self._states[key] = state
+        return state
+
+
+class Query:
+    """A fluent, lazily-planned similarity query over one base relation.
+
+    Builder methods (:meth:`predicate`, :meth:`realization`, :meth:`backend`,
+    :meth:`blocker`) return *new* queries; terminal operations
+    (:meth:`rank`, :meth:`top_k`, :meth:`select`, :meth:`join`,
+    :meth:`self_join`, :meth:`dedup`, :meth:`run_many`) plan, fit (cached on
+    the engine) and execute.  :meth:`explain` reports the chosen plan, the
+    emitted SQL and blocker reduction statistics.
+    """
+
+    def __init__(self, engine: SimilarityEngine, corpus: _Corpus):
+        self._engine = engine
+        self._corpus = corpus
+        self._predicate: Union[str, Predicate, DeclarativePredicate] = (
+            engine.default_predicate
+        )
+        self._predicate_kwargs: Dict[str, object] = {}
+        self._realization: Optional[str] = None
+        self._backend: Optional[object] = None
+        self._blocker_spec: Optional[Union[str, Blocker]] = None
+        self._blocker_kwargs: Dict[str, object] = {}
+        #: Statistics of the most recent :meth:`self_join` / :meth:`dedup` run.
+        self.last_self_join_stats: Optional[SelfJoinStats] = None
+
+    # -- fluent builder ---------------------------------------------------------
+
+    def _clone(self) -> "Query":
+        other = Query(self._engine, self._corpus)
+        other._predicate = self._predicate
+        other._predicate_kwargs = dict(self._predicate_kwargs)
+        other._realization = self._realization
+        other._backend = self._backend
+        other._blocker_spec = self._blocker_spec
+        other._blocker_kwargs = dict(self._blocker_kwargs)
+        return other
+
+    def predicate(
+        self,
+        predicate: Union[str, Predicate, DeclarativePredicate],
+        **predicate_kwargs,
+    ) -> "Query":
+        """Choose the similarity predicate: a registry name/alias or an instance.
+
+        Keyword arguments are forwarded to the predicate constructor (names
+        only).  Passing an instance pins the realization to the instance's.
+        """
+        if not isinstance(predicate, str) and predicate_kwargs:
+            raise ValueError("predicate kwargs are only valid with a predicate name")
+        other = self._clone()
+        other._predicate = predicate
+        other._predicate_kwargs = dict(predicate_kwargs)
+        return other
+
+    def realization(self, realization: str) -> "Query":
+        """Choose the realization: ``"direct"`` or ``"declarative"``."""
+        if realization not in registry.REALIZATIONS:
+            raise ValueError(
+                f"unknown realization {realization!r}; "
+                f"expected one of {registry.REALIZATIONS}"
+            )
+        other = self._clone()
+        other._realization = realization
+        return other
+
+    def backend(self, backend: Union[str, object]) -> "Query":
+        """Choose the SQL backend (``"memory"`` / ``"sqlite"`` or an instance).
+
+        Only meaningful for the declarative realization; the direct
+        realization executes in-process and ignores it (noted in the plan).
+        """
+        if isinstance(backend, str) and backend.strip().lower() not in registry.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {sorted(registry.BACKENDS)}"
+            )
+        other = self._clone()
+        other._backend = backend
+        return other
+
+    def blocker(
+        self, blocker: Optional[Union[str, Blocker]], **blocker_kwargs
+    ) -> "Query":
+        """Attach a candidate blocker: a spec string (``"length+prefix"``,
+        ``"lsh"``, ``"none"``), a :class:`~repro.blocking.base.Blocker`
+        instance, or ``None``.
+
+        Spec strings accept ``lsh_bands`` / ``lsh_rows`` keyword arguments.
+        Exact filters derive their bounds from the operation's similarity
+        threshold, so they require a thresholded operation (``select``,
+        ``join``, ``dedup``).
+        """
+        other = self._clone()
+        if isinstance(blocker, str) and blocker.strip().lower() in ("", "none"):
+            blocker = None
+        other._blocker_spec = blocker
+        other._blocker_kwargs = dict(blocker_kwargs)
+        return other
+
+    # -- plan resolution --------------------------------------------------------
+
+    @property
+    def predicate_name(self) -> str:
+        """Canonical predicate name (or the instance's reported name)."""
+        if isinstance(self._predicate, str):
+            return registry.canonical_name(self._predicate)
+        return getattr(self._predicate, "name", type(self._predicate).__name__)
+
+    def _resolved_realization(self) -> str:
+        if not isinstance(self._predicate, str):
+            inferred = (
+                "declarative"
+                if isinstance(self._predicate, DeclarativePredicate)
+                else "direct"
+            )
+            if self._realization is not None and self._realization != inferred:
+                raise ValueError(
+                    f"predicate instance {type(self._predicate).__name__} is "
+                    f"{inferred}, but the query requests the "
+                    f"{self._realization} realization"
+                )
+            return inferred
+        return self._realization or self._engine.default_realization
+
+    def _backend_name(self) -> Optional[str]:
+        if self._backend is None:
+            return self._engine.default_backend
+        if isinstance(self._backend, str):
+            return self._backend.strip().lower()
+        return getattr(self._backend, "name", type(self._backend).__name__)
+
+    def _blocker_needs_threshold(self) -> bool:
+        spec = self._blocker_spec
+        if not isinstance(spec, str):
+            return False
+        return any(
+            stage.strip().lower() in _THRESHOLD_BLOCKERS for stage in spec.split("+")
+        )
+
+    def _resolve_blocker(self, threshold: Optional[float]) -> Optional[Blocker]:
+        spec = self._blocker_spec
+        if spec is None:
+            return None
+        if isinstance(spec, Blocker):
+            return spec
+        return make_blocker(
+            spec,
+            threshold=threshold,
+            lsh_bands=int(self._blocker_kwargs.get("lsh_bands", 16)),
+            lsh_rows=int(self._blocker_kwargs.get("lsh_rows", 4)),
+            tokenizer=self._blocker_kwargs.get("tokenizer"),
+            seed=int(self._blocker_kwargs.get("seed", 20070411)),
+        )
+
+    def _predicate_key(self) -> tuple:
+        """Cache key of the fitted predicate state -- deliberately excludes
+        the blocker, so threshold sweeps and blocked/unblocked variants of
+        the same plan share one expensive preprocessing."""
+        realization = self._resolved_realization()
+        if isinstance(self._predicate, str):
+            predicate_key: object = (
+                registry.canonical_name(self._predicate),
+                tuple(sorted((k, repr(v)) for k, v in self._predicate_kwargs.items())),
+            )
+        else:
+            predicate_key = ("instance", id(self._predicate))
+        backend_key: object = None
+        if realization == "declarative" and isinstance(self._predicate, str):
+            backend_key = (
+                self._backend_name()
+                if self._backend is None or isinstance(self._backend, str)
+                else ("instance", id(self._backend))
+            )
+        return (self._corpus.key, realization, predicate_key, backend_key)
+
+    def _blocker_for(
+        self, predicate_key: tuple, threshold: Optional[float]
+    ) -> Optional[Blocker]:
+        """Resolve (and cache) the blocker this plan requests, if any."""
+        spec = self._blocker_spec
+        if spec is None:
+            return None
+        if isinstance(spec, Blocker):
+            return spec
+        key = predicate_key + (
+            spec,
+            threshold if self._blocker_needs_threshold() else None,
+            tuple(sorted((k, repr(v)) for k, v in self._blocker_kwargs.items())),
+        )
+        blocker = self._engine._blockers.get(key)
+        if blocker is None:
+            blocker = self._resolve_blocker(threshold)
+            self._engine._blockers[key] = blocker
+        return blocker
+
+    def _state(self, threshold: Optional[float] = None) -> _FittedState:
+        """Fitted predicate + blocker for this plan, from the engine cache.
+
+        The predicate's attached blocker is reconciled with the plan on every
+        call: cached predicate states are shared across blocked, unblocked
+        and differently-thresholded variants of the same plan, so a blocker
+        attached for an earlier query must not leak into this one.  Blockers
+        a caller attached to a predicate *instance* themselves (rather than
+        via :meth:`blocker`) are left alone.
+        """
+        predicate_key = self._predicate_key()
+        state = self._engine._state(predicate_key, self._build_state)
+        predicate = state.predicate
+        attached = getattr(predicate, "blocker", None)
+        blocker = self._blocker_for(predicate_key, threshold)
+        if blocker is not None:
+            if attached is not blocker:
+                predicate.set_blocker(blocker)
+            self._engine._attached_blocker_ids.add(id(blocker))
+        elif attached is not None and id(attached) in self._engine._attached_blocker_ids:
+            predicate.set_blocker(None)
+        else:
+            blocker = attached
+        return _FittedState(
+            predicate=predicate, blocker=blocker, recorder=state.recorder
+        )
+
+    def _build_state(self) -> _FittedState:
+        realization = self._resolved_realization()
+        recorder: Optional[RecordingBackend] = None
+        if isinstance(self._predicate, str):
+            if realization == "declarative":
+                recorder = RecordingBackend(registry.make_backend(self._backend))
+                predicate = registry.make(
+                    self._predicate,
+                    realization="declarative",
+                    backend=recorder,
+                    **self._predicate_kwargs,
+                )
+            else:
+                predicate = registry.make(
+                    self._predicate, realization="direct", **self._predicate_kwargs
+                )
+        else:
+            predicate = self._predicate
+            inner_backend = getattr(predicate, "backend", None)
+            if (
+                isinstance(predicate, DeclarativePredicate)
+                and not predicate.is_preprocessed
+                and inner_backend is not None
+            ):
+                recorder = RecordingBackend(inner_backend)
+                predicate.backend = recorder
+        fitted = getattr(predicate, "is_fitted", False) or getattr(
+            predicate, "is_preprocessed", False
+        )
+        # Refit instance predicates that were fitted on a *different* relation;
+        # reusing their state here would silently answer over the wrong corpus.
+        base = getattr(predicate, "base_strings", None)
+        if not fitted or (base is not None and base != self._corpus.strings):
+            predicate.fit(self._corpus.strings)
+        return _FittedState(predicate=predicate, recorder=recorder)
+
+    def fitted_predicate(
+        self, threshold: Optional[float] = None
+    ) -> Union[Predicate, DeclarativePredicate]:
+        """Fit (or fetch from the engine cache) and return the predicate.
+
+        Exact blockers need the operation threshold; pass it when the query
+        carries a length/prefix blocker spec.
+        """
+        return self._state(threshold).predicate
+
+    # -- terminal operations ----------------------------------------------------
+
+    def _to_matches(self, scored: Iterable[Match]) -> List[Match]:
+        strings = self._corpus.strings
+        return [item.with_string(strings[item.tid]) for item in scored]
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
+        """All candidate tuples ordered by decreasing similarity to ``query``."""
+        state = self._state(None)
+        return self._to_matches(state.predicate.rank(query, limit=limit))
+
+    def top_k(self, query: str, k: int) -> List[Match]:
+        """The ``k`` most similar tuples."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.rank(query, limit=k)
+
+    def select(self, query: str, threshold: float) -> List[Match]:
+        """The approximate selection ``{t | sim(query, t) >= threshold}``."""
+        state = self._state(threshold)
+        return self._to_matches(state.predicate.select(query, threshold))
+
+    def score(self, query: str, tid: int) -> float:
+        """Similarity between ``query`` and the tuple with id ``tid``."""
+        return self._state(None).predicate.score(query, tid)
+
+    def run_many(
+        self,
+        queries: Sequence[str],
+        op: str = "rank",
+        k: Optional[int] = None,
+        threshold: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[List[Match]]:
+        """Execute a batch of queries against one shared fitted state.
+
+        ``op`` is ``"rank"`` (optionally with ``limit``), ``"top_k"`` (with
+        ``k``) or ``"select"`` (with ``threshold``).  Preprocessing -- token
+        tables, weights, blocker indexes -- happens at most once for the whole
+        batch (and is shared with every earlier query of the same plan), which
+        is the amortization that makes query workloads cheap.
+        """
+        if op == "rank":
+            state = self._state(None)
+            runner = lambda text: state.predicate.rank(text, limit=limit)  # noqa: E731
+        elif op == "top_k":
+            if k is None or k < 0:
+                raise ValueError("op='top_k' requires a non-negative k")
+            state = self._state(None)
+            runner = lambda text: state.predicate.rank(text, limit=k)  # noqa: E731
+        elif op == "select":
+            if threshold is None:
+                raise ValueError("op='select' requires a threshold")
+            state = self._state(threshold)
+            runner = lambda text: state.predicate.select(text, threshold)  # noqa: E731
+        else:
+            raise ValueError(
+                f"unknown batch op {op!r}; expected 'rank', 'top_k' or 'select'"
+            )
+        return [self._to_matches(runner(text)) for text in queries]
+
+    # -- join / dedup -----------------------------------------------------------
+
+    def _joiner(self, threshold: float) -> ApproximateJoiner:
+        state = self._state(threshold)
+        return ApproximateJoiner(
+            self._corpus.strings, predicate=state.predicate, threshold=threshold
+        )
+
+    def join(
+        self,
+        probe: Iterable[str],
+        threshold: float = 0.5,
+        top_k: Optional[int] = None,
+    ) -> List[JoinMatch]:
+        """Approximate join: probe strings against the indexed base relation."""
+        return self._joiner(threshold).join(probe, threshold=threshold, top_k=top_k)
+
+    def self_join(
+        self, threshold: float = 0.5, include_identity: bool = False
+    ) -> List[JoinMatch]:
+        """Similarity self-join of the base relation (see the joiner docs).
+
+        Work counters land in :attr:`last_self_join_stats`.
+        """
+        joiner = self._joiner(threshold)
+        matches = joiner.self_join(threshold, include_identity=include_identity)
+        self.last_self_join_stats = joiner.last_self_join_stats
+        return matches
+
+    def dedup(self, threshold: float = 0.5) -> List[DuplicateCluster]:
+        """Duplicate clusters of the base relation at the given threshold."""
+        state = self._state(threshold)
+        deduplicator = Deduplicator(
+            self._corpus.strings, predicate=state.predicate, threshold=threshold
+        )
+        clusters = deduplicator.clusters()
+        self.last_self_join_stats = deduplicator.joiner.last_self_join_stats
+        return clusters
+
+    # -- explain ----------------------------------------------------------------
+
+    def plan(
+        self, op: str = "rank", threshold: Optional[float] = None
+    ) -> QueryPlan:
+        """The execution plan this query would use for ``op`` (no execution)."""
+        realization = self._resolved_realization()
+        notes: List[str] = []
+        backend_name: Optional[str] = None
+        if realization == "declarative":
+            backend_name = self._backend_name()
+            notes.append(f"scores computed by SQL on the {backend_name!r} backend")
+        else:
+            notes.append("direct realization executes in-process (no SQL)")
+            if self._backend is not None:
+                notes.append("backend setting ignored by the direct realization")
+        blocker_name: Optional[str] = None
+        if isinstance(self._blocker_spec, Blocker):
+            blocker_name = self._blocker_spec.name
+        elif self._blocker_spec is not None:
+            blocker_name = self._blocker_spec
+        blocker_threshold = (
+            threshold if (blocker_name and self._blocker_needs_threshold()) else None
+        )
+        if blocker_name and realization == "declarative":
+            notes.append("blocker prunes the scored SQL rows (post-scoring)")
+        return QueryPlan(
+            operation=op,
+            predicate=self.predicate_name,
+            realization=realization,
+            num_tuples=len(self._corpus),
+            backend=backend_name,
+            blocker=blocker_name,
+            blocker_threshold=blocker_threshold,
+            predicate_params=tuple(sorted(self._predicate_kwargs.items())),
+            notes=tuple(notes),
+        )
+
+    def explain(
+        self,
+        query: Optional[str] = None,
+        op: Optional[str] = None,
+        threshold: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> ExplainReport:
+        """The chosen plan -- and, with a sample ``query``, what it executed.
+
+        With ``query`` given, the operation runs once and the report carries
+        the emitted SQL (declarative realization), the blocker's candidate
+        reduction for that query, the number of candidates scored and the
+        wall-clock time.
+        """
+        if op is None:
+            op = "select" if threshold is not None else ("top_k" if k is not None else "rank")
+        report = ExplainReport(plan=self.plan(op, threshold=threshold))
+        if query is None:
+            return report
+        state = self._state(threshold)
+        if state.recorder is not None:
+            state.recorder.clear()
+        before: Optional[BlockingStats] = None
+        if state.blocker is not None:
+            stats = state.blocker.stats
+            before = BlockingStats(
+                probes=stats.probes,
+                candidates_in=stats.candidates_in,
+                candidates_out=stats.candidates_out,
+            )
+        started = time.perf_counter()
+        if op == "select":
+            if threshold is None:
+                raise ValueError("op='select' requires a threshold")
+            results = state.predicate.select(query, threshold)
+        elif op == "top_k":
+            results = state.predicate.rank(query, limit=k)
+        elif op == "rank":
+            results = state.predicate.rank(query)
+        else:
+            raise ValueError(f"explain() cannot execute op {op!r}")
+        report.seconds = time.perf_counter() - started
+        report.num_results = len(results)
+        report.results = tuple(self._to_matches(results))
+        report.num_candidates = getattr(state.predicate, "last_num_candidates", None)
+        if state.recorder is not None:
+            report.sql = tuple(state.recorder.statements)
+        if state.blocker is not None and before is not None:
+            after = state.blocker.stats
+            report.blocker_stats = BlockingStats(
+                probes=after.probes - before.probes,
+                candidates_in=after.candidates_in - before.candidates_in,
+                candidates_out=after.candidates_out - before.candidates_out,
+            )
+        return report
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def strings(self) -> List[str]:
+        return list(self._corpus.strings)
+
+    def __len__(self) -> int:
+        return len(self._corpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Query(n={len(self._corpus)}, predicate={self.predicate_name}, "
+            f"realization={self._resolved_realization()})"
+        )

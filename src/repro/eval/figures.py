@@ -16,7 +16,7 @@ and safe to embed in persisted reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 __all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
 

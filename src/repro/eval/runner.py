@@ -4,17 +4,23 @@ Mirrors the paper's accuracy methodology (section 5.2): for each query tuple
 drawn from the dataset, the full unpruned ranking produced by the predicate
 is compared against the query's ground-truth cluster; MAP and mean maximum F1
 are reported over the query workload.
+
+Experiments execute through :class:`repro.engine.SimilarityEngine`, so any
+predicate can be evaluated in either realization (``realization="direct"`` /
+``"declarative"``) on either SQL backend, and the whole query workload runs
+as one :meth:`~repro.engine.query.Query.run_many` batch that pays
+preprocessing once.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.predicates.base import Predicate
-from repro.core.predicates.registry import make_predicate
 from repro.datagen.generator import GeneratedDataset
+from repro.declarative.base import DeclarativePredicate
+from repro.engine import Query, SimilarityEngine
 from repro.eval.metrics import average_precision, max_f1
 
 __all__ = ["QueryOutcome", "AccuracyResult", "ExperimentRunner"]
@@ -55,64 +61,89 @@ class AccuracyResult:
 
 
 class ExperimentRunner:
-    """Runs accuracy experiments for predicates over generated datasets."""
+    """Runs accuracy experiments for predicates over generated datasets.
 
-    def __init__(self, dataset: GeneratedDataset, dataset_name: str = "dataset"):
+    ``engine`` may be shared across runners/experiments so fitted predicate
+    state is reused; a private engine is created otherwise.
+    """
+
+    def __init__(
+        self,
+        dataset: GeneratedDataset,
+        dataset_name: str = "dataset",
+        engine: Optional[SimilarityEngine] = None,
+    ):
         self.dataset = dataset
         self.dataset_name = dataset_name
+        self.engine = engine if engine is not None else SimilarityEngine()
+        self._base_query: Optional[Query] = None
 
     def query_workload(self, num_queries: int, seed: int = 0) -> List[int]:
         """Sample the query tuple ids (clean and erroneous tuples mixed)."""
         return self.dataset.sample_query_tids(num_queries, seed=seed)
 
+    def _query_for(
+        self,
+        predicate: Union[Predicate, DeclarativePredicate, str],
+        realization: str,
+        backend: str,
+        **predicate_kwargs,
+    ) -> Query:
+        if self._base_query is None:
+            self._base_query = self.engine.from_strings(self.dataset.strings)
+        query = self._base_query.predicate(predicate, **predicate_kwargs)
+        if isinstance(predicate, str):
+            query = query.realization(realization).backend(backend)
+        return query
+
     def evaluate(
         self,
-        predicate: Union[Predicate, str],
+        predicate: Union[Predicate, DeclarativePredicate, str],
         num_queries: int = 100,
         seed: int = 0,
         keep_outcomes: bool = False,
+        realization: str = "direct",
+        backend: str = "memory",
         **predicate_kwargs,
     ) -> AccuracyResult:
         """Fit ``predicate`` on the dataset and measure MAP / max F1.
 
-        ``predicate`` may be a fitted or unfitted :class:`Predicate`, a
-        declarative predicate (anything with ``fit``/``rank``) or a predicate
-        name.  Already-fitted predicates are reused as-is, which lets callers
-        share one expensive preprocessing across several experiments.
+        ``predicate`` may be a fitted or unfitted predicate instance (direct
+        or declarative) or a registry name; names are resolved in the
+        requested ``realization`` on the requested ``backend``.  Fitted
+        predicate state is cached on the engine, so several experiments share
+        one expensive preprocessing.
         """
-        if isinstance(predicate, str):
-            predicate = make_predicate(predicate, **predicate_kwargs)
-        if not getattr(predicate, "is_fitted", False) and not getattr(
-            predicate, "is_preprocessed", False
-        ):
-            predicate.fit(self.dataset.strings)
-
+        query = self._query_for(predicate, realization, backend, **predicate_kwargs)
         query_tids = self.query_workload(num_queries, seed=seed)
+        texts = [self.dataset.records[tid].text for tid in query_tids]
+        rankings = query.run_many(texts, op="rank")
+
         outcomes: List[QueryOutcome] = []
         ap_total = 0.0
         f1_total = 0.0
-        for query_tid in query_tids:
-            record = self.dataset.records[query_tid]
+        for query_tid, text, ranking in zip(query_tids, texts, rankings):
             relevant = set(self.dataset.relevant_for(query_tid))
-            ranking = [scored.tid for scored in predicate.rank(record.text)]
-            ap = average_precision(ranking, relevant)
-            f1 = max_f1(ranking, relevant)
+            ranked_tids = [match.tid for match in ranking]
+            ap = average_precision(ranked_tids, relevant)
+            f1 = max_f1(ranked_tids, relevant)
             ap_total += ap
             f1_total += f1
             if keep_outcomes:
                 outcomes.append(
                     QueryOutcome(
                         query_tid=query_tid,
-                        query_text=record.text,
+                        query_text=text,
                         average_precision=ap,
                         max_f1=f1,
                         num_relevant=len(relevant),
-                        num_retrieved=len(ranking),
+                        num_retrieved=len(ranked_tids),
                     )
                 )
         count = len(query_tids) or 1
+        fitted = query.fitted_predicate()
         return AccuracyResult(
-            predicate_name=getattr(predicate, "name", type(predicate).__name__),
+            predicate_name=getattr(fitted, "name", type(fitted).__name__),
             dataset_name=self.dataset_name,
             mean_average_precision=ap_total / count,
             mean_max_f1=f1_total / count,
@@ -122,12 +153,20 @@ class ExperimentRunner:
 
     def evaluate_many(
         self,
-        predicates: Sequence[Union[Predicate, str]],
+        predicates: Sequence[Union[Predicate, DeclarativePredicate, str]],
         num_queries: int = 100,
         seed: int = 0,
+        realization: str = "direct",
+        backend: str = "memory",
     ) -> List[AccuracyResult]:
         """Evaluate several predicates on the same query workload."""
         return [
-            self.evaluate(predicate, num_queries=num_queries, seed=seed)
+            self.evaluate(
+                predicate,
+                num_queries=num_queries,
+                seed=seed,
+                realization=realization,
+                backend=backend,
+            )
             for predicate in predicates
         ]

@@ -35,9 +35,16 @@ class TestParser:
 class TestCommands:
     def test_predicates_lists_all(self, capsys):
         assert main(["predicates"]) == 0
-        output = capsys.readouterr().out.split()
-        assert "bm25" in output
-        assert len(output) == 13
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 13
+        names = [line.split()[0] for line in lines]
+        assert "bm25" in names
+        # Both realizations and the alias column are listed for every predicate.
+        for line in lines:
+            assert "direct+declarative" in line
+            assert "aliases:" in line
+        bm25_line = next(line for line in lines if line.startswith("bm25"))
+        assert "okapi" in bm25_line
 
     def test_generate_to_stdout(self, capsys):
         assert main(["generate", "--dataset", "F1", "--size", "50", "--clean", "10"]) == 0
@@ -201,6 +208,111 @@ class TestCommands:
                     "sorted-neighborhood",
                 ]
             )
+
+    def test_query_declarative_realization_matches_direct(self, base_file, capsys):
+        args = [
+            "query",
+            "--base",
+            str(base_file),
+            "--predicate",
+            "jaccard",
+            "--query",
+            "Beijing Hotel",
+            "--threshold",
+            "0.9",
+        ]
+        assert main(args) == 0
+        direct = capsys.readouterr().out
+        for backend in ("memory", "sqlite"):
+            assert (
+                main(args + ["--realization", "declarative", "--backend", backend]) == 0
+            )
+            assert capsys.readouterr().out == direct
+
+    def test_query_explain_prints_plan_and_sql(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--base",
+                    str(base_file),
+                    "--predicate",
+                    "bm25",
+                    "--query",
+                    "Morgn Stanley",
+                    "--realization",
+                    "declarative",
+                    "--backend",
+                    "sqlite",
+                    "--explain",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "realization: declarative" in output
+        assert "backend:     sqlite" in output
+        assert "emitted SQL" in output
+
+    def test_query_rejects_unknown_realization(self, base_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--base",
+                    str(base_file),
+                    "--query",
+                    "x",
+                    "--realization",
+                    "quantum",
+                ]
+            )
+
+    def test_dedup_declarative_realization(self, base_file, capsys):
+        assert (
+            main(
+                [
+                    "dedup",
+                    "--base",
+                    str(base_file),
+                    "--predicate",
+                    "jaccard",
+                    "--threshold",
+                    "0.6",
+                    "--realization",
+                    "declarative",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "clusters" in output
+        assert "Beijing" in output
+
+    def test_evaluate_declarative_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset",
+                    "F2",
+                    "--size",
+                    "60",
+                    "--clean",
+                    "15",
+                    "--queries",
+                    "5",
+                    "--predicates",
+                    "jaccard",
+                    "--realization",
+                    "declarative",
+                    "--backend",
+                    "sqlite",
+                ]
+            )
+            == 0
+        )
+        assert "Jaccard" in capsys.readouterr().out
 
     def test_evaluate_and_save(self, tmp_path, capsys):
         report = tmp_path / "report.csv"

@@ -36,6 +36,7 @@ SCORE_EXACT = [
     "hmm",
     "lm",
     "edit_distance",
+    "ges",
 ]
 
 #: Predicates where only the ranking (not the raw score) is compared, because
@@ -54,8 +55,9 @@ def _declarative(name: str, backend):
 
 
 class TestRegistryCoverage:
-    def test_twelve_declarative_predicates(self):
-        assert len(available_declarative_predicates()) == 12
+    def test_all_thirteen_declarative_predicates(self):
+        """All 13 paper predicates, including UDF-backed plain GES."""
+        assert len(available_declarative_predicates()) == 13
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):

@@ -73,6 +73,42 @@ class TestRegistry:
         }
 
 
+class TestMergedRegistryCoincidence:
+    """The merged engine registry is the single source of truth: the direct
+    and declarative factories must accept exactly the same names."""
+
+    def test_name_sets_coincide(self):
+        from repro.declarative import available_declarative_predicates
+
+        assert set(available_predicates()) == set(available_declarative_predicates())
+
+    def test_realization_views_coincide(self):
+        from repro.engine import registry
+
+        assert registry.available_predicates("direct") == registry.available_predicates(
+            "declarative"
+        )
+        assert registry.available_predicates() == available_predicates()
+
+    def test_every_alias_resolves_in_both_factories(self):
+        from repro.declarative import make_declarative_predicate
+        from repro.engine import registry
+
+        for alias, canonical in registry.ALIASES.items():
+            assert make_predicate(alias).name == make_predicate(canonical).name
+            assert (
+                make_declarative_predicate(alias).name
+                == make_declarative_predicate(canonical).name
+            )
+
+    def test_canonical_names_construct_in_both_realizations(self):
+        from repro.declarative import make_declarative_predicate
+
+        for name in available_predicates():
+            assert make_predicate(name) is not None
+            assert make_declarative_predicate(name) is not None
+
+
 class TestApproximateSelector:
     def test_selector_with_name(self, company_strings):
         selector = ApproximateSelector(company_strings, predicate="bm25")
