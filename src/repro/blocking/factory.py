@@ -17,10 +17,15 @@ from repro.blocking.pipeline import BlockingPipeline
 from repro.blocking.prefix import PrefixFilter
 from repro.text.tokenize import Tokenizer
 
-__all__ = ["BLOCKER_NAMES", "make_blocker"]
+__all__ = ["BLOCKER_NAMES", "THRESHOLD_STAGE_NAMES", "make_blocker"]
 
 #: Names accepted in a blocker spec (besides ``none``).
 BLOCKER_NAMES = ("length", "prefix", "lsh")
+
+#: Spec stage names (including aliases) whose pruning bounds derive from a
+#: selection threshold -- the exact filters.  Other modules consult this
+#: instead of keeping their own copy.
+THRESHOLD_STAGE_NAMES = frozenset({"length", "len", "prefix", "pf"})
 
 
 def make_blocker(
@@ -44,13 +49,11 @@ def make_blocker(
     stages = []
     for part in spec.split("+"):
         name = part.strip().lower()
+        if name in THRESHOLD_STAGE_NAMES and threshold is None:
+            raise ValueError(f"the {name!r} blocker needs a similarity threshold")
         if name in ("length", "len"):
-            if threshold is None:
-                raise ValueError("the 'length' blocker needs a similarity threshold")
             stages.append(LengthFilter(threshold, tokenizer=tokenizer))
         elif name in ("prefix", "pf"):
-            if threshold is None:
-                raise ValueError("the 'prefix' blocker needs a similarity threshold")
             stages.append(PrefixFilter(threshold, tokenizer=tokenizer))
         elif name in ("lsh", "minhash", "minhash_lsh"):
             stages.append(

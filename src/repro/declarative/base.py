@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.backends.base import SQLBackend
 from repro.backends.memory import MemoryBackend
@@ -62,12 +62,16 @@ class DeclarativePredicate(ABC):
         #: Number of candidates scored by the most recent :meth:`rank` /
         #: :meth:`select` call (after blocking), as for direct predicates.
         self.last_num_candidates: Optional[int] = None
+        #: Last query's raw ``(tid, score)`` rows, so :meth:`score` loops over
+        #: one query (e.g. join verification) pay the SQL once.
+        self._score_cache: Optional[Tuple[str, Dict[int, float]]] = None
 
     # -- preprocessing ----------------------------------------------------------
 
     def preprocess(self, strings: Sequence[str]) -> "DeclarativePredicate":
         """Materialize all base-relation tables this predicate needs."""
         self._strings = list(strings)
+        self._score_cache = None
         token_tables.load_base_table(self.backend, self._strings)
         self.tokenize_phase()
         self.weight_phase()
@@ -123,6 +127,7 @@ class DeclarativePredicate(ABC):
                 stacklevel=2,
             )
         self._blocker = blocker
+        self._score_cache = None
         if blocker is not None and self._preprocessed:
             self._fit_blocker(blocker)
         return self
@@ -143,10 +148,12 @@ class DeclarativePredicate(ABC):
         """Scope queries to the given tuple ids (used by blocked self-joins)."""
         previous = self._restriction
         self._restriction = allowed
+        self._score_cache = None
         try:
             yield
         finally:
             self._restriction = previous
+            self._score_cache = None
 
     def _apply_candidate_filter(self, query: str, rows: List[Match]) -> List[Match]:
         """Apply the active restriction and blocker to scored SQL rows.
@@ -202,12 +209,24 @@ class DeclarativePredicate(ABC):
         return [scored for scored in self.rank(query) if scored.score >= threshold]
 
     def score(self, query: str, tid: int) -> float:
-        """Similarity between ``query`` and tuple ``tid`` (0.0 if not scored)."""
+        """Similarity between ``query`` and tuple ``tid`` (0.0 if not scored).
+
+        Sees the same candidates as :meth:`rank` (blocker and restriction
+        applied) but skips the sort and caches the last query's rows, so
+        scoring many tuples against one query (e.g. join verification) runs
+        the SQL once.
+        """
         self._require_preprocessed()
-        for scored in self.rank(query):
-            if scored.tid == tid:
-                return scored.score
-        return 0.0
+        cache = self._score_cache
+        if cache is None or cache[0] != query:
+            rows = [
+                Match(int(t), float(s))
+                for t, s in self.query_scores(query)
+                if s is not None
+            ]
+            rows = self._apply_candidate_filter(query, rows)
+            self._score_cache = cache = (query, {m.tid: m.score for m in rows})
+        return cache[1].get(tid, 0.0)
 
     # -- helpers ----------------------------------------------------------------
 

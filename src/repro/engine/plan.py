@@ -107,12 +107,14 @@ class ExplainReport:
 
 
 class RecordingBackend(SQLBackend):
-    """A transparent :class:`SQLBackend` proxy that records every statement.
+    """A transparent :class:`SQLBackend` proxy that can record statements.
 
-    Wraps the real backend the declarative realization runs on; the engine
-    inspects :attr:`statements` to report emitted SQL in ``explain()``.
+    Wraps the real backend the declarative realization runs on.  Recording is
+    off by default -- a long-lived engine must not accumulate every statement
+    of every query -- and is switched on (:attr:`enabled`) by ``explain()``
+    around its sample execution, which then inspects :attr:`statements`.
     Table loads that bypass SQL (bulk ``insert_rows``) are recorded as SQL
-    comments so the full preprocessing/query script is visible.
+    comments so the full script is visible.
     """
 
     def __init__(self, inner: SQLBackend):
@@ -120,33 +122,38 @@ class RecordingBackend(SQLBackend):
         # registered the default UDFs, and this proxy adds no state of its own.
         self.inner = inner
         self.name = inner.name
+        self.enabled = False
         self.statements: List[str] = []
+
+    def _record(self, statement: str) -> None:
+        if self.enabled:
+            self.statements.append(statement)
 
     # -- SQLBackend interface ----------------------------------------------------
 
     def execute(self, sql: str) -> object:
-        self.statements.append(sql)
+        self._record(sql)
         return self.inner.execute(sql)
 
     def query(self, sql: str) -> List[Tuple]:
-        self.statements.append(sql)
+        self._record(sql)
         return self.inner.query(sql)
 
     def create_table(
         self, name: str, columns: Sequence[str], if_not_exists: bool = False
     ) -> None:
         clause = "IF NOT EXISTS " if if_not_exists else ""
-        self.statements.append(f"CREATE TABLE {clause}{name} ({', '.join(columns)})")
+        self._record(f"CREATE TABLE {clause}{name} ({', '.join(columns)})")
         self.inner.create_table(name, columns, if_not_exists=if_not_exists)
 
     def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         materialized = [tuple(row) for row in rows]
-        self.statements.append(f"-- bulk load {len(materialized)} rows into {name}")
+        self._record(f"-- bulk load {len(materialized)} rows into {name}")
         return self.inner.insert_rows(name, materialized)
 
     def drop_table(self, name: str, if_exists: bool = True) -> None:
         clause = "IF EXISTS " if if_exists else ""
-        self.statements.append(f"DROP TABLE {clause}{name}")
+        self._record(f"DROP TABLE {clause}{name}")
         self.inner.drop_table(name, if_exists=if_exists)
 
     def has_table(self, name: str) -> bool:

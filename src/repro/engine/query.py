@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.blocking.base import Blocker, BlockingStats
-from repro.blocking.factory import make_blocker
+from repro.blocking.factory import THRESHOLD_STAGE_NAMES, make_blocker
 from repro.core.dedup import Deduplicator, DuplicateCluster
 from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
 from repro.core.predicates.base import Match, Predicate
@@ -41,9 +41,6 @@ from repro.engine import registry
 from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
 
 __all__ = ["SimilarityEngine", "Query"]
-
-#: Blocker spec stages whose pruning bounds derive from a selection threshold.
-_THRESHOLD_BLOCKERS = ("length", "len", "prefix", "pf")
 
 
 @dataclass
@@ -95,6 +92,16 @@ class SimilarityEngine:
         #: attached to a predicate instance before handing it over) -- only
         #: engine-attached blockers are detached for blocker-less queries.
         self._attached_blocker_ids: set = set()
+        #: id(predicate instance) -> key of the corpus the engine last fitted
+        #: it on, so the per-access staleness check is an int comparison
+        #: instead of an O(n) corpus comparison.
+        self._instance_fits: Dict[int, int] = {}
+        #: id(SQL backend instance) -> cache key of the state that last
+        #: preprocessed on it.  Declarative predicates materialize fixed-name
+        #: tables (BASE_TABLE, BASE_TOKENS, ...), so two cached states sharing
+        #: one backend instance clobber each other; this detects the clobber
+        #: and refits before answering from the wrong tables.
+        self._backend_fits: Dict[int, tuple] = {}
         self._corpora: Dict[tuple, _Corpus] = {}
         self._corpus_counter = 0
 
@@ -124,10 +131,25 @@ class SimilarityEngine:
     # -- fitted-state cache -----------------------------------------------------
 
     def clear_cache(self) -> None:
-        """Drop every cached fitted predicate (frees token tables/backends)."""
+        """Drop every cached fitted predicate (frees token tables/backends).
+
+        Also releases the interned corpora, so long-lived engines do not
+        retain every relation ever queried; live :class:`Query` objects keep
+        working (their state is simply rebuilt on the next operation).
+        Blockers the engine attached to caller-owned predicate instances are
+        detached first -- once their ids are forgotten they would otherwise
+        pass for caller-attached and keep pruning blocker-less queries.
+        """
+        for state in self._states.values():
+            attached = getattr(state.predicate, "blocker", None)
+            if attached is not None and id(attached) in self._attached_blocker_ids:
+                state.predicate.set_blocker(None)
         self._states.clear()
         self._blockers.clear()
         self._attached_blocker_ids.clear()
+        self._instance_fits.clear()
+        self._backend_fits.clear()
+        self._corpora.clear()
 
     @property
     def cache_size(self) -> int:
@@ -277,7 +299,7 @@ class Query:
         if not isinstance(spec, str):
             return False
         return any(
-            stage.strip().lower() in _THRESHOLD_BLOCKERS for stage in spec.split("+")
+            stage.strip().lower() in THRESHOLD_STAGE_NAMES for stage in spec.split("+")
         )
 
     def _resolve_blocker(self, threshold: Optional[float]) -> Optional[Blocker]:
@@ -316,6 +338,14 @@ class Query:
             )
         return (self._corpus.key, realization, predicate_key, backend_key)
 
+    @staticmethod
+    def _inner_backend_id(predicate) -> Optional[int]:
+        """``id()`` of the real SQL backend a declarative predicate writes to."""
+        if not isinstance(predicate, DeclarativePredicate):
+            return None
+        backend = predicate.backend
+        return id(getattr(backend, "inner", backend))
+
     def _blocker_for(
         self, predicate_key: tuple, threshold: Optional[float]
     ) -> Optional[Blocker]:
@@ -339,6 +369,18 @@ class Query:
     def _state(self, threshold: Optional[float] = None) -> _FittedState:
         """Fitted predicate + blocker for this plan, from the engine cache.
 
+        Predicate *instances* can be shared across corpora: each corpus keys
+        its own cached state around the same object, so a cache hit here may
+        wrap a predicate that was meanwhile refitted on another relation.
+        Staleness is therefore checked on every access (not just on the cache
+        miss in :meth:`_build_state`) and the predicate refitted when its
+        ``base_strings`` no longer match this query's corpus.  Engine-built
+        predicates are private to their cache key and cannot drift, so they
+        skip the check.  SQL backend *instances* can likewise be shared across
+        cached declarative states, whose fixed-name tables then clobber each
+        other; the engine tracks which state last preprocessed on each backend
+        and refits when it was not this one.
+
         The predicate's attached blocker is reconciled with the plan on every
         call: cached predicate states are shared across blocked, unblocked
         and differently-thresholded variants of the same plan, so a blocker
@@ -349,6 +391,35 @@ class Query:
         predicate_key = self._predicate_key()
         state = self._engine._state(predicate_key, self._build_state)
         predicate = state.predicate
+        refit = False
+        if (
+            not isinstance(self._predicate, str)
+            and self._engine._instance_fits.get(id(predicate)) != self._corpus.key
+        ):
+            base = getattr(predicate, "base_strings", None)
+            refit = base is not None and base != self._corpus.strings
+        backend_id = self._inner_backend_id(predicate)
+        if (
+            backend_id is not None
+            and self._engine._backend_fits.get(backend_id, predicate_key)
+            != predicate_key
+        ):
+            # Another cached state preprocessed on this backend instance since
+            # we did, clobbering our fixed-name tables.
+            refit = True
+        if refit:
+            stale = getattr(predicate, "blocker", None)
+            if stale is not None and id(stale) in self._engine._attached_blocker_ids:
+                # Detach the engine-attached blocker (it may belong to
+                # another corpus's plan) before refitting, so fit() does
+                # not refit it on this corpus; the reconciliation below
+                # attaches and fits the right one.
+                predicate.set_blocker(None)
+            predicate.fit(self._corpus.strings)
+        if not isinstance(self._predicate, str):
+            self._engine._instance_fits[id(predicate)] = self._corpus.key
+        if backend_id is not None:
+            self._engine._backend_fits[backend_id] = predicate_key
         attached = getattr(predicate, "blocker", None)
         blocker = self._blocker_for(predicate_key, threshold)
         if blocker is not None:
@@ -368,7 +439,12 @@ class Query:
         recorder: Optional[RecordingBackend] = None
         if isinstance(self._predicate, str):
             if realization == "declarative":
-                recorder = RecordingBackend(registry.make_backend(self._backend))
+                backend_spec = (
+                    self._backend
+                    if self._backend is not None
+                    else self._engine.default_backend
+                )
+                recorder = RecordingBackend(registry.make_backend(backend_spec))
                 predicate = registry.make(
                     self._predicate,
                     realization="declarative",
@@ -569,6 +645,7 @@ class Query:
         state = self._state(threshold)
         if state.recorder is not None:
             state.recorder.clear()
+            state.recorder.enabled = True
         before: Optional[BlockingStats] = None
         if state.blocker is not None:
             stats = state.blocker.stats
@@ -577,18 +654,22 @@ class Query:
                 candidates_in=stats.candidates_in,
                 candidates_out=stats.candidates_out,
             )
-        started = time.perf_counter()
-        if op == "select":
-            if threshold is None:
-                raise ValueError("op='select' requires a threshold")
-            results = state.predicate.select(query, threshold)
-        elif op == "top_k":
-            results = state.predicate.rank(query, limit=k)
-        elif op == "rank":
-            results = state.predicate.rank(query)
-        else:
-            raise ValueError(f"explain() cannot execute op {op!r}")
-        report.seconds = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            if op == "select":
+                if threshold is None:
+                    raise ValueError("op='select' requires a threshold")
+                results = state.predicate.select(query, threshold)
+            elif op == "top_k":
+                results = state.predicate.rank(query, limit=k)
+            elif op == "rank":
+                results = state.predicate.rank(query)
+            else:
+                raise ValueError(f"explain() cannot execute op {op!r}")
+            report.seconds = time.perf_counter() - started
+        finally:
+            if state.recorder is not None:
+                state.recorder.enabled = False
         report.num_results = len(results)
         report.results = tuple(self._to_matches(results))
         report.num_candidates = getattr(state.predicate, "last_num_candidates", None)

@@ -123,9 +123,11 @@ def time_queries(
     already fitted on the given relation.
     """
     predicate = _resolve(predicate, realization, backend, **predicate_kwargs)
-    if not getattr(predicate, "is_fitted", False) and not getattr(
+    fitted = getattr(predicate, "is_fitted", False) or getattr(
         predicate, "is_preprocessed", False
-    ):
+    )
+    base = getattr(predicate, "base_strings", None)
+    if not fitted or (base is not None and base != list(strings)):
         predicate.fit(strings)
 
     started = time.perf_counter()

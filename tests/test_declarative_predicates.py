@@ -108,6 +108,45 @@ class TestRankParity:
             assert declarative_top[0].tid == direct_top[0].tid, (name, query)
 
 
+class TestScoreCaching:
+    def test_score_matches_rank_and_runs_sql_once_per_query(self, company_strings):
+        predicate = make_declarative_predicate("jaccard").preprocess(company_strings)
+        expected = {s.tid: s.score for s in predicate.rank("Beijing Hotel")}
+
+        calls = {"count": 0}
+        original = predicate.query_scores
+
+        def counting(query):
+            calls["count"] += 1
+            return original(query)
+
+        predicate.query_scores = counting
+        for tid in range(len(company_strings)):
+            assert predicate.score("Beijing Hotel", tid) == pytest.approx(
+                expected.get(tid, 0.0)
+            )
+        assert calls["count"] == 1  # one SQL execution for the whole loop
+
+    def test_score_respects_restriction_like_rank(self, company_strings):
+        # score() must see the same candidates as rank() -- the cache cannot
+        # survive a restriction (or blocker) change.
+        predicate = make_declarative_predicate("jaccard").preprocess(company_strings)
+        full = predicate.score("Beijing Hotel", 5)
+        assert full > 0.0
+        with predicate.restrict_candidates({0}):
+            assert predicate.score("Beijing Hotel", 5) == 0.0
+        assert predicate.score("Beijing Hotel", 5) == pytest.approx(full)
+
+    def test_score_cache_invalidated_per_query_and_on_preprocess(self, company_strings):
+        predicate = make_declarative_predicate("jaccard").preprocess(company_strings)
+        beijing = predicate.score("Beijing Hotel", 5)
+        assert predicate.score("AT&T Incorporated", 5) != beijing
+        assert predicate.score("Beijing Hotel", 5) == pytest.approx(beijing)
+        predicate.preprocess(["Beijing Hotel"])
+        assert predicate.score("Beijing Hotel", 5) == 0.0
+        assert predicate.score("Beijing Hotel", 0) == pytest.approx(1.0)
+
+
 class TestSelectAndThresholds:
     def test_declarative_select_applies_threshold(self, company_strings):
         predicate = make_declarative_predicate("jaccard").preprocess(company_strings)

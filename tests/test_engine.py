@@ -95,6 +95,17 @@ class TestFluentQuery:
         query = engine.from_strings(company_strings).predicate("jaccard")
         assert query.score(company_strings[2], 2) == pytest.approx(1.0)
 
+    def test_session_default_backend_is_used(self, company_strings):
+        from repro.backends.sqlite import SQLiteBackend
+
+        engine = SimilarityEngine(realization="declarative", backend="sqlite")
+        query = engine.from_strings(company_strings).predicate("jaccard")
+        predicate = query.fitted_predicate()
+        # The session default must drive execution, not just plan()/explain().
+        assert isinstance(predicate.backend.inner, SQLiteBackend)
+        assert query.plan().backend == "sqlite"
+        assert query.rank("Beijing Hotel")[0].string is not None
+
     def test_both_predicates_satisfy_the_protocol(self, engine, company_strings):
         direct = engine.from_strings(company_strings).predicate("jaccard")
         declarative = direct.realization("declarative")
@@ -189,6 +200,103 @@ class TestStateCaching:
         query = engine.from_strings(company_strings).predicate(predicate)
         query.rank("Beijing Hotel")
         assert predicate.blocker is blocker
+
+    def test_shared_instance_is_refit_across_corpora(self, engine, company_strings):
+        # One predicate instance queried through two corpora: the earlier
+        # corpus's cached state wraps the same object, so a cache hit must
+        # detect that the instance was meanwhile refitted on the other
+        # relation and refit it -- not silently answer over the wrong corpus.
+        from repro.core.predicates.registry import make_predicate
+
+        predicate = make_predicate("jaccard")
+        first = engine.from_strings(company_strings).predicate(predicate)
+        second = engine.from_strings(["Zebra Quux Ltd", "Flurble GmbH"]).predicate(
+            predicate
+        )
+        expected = first.rank("Beijing Hotel")
+        assert {match.tid for match in expected} >= {5}
+        assert second.rank("Zebra Quux Ltd")[0].tid == 0
+        assert first.rank("Beijing Hotel") == expected
+
+    def test_shared_declarative_instance_is_refit_across_corpora(
+        self, engine, company_strings
+    ):
+        predicate = DeclarativeJaccard()
+        first = engine.from_strings(company_strings).predicate(predicate)
+        second = engine.from_strings(["Zebra Quux Ltd", "Flurble GmbH"]).predicate(
+            predicate
+        )
+        expected = first.rank("Beijing Hotel")
+        assert {match.tid for match in expected} >= {5}
+        assert second.rank("Zebra Quux Ltd")[0].tid == 0
+        assert first.rank("Beijing Hotel") == expected
+
+    def test_shared_backend_instance_is_refit_across_corpora(self, engine, company_strings):
+        # Declarative predicates materialize fixed-name tables, so two cached
+        # states sharing one backend instance clobber each other; the engine
+        # must detect the clobber and rematerialize before answering.
+        from repro.backends.sqlite import SQLiteBackend
+
+        backend = SQLiteBackend()
+        first = (
+            engine.from_strings(company_strings)
+            .predicate("jaccard")
+            .realization("declarative")
+            .backend(backend)
+        )
+        second = (
+            engine.from_strings(["Zebra Quux Ltd", "Flurble GmbH"])
+            .predicate("jaccard")
+            .realization("declarative")
+            .backend(backend)
+        )
+        expected = first.rank("Beijing Hotel")
+        assert {match.tid for match in expected} >= {5}
+        assert second.rank("Zebra Quux Ltd")[0].tid == 0
+        assert first.rank("Beijing Hotel") == expected
+
+    def test_recorder_only_records_during_explain(self, engine, company_strings):
+        # Normal query workloads must not accumulate SQL statements without
+        # bound on a long-lived engine; only explain() records.
+        query = (
+            engine.from_strings(company_strings)
+            .predicate("jaccard")
+            .realization("declarative")
+        )
+        query.run_many(["Beijing Hotel", "AT&T Inc."], op="rank")
+        predicate = query.fitted_predicate()
+        assert predicate.backend.statements == []
+        report = query.explain("Beijing Hotel", k=3)
+        assert any("QUERY_TOKENS" in statement for statement in report.sql)
+        query.rank("Morgan Stanley")
+        assert list(predicate.backend.statements) == list(report.sql)
+
+    def test_clear_cache_detaches_engine_attached_blockers(self, engine, company_strings):
+        # Once clear_cache() forgets the engine-attached blocker ids, a
+        # blocker left on a caller instance would pass for caller-attached
+        # and silently prune blocker-less queries.
+        from repro.core.predicates.registry import make_predicate
+
+        predicate = make_predicate("jaccard")
+        query = engine.from_strings(company_strings).predicate(predicate)
+        pruned = query.blocker("lsh", lsh_bands=1, lsh_rows=8).select(
+            "Beijing Hotel", 0.1
+        )
+        engine.clear_cache()
+        assert predicate.blocker is None
+        full = query.select("Beijing Hotel", 0.1)
+        assert len(full) >= len(pruned)
+        assert {match.tid for match in full} >= {5, 6, 7}
+
+    def test_clear_cache_releases_interned_corpora(self, engine, company_strings):
+        query = engine.from_strings(company_strings).predicate("jaccard")
+        query.rank("Beijing Hotel")
+        assert len(engine._corpora) == 1
+        engine.clear_cache()
+        assert engine._corpora == {}
+        assert engine.cache_size == 0
+        # Live queries keep working; their state is rebuilt on demand.
+        assert {match.tid for match in query.rank("Beijing Hotel")} >= {5}
 
     def test_run_many_select_and_validation(self, engine, company_strings):
         query = engine.from_strings(company_strings).predicate("jaccard")

@@ -83,6 +83,13 @@ class TestTiming:
         timing = time_queries(predicate, small_dataset.strings, ["Morgan"])
         assert timing.num_queries == 1
 
+    def test_query_timing_refits_predicate_fitted_on_other_relation(self, small_dataset):
+        # The docstring promise: a predicate fitted on a *different* relation
+        # must be refit, not silently timed against the wrong data.
+        predicate = Jaccard().fit(["aaa", "bbb"])
+        time_queries(predicate, small_dataset.strings, ["Morgan"])
+        assert predicate.base_strings == list(small_dataset.strings)
+
 
 class TestPruning:
     def test_threshold_formula(self):
