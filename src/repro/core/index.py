@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set,
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (blocking uses text only)
     from repro.blocking.base import Blocker
 
-__all__ = ["InvertedIndex"]
+__all__ = ["InvertedIndex", "WeightedPostingIndex"]
 
 
 class InvertedIndex:
@@ -78,3 +78,91 @@ class InvertedIndex:
 
     def tokens(self) -> Iterable[str]:
         return self._postings.keys()
+
+
+_EMPTY_POSTINGS: List[Tuple[int, float]] = []
+
+
+class WeightedPostingIndex:
+    """Per-token posting lists carrying precomputed score contributions.
+
+    Weighted predicates score ``sim(Q, D) = Σ wq(t, Q) * c(t, D)`` where the
+    document-side factor ``c(t, D)`` (normalized tf-idf product, BM25 term
+    partial, RS weight, ...) depends only on the base relation.  Recomputing
+    it per candidate per query is the direct realization's hot-path tax; this
+    index stores it *in the posting itself* at fit time, so query-time
+    accumulation is one flat loop over precomputed floats.
+
+    Each token also records its maximum and minimum stored contribution,
+    which is exactly what max-score pruning (:mod:`repro.core.topk`) needs to
+    bound unopened posting lists.
+    """
+
+    def __init__(self, postings: Dict[str, List[Tuple[int, float]]]):
+        self._postings = postings
+        self._max: Dict[str, float] = {}
+        self._min: Dict[str, float] = {}
+        for token, plist in postings.items():
+            contributions = [contribution for _, contribution in plist]
+            self._max[token] = max(contributions)
+            self._min[token] = min(contributions)
+
+    @classmethod
+    def from_doc_weights(
+        cls,
+        index: InvertedIndex,
+        doc_weights: Sequence[Dict[str, float]],
+    ) -> "WeightedPostingIndex":
+        """Build from per-tuple ``token -> weight`` maps (aggregate family).
+
+        Zero contributions are omitted, matching the accumulation loops that
+        skip ``doc_weight == 0`` candidates.  Predicates whose candidate
+        membership must include zero-contribution postings (the language
+        model keeps them: such tuples still score ``exp(sum_complement)``)
+        build their posting dict themselves and use the constructor.
+        """
+        postings: Dict[str, List[Tuple[int, float]]] = {}
+        for token in index.tokens():
+            plist = []
+            for tid, _ in index.postings(token):
+                contribution = doc_weights[tid].get(token, 0.0)
+                if contribution == 0.0:
+                    continue
+                plist.append((tid, contribution))
+            if plist:
+                postings[token] = plist
+        return cls(postings)
+
+    @classmethod
+    def from_token_weights(
+        cls, index: InvertedIndex, weights: Dict[str, float]
+    ) -> "WeightedPostingIndex":
+        """Build from a global ``token -> weight`` table (overlap family).
+
+        Every posting of a token carries the same contribution (the token's
+        weight); zero-weight tokens are dropped entirely, matching the
+        accumulation loops that skip them.
+        """
+        postings: Dict[str, List[Tuple[int, float]]] = {}
+        for token in index.tokens():
+            weight = weights.get(token, 0.0)
+            if weight == 0.0:
+                continue
+            postings[token] = [(tid, weight) for tid, _ in index.postings(token)]
+        return cls(postings)
+
+    def postings(self, token: str) -> List[Tuple[int, float]]:
+        """``(tid, contribution)`` pairs for every tuple ``token`` scores on."""
+        return self._postings.get(token, _EMPTY_POSTINGS)
+
+    def max_contribution(self, token: str) -> float:
+        return self._max.get(token, 0.0)
+
+    def min_contribution(self, token: str) -> float:
+        return self._min.get(token, 0.0)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)

@@ -19,6 +19,7 @@ framework.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
@@ -154,19 +155,48 @@ class ApproximateJoiner:
 
         ``top_k`` optionally restricts each probe tuple to its best ``k``
         matches (after thresholding), which is the common record-linkage
-        configuration ("best match per record").
+        configuration ("best match per record").  Probes then go through the
+        predicate's heap-based (max-score pruned where supported)
+        :meth:`~repro.core.predicates.base.Predicate.top_k` instead of a full
+        thresholded selection: the k best of the thresholded matches equal
+        the thresholded k best overall, so results are identical while each
+        probe pays for ``k`` results instead of a full candidate sort.
         """
         if top_k is not None and top_k < 0:
             raise ValueError("top_k must be non-negative")
+        limit = self.threshold if threshold is None else threshold
+        # Only monotone-sum predicates route through top_k: their ranking cost
+        # per probe is the pruned accumulation, while e.g. EditDistance is
+        # faster through its own filtered select().
+        use_fast_top_k = top_k is not None and getattr(
+            self.predicate, "supports_maxscore", False
+        )
+        if use_fast_top_k:
+            # select() would refuse sub-blocker thresholds; so do we (once --
+            # the threshold and blocker are invariant across probes).
+            self.predicate._check_blocker_threshold(limit)
         output: List[JoinMatch] = []
         for probe_id, probe_text in enumerate(probe):
-            matches = self.matches_for(probe_id, probe_text, threshold)
-            if top_k is not None:
-                # Guarantee the k *highest-scoring* matches survive even if a
-                # custom predicate returns its selection unsorted.
-                matches = sorted(
-                    matches, key=lambda match: (-match.score, match.right_id)
-                )[:top_k]
+            if use_fast_top_k:
+                matches = [
+                    JoinMatch(
+                        left_id=probe_id,
+                        right_id=scored.tid,
+                        left_text=probe_text,
+                        right_text=self._base[scored.tid],
+                        score=scored.score,
+                    )
+                    for scored in self.predicate.top_k(probe_text, top_k)
+                    if scored.score >= limit
+                ]
+            else:
+                matches = self.matches_for(probe_id, probe_text, threshold)
+                if top_k is not None:
+                    # Guarantee the k *highest-scoring* matches survive even if
+                    # a custom predicate returns its selection unsorted.
+                    matches = heapq.nlargest(
+                        top_k, matches, key=lambda match: (match.score, -match.right_id)
+                    )
             output.extend(matches)
         return output
 
@@ -191,6 +221,10 @@ class ApproximateJoiner:
         leaves no admissible partner -- singleton blocks included -- are
         never probed at all.  Work counters are recorded in
         :attr:`last_self_join_stats`.
+
+        Each probe is a :meth:`~repro.core.predicates.base.Predicate.select`,
+        which filters candidates by the threshold *before* sorting, so blocked
+        self-joins no longer pay a full candidate sort per probe.
         """
         limit = self.threshold if threshold is None else threshold
         blocker = self.blocker

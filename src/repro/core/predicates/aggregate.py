@@ -7,15 +7,24 @@ Both predicates score ``sim(Q, D) = Σ_{t ∈ Q∩D} wq(t, Q) * wd(t, D)``:
 * :class:`BM25` -- Okapi BM25 weights with the Robertson-Sparck Jones idf on
   the document side and the ``(k3+1)tf/(k3+tf)`` saturation on the query
   side.  Parameter defaults follow section 5.3.2 (k1=1.5, k3=8, b=0.675).
+
+Query execution is postings-driven: the document-side weights are folded
+into a :class:`~repro.core.index.WeightedPostingIndex` at fit time, so
+accumulation is one flat loop over precomputed floats, and -- the score being
+a monotone sum -- ``top_k`` runs with max-score early termination
+(:mod:`repro.core.topk`).  All accumulation iterates query tokens in sorted
+order so summation is deterministic and the pruned/unpruned paths agree bit
+for bit.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.index import InvertedIndex
+from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
+from repro.core.topk import Term
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 from repro.text.weights import (
     BM25Parameters,
@@ -30,6 +39,7 @@ __all__ = ["CosineTfIdf", "BM25"]
 
 class _AggregateBase(Predicate):
     family = "aggregate-weighted"
+    supports_maxscore = True
 
     def __init__(self, tokenizer: Tokenizer | None = None):
         super().__init__()
@@ -39,23 +49,101 @@ class _AggregateBase(Predicate):
         self._stats: CollectionStatistics | None = None
         #: per-tuple token -> document-side weight
         self._doc_weights: List[Dict[str, float]] = []
+        #: token -> [(tid, document-side weight)] with per-token max/min bounds
+        self._weighted_index: WeightedPostingIndex | None = None
 
     def tokenize_phase(self) -> None:
         self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
         self._index = InvertedIndex(self._token_lists)
 
-    def _accumulate(self, query_weights: Dict[str, float]) -> Dict[int, float]:
-        """Dot product of query weights against every candidate's doc weights."""
+    def _build_weighted_index(self) -> None:
         assert self._index is not None
+        self._weighted_index = WeightedPostingIndex.from_doc_weights(
+            self._index, self._doc_weights
+        )
+
+    def _query_weights(self, query: str) -> Dict[str, float]:
+        """Query-side weights ``wq(t, Q)`` (subclass-specific)."""
+        raise NotImplementedError
+
+    def _accumulate(self, query_weights: Dict[str, float]) -> Dict[int, float]:
+        """Dot product of query weights against every candidate's doc weights.
+
+        One flat loop over the precomputed weighted postings; tokens are
+        visited in sorted order so per-tuple summation order is canonical.
+        """
+        assert self._weighted_index is not None
+        weighted = self._weighted_index
         scores: Dict[int, float] = {}
-        for token, query_weight in query_weights.items():
+        for token in sorted(query_weights):
+            query_weight = query_weights[token]
             if query_weight == 0.0:
                 continue
-            for tid, _ in self._index.postings(token):
-                doc_weight = self._doc_weights[tid].get(token, 0.0)
-                if doc_weight:
-                    scores[tid] = scores.get(tid, 0.0) + query_weight * doc_weight
+            for tid, contribution in weighted.postings(token):
+                scores[tid] = scores.get(tid, 0.0) + query_weight * contribution
         return scores
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        return self._accumulate(self._query_weights(query))
+
+    @staticmethod
+    def _sorted_items(query_weights: Dict[str, float]) -> List[Tuple[str, float]]:
+        return [
+            (token, query_weights[token])
+            for token in sorted(query_weights)
+            if query_weights[token] != 0.0
+        ]
+
+    def _rescore_items(
+        self, items: List[Tuple[str, float]], tids: Iterable[int]
+    ) -> Dict[int, float]:
+        """Exact per-tuple rescoring in the same order :meth:`_accumulate` uses."""
+        scores: Dict[int, float] = {}
+        for tid in tids:
+            doc_weights = self._doc_weights[tid]
+            total = 0.0
+            for token, query_weight in items:
+                contribution = doc_weights.get(token, 0.0)
+                if contribution:
+                    total += query_weight * contribution
+            scores[tid] = total
+        return scores
+
+    def _rescore(
+        self, query_weights: Dict[str, float], tids: Iterable[int]
+    ) -> Dict[int, float]:
+        return self._rescore_items(self._sorted_items(query_weights), tids)
+
+    def _maxscore_plan(
+        self, query: str
+    ) -> Optional[Tuple[List[Term], Optional[set], object]]:
+        if self._blocker is not None:
+            # The aggregate family applies blockers *post*-scoring (the
+            # blocker prunes the scored candidate set), which needs the full
+            # candidate set -- incompatible with skipping posting lists.
+            return None
+        assert self._weighted_index is not None
+        weighted = self._weighted_index
+        query_weights = self._query_weights(query)
+        terms = [
+            Term(
+                token=token,
+                query_weight=query_weights[token],
+                postings=weighted.postings(token),
+                max_contribution=weighted.max_contribution(token),
+                min_contribution=weighted.min_contribution(token),
+            )
+            for token in sorted(query_weights)
+            if query_weights[token] != 0.0 and token in weighted
+        ]
+        allowed = None if self._restriction is None else set(self._restriction)
+        items = self._sorted_items(query_weights)
+        return terms, allowed, lambda tids: self._rescore_items(items, tids)
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._doc_weights):
+            return 0.0
+        return self._rescore(self._query_weights(query), [tid])[tid]
 
 
 class CosineTfIdf(_AggregateBase):
@@ -71,14 +159,14 @@ class CosineTfIdf(_AggregateBase):
             tfidf_weights(self._stats.term_frequencies(tid), idf)
             for tid in range(len(self._token_lists))
         ]
+        self._build_weighted_index()
 
-    def _scores(self, query: str) -> Dict[int, float]:
+    def _query_weights(self, query: str) -> Dict[str, float]:
         # Query tokens absent from the base relation are dropped (idf 0),
         # matching the inner join with BASE_IDF in the declarative realization;
         # they cannot contribute to any candidate's score anyway.
         query_tf = Counter(self.tokenizer.tokenize(query))
-        query_weights = tfidf_weights(query_tf, self._idf, default_idf=0.0)
-        return self._accumulate(query_weights)
+        return tfidf_weights(query_tf, self._idf, default_idf=0.0)
 
 
 class BM25(_AggregateBase):
@@ -100,8 +188,8 @@ class BM25(_AggregateBase):
             bm25_document_weights(self._stats, tid, self.params)
             for tid in range(len(self._token_lists))
         ]
+        self._build_weighted_index()
 
-    def _scores(self, query: str) -> Dict[int, float]:
+    def _query_weights(self, query: str) -> Dict[str, float]:
         query_tf = Counter(self.tokenizer.tokenize(query))
-        query_weights = bm25_query_weights(query_tf, self.params)
-        return self._accumulate(query_weights)
+        return bm25_query_weights(query_tf, self.params)

@@ -17,10 +17,13 @@ framework imposes:
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.core.topk import PruningStats, maxscore_top_k
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.blocking.base import Blocker
@@ -99,6 +102,10 @@ class Predicate(ABC):
     #: bounded by the Jaccard overlap fraction (length/prefix filters stay
     #: exact), ``"score"`` otherwise (those filters become heuristics).
     similarity_kind: str = "score"
+    #: Predicates whose score is a monotone sum of per-token contributions
+    #: (WeightedMatch, Cosine, BM25) set this to ``True`` and implement
+    #: :meth:`_maxscore_plan`, enabling max-score pruned :meth:`top_k`.
+    supports_maxscore: bool = False
 
     def __init__(self) -> None:
         self._strings: List[str] = []
@@ -109,6 +116,10 @@ class Predicate(ABC):
         #: :meth:`select` call (after blocking); joins aggregate this into
         #: their candidate-pair statistics.
         self.last_num_candidates: Optional[int] = None
+        #: Work counters of the most recent :meth:`top_k` call when the
+        #: max-score fast path ran (``None`` otherwise); surfaced by
+        #: ``engine.explain()``.
+        self.pruning_stats: Optional[PruningStats] = None
 
     # -- preprocessing --------------------------------------------------------
 
@@ -222,34 +233,88 @@ class Predicate(ABC):
     def _scores(self, query: str) -> Dict[int, float]:
         """Similarity score for every candidate tuple (tuples sharing tokens)."""
 
-    def rank(self, query: str, limit: Optional[int] = None) -> List[ScoredTuple]:
-        """Tuples ranked by decreasing similarity to ``query``.
-
-        Only candidate tuples (those with a non-trivial score) are returned;
-        ties are broken by tuple id so rankings are deterministic.  With a
-        blocker attached (see :meth:`set_blocker`), only candidates that
-        survive blocking are ranked.
-        """
-        self._require_fitted()
+    def _candidate_scores(self, query: str) -> Dict[int, float]:
+        """Post-blocking candidate scores; records ``last_num_candidates``."""
         scores = self._scores(query)
         if not self._prunes_before_scoring:
             allowed = self._generic_allowed(query, scores)
             if allowed is not None:
                 scores = {tid: score for tid, score in scores.items() if tid in allowed}
         self.last_num_candidates = len(scores)
-        ranked = sorted(
+        return scores
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[ScoredTuple]:
+        """Tuples ranked by decreasing similarity to ``query``.
+
+        Only candidate tuples (those with a non-trivial score) are returned;
+        ties are broken by tuple id so rankings are deterministic.  With a
+        blocker attached (see :meth:`set_blocker`), only candidates that
+        survive blocking are ranked.  With ``limit``, a size-``limit`` heap
+        replaces the full sort (``O(n log k)`` instead of ``O(n log n)``).
+        """
+        self._require_fitted()
+        scores = self._candidate_scores(query)
+        if limit is not None:
+            top = heapq.nlargest(
+                limit, scores.items(), key=lambda item: (item[1], -item[0])
+            )
+            return [ScoredTuple(tid, score) for tid, score in top]
+        return sorted(
             (ScoredTuple(tid, score) for tid, score in scores.items()),
             key=lambda st: (-st.score, st.tid),
         )
-        if limit is not None:
-            ranked = ranked[:limit]
-        return ranked
+
+    def top_k(self, query: str, k: int) -> List[ScoredTuple]:
+        """The ``k`` most similar tuples -- exactly ``rank(query, limit=k)``.
+
+        Monotone-sum predicates (:attr:`supports_maxscore`) answer through
+        max-score early termination: posting lists are opened in decreasing
+        upper-bound order and the scan stops once the unopened lists cannot
+        lift a new candidate into the top-k; survivors are rescored in the
+        canonical token order, so results are identical to the unpruned path
+        bit for bit.  Work counters land in :attr:`pruning_stats` (``None``
+        when the fast path did not run).
+        """
+        self._require_fitted()
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.pruning_stats = None
+        plan = self._maxscore_plan(query)
+        if plan is None:
+            return self.rank(query, limit=k)
+        terms, allowed, rescore = plan
+        top, stats = maxscore_top_k(k, terms, rescore, allowed=allowed)
+        self.pruning_stats = stats
+        self.last_num_candidates = stats.candidates_scored
+        return [ScoredTuple(tid, score) for tid, score in top]
+
+    def _maxscore_plan(self, query: str):
+        """``(terms, allowed, rescore)`` for max-score pruning, or ``None``.
+
+        ``None`` (the default) routes :meth:`top_k` through the heap-based
+        :meth:`rank` path.  Monotone-sum predicates return the query's
+        :class:`repro.core.topk.Term` list, the candidate restriction to
+        honor (``None`` = unrestricted) and the exact-rescore callback.
+        """
+        return None
 
     def select(self, query: str, threshold: float) -> List[ScoredTuple]:
-        """The approximate selection: tuples with ``sim(query, t) >= threshold``."""
+        """The approximate selection: tuples with ``sim(query, t) >= threshold``.
+
+        Candidates are filtered *before* sorting, so the sort pays for the
+        survivors only -- on selective thresholds that is a handful of tuples
+        out of thousands of candidates.
+        """
         self._require_fitted()
         self._check_blocker_threshold(threshold)
-        return [scored for scored in self.rank(query) if scored.score >= threshold]
+        scores = self._candidate_scores(query)
+        survivors = [
+            ScoredTuple(tid, score)
+            for tid, score in scores.items()
+            if score >= threshold
+        ]
+        survivors.sort(key=lambda st: (-st.score, st.tid))
+        return survivors
 
     def _check_blocker_threshold(self, threshold: float) -> None:
         """Refuse selections below the threshold an exact blocker was built for.
@@ -265,9 +330,29 @@ class Predicate(ABC):
             )
 
     def score(self, query: str, tid: int) -> float:
-        """Similarity between ``query`` and tuple ``tid`` (0.0 if not a candidate)."""
+        """Similarity between ``query`` and tuple ``tid`` (0.0 if not a candidate).
+
+        Predicates implementing :meth:`_score_one` answer from the single
+        tuple's stored state instead of scoring the whole candidate set; the
+        fallback (and any blocked/restricted call, whose candidate semantics
+        the full path defines) scores every candidate.
+        """
         self._require_fitted()
+        if self._blocker is None and self._restriction is None:
+            single = self._score_one(query, tid)
+            if single is not None:
+                return single
         return self._scores(query).get(tid, 0.0)
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        """Single-tuple score fast path; ``None`` = fall back to :meth:`_scores`.
+
+        Implementations must reproduce ``_scores(query).get(tid, 0.0)``
+        exactly, including candidate-membership semantics (a tuple sharing no
+        token with the query scores 0.0 even if a direct string comparison
+        would not).
+        """
+        return None
 
     # -- introspection --------------------------------------------------------
 

@@ -25,7 +25,7 @@ for candidate generation.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.predicates.base import Predicate
 from repro.text.minhash import MinHasher, MinHashSignature, minhash_similarity
@@ -91,6 +91,14 @@ class _CombinationBase(Predicate):
                 tids.update(self._qgram_to_tids.get(gram, ()))
         return tids
 
+    def _is_candidate(self, query_words: Sequence[str], tid: int) -> bool:
+        """Whether one tuple shares a word q-gram with the query (O(1) per gram)."""
+        for word in set(query_words):
+            for gram in self._grams(word):
+                if tid in self._qgram_to_tids.get(gram, ()):
+                    return True
+        return False
+
     def _query_words(self, query: str) -> List[str]:
         return self.tokenizer.tokenize(query)
 
@@ -145,6 +153,14 @@ class GES(_CombinationBase):
             scores[tid] = self.ges_score(query_words, self._word_lists[tid])
         return scores
 
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._word_lists):
+            return 0.0
+        query_words = self._query_words(query)
+        if not self._is_candidate(query_words, tid):
+            return 0.0
+        return self.ges_score(query_words, self._word_lists[tid])
+
 
 class GESJaccard(GES):
     """GES with the q-gram Jaccard filter of equation 4.7."""
@@ -189,6 +205,17 @@ class GESJaccard(GES):
                 continue
             scores[tid] = self.ges_score(query_words, tuple_words)
         return scores
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._word_lists):
+            return 0.0
+        query_words = self._query_words(query)
+        if not self._is_candidate(query_words, tid):
+            return 0.0
+        tuple_words = self._word_lists[tid]
+        if self.filter_score(query_words, tuple_words) < self.threshold:
+            return 0.0
+        return self.ges_score(query_words, tuple_words)
 
 
 class GESApx(GESJaccard):
@@ -249,6 +276,29 @@ class SoftTFIDF(_CombinationBase):
             for tid in range(len(self._word_lists))
         ]
 
+    def _soft_score(self, query_weights: Dict[str, float], tid: int) -> float:
+        """Soft tf-idf of one tuple against precomputed query weights."""
+        tuple_words = self._word_lists[tid]
+        if not tuple_words:
+            return 0.0
+        score = 0.0
+        for word, query_weight in query_weights.items():
+            best_similarity = 0.0
+            best_word = None
+            for other in tuple_words:
+                similarity = jaro_winkler(word, other)
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best_word = other
+            if best_word is None or best_similarity <= self.theta:
+                continue
+            score += (
+                query_weight
+                * self._doc_weights[tid].get(best_word, 0.0)
+                * best_similarity
+            )
+        return score
+
     def _scores(self, query: str) -> Dict[int, float]:
         query_words = self._query_words(query)
         if not query_words:
@@ -258,25 +308,19 @@ class SoftTFIDF(_CombinationBase):
         )
         scores: Dict[int, float] = {}
         for tid in self._candidates(query_words):
-            tuple_words = self._word_lists[tid]
-            if not tuple_words:
-                continue
-            score = 0.0
-            for word, query_weight in query_weights.items():
-                best_similarity = 0.0
-                best_word = None
-                for other in tuple_words:
-                    similarity = jaro_winkler(word, other)
-                    if similarity > best_similarity:
-                        best_similarity = similarity
-                        best_word = other
-                if best_word is None or best_similarity <= self.theta:
-                    continue
-                score += (
-                    query_weight
-                    * self._doc_weights[tid].get(best_word, 0.0)
-                    * best_similarity
-                )
+            score = self._soft_score(query_weights, tid)
             if score > 0.0:
                 scores[tid] = score
         return scores
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._word_lists):
+            return 0.0
+        query_words = self._query_words(query)
+        if not query_words or not self._is_candidate(query_words, tid):
+            return 0.0
+        query_weights = tfidf_weights(
+            Counter(query_words), self._idf, default_idf=self._average_idf
+        )
+        score = self._soft_score(query_weights, tid)
+        return score if score > 0.0 else 0.0

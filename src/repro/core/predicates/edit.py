@@ -20,7 +20,7 @@ edit distance.  The same structure is used here:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.index import InvertedIndex
 from repro.core.predicates.base import Predicate, ScoredTuple
@@ -75,6 +75,16 @@ class EditDistance(Predicate):
         for tid in candidates:
             scores[tid] = edit_similarity(normalized_query, self._normalized[tid])
         return scores
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._normalized):
+            return 0.0
+        # Candidate semantics: a tuple sharing no q-gram with the query is
+        # never scored by the whole-corpus path, however similar its text.
+        query_tokens = set(self.tokenizer.tokenize(query))
+        if query_tokens.isdisjoint(self._token_lists[tid]):
+            return 0.0
+        return edit_similarity(normalize_string(query), self._normalized[tid])
 
     def select(self, query: str, threshold: float) -> List[ScoredTuple]:
         """Thresholded selection with q-gram count and length filtering.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.index import InvertedIndex
 from repro.core.predicates.base import Predicate
@@ -79,3 +79,17 @@ class HMM(Predicate):
                     + multiplicity * self._log_weights[tid][token]
                 )
         return {tid: math.exp(value) for tid, value in log_scores.items()}
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._log_weights):
+            return 0.0
+        # Same token order as _scores (query first-occurrence), so the log
+        # sum is float-identical to the whole-corpus path.
+        weights = self._log_weights[tid]
+        log_score = 0.0
+        matched = False
+        for token, multiplicity in Counter(self.tokenizer.tokenize(query)).items():
+            if token in weights:
+                log_score += multiplicity * weights[token]
+                matched = True
+        return math.exp(log_score) if matched else 0.0

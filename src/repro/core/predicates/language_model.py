@@ -15,9 +15,9 @@ Figure 4.4.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.core.index import InvertedIndex
+from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 from repro.text.weights import CollectionStatistics
@@ -48,6 +48,10 @@ class LanguageModeling(Predicate):
         self._sum_complement: List[float] = []
         #: token -> cf_t / cs
         self._cfcs: Dict[str, float] = {}
+        #: token -> [(tid, log(pm) - log(1-pm) - log(cf/cs))]: the whole
+        #: per-posting contribution of equation 4.4 precomputed at fit time,
+        #: so query-time accumulation does no log() calls at all.
+        self._weighted_index: WeightedPostingIndex | None = None
 
     # -- preprocessing --------------------------------------------------------
 
@@ -92,29 +96,62 @@ class LanguageModeling(Predicate):
             self._pm.append(tuple_pm)
             self._sum_complement.append(log_complement_sum)
 
-    # -- query time -----------------------------------------------------------
-
-    def _scores(self, query: str) -> Dict[int, float]:
+        # Fold the full per-posting contribution into weighted postings.
+        # Zero contributions are kept: a tuple sharing only such tokens is
+        # still a candidate (it scores exp(sum_complement)).
         assert self._index is not None
-        query_tokens = set(self.tokenizer.tokenize(query))
-        scores: Dict[int, float] = {}
-        accumulators: Dict[int, float] = {}
-        for token in query_tokens:
-            postings = self._index.postings(token)
-            if not postings:
-                continue
+        contributions: Dict[str, List[tuple]] = {}
+        for token in self._index.tokens():
             cfcs = self._cfcs.get(token, 0.0)
             log_cfcs = math.log(cfcs) if cfcs > 0 else 0.0
-            for tid, _ in postings:
+            plist = []
+            for tid, _ in self._index.postings(token):
                 pm = self._pm[tid][token]
-                contribution = math.log(pm) - math.log(1.0 - pm) - log_cfcs
+                plist.append((tid, math.log(pm) - math.log(1.0 - pm) - log_cfcs))
+            contributions[token] = plist
+        self._weighted_index = WeightedPostingIndex(contributions)
+
+    # -- query time -----------------------------------------------------------
+
+    def _contribution(self, token: str, tid: int) -> float:
+        """One posting's contribution, recomputed bit-identically to fit time."""
+        cfcs = self._cfcs.get(token, 0.0)
+        log_cfcs = math.log(cfcs) if cfcs > 0 else 0.0
+        pm = self._pm[tid][token]
+        return math.log(pm) - math.log(1.0 - pm) - log_cfcs
+
+    @staticmethod
+    def _finalize(log_score: float) -> float:
+        # Exponentiation can underflow for long tuples; underflow to 0.0 is
+        # harmless for ranking because exp is monotone.
+        try:
+            return math.exp(log_score)
+        except OverflowError:  # pragma: no cover - defensive
+            return float("inf")
+
+    def _scores(self, query: str) -> Dict[int, float]:
+        assert self._weighted_index is not None
+        weighted = self._weighted_index
+        query_tokens = set(self.tokenizer.tokenize(query))
+        accumulators: Dict[int, float] = {}
+        for token in sorted(query_tokens):
+            for tid, contribution in weighted.postings(token):
                 accumulators[tid] = accumulators.get(tid, 0.0) + contribution
-        for tid, accumulated in accumulators.items():
-            log_score = accumulated + self._sum_complement[tid]
-            # Exponentiation can underflow for long tuples; underflow to 0.0 is
-            # harmless for ranking because exp is monotone.
-            try:
-                scores[tid] = math.exp(log_score)
-            except OverflowError:  # pragma: no cover - defensive
-                scores[tid] = float("inf")
-        return scores
+        return {
+            tid: self._finalize(accumulated + self._sum_complement[tid])
+            for tid, accumulated in accumulators.items()
+        }
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not 0 <= tid < len(self._pm):
+            return 0.0
+        tuple_pm = self._pm[tid]
+        accumulated = 0.0
+        matched = False
+        for token in sorted(set(self.tokenizer.tokenize(query))):
+            if token in tuple_pm:
+                accumulated += self._contribution(token, tid)
+                matched = True
+        if not matched:
+            return 0.0
+        return self._finalize(accumulated + self._sum_complement[tid])

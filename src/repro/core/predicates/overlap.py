@@ -9,14 +9,21 @@
 The weighted variants take a weighting scheme; the paper finds that the
 Robertson-Sparck Jones (RS) weights are more accurate than idf (section
 5.3.1), so RS is the default.
+
+The weighted variants fold their weight table into a
+:class:`~repro.core.index.WeightedPostingIndex` at fit time and iterate query
+tokens in sorted order everywhere, so accumulation is deterministic and the
+``top_k`` fast path of :class:`WeightedMatch` (a monotone sum, eligible for
+max-score pruning) reproduces the unpruned scores bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Set, Tuple
 
-from repro.core.index import InvertedIndex
+from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
+from repro.core.topk import Term
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 from repro.text.weights import CollectionStatistics
 
@@ -77,6 +84,9 @@ class _OverlapBase(Predicate):
             allowed = set(restriction) if allowed is None else allowed & restriction
         return allowed
 
+    def _in_range(self, tid: int) -> bool:
+        return 0 <= tid < len(self._token_sets)
+
 
 class IntersectSize(_OverlapBase):
     """Number of common distinct tokens between the query and the tuple."""
@@ -98,6 +108,11 @@ class IntersectSize(_OverlapBase):
             if common:
                 scores[tid] = float(common)
         return scores
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not self._in_range(tid):
+            return 0.0
+        return float(len(self._query_tokens(query) & self._token_sets[tid]))
 
 
 class Jaccard(_OverlapBase):
@@ -128,6 +143,17 @@ class Jaccard(_OverlapBase):
             scores[tid] = common / union if union else 0.0
         return scores
 
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not self._in_range(tid):
+            return 0.0
+        query_tokens = self._query_tokens(query)
+        token_set = self._token_sets[tid]
+        common = len(query_tokens & token_set)
+        if not common:
+            return 0.0
+        union = len(query_tokens) + len(token_set) - common
+        return common / union if union else 0.0
+
 
 class _WeightedOverlapBase(_OverlapBase):
     """Weighted overlap predicates share the RS/idf weight table."""
@@ -139,6 +165,8 @@ class _WeightedOverlapBase(_OverlapBase):
         self.weighting = weighting
         self._weights: Dict[str, float] = {}
         self._stats: CollectionStatistics | None = None
+        #: token -> [(tid, weight)] postings with per-token bounds
+        self._weighted_index: WeightedPostingIndex | None = None
 
     def weight_phase(self) -> None:
         self._stats = CollectionStatistics(self._token_lists)
@@ -146,9 +174,49 @@ class _WeightedOverlapBase(_OverlapBase):
             self._weights = self._stats.rs_table()
         else:
             self._weights = self._stats.idf_table()
+        assert self._index is not None
+        self._weighted_index = WeightedPostingIndex.from_token_weights(
+            self._index, self._weights
+        )
 
     def _weight(self, token: str) -> float:
         return self._weights.get(token, 0.0)
+
+    def _common_weight(self, query_tokens: Set[str]) -> Dict[int, float]:
+        """Weight of the common tokens per candidate, postings-driven.
+
+        Tokens are visited in sorted order so per-tuple summation order is
+        canonical (and matches :meth:`_tuple_common_weight`).
+        """
+        assert self._weighted_index is not None
+        weighted = self._weighted_index
+        common_weight: Dict[int, float] = {}
+        for token in sorted(query_tokens):
+            for tid, weight in weighted.postings(token):
+                common_weight[tid] = common_weight.get(tid, 0.0) + weight
+        return common_weight
+
+    def _tuple_common_weight(
+        self, sorted_tokens: Sequence[str], tid: int
+    ) -> Tuple[float, bool]:
+        """``(common weight, matched)`` of one tuple in the canonical order.
+
+        ``sorted_tokens`` must be the query tokens in sorted order (the
+        caller sorts once per query), so summation matches the
+        postings-driven path bit for bit.
+        """
+        token_set = self._token_sets[tid]
+        total = 0.0
+        matched = False
+        for token in sorted_tokens:
+            if token not in token_set:
+                continue
+            weight = self._weight(token)
+            if weight == 0.0:
+                continue
+            total += weight
+            matched = True
+        return total, matched
 
     def _restricted_common_weight(
         self, query_tokens: Set[str], allowed: Set[int]
@@ -158,16 +226,10 @@ class _WeightedOverlapBase(_OverlapBase):
         Candidates sharing only zero-weight tokens are omitted, matching the
         postings-driven accumulation of the unrestricted path.
         """
+        sorted_tokens = sorted(query_tokens)
         common_weight: Dict[int, float] = {}
         for tid in allowed:
-            total = 0.0
-            matched = False
-            for token in query_tokens & self._token_sets[tid]:
-                weight = self._weight(token)
-                if weight == 0.0:
-                    continue
-                total += weight
-                matched = True
+            total, matched = self._tuple_common_weight(sorted_tokens, tid)
             if matched:
                 common_weight[tid] = total
         return common_weight
@@ -177,21 +239,46 @@ class WeightedMatch(_WeightedOverlapBase):
     """Sum of weights of the common tokens (RS weights by default)."""
 
     name = "WeightedMatch"
+    supports_maxscore = True
 
     def _scores(self, query: str) -> Dict[int, float]:
-        assert self._index is not None
         query_tokens = self._query_tokens(query)
         allowed = self._candidate_ids(query_tokens)
         if allowed is not None:
             return self._restricted_common_weight(query_tokens, allowed)
-        scores: Dict[int, float] = {}
-        for token in query_tokens:
-            weight = self._weight(token)
-            if weight == 0.0:
-                continue
-            for tid, _ in self._index.postings(token):
-                scores[tid] = scores.get(tid, 0.0) + weight
-        return scores
+        return self._common_weight(query_tokens)
+
+    def _maxscore_plan(self, query: str):
+        assert self._weighted_index is not None
+        weighted = self._weighted_index
+        query_tokens = self._query_tokens(query)
+        # Blocking happens before scoring in this family, so the pruned path
+        # honors it directly through the allowed set.
+        allowed = self._candidate_ids(query_tokens)
+        sorted_tokens = sorted(query_tokens)
+        terms = [
+            Term(
+                token=token,
+                query_weight=1.0,
+                postings=weighted.postings(token),
+                max_contribution=weighted.max_contribution(token),
+                min_contribution=weighted.min_contribution(token),
+            )
+            for token in sorted_tokens
+            if token in weighted
+        ]
+
+        def rescore(tids: Iterable[int]) -> Dict[int, float]:
+            return {
+                tid: self._tuple_common_weight(sorted_tokens, tid)[0] for tid in tids
+            }
+
+        return terms, allowed, rescore
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not self._in_range(tid):
+            return 0.0
+        return self._tuple_common_weight(sorted(self._query_tokens(query)), tid)[0]
 
 
 class WeightedJaccard(_WeightedOverlapBase):
@@ -206,27 +293,35 @@ class WeightedJaccard(_WeightedOverlapBase):
     def weight_phase(self) -> None:
         super().weight_phase()
         self._tuple_weight_sums = [
-            sum(self._weight(token) for token in token_set)
+            sum(self._weight(token) for token in sorted(token_set))
             for token_set in self._token_sets
         ]
 
+    def _query_weight_sum(self, query_tokens: Set[str]) -> float:
+        return sum(self._weight(token) for token in sorted(query_tokens))
+
     def _scores(self, query: str) -> Dict[int, float]:
-        assert self._index is not None
         query_tokens = self._query_tokens(query)
-        query_weight_sum = sum(self._weight(token) for token in query_tokens)
+        query_weight_sum = self._query_weight_sum(query_tokens)
         allowed = self._candidate_ids(query_tokens)
         if allowed is not None:
             common_weight = self._restricted_common_weight(query_tokens, allowed)
         else:
-            common_weight = {}
-            for token in query_tokens:
-                weight = self._weight(token)
-                if weight == 0.0:
-                    continue
-                for tid, _ in self._index.postings(token):
-                    common_weight[tid] = common_weight.get(tid, 0.0) + weight
+            common_weight = self._common_weight(query_tokens)
         scores: Dict[int, float] = {}
         for tid, common in common_weight.items():
             union = query_weight_sum + self._tuple_weight_sums[tid] - common
             scores[tid] = common / union if union > 0 else 0.0
         return scores
+
+    def _score_one(self, query: str, tid: int) -> Optional[float]:
+        if not self._in_range(tid):
+            return 0.0
+        query_tokens = self._query_tokens(query)
+        common, matched = self._tuple_common_weight(sorted(query_tokens), tid)
+        if not matched:
+            return 0.0
+        union = (
+            self._query_weight_sum(query_tokens) + self._tuple_weight_sums[tid] - common
+        )
+        return common / union if union > 0 else 0.0

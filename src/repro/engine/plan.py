@@ -17,6 +17,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.backends.base import SQLBackend
 from repro.blocking.base import BlockingStats
 from repro.core.predicates.base import Match
+from repro.core.topk import PruningStats
 
 __all__ = ["QueryPlan", "ExplainReport", "RecordingBackend"]
 
@@ -73,6 +74,9 @@ class ExplainReport:
     sql: Tuple[str, ...] = ()
     #: Blocker candidate-reduction counters for the sample query.
     blocker_stats: Optional[BlockingStats] = None
+    #: Max-score pruning counters when the top-k fast path ran (direct
+    #: realization, monotone-sum predicates); ``None`` otherwise.
+    pruning: Optional[PruningStats] = None
     #: Candidates actually scored (after blocking) for the sample query.
     num_candidates: Optional[int] = None
     num_results: Optional[int] = None
@@ -87,6 +91,8 @@ class ExplainReport:
             lines.append(f"query time:  {self.seconds * 1000.0:.2f} ms")
         if self.num_candidates is not None:
             lines.append(f"candidates:  {self.num_candidates} scored")
+        if self.pruning is not None:
+            lines.append(f"pruning:     {self.pruning.describe()}")
         if self.num_results is not None:
             lines.append(f"results:     {self.num_results}")
         if self.blocker_stats is not None:

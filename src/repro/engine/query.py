@@ -497,10 +497,21 @@ class Query:
         return self._to_matches(state.predicate.rank(query, limit=limit))
 
     def top_k(self, query: str, k: int) -> List[Match]:
-        """The ``k`` most similar tuples."""
+        """The ``k`` most similar tuples.
+
+        On the direct realization this routes through the predicate's
+        ``top_k`` fast path -- heap accumulation, and max-score pruned early
+        termination for the monotone-sum predicates (WeightedMatch, Cosine,
+        BM25) -- with results identical to a full ranking.  The pruning
+        counters of the last call are surfaced by :meth:`explain`.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
-        return self.rank(query, limit=k)
+        state = self._state(None)
+        runner = getattr(state.predicate, "top_k", None)
+        if runner is None:  # declarative realization: SQL ranks, Python trims
+            return self._to_matches(state.predicate.rank(query, limit=k))
+        return self._to_matches(runner(query, k))
 
     def select(self, query: str, threshold: float) -> List[Match]:
         """The approximate selection ``{t | sim(query, t) >= threshold}``."""
@@ -534,7 +545,11 @@ class Query:
             if k is None or k < 0:
                 raise ValueError("op='top_k' requires a non-negative k")
             state = self._state(None)
-            runner = lambda text: state.predicate.rank(text, limit=k)  # noqa: E731
+            fast = getattr(state.predicate, "top_k", None)
+            if fast is None:
+                runner = lambda text: state.predicate.rank(text, limit=k)  # noqa: E731
+            else:
+                runner = lambda text: fast(text, k)  # noqa: E731
         elif op == "select":
             if threshold is None:
                 raise ValueError("op='select' requires a threshold")
@@ -587,6 +602,28 @@ class Query:
 
     # -- explain ----------------------------------------------------------------
 
+    def _supports_maxscore(self) -> bool:
+        """Whether this query's plan can run the max-score pruned top-k.
+
+        Mirrors the predicates' own fallback logic: predicates that apply
+        blockers *after* scoring (the aggregate family) need the full
+        candidate set and drop to the heap path when the plan carries a
+        blocker; pre-scoring-blocked predicates (WeightedMatch) keep pruning.
+        """
+        if isinstance(self._predicate, str):
+            if self._resolved_realization() != "direct":
+                return False
+            target: object = registry.spec_for(self._predicate).direct
+        else:
+            target = self._predicate
+        if not getattr(target, "supports_maxscore", False):
+            return False
+        blocked = self._blocker_spec is not None or (
+            not isinstance(self._predicate, str)
+            and getattr(self._predicate, "blocker", None) is not None
+        )
+        return not blocked or bool(getattr(target, "_prunes_before_scoring", False))
+
     def plan(
         self, op: str = "rank", threshold: Optional[float] = None
     ) -> QueryPlan:
@@ -601,6 +638,20 @@ class Query:
             notes.append("direct realization executes in-process (no SQL)")
             if self._backend is not None:
                 notes.append("backend setting ignored by the direct realization")
+            if op == "top_k":
+                if self._supports_maxscore():
+                    notes.append(
+                        "top_k fast path: weighted postings with max-score "
+                        "pruning (exact early termination)"
+                    )
+                else:
+                    notes.append(
+                        "top_k fast path: heap accumulation (no full candidate sort)"
+                    )
+            elif op == "select":
+                notes.append(
+                    "select fast path: threshold filter before sorting survivors"
+                )
         blocker_name: Optional[str] = None
         if isinstance(self._blocker_spec, Blocker):
             blocker_name = self._blocker_spec.name
@@ -661,7 +712,11 @@ class Query:
                     raise ValueError("op='select' requires a threshold")
                 results = state.predicate.select(query, threshold)
             elif op == "top_k":
-                results = state.predicate.rank(query, limit=k)
+                fast = getattr(state.predicate, "top_k", None)
+                if fast is not None and k is not None:
+                    results = fast(query, k)
+                else:
+                    results = state.predicate.rank(query, limit=k)
             elif op == "rank":
                 results = state.predicate.rank(query)
             else:
@@ -673,6 +728,8 @@ class Query:
         report.num_results = len(results)
         report.results = tuple(self._to_matches(results))
         report.num_candidates = getattr(state.predicate, "last_num_candidates", None)
+        if op == "top_k":
+            report.pruning = getattr(state.predicate, "pruning_stats", None)
         if state.recorder is not None:
             report.sql = tuple(state.recorder.statements)
         if state.blocker is not None and before is not None:
