@@ -1,0 +1,334 @@
+"""Declarative fast-path benchmark -- PR 3 baseline vs. the batched/pruned path.
+
+Times the declarative realization's three fast paths against the PR 3
+behaviour (one unbatched, unpruned, unindexed SQL round-trip per query,
+reconstructed with ``fastpath=False`` on a fresh backend), on a generated
+UIS-style company-names relation over SQLite:
+
+* ``top_k(k=10)`` -- baseline ranks every candidate in Python after pulling
+  all scored rows out of SQL; fast path pushes ``ORDER BY score DESC, tid
+  LIMIT k`` into the indexed scoring statement.
+* ``run_many`` -- baseline executes one statement per query; fast path loads
+  the ``QUERY_BATCH``/``QUERY_TOKENS(qid, token)`` schema once and scores the
+  whole workload with one grouped statement.
+* ``select`` (Jaccard) -- baseline scores everything and filters in Python;
+  fast path pushes the length/prefix bounds into the SQL, scoring a fraction
+  of the rows with identical results.
+
+Also measured: fitting a second predicate on an already-prepared backend,
+which must reuse the shared token/weight cores (counted in executed
+preprocessing statements).
+
+Writes ``BENCH_declarative_fastpath.json`` to the repository root.
+
+Standalone usage (CI runs the smoke variant)::
+
+    PYTHONPATH=src python benchmarks/bench_declarative_fastpath.py          # full
+    PYTHONPATH=src python benchmarks/bench_declarative_fastpath.py --smoke  # tiny
+
+The smoke run exits non-zero if any fast path loses exactness, if the pruned
+select stops scoring fewer candidates than the baseline, or if the second
+predicate's fit stops reusing the shared tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for _path in (str(_SRC), str(_HERE)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.backends import SQLiteBackend  # noqa: E402
+from repro.datagen import make_dataset  # noqa: E402
+from repro.declarative import make_declarative_predicate  # noqa: E402
+from repro.engine.plan import RecordingBackend  # noqa: E402
+
+PREDICATES = ["bm25", "cosine", "jaccard"]
+TOP_K = 10
+SELECT_THRESHOLD = 0.6  # jaccard-valued; selective on CU data
+SCORE_TOLERANCE = 1e-9
+
+
+def _tie_groups(matches, tolerance=SCORE_TOLERANCE):
+    """Collapse a ranking into score-tie groups (order-insensitive within)."""
+    groups, current, last = [], [], None
+    for match in matches:
+        if last is not None and abs(match.score - last) > tolerance:
+            groups.append(frozenset(current))
+            current = []
+        current.append(match.tid)
+        last = match.score
+    if current:
+        groups.append(frozenset(current))
+    return groups
+
+
+def _rankings_match(fast, slow):
+    """(bit_identical, equivalent): exact tid sequences, or equal tie groups."""
+    identical = [m.tid for m in fast] == [m.tid for m in slow]
+    equivalent = identical or _tie_groups(fast) == _tie_groups(slow)
+    return identical, equivalent
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    output = fn()
+    return output, time.perf_counter() - started
+
+
+def bench_predicate(name: str, strings, queries) -> dict:
+    baseline = make_declarative_predicate(name, backend=SQLiteBackend(), fastpath=False)
+    _, baseline_fit_seconds = _timed(lambda: baseline.preprocess(strings))
+    fast = make_declarative_predicate(name, backend=SQLiteBackend())
+    _, fast_fit_seconds = _timed(lambda: fast.preprocess(strings))
+    result: dict = {
+        "predicate": name,
+        "preprocess": {
+            "baseline_seconds": baseline_fit_seconds,
+            "fast_seconds": fast_fit_seconds,
+        },
+    }
+
+    # -- top_k(k=10), one query at a time --------------------------------------
+    slow_out, slow_seconds = _timed(
+        lambda: [baseline.rank(q, limit=TOP_K) for q in queries]
+    )
+    fast_out, fast_seconds = _timed(lambda: [fast.top_k(q, TOP_K) for q in queries])
+    identical = equivalent = True
+    for fast_ranking, slow_ranking in zip(fast_out, slow_out):
+        same, close = _rankings_match(fast_ranking, slow_ranking)
+        identical &= same
+        equivalent &= close
+    result["top_k"] = {
+        "k": TOP_K,
+        "baseline_seconds": slow_seconds,
+        "fast_seconds": fast_seconds,
+        "baseline_qps": len(queries) / slow_seconds if slow_seconds else None,
+        "fast_qps": len(queries) / fast_seconds if fast_seconds else None,
+        "speedup": slow_seconds / fast_seconds if fast_seconds else None,
+        "rankings_identical": identical,
+        "rankings_equivalent": equivalent,
+    }
+
+    # -- run_many over the whole workload --------------------------------------
+    slow_many, slow_many_seconds = _timed(
+        lambda: [baseline.rank(q, limit=TOP_K) for q in queries]
+    )
+    fast_many, fast_many_seconds = _timed(
+        lambda: fast.run_many(queries, op="top_k", k=TOP_K)
+    )
+    many_identical = many_equivalent = True
+    for fast_ranking, slow_ranking in zip(fast_many, slow_many):
+        same, close = _rankings_match(fast_ranking, slow_ranking)
+        many_identical &= same
+        many_equivalent &= close
+    result["run_many"] = {
+        "num_queries": len(queries),
+        "baseline_seconds": slow_many_seconds,
+        "fast_seconds": fast_many_seconds,
+        "speedup": (
+            slow_many_seconds / fast_many_seconds if fast_many_seconds else None
+        ),
+        "rankings_identical": many_identical,
+        "rankings_equivalent": many_equivalent,
+        "batched_sql": bool(getattr(fast, "_last_batch_sql", False)),
+    }
+
+    # -- thresholded select with in-SQL pruning (jaccard only) -----------------
+    if name == "jaccard":
+        slow_sel, slow_sel_seconds = _timed(
+            lambda: [baseline.select(q, SELECT_THRESHOLD) for q in queries]
+        )
+        slow_candidates = baseline.last_num_candidates
+        fast_sel, fast_sel_seconds = _timed(
+            lambda: [fast.select(q, SELECT_THRESHOLD) for q in queries]
+        )
+        fast_candidates = fast.last_num_candidates
+        result["select"] = {
+            "threshold": SELECT_THRESHOLD,
+            "baseline_seconds": slow_sel_seconds,
+            "fast_seconds": fast_sel_seconds,
+            "speedup": (
+                slow_sel_seconds / fast_sel_seconds if fast_sel_seconds else None
+            ),
+            "identical_results": fast_sel == slow_sel,
+            "baseline_candidates_last_query": slow_candidates,
+            "fast_candidates_last_query": fast_candidates,
+        }
+    return result
+
+
+def bench_shared_cores(strings) -> dict:
+    """Preprocessing-statement counts: the second fit must reuse the core."""
+    recorder = RecordingBackend(SQLiteBackend())
+    recorder.enabled = True
+    counts = {}
+    for name in ("bm25", "cosine", "weighted_match"):
+        recorder.clear()
+        make_declarative_predicate(name, backend=recorder).preprocess(strings)
+        counts[name] = len(recorder.statements)
+    first = counts["bm25"]
+    return {
+        "preprocessing_statements": counts,
+        "second_fit_reuses_core": all(
+            count < first for key, count in counts.items() if key != "bm25"
+        ),
+    }
+
+
+def _geomean(values) -> float:
+    values = [value for value in values if value]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def run(size: int, num_queries: int, seed: int = 42) -> dict:
+    dataset = make_dataset("CU1", size=size, num_clean=max(50, size // 10), seed=seed)
+    strings = dataset.strings
+    step = max(1, len(strings) // num_queries)
+    queries = strings[::step][:num_queries]
+    report = {
+        "benchmark": "declarative_fastpath",
+        "relation": {"generator": "UIS company names (CU1)", "size": len(strings)},
+        "backend": "sqlite",
+        "config": {
+            "top_k": TOP_K,
+            "select_threshold": SELECT_THRESHOLD,
+            "num_queries": len(queries),
+            "seed": seed,
+        },
+        "shared_cores": bench_shared_cores(strings),
+        "results": [bench_predicate(name, strings, queries) for name in PREDICATES],
+    }
+    report["overall"] = {
+        "top_k_speedup_geomean": _geomean(
+            entry["top_k"]["speedup"] for entry in report["results"]
+        ),
+        "run_many_speedup_geomean": _geomean(
+            entry["run_many"]["speedup"] for entry in report["results"]
+        ),
+    }
+    return report
+
+
+def check(report: dict, require_speedup: float = 0.0) -> list:
+    """Guard conditions; returns a list of human-readable failures."""
+    failures = []
+    if not report["shared_cores"]["second_fit_reuses_core"]:
+        failures.append(
+            "second predicate fit re-materialized the shared token tables "
+            f"({report['shared_cores']['preprocessing_statements']})"
+        )
+    for entry in report["results"]:
+        name = entry["predicate"]
+        for section in ("top_k", "run_many"):
+            if not entry[section]["rankings_equivalent"]:
+                failures.append(f"{name}: {section} fast path diverged from baseline")
+        if not entry["run_many"]["batched_sql"]:
+            failures.append(f"{name}: run_many stopped using the batched SQL path")
+        select = entry.get("select")
+        if select is not None:
+            if not select["identical_results"]:
+                failures.append(f"{name}: pruned select diverged from baseline")
+            if (
+                select["fast_candidates_last_query"]
+                > select["baseline_candidates_last_query"]
+            ):
+                failures.append(
+                    f"{name}: pruned select scored more candidates than the "
+                    "baseline -- in-SQL pruning lost"
+                )
+    if require_speedup:
+        # Jaccard's candidate sets are dense (a 10k-row CU relation shares
+        # common bigrams everywhere), so its per-query gains are structurally
+        # smaller; the bar applies to the workload-level geometric mean.
+        for section in ("top_k", "run_many"):
+            overall = report["overall"][f"{section}_speedup_geomean"]
+            if overall < require_speedup:
+                failures.append(
+                    f"overall {section} speedup {overall:.2f}x "
+                    f"< required {require_speedup}x"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus, correctness/work-reduction guard only (CI job)",
+    )
+    parser.add_argument("--size", type=int, default=None, help="relation size")
+    parser.add_argument("--queries", type=int, default=None, help="number of queries")
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless every top_k/run_many speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_HERE.parent / "BENCH_declarative_fastpath.json",
+        help="output JSON path (default: repo root BENCH_declarative_fastpath.json)",
+    )
+    args = parser.parse_args(argv)
+
+    size = args.size or (400 if args.smoke else 10_000)
+    num_queries = args.queries or (8 if args.smoke else 50)
+    report = run(size=size, num_queries=num_queries)
+    report["smoke"] = bool(args.smoke)
+
+    failures = check(report, require_speedup=args.require_speedup)
+    report["failures"] = failures
+
+    shared = report["shared_cores"]["preprocessing_statements"]
+    print(f"preprocessing statements (shared cores): {shared}")
+    for entry in report["results"]:
+        top_k = entry["top_k"]
+        many = entry["run_many"]
+        line = (
+            f"{entry['predicate']:>10}  top_k(k={top_k['k']}): "
+            f"{top_k['speedup']:.2f}x ({top_k['baseline_qps']:.0f} -> "
+            f"{top_k['fast_qps']:.0f} q/s)  |  run_many({many['num_queries']}): "
+            f"{many['speedup']:.2f}x"
+        )
+        select = entry.get("select")
+        if select is not None:
+            line += (
+                f"  |  select: {select['speedup']:.2f}x, candidates "
+                f"{select['baseline_candidates_last_query']} -> "
+                f"{select['fast_candidates_last_query']}"
+            )
+        print(line)
+
+    overall = report["overall"]
+    print(
+        f"overall geomean: top_k {overall['top_k_speedup_geomean']:.2f}x, "
+        f"run_many {overall['run_many_speedup_geomean']:.2f}x"
+    )
+    if not args.smoke:
+        args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("declarative fast paths exact; batching and pruning intact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

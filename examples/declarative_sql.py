@@ -47,7 +47,7 @@ def show_backend(name: str, backend) -> None:
     tables = [
         ("BASE_TABLE", "tid, string"),
         ("BASE_TOKENS", "tid, token (q-grams)"),
-        ("BASE_WEIGHTS", "tid, token, BM25 weight"),
+        ("BASE_BM25W", "tid, token, BM25 weight"),
     ]
     for table, description in tables:
         count = backend.row_count(table)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.text.strings import edit_similarity, jaro_winkler
 
@@ -19,6 +19,11 @@ class SQLBackend(ABC):
     for the character-level similarity functions that SQL cannot express
     (Jaro-Winkler for SoftTFIDF, edit similarity for the edit-based
     predicate), exactly as the original study registered UDFs in MySQL.
+
+    Statements accept positional ``?`` parameters (``params``), so query
+    strings never have to be interpolated into SQL text; both backends bind
+    them natively (SQLite's DB-API binding, the in-memory engine's
+    token-level binding).
     """
 
     name: str = "backend"
@@ -29,11 +34,11 @@ class SQLBackend(ABC):
     # -- required primitives ----------------------------------------------------
 
     @abstractmethod
-    def execute(self, sql: str) -> object:
+    def execute(self, sql: str, params: Optional[Sequence[object]] = None) -> object:
         """Execute one SQL statement; DML returns an affected-row count."""
 
     @abstractmethod
-    def query(self, sql: str) -> List[Tuple]:
+    def query(self, sql: str, params: Optional[Sequence[object]] = None) -> List[Tuple]:
         """Execute a SELECT and return all rows."""
 
     @abstractmethod
@@ -55,6 +60,21 @@ class SQLBackend(ABC):
     @abstractmethod
     def register_function(self, name: str, num_args: int, func: Callable) -> None:
         """Register a scalar UDF callable from SQL."""
+
+    # -- optional primitives -----------------------------------------------------
+
+    #: Whether the backend can evaluate window functions (``ROW_NUMBER() OVER
+    #: (PARTITION BY ...)``); the batched top-k path uses them to cut each
+    #: query's ranking to ``k`` rows inside the statement.
+    supports_window_functions: bool = False
+
+    def create_index(self, name: str, table: str, columns: Sequence[str]) -> None:
+        """Create an index over ``table(columns)`` where the backend supports it.
+
+        The default is a no-op: the in-memory engine answers equi-joins with
+        hash joins and has no use for persistent indexes.  SQLite overrides
+        this with a real ``CREATE INDEX``.
+        """
 
     # -- conveniences ------------------------------------------------------------
 

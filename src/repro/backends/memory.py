@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backends.base import SQLBackend
 from repro.dbengine import Database
@@ -21,14 +21,14 @@ class MemoryBackend(SQLBackend):
         self.database = Database()
         super().__init__()
 
-    def execute(self, sql: str) -> object:
-        result = self.database.execute(sql)
+    def execute(self, sql: str, params: Optional[Sequence[object]] = None) -> object:
+        result = self.database.execute(sql, params=params)
         if isinstance(result, ResultSet):
             return result.rows
         return result
 
-    def query(self, sql: str) -> List[Tuple]:
-        return list(self.database.query(sql).rows)
+    def query(self, sql: str, params: Optional[Sequence[object]] = None) -> List[Tuple]:
+        return list(self.database.query(sql, params=params).rows)
 
     def create_table(
         self, name: str, columns: Sequence[str], if_not_exists: bool = False

@@ -89,17 +89,23 @@ class Database:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self, sql: str) -> ResultSet | int:
-        """Parse and execute a single SQL statement."""
-        return self.execute_statement(parse_statement(sql))
+    def execute(self, sql: str, params: Sequence[object] | None = None) -> ResultSet | int:
+        """Parse and execute a single SQL statement.
+
+        ``params`` binds positional ``?`` placeholders at the token level
+        (typed literals, not SQL text), mirroring DB-API parameter binding.
+        """
+        return self.execute_statement(
+            parse_statement(sql, tuple(params) if params else None)
+        )
 
     def execute_script(self, sql: str) -> List[ResultSet | int]:
         """Execute a semicolon-separated script; returns one result per statement."""
         return [self.execute_statement(stmt) for stmt in parse_statements(sql)]
 
-    def query(self, sql: str) -> ResultSet:
+    def query(self, sql: str, params: Sequence[object] | None = None) -> ResultSet:
         """Execute a statement that must be a SELECT."""
-        result = self.execute(sql)
+        result = self.execute(sql, params=params)
         if not isinstance(result, ResultSet):
             raise ExecutionError("query() requires a SELECT statement")
         return result

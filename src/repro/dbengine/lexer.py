@@ -137,6 +137,11 @@ def tokenize(sql: str) -> List[Token]:
             tokens.append(Token(_PUNCTUATION[ch], ch, i))
             i += 1
             continue
+        # positional bind parameter (value substituted before parsing)
+        if ch == "?":
+            tokens.append(Token("PARAM", "?", i))
+            i += 1
+            continue
         raise ParseError(f"unexpected character {ch!r}", i)
     tokens.append(Token("EOF", "", length))
     return tokens

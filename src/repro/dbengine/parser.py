@@ -45,12 +45,57 @@ from repro.dbengine.ast_nodes import (
 from repro.dbengine.errors import ParseError
 from repro.dbengine.lexer import Token, tokenize
 
-__all__ = ["parse_statement", "parse_statements", "parse_expression", "Parser"]
+__all__ = [
+    "parse_statement",
+    "parse_statements",
+    "parse_expression",
+    "bind_params",
+    "Parser",
+]
 
 
-def parse_statement(sql: str) -> Statement:
+def bind_params(tokens: List[Token], params: Optional[Tuple]) -> List[Token]:
+    """Replace ``?`` placeholder tokens with literal tokens for ``params``.
+
+    Binding happens at the token level -- parameter values become typed
+    literal tokens, never SQL text -- so quoting/escaping of the values is a
+    non-issue by construction (the string never re-enters the lexer).
+    """
+    if params is None:
+        params = ()
+    placeholders = [token for token in tokens if token.kind == "PARAM"]
+    if len(placeholders) != len(params):
+        raise ParseError(
+            f"statement has {len(placeholders)} parameter placeholder(s) "
+            f"but {len(params)} value(s) were bound",
+            placeholders[0].position if placeholders else 0,
+        )
+    values = iter(params)
+    bound: List[Token] = []
+    for token in tokens:
+        if token.kind != "PARAM":
+            bound.append(token)
+            continue
+        value = next(values)
+        if value is None:
+            bound.append(Token("KEYWORD", "NULL", token.position))
+        elif isinstance(value, bool):
+            bound.append(Token("KEYWORD", "TRUE" if value else "FALSE", token.position))
+        elif isinstance(value, (int, float)):
+            # Negative numbers lex as MINUS NUMBER; repr round-trips floats.
+            if value < 0:
+                bound.append(Token("MINUS", "-", token.position))
+                bound.append(Token("NUMBER", repr(type(value)(abs(value))), token.position))
+            else:
+                bound.append(Token("NUMBER", repr(value), token.position))
+        else:
+            bound.append(Token("STRING", str(value), token.position))
+    return bound
+
+
+def parse_statement(sql: str, params: Optional[Tuple] = None) -> Statement:
     """Parse a single SQL statement (a trailing semicolon is allowed)."""
-    parser = Parser(tokenize(sql))
+    parser = Parser(bind_params(tokenize(sql), params))
     statement = parser.parse_single_statement()
     return statement
 

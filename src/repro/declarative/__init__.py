@@ -11,7 +11,8 @@ The declarative classes share the interface of the direct predicates
 integration tests verify that both realizations produce the same rankings.
 """
 
-from repro.declarative.base import DeclarativePredicate
+from repro.declarative.base import DeclarativePredicate, SQLFastPathStats
+from repro.declarative.shared import SharedTables, clear_shared_state
 from repro.declarative.overlap import (
     DeclarativeIntersectSize,
     DeclarativeJaccard,
@@ -36,6 +37,9 @@ from repro.declarative.registry import (
 
 __all__ = [
     "DeclarativePredicate",
+    "SQLFastPathStats",
+    "SharedTables",
+    "clear_shared_state",
     "DeclarativeIntersectSize",
     "DeclarativeJaccard",
     "DeclarativeWeightedMatch",

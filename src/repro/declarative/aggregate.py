@@ -1,36 +1,30 @@
 """Declarative realizations of the aggregate weighted predicates (Appendix B.2).
 
-Both predicates store per-(tid, token) document-side weights in
-``BASE_WEIGHTS`` during preprocessing; query-time scoring is the single-join
-statement of Figure 4.3 with the query-side weights computed on the fly as a
-subquery.
+Both predicates read their document-side weights from shared-core feature
+tables (normalized tf-idf for Cosine; for BM25 the shared RS/``midf`` table
+combined with the parameter-dependent modified tf, namespaced by the
+``(k1, b)`` signature); query-time scoring is the single-join statement of
+Figure 4.3 with the query-side weights computed on the fly as a subquery.
+
+The batched variants group the same joins by ``qid``; Cosine materializes
+the per-query normalized weights (``QUERY_WEIGHTS(qid, token, weight)``)
+with a constant number of statements per batch before the final join.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Optional, Sequence, Tuple
 
 from repro.declarative.base import DeclarativePredicate
 from repro.text.weights import BM25Parameters
 
 __all__ = ["DeclarativeCosine", "DeclarativeBM25"]
 
+_DQT = "(SELECT DISTINCT token FROM QUERY_TOKENS)"
+
 
 class _DeclarativeAggregateBase(DeclarativePredicate):
     family = "aggregate-weighted"
-
-    def _materialize_size_and_tf(self) -> None:
-        self.backend.recreate_table("BASE_SIZE", ["size INTEGER"])
-        self.backend.execute(
-            "INSERT INTO BASE_SIZE (size) SELECT COUNT(*) FROM BASE_TABLE"
-        )
-        self.backend.recreate_table(
-            "BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_TF (tid, token, tf) "
-            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
-        )
 
 
 class DeclarativeCosine(_DeclarativeAggregateBase):
@@ -39,57 +33,84 @@ class DeclarativeCosine(_DeclarativeAggregateBase):
     name = "Cosine"
 
     def weight_phase(self) -> None:
-        self._materialize_size_and_tf()
-        self.backend.recreate_table("BASE_IDF", ["token TEXT", "idf REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_IDF (token, idf) "
-            "SELECT T.token, LOG(S.size) - LOG(COUNT(DISTINCT T.tid)) "
-            "FROM BASE_TOKENS T, BASE_SIZE S "
-            "GROUP BY T.token, S.size"
-        )
-        self.backend.recreate_table("BASE_LENGTH", ["tid INTEGER", "len REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_LENGTH (tid, len) "
-            "SELECT T.tid, SQRT(SUM(I.idf * I.idf * T.tf * T.tf)) "
-            "FROM BASE_IDF I, BASE_TF T "
-            "WHERE I.token = T.token "
-            "GROUP BY T.tid"
-        )
-        self.backend.recreate_table(
-            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
-            "SELECT T.tid, T.token, I.idf * T.tf / L.len "
-            "FROM BASE_IDF I, BASE_TF T, BASE_LENGTH L "
-            "WHERE I.token = T.token AND T.tid = L.tid"
-        )
+        self.require("cosweights")
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        # The query-side weights are normalized tf-idf computed on the fly;
-        # query tokens absent from BASE_IDF are dropped by the inner join.
-        query_weights = (
+    #: Query-side weights: normalized tf-idf computed on the fly; query
+    #: tokens absent from BASE_IDF are dropped by the inner join.
+    def _query_weights_subquery(self) -> str:
+        idf = self.tbl("BASE_IDF")
+        return (
             "(SELECT QTF.token, QIDF.idf * QTF.tf / QLEN.length AS weight "
             " FROM (SELECT R.token, R.idf "
-            "       FROM (SELECT DISTINCT token FROM QUERY_TOKENS) S, BASE_IDF R "
+            f"       FROM {_DQT} S, {idf} R "
             "       WHERE S.token = R.token) QIDF, "
             "      (SELECT T.token, COUNT(*) AS tf "
             "       FROM QUERY_TOKENS T GROUP BY T.token) QTF, "
             "      (SELECT SQRT(SUM(QI.idf * QI.idf * QT.tf * QT.tf)) AS length "
             "       FROM (SELECT R.token, R.idf "
-            "             FROM (SELECT DISTINCT token FROM QUERY_TOKENS) S, BASE_IDF R "
+            f"             FROM {_DQT} S, {idf} R "
             "             WHERE S.token = R.token) QI, "
             "            (SELECT T.token, COUNT(*) AS tf "
             "             FROM QUERY_TOKENS T GROUP BY T.token) QT "
             "       WHERE QI.token = QT.token) QLEN "
             " WHERE QIDF.token = QTF.token)"
         )
-        return self.backend.query(
+
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT R1W.tid, SUM(R1W.weight * R2W.weight) AS score "
-            f"FROM BASE_WEIGHTS R1W, {query_weights} R2W "
+            f"FROM {self.tbl('BASE_COSW')} R1W, {self._query_weights_subquery()} R2W "
             "WHERE R1W.token = R2W.token "
-            "GROUP BY R1W.tid"
+            "GROUP BY R1W.tid",
+            (),
+        )
+
+    def prepare_batch(self, queries: Sequence[str]) -> None:
+        """Batch schema plus the per-query normalized weights table."""
+        super().prepare_batch(queries)
+        backend = self.backend
+        idf = self.tbl("BASE_IDF")
+        backend.recreate_table(
+            "QUERY_IDF", ["qid INTEGER", "token TEXT", "idf REAL"]
+        )
+        backend.execute(
+            "INSERT INTO QUERY_IDF (qid, token, idf) "
+            "SELECT S.qid, S.token, R.idf "
+            f"FROM (SELECT DISTINCT qid, token FROM QUERY_TOKENS) S, {idf} R "
+            "WHERE S.token = R.token"
+        )
+        backend.recreate_table(
+            "QUERY_TF", ["qid INTEGER", "token TEXT", "tf INTEGER"]
+        )
+        backend.execute(
+            "INSERT INTO QUERY_TF (qid, token, tf) "
+            "SELECT T.qid, T.token, COUNT(*) FROM QUERY_TOKENS T GROUP BY T.qid, T.token"
+        )
+        backend.recreate_table("QUERY_LENGTH", ["qid INTEGER", "length REAL"])
+        backend.execute(
+            "INSERT INTO QUERY_LENGTH (qid, length) "
+            "SELECT QI.qid, SQRT(SUM(QI.idf * QI.idf * QT.tf * QT.tf)) "
+            "FROM QUERY_IDF QI, QUERY_TF QT "
+            "WHERE QI.qid = QT.qid AND QI.token = QT.token "
+            "GROUP BY QI.qid"
+        )
+        backend.recreate_table(
+            "QUERY_WEIGHTS", ["qid INTEGER", "token TEXT", "weight REAL"]
+        )
+        backend.execute(
+            "INSERT INTO QUERY_WEIGHTS (qid, token, weight) "
+            "SELECT QI.qid, QI.token, QI.idf * QT.tf / QL.length "
+            "FROM QUERY_IDF QI, QUERY_TF QT, QUERY_LENGTH QL "
+            "WHERE QI.qid = QT.qid AND QI.token = QT.token AND QI.qid = QL.qid"
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT R2W.qid, R1W.tid, SUM(R1W.weight * R2W.weight) AS score "
+            f"FROM {self.tbl('BASE_COSW')} R1W, QUERY_WEIGHTS R2W "
+            "WHERE R1W.token = R2W.token "
+            "GROUP BY R2W.qid, R1W.tid",
+            (),
         )
 
 
@@ -104,51 +125,50 @@ class DeclarativeBM25(_DeclarativeAggregateBase):
 
     def weight_phase(self) -> None:
         k1, b = self.params.k1, self.params.b
-        self._materialize_size_and_tf()
-        self.backend.recreate_table("BASE_BMIDF", ["token TEXT", "midf REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_BMIDF (token, midf) "
-            "SELECT T.token, LOG(S.size - COUNT(T.tid) + 0.5) - LOG(COUNT(T.tid) + 0.5) "
-            "FROM BASE_TF T, BASE_SIZE S "
-            "GROUP BY T.token, S.size"
-        )
-        self.backend.recreate_table("BASE_BMLENGTH", ["tid INTEGER", "dl REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_BMLENGTH (tid, dl) "
-            "SELECT T.tid, SUM(T.tf) FROM BASE_TF T GROUP BY T.tid"
-        )
-        self.backend.recreate_table("BASE_BMAVGLENGTH", ["avgdl REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_BMAVGLENGTH (avgdl) SELECT AVG(dl) FROM BASE_BMLENGTH"
-        )
-        self.backend.recreate_table(
-            "BASE_BMMODTF", ["tid INTEGER", "token TEXT", "mtf REAL"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_BMMODTF (tid, token, mtf) "
-            f"SELECT T.tid, T.token, (T.tf * ({k1} + 1)) / "
-            f"((((1 - {b}) + ({b} * L.dl / A.avgdl)) * {k1}) + T.tf) "
-            "FROM BASE_BMLENGTH L, BASE_BMAVGLENGTH A, BASE_TF T "
-            "WHERE L.tid = T.tid"
-        )
-        self.backend.recreate_table(
-            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
-            "SELECT T.tid, T.token, T.mtf * I.midf "
-            "FROM BASE_BMMODTF T, BASE_BMIDF I "
-            "WHERE T.token = I.token"
+        self.require("avgdl")
+        self.require("rsw")  # BM25's midf is the RS weight formula
+        feature, suffix = self.core.variant("bm25weights", (k1, b))
+        self._weights_table = f"BASE_BM25W{suffix}"
+        table = self._weights_table
+
+        def _build(backend, core) -> None:
+            core.table(backend, table, ["tid INTEGER", "token TEXT", "weight REAL"])
+            backend.execute(
+                f"INSERT INTO {core.name(table)} (tid, token, weight) "
+                f"SELECT T.tid, T.token, ((T.tf * ({k1} + 1)) / "
+                f"((((1 - {b}) + ({b} * L.dl / A.avgdl)) * {k1}) + T.tf)) * I.weight "
+                f"FROM {core.name('BASE_DL')} L, {core.name('BASE_AVGDL')} A, "
+                f"{core.name('BASE_TF')} T, {core.name('BASE_RSW')} I "
+                "WHERE L.tid = T.tid AND T.token = I.token"
+            )
+            core.index(backend, table, "token")
+
+        self.require(feature, sig=(k1, b), builder=_build)
+
+    def _query_mtf_subquery(self) -> str:
+        k3 = self.params.k3
+        return (
+            f"(SELECT token, (COUNT(*) * ({k3} + 1)) / ({k3} + COUNT(*)) AS mtf "
+            " FROM QUERY_TOKENS T GROUP BY T.token)"
         )
 
-    def query_scores(self, query: str) -> List[tuple]:
-        k3 = self.params.k3
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT B.tid, SUM(B.weight * S.mtf) AS score "
-            "FROM BASE_WEIGHTS B, "
-            f"(SELECT token, (COUNT(*) * ({k3} + 1)) / ({k3} + COUNT(*)) AS mtf "
-            " FROM QUERY_TOKENS T GROUP BY T.token) S "
+            f"FROM {self.tbl(self._weights_table)} B, {self._query_mtf_subquery()} S "
             "WHERE B.token = S.token "
-            "GROUP BY B.tid"
+            "GROUP BY B.tid",
+            (),
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        k3 = self.params.k3
+        return (
+            "SELECT S.qid, B.tid, SUM(B.weight * S.mtf) AS score "
+            f"FROM {self.tbl(self._weights_table)} B, "
+            f"(SELECT qid, token, (COUNT(*) * ({k3} + 1)) / ({k3} + COUNT(*)) AS mtf "
+            " FROM QUERY_TOKENS T GROUP BY T.qid, T.token) S "
+            "WHERE B.token = S.token "
+            "GROUP BY S.qid, B.tid",
+            (),
         )

@@ -3,19 +3,57 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from abc import ABC
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.backends.base import SQLBackend
 from repro.backends.memory import MemoryBackend
 from repro.core.predicates.base import Match
+from repro.declarative import shared as shared_tables
 from repro.declarative import tokens as token_tables
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.blocking.base import Blocker
 
-__all__ = ["DeclarativePredicate"]
+__all__ = ["DeclarativePredicate", "SQLFastPathStats"]
+
+
+@dataclass
+class SQLFastPathStats:
+    """Work counters of the most recent declarative query execution.
+
+    The declarative analogue of the direct realization's
+    :class:`repro.core.topk.PruningStats`: how many candidate rows the SQL
+    returned versus the base-relation size, and which fast paths the
+    statement used (``"batch"``, ``"order-by-limit"``, ``"length-filter"``,
+    ``"prefix-filter"``).
+    """
+
+    rows_scored: int = 0
+    base_size: int = 0
+    fastpath: Tuple[str, ...] = ()
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Base tuples per returned candidate row (>= 1 when pruning bites)."""
+        return self.base_size / self.rows_scored if self.rows_scored else float("inf")
+
+    def describe(self) -> str:
+        via = f" via {'+'.join(self.fastpath)}" if self.fastpath else ""
+        return (
+            f"{self.rows_scored}/{self.base_size} candidate rows returned by SQL{via}"
+        )
 
 
 class DeclarativePredicate(ABC):
@@ -23,14 +61,31 @@ class DeclarativePredicate(ABC):
 
     Life cycle (mirroring chapter 4 of the paper):
 
-    1. :meth:`preprocess` -- load ``BASE_TABLE``, tokenize into
-       ``BASE_TOKENS`` (in Python or, when ``sql_tokenization=True``, with the
-       Appendix A.1 SQL) and run the predicate's weight-materialization SQL.
-    2. :meth:`rank` / :meth:`select` -- load ``QUERY_TOKENS`` for the query
-       string, run the predicate's query-time SQL and return scored tuples.
+    1. :meth:`preprocess` -- acquire the backend's *shared core* for the base
+       relation (``BASE_TABLE``, ``BASE_TOKENS`` and the predicate-independent
+       statistics tables, materialized once per (backend, relation, tokenizer)
+       and reused across predicates -- see :mod:`repro.declarative.shared`),
+       then run the predicate's :meth:`weight_phase`.
+    2. :meth:`rank` / :meth:`select` / :meth:`run_many` -- load the query (or
+       query batch) tables, run the predicate's query-time SQL and return
+       scored tuples.
 
     Subclasses implement :meth:`weight_phase` (the preprocessing SQL beyond
-    tokenization) and :meth:`query_scores` (the query-time SQL).
+    the shared tables) and the query-time SQL as either
+
+    * :meth:`prepare_query` + :meth:`scores_sql` -- a single parameterized
+      SELECT producing ``(tid, score)`` rows, which unlocks the ORDER
+      BY/LIMIT top-k pushdown, or
+    * an override of :meth:`query_scores` for predicates whose scoring cannot
+      be one statement (the GES filter-verify predicates).
+
+    Batched execution mirrors this with :meth:`prepare_batch` +
+    :meth:`batch_scores_sql` (one statement per batch, grouped by ``qid``)
+    behind :meth:`run_many` / :meth:`query_scores_batch`.
+
+    ``fastpath=False`` restores the pre-fast-path behaviour (per-query
+    statements, no shared-table indexes, no in-SQL pruning or pushdown) --
+    used by the benchmarks as the baseline.
 
     The class satisfies the same
     :class:`repro.engine.protocol.SimilarityPredicateProtocol` as the direct
@@ -45,16 +100,25 @@ class DeclarativePredicate(ABC):
     #: Score semantics relevant to exact blocking (see
     #: :attr:`repro.core.predicates.base.Predicate.similarity_kind`).
     similarity_kind: str = "score"
+    #: Whether scoring is one SELECT (:meth:`scores_sql` returns a statement).
+    #: Families that post-process in Python (the GES filter-verify pair) set
+    #: this to ``False`` so the pushdown paths skip them *before* loading the
+    #: per-query tables, instead of preparing twice.
+    single_statement: bool = True
 
     def __init__(
         self,
         backend: Optional[SQLBackend] = None,
         tokenizer: Optional[Tokenizer] = None,
         sql_tokenization: bool = False,
+        fastpath: bool = True,
     ):
         self.backend = backend if backend is not None else MemoryBackend()
         self.tokenizer = tokenizer or QgramTokenizer(q=2)
         self.sql_tokenization = sql_tokenization
+        #: Enables the declarative fast paths (shared-table indexes, batched
+        #: SQL, ORDER BY/LIMIT pushdown, in-SQL candidate pruning).
+        self.fastpath = bool(fastpath)
         self._strings: List[str] = []
         self._preprocessed = False
         self._blocker: Optional["Blocker"] = None
@@ -62,9 +126,15 @@ class DeclarativePredicate(ABC):
         #: Number of candidates scored by the most recent :meth:`rank` /
         #: :meth:`select` call (after blocking), as for direct predicates.
         self.last_num_candidates: Optional[int] = None
+        #: SQL-side work counters of the most recent query execution.
+        self.last_sql_stats: Optional[SQLFastPathStats] = None
         #: Last query's raw ``(tid, score)`` rows, so :meth:`score` loops over
         #: one query (e.g. join verification) pay the SQL once.
         self._score_cache: Optional[Tuple[str, Dict[int, float]]] = None
+        #: Shared core handle + the feature signatures recorded at fit time
+        #: (stale when another predicate rebuilt a feature with other params).
+        self._core: Optional[shared_tables.SharedTables] = None
+        self._core_features: Dict[str, object] = {}
 
     # -- preprocessing ----------------------------------------------------------
 
@@ -72,7 +142,8 @@ class DeclarativePredicate(ABC):
         """Materialize all base-relation tables this predicate needs."""
         self._strings = list(strings)
         self._score_cache = None
-        token_tables.load_base_table(self.backend, self._strings)
+        self._core = None
+        self._core_features = {}
         self.tokenize_phase()
         self.weight_phase()
         self._preprocessed = True
@@ -84,17 +155,70 @@ class DeclarativePredicate(ABC):
     fit = preprocess
 
     def tokenize_phase(self) -> None:
-        """Populate ``BASE_TOKENS`` (Appendix A)."""
-        if self.sql_tokenization:
-            if not isinstance(self.tokenizer, QgramTokenizer):
-                raise ValueError("sql_tokenization is only supported for q-gram tokenizers")
-            token_tables.load_base_tokens_sql(self.backend, self._strings, self.tokenizer.q)
-        else:
-            token_tables.load_base_tokens_python(self.backend, self._strings, self.tokenizer)
+        """Acquire the shared core tables (``BASE_TOKENS`` etc., Appendix A).
 
-    @abstractmethod
+        The core is materialized on the first predicate that needs it and
+        reused by every later predicate fitted on the same (backend, relation,
+        tokenizer) -- fitting a second predicate pays no tokenization.
+        """
+        if self.sql_tokenization and not isinstance(self.tokenizer, QgramTokenizer):
+            raise ValueError("sql_tokenization is only supported for q-gram tokenizers")
+        self._core = shared_tables.acquire_core(
+            self.backend,
+            self._strings,
+            self.tokenizer,
+            sql_tokenization=self.sql_tokenization,
+            indexes=self.fastpath,
+        )
+        self._core_features = {shared_tables.CORE: None}
+
     def weight_phase(self) -> None:
-        """Materialize the predicate-specific weight tables (Appendix B)."""
+        """Materialize the predicate-specific weight tables (Appendix B).
+
+        The default needs nothing beyond the shared core; subclasses call
+        :meth:`require` for shared features and build their own tables.
+        """
+
+    def require(self, feature: str, sig: object = None, builder=None) -> None:
+        """Materialize a shared feature (no-op when it already exists).
+
+        The signature is recorded so :meth:`tables_stale` notices when a
+        different predicate instance later rebuilds the feature with other
+        parameters.
+        """
+        assert self._core is not None, "tokenize_phase() must run first"
+        self._core.require(self.backend, feature, sig=sig, builder=builder)
+        self._core_features[feature] = sig
+
+    @property
+    def core(self) -> shared_tables.SharedTables:
+        """The shared core this predicate was fitted on."""
+        if self._core is None:
+            raise RuntimeError("predicate has no shared core before preprocess()")
+        return self._core
+
+    def tbl(self, base: str) -> str:
+        """The namespaced name of a core/feature table (prefix-aware)."""
+        return self._core.name(base) if self._core is not None else base
+
+    def tables_stale(self) -> bool:
+        """Whether another fit invalidated this predicate's tables.
+
+        Cores never clobber each other (they are namespaced by prefix), so
+        staleness only arises when the core was torn down
+        (:func:`repro.declarative.shared.clear_shared_state`) or a shared
+        feature was rebuilt with a different parameter signature.
+        """
+        core = self._core
+        if not self._preprocessed or core is None:
+            return False
+        if core.dead:
+            return True
+        missing = object()
+        return any(
+            core.sigs.get(feature, missing) != sig
+            for feature, sig in self._core_features.items()
+        )
 
     # -- blocking ----------------------------------------------------------------
 
@@ -183,30 +307,246 @@ class DeclarativePredicate(ABC):
                 "rebuild the blocker with the lower threshold"
             )
 
-    # -- query time --------------------------------------------------------------
+    # -- query-time SQL protocol -------------------------------------------------
 
-    @abstractmethod
+    def prepare_query(self, query: str) -> None:
+        """Load the per-query tables (default: ``QUERY_TOKENS(token)``)."""
+        self.load_query_tokens(query)
+
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        """The single-SELECT scorer as ``(sql, params)``, if expressible.
+
+        The statement must produce ``(tid, score)`` rows over the tables
+        :meth:`prepare_query` loaded.  Predicates that cannot score in one
+        statement return ``None`` and override :meth:`query_scores` instead.
+        """
+        return None
+
     def query_scores(self, query: str) -> List[tuple]:
         """Run the query-time SQL; returns ``(tid, score)`` rows (unordered)."""
+        self.prepare_query(query)
+        pair = self.scores_sql()
+        if pair is None:  # pragma: no cover - subclass contract violation
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement scores_sql() or "
+                "override query_scores()"
+            )
+        sql, params = pair
+        return self.backend.query(sql, params or None)
+
+    def prepare_batch(self, queries: Sequence[str]) -> None:
+        """Load the per-batch tables (default: the ``QUERY_BATCH`` schema)."""
+        token_tables.load_query_batch(self.backend, queries, self.tokenizer)
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        """The batched scorer as ``(sql, params)`` producing
+        ``(qid, tid, score)`` rows, or ``None`` when the family has no
+        batched statement (falls back to one statement per query)."""
+        return None
+
+    def query_scores_batch(self, queries: Sequence[str]) -> List[List[tuple]]:
+        """Score a batch of queries; returns per-query ``(tid, score)`` rows.
+
+        With a per-family batched statement available (and the fast path on),
+        the whole batch runs as **one** SQL execution grouped by ``qid``.
+        """
+        queries = list(queries)
+        self._last_batch_sql = False
+        if not queries:
+            return []
+        if self.fastpath:
+            self.prepare_batch(queries)
+            pair = self.batch_scores_sql()
+            if pair is not None:
+                sql, params = pair
+                rows = self.backend.query(sql, params or None)
+                buckets: List[List[tuple]] = [[] for _ in queries]
+                for qid, tid, score in rows:
+                    buckets[int(qid)].append((tid, score))
+                self._last_batch_sql = True
+                return buckets
+        return [self.query_scores(query) for query in queries]
+
+    def _batch_topk_rows(
+        self, queries: Sequence[str], k: int
+    ) -> Optional[List[List[tuple]]]:
+        """Batched top-k with the per-query cut inside the SQL.
+
+        Wraps the family's batch statement in ``ROW_NUMBER() OVER (PARTITION
+        BY qid ORDER BY score DESC, tid)`` so only ``k`` rows per query cross
+        the SQL boundary -- exactly the rows the Python-side sort-and-trim
+        would keep, in the same order.  Requires window-function support
+        (SQLite; the in-memory engine falls back to the plain batch path).
+        """
+        if (
+            not self.fastpath
+            or not self.single_statement
+            or self._blocker is not None
+            or self._restriction is not None
+            or not getattr(self.backend, "supports_window_functions", False)
+        ):
+            return None
+        self.prepare_batch(queries)
+        pair = self.batch_scores_sql()
+        if pair is None:
+            return None
+        sql, params = pair
+        wrapped = (
+            "SELECT Y.qid, Y.tid, Y.score FROM "
+            "(SELECT X.qid, X.tid, X.score, "
+            "ROW_NUMBER() OVER (PARTITION BY X.qid "
+            "                   ORDER BY X.score DESC, X.tid) AS rn "
+            f"FROM ({sql}) X WHERE X.score IS NOT NULL) Y "
+            f"WHERE Y.rn <= {int(k)} "
+            "ORDER BY Y.qid, Y.rn"
+        )
+        rows = self.backend.query(wrapped, params or None)
+        buckets: List[List[tuple]] = [[] for _ in queries]
+        for qid, tid, score in rows:
+            buckets[int(qid)].append((tid, score))
+        self._last_batch_sql = True
+        return buckets
+
+    # -- query time --------------------------------------------------------------
 
     def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
-        """Tuples ranked by decreasing score, ties broken by tuple id."""
+        """Tuples ranked by decreasing score, ties broken by tuple id.
+
+        With a ``limit`` (and no blocker/restriction in play) the ordering
+        and the cut run *inside* the SQL statement -- ``ORDER BY score DESC,
+        tid LIMIT k`` -- so only ``k`` rows ever cross the SQL boundary.  The
+        pushed path returns exactly the rows of the unpushed one: both order
+        by ``(-score, tid)`` over the same SQL-computed scores.
+        """
         self._require_preprocessed()
+        if (
+            limit is not None
+            and self.fastpath
+            and self._blocker is None
+            and self._restriction is None
+        ):
+            pushed = self._rank_pushdown(query, limit)
+            if pushed is not None:
+                return pushed
         rows = [
             Match(int(tid), float(score))
             for tid, score in self.query_scores(query)
             if score is not None
         ]
         rows = self._apply_candidate_filter(query, rows)
+        self.last_sql_stats = SQLFastPathStats(
+            rows_scored=len(rows), base_size=len(self._strings)
+        )
         rows.sort(key=lambda st: (-st.score, st.tid))
         if limit is not None:
             rows = rows[:limit]
         return rows
 
+    def _rank_pushdown(self, query: str, limit: int) -> Optional[List[Match]]:
+        """ORDER BY/LIMIT pushed into the scoring SQL (single-SELECT families)."""
+        if limit <= 0:
+            return []
+        if not self.single_statement:
+            return None
+        self.prepare_query(query)
+        pair = self.scores_sql()
+        if pair is None:
+            return None
+        sql, params = pair
+        wrapped = (
+            f"SELECT X.tid, X.score FROM ({sql}) X "
+            f"WHERE X.score IS NOT NULL "
+            f"ORDER BY X.score DESC, X.tid LIMIT {int(limit)}"
+        )
+        rows = self.backend.query(wrapped, params or None)
+        # The SQL consumed the full candidate set internally; only the
+        # returned rows are observable, which is what the stats report.
+        self.last_num_candidates = len(rows)
+        self.last_sql_stats = SQLFastPathStats(
+            rows_scored=len(rows),
+            base_size=len(self._strings),
+            fastpath=("order-by-limit",),
+        )
+        return [Match(int(tid), float(score)) for tid, score in rows]
+
+    def top_k(self, query: str, k: int) -> List[Match]:
+        """The ``k`` most similar tuples (the declarative top-k fast path)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return []
+        return self.rank(query, limit=k)
+
     def select(self, query: str, threshold: float) -> List[Match]:
         """Approximate selection with a similarity threshold."""
         self._check_blocker_threshold(threshold)
         return [scored for scored in self.rank(query) if scored.score >= threshold]
+
+    def run_many(
+        self,
+        queries: Sequence[str],
+        op: str = "rank",
+        k: Optional[int] = None,
+        threshold: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[List[Match]]:
+        """Execute a query workload through the batched SQL path.
+
+        ``op`` is ``"rank"`` (optionally with ``limit``), ``"top_k"`` (with
+        ``k``) or ``"select"`` (with ``threshold``); semantics match calling
+        the corresponding single-query method per query, but scoring runs as
+        one SQL statement for the whole batch where the family supports it.
+        """
+        queries = list(queries)
+        if op == "top_k":
+            if k is None or k < 0:
+                raise ValueError("op='top_k' requires a non-negative k")
+            limit = k
+        elif op == "select":
+            if threshold is None:
+                raise ValueError("op='select' requires a threshold")
+            self._check_blocker_threshold(threshold)
+        elif op != "rank":
+            raise ValueError(
+                f"unknown batch op {op!r}; expected 'rank', 'top_k' or 'select'"
+            )
+        self._require_preprocessed()
+        per_query_rows = None
+        in_sql_cut = False
+        if limit is not None and queries:
+            self._last_batch_sql = False
+            per_query_rows = self._batch_topk_rows(queries, limit)
+            in_sql_cut = per_query_rows is not None
+        if per_query_rows is None:
+            per_query_rows = self.query_scores_batch(queries)
+        batched = getattr(self, "_last_batch_sql", False)
+        results: List[List[Match]] = []
+        total_rows = 0
+        for query, raw in zip(queries, per_query_rows):
+            rows = [
+                Match(int(tid), float(score))
+                for tid, score in raw
+                if score is not None
+            ]
+            rows = self._apply_candidate_filter(query, rows)
+            total_rows += len(rows)
+            rows.sort(key=lambda st: (-st.score, st.tid))
+            if op == "select":
+                rows = [match for match in rows if match.score >= threshold]
+            elif limit is not None:
+                rows = rows[:limit]
+            results.append(rows)
+        markers = []
+        if batched:
+            markers.append("batch")
+        if in_sql_cut:
+            markers.append("order-by-limit")
+        self.last_sql_stats = SQLFastPathStats(
+            rows_scored=total_rows,
+            base_size=len(self._strings) * max(len(queries), 1),
+            fastpath=tuple(markers),
+        )
+        return results
 
     def score(self, query: str, tid: int) -> float:
         """Similarity between ``query`` and tuple ``tid`` (0.0 if not scored).
@@ -246,6 +586,12 @@ class DeclarativePredicate(ABC):
             raise RuntimeError(
                 f"{type(self).__name__} must preprocess() a base relation before querying"
             )
+        if self.tables_stale():
+            # Another fit rebuilt a shared feature this predicate depends on
+            # (or the shared state was cleared): re-materialize before
+            # answering from the wrong tables.  Near-free when the core and
+            # untouched features survive.
+            self.preprocess(self._strings)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(backend={self.backend.name})"

@@ -11,15 +11,18 @@ backends), mirroring the UDF the original study installed in MySQL.
   a length predicate), so that far fewer UDF verifications run -- this is the
   filtering step that makes the edit-based predicate fast in the paper's
   performance experiments.
+
+The query string reaches the SQL exclusively through ``?`` bind parameters
+(never interpolated into the statement text), so quotes and other SQL
+metacharacters in the data are a non-issue end to end.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.predicates.base import ScoredTuple
 from repro.declarative.base import DeclarativePredicate
-from repro.declarative.tokens import sql_escape
 from repro.text.tokenize import normalize_string
 
 __all__ = ["DeclarativeEditDistance"]
@@ -33,26 +36,51 @@ class DeclarativeEditDistance(DeclarativePredicate):
 
     def weight_phase(self) -> None:
         # The candidate filter needs the number of q-grams per tuple and the
-        # normalized string; both are materialized during preprocessing.
-        self.backend.recreate_table("BASE_QGRAMCOUNT", ["tid INTEGER", "cnt INTEGER"])
-        self.backend.execute(
-            "INSERT INTO BASE_QGRAMCOUNT (tid, cnt) "
-            "SELECT tid, COUNT(*) FROM BASE_TOKENS GROUP BY tid"
-        )
-        self.backend.recreate_table("BASE_NORM", ["tid INTEGER", "string TEXT"])
-        self.backend.insert_rows(
-            "BASE_NORM",
-            [(tid, normalize_string(text)) for tid, text in enumerate(self._strings)],
+        # normalized string; the count is the shared core's BASE_DL, the
+        # normalized strings are this family's BASE_NORM feature.
+        self.require("dl")
+
+        def _build(backend, core) -> None:
+            core.table(backend, "BASE_NORM", ["tid INTEGER", "string TEXT"])
+            backend.insert_rows(
+                core.name("BASE_NORM"),
+                [(tid, normalize_string(text)) for tid, text in enumerate(self._strings)],
+            )
+            core.index(backend, "BASE_NORM", "tid")
+
+        self.require("norm", builder=_build)
+
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT C.tid, EDITSIM(B.string, ?) AS score "
+            f"FROM (SELECT DISTINCT R1.tid FROM {self.tbl('BASE_TOKENS')} R1, "
+            "      QUERY_TOKENS R2 "
+            f"      WHERE R1.token = R2.token) C, {self.tbl('BASE_NORM')} B "
+            "WHERE B.tid = C.tid",
+            (self._query_literal,),
         )
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        literal = sql_escape(normalize_string(query))
-        return self.backend.query(
-            f"SELECT C.tid, EDITSIM(B.string, '{literal}') AS score "
-            "FROM (SELECT DISTINCT R1.tid FROM BASE_TOKENS R1, QUERY_TOKENS R2 "
-            "      WHERE R1.token = R2.token) C, BASE_NORM B "
-            "WHERE B.tid = C.tid"
+    def prepare_query(self, query: str) -> None:
+        super().prepare_query(query)
+        self._query_literal = normalize_string(query)
+
+    def prepare_batch(self, queries: Sequence[str]) -> None:
+        super().prepare_batch(queries)
+        self.backend.recreate_table("QUERY_NORM", ["qid INTEGER", "string TEXT"])
+        self.backend.insert_rows(
+            "QUERY_NORM",
+            [(qid, normalize_string(query)) for qid, query in enumerate(queries)],
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT C.qid, C.tid, EDITSIM(B.string, Q.string) AS score "
+            "FROM (SELECT DISTINCT R2.qid AS qid, R1.tid AS tid "
+            f"      FROM {self.tbl('BASE_TOKENS')} R1, QUERY_TOKENS R2 "
+            "      WHERE R1.token = R2.token) C, "
+            f"{self.tbl('BASE_NORM')} B, QUERY_NORM Q "
+            "WHERE B.tid = C.tid AND Q.qid = C.qid",
+            (),
         )
 
     def select(self, query: str, threshold: float) -> List[ScoredTuple]:
@@ -61,16 +89,15 @@ class DeclarativeEditDistance(DeclarativePredicate):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be within [0, 1]")
         self._check_blocker_threshold(threshold)
-        self.load_query_tokens(query)
-        normalized = normalize_string(query)
-        literal = sql_escape(normalized)
+        self.prepare_query(query)
+        normalized = self._query_literal
         q = getattr(self.tokenizer, "q", 2)
         query_length = len(normalized)
         num_query_tokens = len(self.tokenizer.tokenize(query))
         # sim >= threshold implies ed <= (1 - threshold) * max(|Q|, |D|), which
         # yields the q-gram count filter and the length filter pushed into the
         # candidate-generation statement below.
-        rows = self._select_rows(literal, threshold, q, query_length, num_query_tokens)
+        rows = self._select_rows(normalized, threshold, q, query_length, num_query_tokens)
         scored = [
             ScoredTuple(int(tid), float(score))
             for tid, score in rows
@@ -96,17 +123,19 @@ class DeclarativeEditDistance(DeclarativePredicate):
 
         The correlated-subquery form of the filter is kept out of the main
         statement for portability: the length and count bounds are computed by
-        joining ``BASE_QGRAMCOUNT`` and ``BASE_NORM`` directly.
+        joining the shared per-tuple token counts (``BASE_DL``) and the
+        normalized strings (``BASE_NORM``) directly.
         """
         return self.backend.query(
-            f"SELECT F.tid, EDITSIM(F.string, '{literal}') AS score "
-            "FROM (SELECT R1.tid AS tid, N.string AS string, Q.cnt AS cnt, "
+            "SELECT F.tid, EDITSIM(F.string, ?) AS score "
+            "FROM (SELECT R1.tid AS tid, N.string AS string, Q.dl AS cnt, "
             "             LENGTH(N.string) AS blen, COUNT(*) AS common "
-            "      FROM BASE_TOKENS R1, QUERY_TOKENS R2, BASE_QGRAMCOUNT Q, BASE_NORM N "
+            f"      FROM {self.tbl('BASE_TOKENS')} R1, QUERY_TOKENS R2, "
+            f"           {self.tbl('BASE_DL')} Q, {self.tbl('BASE_NORM')} N "
             "      WHERE R1.token = R2.token AND Q.tid = R1.tid AND N.tid = R1.tid "
-            "      GROUP BY R1.tid, Q.cnt, N.string "
+            "      GROUP BY R1.tid, Q.dl, N.string "
             "      HAVING COUNT(*) >= "
-            f"        (CASE WHEN Q.cnt > {num_query_tokens} THEN Q.cnt ELSE {num_query_tokens} END) "
+            f"        (CASE WHEN Q.dl > {num_query_tokens} THEN Q.dl ELSE {num_query_tokens} END) "
             f"        - ((1.0 - {threshold}) * "
             f"           (CASE WHEN LENGTH(N.string) > {query_length} "
             f"                 THEN LENGTH(N.string) ELSE {query_length} END) * {q}) "
@@ -114,5 +143,6 @@ class DeclarativeEditDistance(DeclarativePredicate):
             f"            (1.0 - {threshold}) * "
             f"            (CASE WHEN LENGTH(N.string) > {query_length} "
             f"                  THEN LENGTH(N.string) ELSE {query_length} END)"
-            "      ) F"
+            "      ) F",
+            [literal],
         )

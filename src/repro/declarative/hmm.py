@@ -1,14 +1,15 @@
 """Declarative realization of the HMM predicate (Appendix B.3.2).
 
 Preprocessing stores ``LOG(1 + a1 * P(q|D) / (a0 * P(q|GE)))`` per
-(tid, token) in ``BASE_WEIGHTS_HMM``; the query statement joins the query
-tokens (with multiplicity) against that table and exponentiates the sum,
-exactly as in Figure 4.5.
+(tid, token) in ``BASE_WEIGHTS_HMM`` (namespaced by the ``a0`` signature on
+the shared core); the query statement joins the query tokens (with
+multiplicity) against that table and exponentiates the sum, exactly as in
+Figure 4.5 -- batched, the same join groups by ``qid``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Optional, Tuple
 
 from repro.declarative.base import DeclarativePredicate
 
@@ -29,47 +30,52 @@ class DeclarativeHMM(DeclarativePredicate):
         self.a1 = 1.0 - a0
 
     def weight_phase(self) -> None:
-        backend = self.backend
-        backend.recreate_table("BASE_TF", ["tid INTEGER", "token TEXT", "tf INTEGER"])
+        self.require("pml")
+        self.require("hmm_ptge", builder=self._build_ptge)
+        feature, suffix = self.core.variant("hmm_weights", self.a0)
+        self._weights_table = f"BASE_WEIGHTS_HMM{suffix}"
+        self.require(feature, sig=self.a0, builder=self._build_weights)
+
+    def _build_ptge(self, backend, core) -> None:
+        t = core.name
+        core.table(backend, "BASE_SUMDL", ["sdl INTEGER"])
         backend.execute(
-            "INSERT INTO BASE_TF (tid, token, tf) "
-            "SELECT T.tid, T.token, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid, T.token"
+            f"INSERT INTO {t('BASE_SUMDL')} (sdl) SELECT SUM(dl) FROM {t('BASE_DL')}"
         )
-        backend.recreate_table("BASE_DL", ["tid INTEGER", "dl INTEGER"])
+        core.table(backend, "BASE_PTGE", ["token TEXT", "ptge REAL"])
         backend.execute(
-            "INSERT INTO BASE_DL (tid, dl) "
-            "SELECT T.tid, COUNT(*) FROM BASE_TOKENS T GROUP BY T.tid"
-        )
-        backend.recreate_table("BASE_PML", ["tid INTEGER", "token TEXT", "pml REAL"])
-        backend.execute(
-            "INSERT INTO BASE_PML (tid, token, pml) "
-            "SELECT T.tid, T.token, T.tf * 1.0 / D.dl "
-            "FROM BASE_TF T, BASE_DL D WHERE T.tid = D.tid"
-        )
-        backend.recreate_table("BASE_SUMDL", ["sdl INTEGER"])
-        backend.execute("INSERT INTO BASE_SUMDL (sdl) SELECT SUM(dl) FROM BASE_DL")
-        backend.recreate_table("BASE_PTGE", ["token TEXT", "ptge REAL"])
-        backend.execute(
-            "INSERT INTO BASE_PTGE (token, ptge) "
+            f"INSERT INTO {t('BASE_PTGE')} (token, ptge) "
             "SELECT T.token, SUM(T.tf) * 1.0 / D.sdl "
-            "FROM BASE_TF T, BASE_SUMDL D "
+            f"FROM {t('BASE_TF')} T, {t('BASE_SUMDL')} D "
             "GROUP BY T.token, D.sdl"
         )
-        backend.recreate_table(
-            "BASE_WEIGHTS_HMM", ["tid INTEGER", "token TEXT", "weight REAL"]
-        )
+
+    def _build_weights(self, backend, core) -> None:
+        t = core.name
+        table = self._weights_table
+        core.table(backend, table, ["tid INTEGER", "token TEXT", "weight REAL"])
         backend.execute(
-            "INSERT INTO BASE_WEIGHTS_HMM (tid, token, weight) "
+            f"INSERT INTO {t(table)} (tid, token, weight) "
             f"SELECT M.tid, M.token, LOG(1 + ({self.a1} * M.pml) / ({self.a0} * P.ptge)) "
-            "FROM BASE_PTGE P, BASE_PML M "
+            f"FROM {t('BASE_PTGE')} P, {t('BASE_PML')} M "
             "WHERE P.token = M.token"
         )
+        core.index(backend, table, "token")
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT W1.tid, EXP(SUM(W1.weight)) AS score "
-            "FROM BASE_WEIGHTS_HMM W1, QUERY_TOKENS T2 "
+            f"FROM {self.tbl(self._weights_table)} W1, QUERY_TOKENS T2 "
             "WHERE W1.token = T2.token "
-            "GROUP BY W1.tid"
+            "GROUP BY W1.tid",
+            (),
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT T2.qid, W1.tid, EXP(SUM(W1.weight)) AS score "
+            f"FROM {self.tbl(self._weights_table)} W1, QUERY_TOKENS T2 "
+            "WHERE W1.token = T2.token "
+            "GROUP BY T2.qid, W1.tid",
+            (),
         )

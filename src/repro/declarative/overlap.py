@@ -1,16 +1,27 @@
 """Declarative realizations of the overlap predicates (Appendix B.1).
 
-All four predicates operate on *distinct* (tid, token) pairs, so preprocessing
-first materializes ``BASE_TOKENS_DIST``; the weighted variants additionally
-materialize the Robertson-Sparck Jones weight table (the paper's preferred
-weighting for this class, section 5.3.1).
+All four predicates operate on *distinct* (tid, token) pairs
+(``BASE_TOKENS_DIST``, part of the shared core); the weighted variants
+additionally use the shared Robertson-Sparck Jones weight tables (the
+paper's preferred weighting for this class, section 5.3.1).
+
+:class:`DeclarativeJaccard` additionally carries the in-SQL candidate-pruning
+fast path for thresholded selections: the length-filter bounds of
+:mod:`repro.blocking.length` become a ``BETWEEN`` predicate over the shared
+per-tuple token counts, and the prefix-filter lemma of
+:mod:`repro.blocking.prefix` becomes a semi-join against a materialized
+rarest-tokens prefix table -- both exact for Jaccard, so the pruned
+statement returns the same selection while scoring a fraction of the rows.
 """
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import List, Optional, Tuple
 
-from repro.declarative.base import DeclarativePredicate
+from repro.blocking.prefix import PrefixFilter
+from repro.core.predicates.base import Match
+from repro.declarative.base import DeclarativePredicate, SQLFastPathStats
 
 __all__ = [
     "DeclarativeIntersectSize",
@@ -19,42 +30,16 @@ __all__ = [
     "DeclarativeWeightedJaccard",
 ]
 
-_DISTINCT_QUERY_TOKENS = "(SELECT DISTINCT token FROM QUERY_TOKENS)"
+_DQT = "(SELECT DISTINCT token FROM QUERY_TOKENS)"
+_BDQT = "(SELECT DISTINCT qid, token FROM QUERY_TOKENS)"
+
+#: Float slack of the in-SQL length bounds, mirroring the blocker's
+#: exactness-first policy (noise can only loosen the bounds).
+_EPS = 1e-9
 
 
 class _DeclarativeOverlapBase(DeclarativePredicate):
     family = "overlap"
-
-    def _materialize_distinct_tokens(self) -> None:
-        self.backend.recreate_table("BASE_TOKENS_DIST", ["tid INTEGER", "token TEXT"])
-        self.backend.execute(
-            "INSERT INTO BASE_TOKENS_DIST (tid, token) "
-            "SELECT DISTINCT tid, token FROM BASE_TOKENS"
-        )
-
-    def _materialize_rs_weights(self) -> None:
-        """``BASE_WEIGHTS(tid, token, weight)`` with RS weights (equation 3.5)."""
-        self.backend.recreate_table("BASE_SIZE", ["size INTEGER"])
-        self.backend.execute(
-            "INSERT INTO BASE_SIZE (size) SELECT COUNT(*) FROM BASE_TABLE"
-        )
-        self.backend.recreate_table("BASE_RSW", ["token TEXT", "weight REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_RSW (token, weight) "
-            "SELECT T.token, LOG(S.size - COUNT(DISTINCT T.tid) + 0.5) "
-            "- LOG(COUNT(DISTINCT T.tid) + 0.5) "
-            "FROM BASE_TOKENS T, BASE_SIZE S "
-            "GROUP BY T.token, S.size"
-        )
-        self.backend.recreate_table(
-            "BASE_WEIGHTS", ["tid INTEGER", "token TEXT", "weight REAL"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_WEIGHTS (tid, token, weight) "
-            "SELECT D.tid, D.token, W.weight "
-            "FROM BASE_TOKENS_DIST D, BASE_RSW W "
-            "WHERE D.token = W.token"
-        )
 
 
 class DeclarativeIntersectSize(_DeclarativeOverlapBase):
@@ -63,15 +48,24 @@ class DeclarativeIntersectSize(_DeclarativeOverlapBase):
     name = "IntersectSize"
 
     def weight_phase(self) -> None:
-        self._materialize_distinct_tokens()
+        pass  # the shared core's BASE_TOKENS_DIST is all this predicate needs
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT R1.tid, COUNT(*) AS score "
-            f"FROM BASE_TOKENS_DIST R1, {_DISTINCT_QUERY_TOKENS} R2 "
+            f"FROM {self.tbl('BASE_TOKENS_DIST')} R1, {_DQT} R2 "
             "WHERE R1.token = R2.token "
-            "GROUP BY R1.tid"
+            "GROUP BY R1.tid",
+            (),
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT R2.qid, R1.tid, COUNT(*) AS score "
+            f"FROM {self.tbl('BASE_TOKENS_DIST')} R1, {_BDQT} R2 "
+            "WHERE R1.token = R2.token "
+            "GROUP BY R2.qid, R1.tid",
+            (),
         )
 
 
@@ -83,30 +77,130 @@ class DeclarativeJaccard(_DeclarativeOverlapBase):
     similarity_kind = "jaccard"
 
     def weight_phase(self) -> None:
-        self._materialize_distinct_tokens()
-        self.backend.recreate_table("BASE_DDL", ["tid INTEGER", "len INTEGER"])
-        self.backend.execute(
-            "INSERT INTO BASE_DDL (tid, len) "
-            "SELECT tid, COUNT(*) FROM BASE_TOKENS_DIST GROUP BY tid"
+        self.require("tokensddl")
+
+    # The distinct query tokens and their count are materialized once per
+    # query/batch (QUERY_DIST / QUERY_LEN) instead of re-deriving the DISTINCT
+    # subquery at every mention inside the scoring statement.
+
+    def prepare_query(self, query: str) -> None:
+        super().prepare_query(query)
+        backend = self.backend
+        backend.recreate_table("QUERY_DIST", ["token TEXT"])
+        backend.execute(
+            "INSERT INTO QUERY_DIST (token) SELECT DISTINCT token FROM QUERY_TOKENS"
         )
-        self.backend.recreate_table(
-            "BASE_TOKENSDDL", ["tid INTEGER", "token TEXT", "len INTEGER"]
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_TOKENSDDL (tid, token, len) "
-            "SELECT T.tid, T.token, D.len "
-            "FROM BASE_TOKENS_DIST T, BASE_DDL D WHERE T.tid = D.tid"
+        backend.recreate_table("QUERY_LEN", ["len INTEGER"])
+        backend.execute("INSERT INTO QUERY_LEN (len) SELECT COUNT(*) FROM QUERY_DIST")
+
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT S1.tid, COUNT(*) * 1.0 / (S1.len + S2.len - COUNT(*)) AS score "
+            f"FROM {self.tbl('BASE_TOKENSDDL')} S1, QUERY_DIST R2, QUERY_LEN S2 "
+            "WHERE S1.token = R2.token "
+            "GROUP BY S1.tid, S1.len, S2.len",
+            (),
         )
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def prepare_batch(self, queries) -> None:
+        super().prepare_batch(queries)
+        backend = self.backend
+        backend.recreate_table("QUERY_DIST", ["qid INTEGER", "token TEXT"])
+        backend.execute(
+            "INSERT INTO QUERY_DIST (qid, token) "
+            "SELECT DISTINCT qid, token FROM QUERY_TOKENS"
+        )
+        backend.recreate_table("QUERY_LEN", ["qid INTEGER", "len INTEGER"])
+        backend.execute(
+            "INSERT INTO QUERY_LEN (qid, len) "
+            "SELECT qid, COUNT(*) FROM QUERY_DIST GROUP BY qid"
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT R2.qid, S1.tid, "
+            "COUNT(*) * 1.0 / (S1.len + QL.len - COUNT(*)) AS score "
+            f"FROM {self.tbl('BASE_TOKENSDDL')} S1, QUERY_DIST R2, QUERY_LEN QL "
+            "WHERE S1.token = R2.token AND QL.qid = R2.qid "
+            "GROUP BY R2.qid, S1.tid, S1.len, QL.len",
+            (),
+        )
+
+    # -- in-SQL candidate pruning (threshold-aware select fast path) -------------
+
+    def _prefix_filter_for(self, threshold: float) -> PrefixFilter:
+        """The fitted prefix filter backing ``BASE_PREFIX`` (built at the
+        lowest threshold seen; prefixes for a lower threshold are supersets,
+        so reusing them at a higher threshold stays exact)."""
+        core = self.core
+        built: Optional[PrefixFilter] = core.meta.get("prefix_filter")
+        if built is None or threshold < built.threshold:
+            blocker = PrefixFilter(threshold, tokenizer=self.tokenizer)
+
+            def _build(backend, core) -> None:
+                blocker.fit(blocker.tokenizer.tokenize_many(self._strings))
+                core.table(backend, "BASE_PREFIX", ["tid INTEGER", "token TEXT"])
+                rows = [
+                    (tid, token)
+                    for tid, prefix in enumerate(blocker._prefixes)
+                    for token in prefix
+                ]
+                backend.insert_rows(core.name("BASE_PREFIX"), rows)
+                core.index(backend, "BASE_PREFIX", "token")
+                core.meta["prefix_filter"] = blocker
+
+            self.require("prefix", sig=("prefix", blocker.threshold), builder=_build)
+            built = blocker
+        else:
+            # Record the feature dependency for staleness tracking.
+            self._core_features["prefix"] = core.sigs.get("prefix")
+        return built
+
+    def select(self, query: str, threshold: float) -> List[Match]:
+        """Thresholded selection with length/prefix bounds pushed into SQL.
+
+        Exact for Jaccard (the same argument as the blocking filters): a
+        candidate outside the token-count bounds, or sharing no rarest-prefix
+        token with the query, cannot reach the threshold.  Falls back to the
+        generic scored-then-filtered path when the fast path is off or the
+        threshold does not prune.
+        """
+        if not self.fastpath or not 0.0 < threshold <= 1.0:
+            return super().select(query, threshold)
+        self._check_blocker_threshold(threshold)
+        self._require_preprocessed()
+        prefix_filter = self._prefix_filter_for(threshold)
+        self.prepare_query(query)
+        query_tokens = set(self.tokenizer.tokenize(query))
+        prefix_tokens = prefix_filter.prefix_of(query_tokens)
+        low = math.ceil(threshold * len(query_tokens) - _EPS)
+        high = math.floor(len(query_tokens) / threshold + _EPS)
+        self.backend.recreate_table("QUERY_PREFIX", ["token TEXT"])
+        self.backend.insert_rows("QUERY_PREFIX", [(token,) for token in prefix_tokens])
+        sql = (
             "SELECT S1.tid, COUNT(*) * 1.0 / (S1.len + S2.len - COUNT(*)) AS score "
-            f"FROM BASE_TOKENSDDL S1, {_DISTINCT_QUERY_TOKENS} R2, "
-            f"(SELECT COUNT(*) AS len FROM {_DISTINCT_QUERY_TOKENS} QT) S2 "
+            f"FROM {self.tbl('BASE_TOKENSDDL')} S1, QUERY_DIST R2, QUERY_LEN S2 "
             "WHERE S1.token = R2.token "
+            f"AND S1.len BETWEEN {low} AND {high} "
+            "AND S1.tid IN (SELECT DISTINCT P.tid "
+            f"               FROM {self.tbl('BASE_PREFIX')} P, QUERY_PREFIX QP "
+            "               WHERE P.token = QP.token) "
             "GROUP BY S1.tid, S1.len, S2.len"
         )
+        rows = [
+            Match(int(tid), float(score))
+            for tid, score in self.backend.query(sql)
+            if score is not None
+        ]
+        rows = self._apply_candidate_filter(query, rows)
+        self.last_sql_stats = SQLFastPathStats(
+            rows_scored=len(rows),
+            base_size=len(self._strings),
+            fastpath=("length-filter", "prefix-filter"),
+        )
+        results = [match for match in rows if match.score >= threshold]
+        results.sort(key=lambda st: (-st.score, st.tid))
+        return results
 
 
 class DeclarativeWeightedMatch(_DeclarativeOverlapBase):
@@ -115,16 +209,24 @@ class DeclarativeWeightedMatch(_DeclarativeOverlapBase):
     name = "WeightedMatch"
 
     def weight_phase(self) -> None:
-        self._materialize_distinct_tokens()
-        self._materialize_rs_weights()
+        self.require("rsweights")
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT W1.tid, SUM(W1.weight) AS score "
-            f"FROM BASE_WEIGHTS W1, {_DISTINCT_QUERY_TOKENS} T2 "
+            f"FROM {self.tbl('BASE_RSWEIGHTS')} W1, {_DQT} T2 "
             "WHERE W1.token = T2.token "
-            "GROUP BY W1.tid"
+            "GROUP BY W1.tid",
+            (),
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT T2.qid, W1.tid, SUM(W1.weight) AS score "
+            f"FROM {self.tbl('BASE_RSWEIGHTS')} W1, {_BDQT} T2 "
+            "WHERE W1.token = T2.token "
+            "GROUP BY T2.qid, W1.tid",
+            (),
         )
 
 
@@ -134,31 +236,29 @@ class DeclarativeWeightedJaccard(_DeclarativeOverlapBase):
     name = "WeightedJaccard"
 
     def weight_phase(self) -> None:
-        self._materialize_distinct_tokens()
-        self._materialize_rs_weights()
-        self.backend.recreate_table("BASE_DDL", ["tid INTEGER", "ddl REAL"])
-        self.backend.execute(
-            "INSERT INTO BASE_DDL (tid, ddl) "
-            "SELECT W.tid, SUM(W.weight) FROM BASE_WEIGHTS W GROUP BY W.tid"
-        )
-        self.backend.recreate_table(
-            "BASE_TOKENSDDL",
-            ["tid INTEGER", "token TEXT", "weight REAL", "ddl REAL"],
-        )
-        self.backend.execute(
-            "INSERT INTO BASE_TOKENSDDL (tid, token, weight, ddl) "
-            "SELECT W.tid, W.token, W.weight, D.ddl "
-            "FROM BASE_WEIGHTS W, BASE_DDL D WHERE W.tid = D.tid"
-        )
+        self.require("rstokensddl")
 
-    def query_scores(self, query: str) -> List[tuple]:
-        self.load_query_tokens(query)
-        return self.backend.query(
+    def scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
             "SELECT S1.tid, SUM(S1.weight) / (S1.ddl + S2.ddl - SUM(S1.weight)) AS score "
-            f"FROM BASE_TOKENSDDL S1, {_DISTINCT_QUERY_TOKENS} R2, "
+            f"FROM {self.tbl('BASE_RSTOKENSDDL')} S1, {_DQT} R2, "
             "(SELECT SUM(W.weight) AS ddl "
-            f" FROM BASE_RSW W, {_DISTINCT_QUERY_TOKENS} QT"
+            f" FROM {self.tbl('BASE_RSW')} W, {_DQT} QT"
             " WHERE W.token = QT.token) S2 "
             "WHERE S1.token = R2.token "
-            "GROUP BY S1.tid, S1.ddl, S2.ddl"
+            "GROUP BY S1.tid, S1.ddl, S2.ddl",
+            (),
+        )
+
+    def batch_scores_sql(self) -> Optional[Tuple[str, Tuple]]:
+        return (
+            "SELECT R2.qid, S1.tid, "
+            "SUM(S1.weight) / (S1.ddl + QS.ddl - SUM(S1.weight)) AS score "
+            f"FROM {self.tbl('BASE_RSTOKENSDDL')} S1, {_BDQT} R2, "
+            "(SELECT QT.qid AS qid, SUM(W.weight) AS ddl "
+            f" FROM {self.tbl('BASE_RSW')} W, {_BDQT} QT "
+            " WHERE W.token = QT.token GROUP BY QT.qid) QS "
+            "WHERE S1.token = R2.token AND QS.qid = R2.qid "
+            "GROUP BY R2.qid, S1.tid, S1.ddl, QS.ddl",
+            (),
         )

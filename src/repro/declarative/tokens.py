@@ -11,7 +11,13 @@ Tokenization of the base relation can be performed either
 
 Either way the resulting tables are exactly the ones the paper's query-time
 SQL expects: ``BASE_TABLE(tid, string)``, ``BASE_TOKENS(tid, token)`` and, at
-query time, ``QUERY_TOKENS(token)``.
+query time, ``QUERY_TOKENS(token)``.  Every loader accepts a table-name
+``prefix`` so several shared cores (one per relation/tokenizer pair) can
+coexist on one backend -- see :mod:`repro.declarative.shared`.
+
+Batched execution adds the multi-query schema: ``QUERY_BATCH(qid, string)``
+plus ``QUERY_TOKENS(qid, token)``, loaded once per batch by
+:func:`load_query_batch` so one SQL statement can score a whole workload.
 """
 
 from __future__ import annotations
@@ -27,35 +33,43 @@ __all__ = [
     "load_base_tokens_python",
     "load_base_tokens_sql",
     "load_query_tokens",
+    "load_query_batch",
     "qgram_tokenization_sql",
 ]
 
 
 def sql_escape(value: str) -> str:
-    """Escape a string literal for inclusion in SQL (single-quote doubling)."""
+    """Escape a string literal for inclusion in SQL (single-quote doubling).
+
+    Statement parameters (``backend.query(sql, params)``) are the preferred
+    way to pass strings -- they never touch the SQL text -- but this helper
+    remains for callers assembling literal scripts (e.g. reports).
+    """
     return value.replace("'", "''")
 
 
-def load_base_table(backend: SQLBackend, strings: Sequence[str]) -> None:
+def load_base_table(backend: SQLBackend, strings: Sequence[str], prefix: str = "") -> None:
     """(Re)create and populate ``BASE_TABLE(tid, string)``."""
-    backend.recreate_table("BASE_TABLE", ["tid INTEGER", "string TEXT"])
-    backend.insert_rows("BASE_TABLE", [(tid, text) for tid, text in enumerate(strings)])
+    backend.recreate_table(f"{prefix}BASE_TABLE", ["tid INTEGER", "string TEXT"])
+    backend.insert_rows(
+        f"{prefix}BASE_TABLE", [(tid, text) for tid, text in enumerate(strings)]
+    )
 
 
 def load_base_tokens_python(
-    backend: SQLBackend, strings: Sequence[str], tokenizer: Tokenizer
+    backend: SQLBackend, strings: Sequence[str], tokenizer: Tokenizer, prefix: str = ""
 ) -> None:
     """Populate ``BASE_TOKENS`` by tokenizing in Python (the fast path)."""
-    backend.recreate_table("BASE_TOKENS", ["tid INTEGER", "token TEXT"])
+    backend.recreate_table(f"{prefix}BASE_TOKENS", ["tid INTEGER", "token TEXT"])
     rows: List[tuple] = []
     for tid, text in enumerate(strings):
         for token in tokenizer.tokenize(text):
             rows.append((tid, token))
-    backend.insert_rows("BASE_TOKENS", rows)
+    backend.insert_rows(f"{prefix}BASE_TOKENS", rows)
 
 
 def qgram_tokenization_sql(q: int, source_table: str, target_table: str,
-                           include_tid: bool = True) -> str:
+                           include_tid: bool = True, integers_table: str = "INTEGERS") -> str:
     """The Appendix A.1 q-gram generation statement for the given tables.
 
     The statement upper-cases the string, replaces every space by ``q - 1``
@@ -68,25 +82,52 @@ def qgram_tokenization_sql(q: int, source_table: str, target_table: str,
     tid_insert = "(tid, token)" if include_tid else "(token)"
     return (
         f"INSERT INTO {target_table} {tid_insert} "
-        f"SELECT {tid_select}SUBSTR({padded}, INTEGERS.i, {q}) "
-        f"FROM INTEGERS INNER JOIN {source_table} "
-        f"ON INTEGERS.i <= LENGTH(REPLACE(string, ' ', '{pad}')) + {q - 1}"
+        f"SELECT {tid_select}SUBSTR({padded}, {integers_table}.i, {q}) "
+        f"FROM {integers_table} INNER JOIN {source_table} "
+        f"ON {integers_table}.i <= LENGTH(REPLACE(string, ' ', '{pad}')) + {q - 1}"
     )
 
 
-def load_base_tokens_sql(backend: SQLBackend, strings: Sequence[str], q: int) -> None:
+def load_base_tokens_sql(
+    backend: SQLBackend, strings: Sequence[str], q: int, prefix: str = ""
+) -> None:
     """Populate ``BASE_TOKENS`` with the SQL q-gram generation of Appendix A.1."""
     max_padded_length = max(
         (len(normalize_string(text).replace(" ", "$" * (q - 1))) + (q - 1) for text in strings),
         default=q,
     )
-    backend.recreate_table("INTEGERS", ["i INTEGER"])
-    backend.insert_rows("INTEGERS", [(i,) for i in range(1, max_padded_length + 1)])
-    backend.recreate_table("BASE_TOKENS", ["tid INTEGER", "token TEXT"])
-    backend.execute(qgram_tokenization_sql(q, "BASE_TABLE", "BASE_TOKENS"))
+    integers = f"{prefix}INTEGERS"
+    backend.recreate_table(integers, ["i INTEGER"])
+    backend.insert_rows(integers, [(i,) for i in range(1, max_padded_length + 1)])
+    backend.recreate_table(f"{prefix}BASE_TOKENS", ["tid INTEGER", "token TEXT"])
+    backend.execute(
+        qgram_tokenization_sql(
+            q, f"{prefix}BASE_TABLE", f"{prefix}BASE_TOKENS", integers_table=integers
+        )
+    )
 
 
 def load_query_tokens(backend: SQLBackend, query: str, tokenizer: Tokenizer) -> None:
     """(Re)create and populate ``QUERY_TOKENS(token)`` for one query string."""
     backend.recreate_table("QUERY_TOKENS", ["token TEXT"])
     backend.insert_rows("QUERY_TOKENS", [(token,) for token in tokenizer.tokenize(query)])
+
+
+def load_query_batch(
+    backend: SQLBackend, queries: Sequence[str], tokenizer: Tokenizer
+) -> None:
+    """Load the multi-query schema for one batch of query strings.
+
+    ``QUERY_BATCH(qid, string)`` holds the raw query strings (0-based qid in
+    batch order) and ``QUERY_TOKENS(qid, token)`` their tokens with
+    multiplicity -- the per-family batch SQL joins and groups by ``qid`` to
+    score every query of the batch in one statement.
+    """
+    backend.recreate_table("QUERY_BATCH", ["qid INTEGER", "string TEXT"])
+    backend.insert_rows("QUERY_BATCH", list(enumerate(queries)))
+    backend.recreate_table("QUERY_TOKENS", ["qid INTEGER", "token TEXT"])
+    rows: List[tuple] = []
+    for qid, query in enumerate(queries):
+        for token in tokenizer.tokenize(query):
+            rows.append((qid, token))
+    backend.insert_rows("QUERY_TOKENS", rows)

@@ -18,6 +18,7 @@ from repro.backends.base import SQLBackend
 from repro.blocking.base import BlockingStats
 from repro.core.predicates.base import Match
 from repro.core.topk import PruningStats
+from repro.declarative.base import SQLFastPathStats
 
 __all__ = ["QueryPlan", "ExplainReport", "RecordingBackend"]
 
@@ -77,6 +78,9 @@ class ExplainReport:
     #: Max-score pruning counters when the top-k fast path ran (direct
     #: realization, monotone-sum predicates); ``None`` otherwise.
     pruning: Optional[PruningStats] = None
+    #: SQL-side work counters when the declarative realization ran (rows the
+    #: statement returned vs. base size, and which fast paths it used).
+    sql_stats: Optional[SQLFastPathStats] = None
     #: Candidates actually scored (after blocking) for the sample query.
     num_candidates: Optional[int] = None
     num_results: Optional[int] = None
@@ -93,6 +97,8 @@ class ExplainReport:
             lines.append(f"candidates:  {self.num_candidates} scored")
         if self.pruning is not None:
             lines.append(f"pruning:     {self.pruning.describe()}")
+        if self.sql_stats is not None:
+            lines.append(f"sql path:    {self.sql_stats.describe()}")
         if self.num_results is not None:
             lines.append(f"results:     {self.num_results}")
         if self.blocker_stats is not None:
@@ -128,6 +134,9 @@ class RecordingBackend(SQLBackend):
         # registered the default UDFs, and this proxy adds no state of its own.
         self.inner = inner
         self.name = inner.name
+        self.supports_window_functions = getattr(
+            inner, "supports_window_functions", False
+        )
         self.enabled = False
         self.statements: List[str] = []
 
@@ -137,13 +146,20 @@ class RecordingBackend(SQLBackend):
 
     # -- SQLBackend interface ----------------------------------------------------
 
-    def execute(self, sql: str) -> object:
-        self._record(sql)
-        return self.inner.execute(sql)
+    def execute(self, sql: str, params: Optional[Sequence[object]] = None) -> object:
+        self._record(self._render(sql, params))
+        return self.inner.execute(sql, params)
 
-    def query(self, sql: str) -> List[Tuple]:
-        self._record(sql)
-        return self.inner.query(sql)
+    def query(self, sql: str, params: Optional[Sequence[object]] = None) -> List[Tuple]:
+        self._record(self._render(sql, params))
+        return self.inner.query(sql, params)
+
+    @staticmethod
+    def _render(sql: str, params: Optional[Sequence[object]]) -> str:
+        """Annotate recorded statements with their bound parameter values."""
+        if not params:
+            return sql
+        return f"{sql} -- params: {tuple(params)!r}"
 
     def create_table(
         self, name: str, columns: Sequence[str], if_not_exists: bool = False
@@ -167,6 +183,10 @@ class RecordingBackend(SQLBackend):
 
     def register_function(self, name: str, num_args: int, func: Callable) -> None:
         self.inner.register_function(name, num_args, func)
+
+    def create_index(self, name: str, table: str, columns: Sequence[str]) -> None:
+        self._record(f"CREATE INDEX {name} ON {table} ({', '.join(columns)})")
+        self.inner.create_index(name, table, columns)
 
     # -- recording ---------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.core.dedup import Deduplicator, DuplicateCluster
 from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
 from repro.core.predicates.base import Match, Predicate
 from repro.declarative.base import DeclarativePredicate
+from repro.declarative.shared import clear_shared_state
 from repro.engine import registry
 from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
 
@@ -96,12 +97,12 @@ class SimilarityEngine:
         #: it on, so the per-access staleness check is an int comparison
         #: instead of an O(n) corpus comparison.
         self._instance_fits: Dict[int, int] = {}
-        #: id(SQL backend instance) -> cache key of the state that last
-        #: preprocessed on it.  Declarative predicates materialize fixed-name
-        #: tables (BASE_TABLE, BASE_TOKENS, ...), so two cached states sharing
-        #: one backend instance clobber each other; this detects the clobber
-        #: and refits before answering from the wrong tables.
-        self._backend_fits: Dict[int, tuple] = {}
+        #: One SQL backend instance per backend *name*, shared by every
+        #: declarative state the engine builds: shared token/weight cores
+        #: (namespaced table prefixes, see :mod:`repro.declarative.shared`)
+        #: live per backend instance, so fitting a second declarative
+        #: predicate on an already-prepared backend reuses them.
+        self._backend_instances: Dict[str, object] = {}
         self._corpora: Dict[tuple, _Corpus] = {}
         self._corpus_counter = 0
 
@@ -148,7 +149,9 @@ class SimilarityEngine:
         self._blockers.clear()
         self._attached_blocker_ids.clear()
         self._instance_fits.clear()
-        self._backend_fits.clear()
+        for backend in self._backend_instances.values():
+            clear_shared_state(backend)
+        self._backend_instances.clear()
         self._corpora.clear()
 
     @property
@@ -162,6 +165,23 @@ class SimilarityEngine:
             state = build()
             self._states[key] = state
         return state
+
+    def _backend_instance(self, spec: Union[str, object]) -> object:
+        """Resolve a backend spec to the engine's shared instance.
+
+        Named backends resolve to one instance per name for the engine's
+        lifetime, so every declarative state on e.g. ``"sqlite"`` shares one
+        database -- and therefore the shared token/weight cores.  Instance
+        specs are used as-is (the caller owns them).
+        """
+        if not isinstance(spec, str):
+            return spec
+        name = spec.strip().lower()
+        backend = self._backend_instances.get(name)
+        if backend is None:
+            backend = registry.make_backend(name)
+            self._backend_instances[name] = backend
+        return backend
 
 
 class Query:
@@ -338,14 +358,6 @@ class Query:
             )
         return (self._corpus.key, realization, predicate_key, backend_key)
 
-    @staticmethod
-    def _inner_backend_id(predicate) -> Optional[int]:
-        """``id()`` of the real SQL backend a declarative predicate writes to."""
-        if not isinstance(predicate, DeclarativePredicate):
-            return None
-        backend = predicate.backend
-        return id(getattr(backend, "inner", backend))
-
     def _blocker_for(
         self, predicate_key: tuple, threshold: Optional[float]
     ) -> Optional[Blocker]:
@@ -376,10 +388,11 @@ class Query:
         miss in :meth:`_build_state`) and the predicate refitted when its
         ``base_strings`` no longer match this query's corpus.  Engine-built
         predicates are private to their cache key and cannot drift, so they
-        skip the check.  SQL backend *instances* can likewise be shared across
-        cached declarative states, whose fixed-name tables then clobber each
-        other; the engine tracks which state last preprocessed on each backend
-        and refits when it was not this one.
+        skip the check.  Declarative states sharing one SQL backend instance
+        use namespaced shared cores that never clobber each other; the only
+        remaining staleness -- a shared feature rebuilt with different
+        parameters, or cleared shared state -- is reported by the predicate
+        itself (``tables_stale``) and likewise triggers a refit.
 
         The predicate's attached blocker is reconciled with the plan on every
         call: cached predicate states are shared across blocked, unblocked
@@ -398,14 +411,10 @@ class Query:
         ):
             base = getattr(predicate, "base_strings", None)
             refit = base is not None and base != self._corpus.strings
-        backend_id = self._inner_backend_id(predicate)
-        if (
-            backend_id is not None
-            and self._engine._backend_fits.get(backend_id, predicate_key)
-            != predicate_key
-        ):
-            # Another cached state preprocessed on this backend instance since
-            # we did, clobbering our fixed-name tables.
+        if isinstance(predicate, DeclarativePredicate) and predicate.tables_stale():
+            # A shared feature this state depends on was rebuilt with other
+            # parameters (or the shared cores were cleared): rematerialize
+            # before answering from the wrong tables.
             refit = True
         if refit:
             stale = getattr(predicate, "blocker", None)
@@ -418,8 +427,6 @@ class Query:
             predicate.fit(self._corpus.strings)
         if not isinstance(self._predicate, str):
             self._engine._instance_fits[id(predicate)] = self._corpus.key
-        if backend_id is not None:
-            self._engine._backend_fits[backend_id] = predicate_key
         attached = getattr(predicate, "blocker", None)
         blocker = self._blocker_for(predicate_key, threshold)
         if blocker is not None:
@@ -444,7 +451,7 @@ class Query:
                     if self._backend is not None
                     else self._engine.default_backend
                 )
-                recorder = RecordingBackend(registry.make_backend(backend_spec))
+                recorder = RecordingBackend(self._engine._backend_instance(backend_spec))
                 predicate = registry.make(
                     self._predicate,
                     realization="declarative",
@@ -537,28 +544,36 @@ class Query:
         tables, weights, blocker indexes -- happens at most once for the whole
         batch (and is shared with every earlier query of the same plan), which
         is the amortization that makes query workloads cheap.
+
+        On the declarative realization the batch additionally executes through
+        the predicate's batched SQL (:meth:`DeclarativePredicate.run_many`):
+        one statement scores the whole workload instead of one per query.
         """
-        if op == "rank":
-            state = self._state(None)
-            runner = lambda text: state.predicate.rank(text, limit=limit)  # noqa: E731
-        elif op == "top_k":
-            if k is None or k < 0:
-                raise ValueError("op='top_k' requires a non-negative k")
-            state = self._state(None)
-            fast = getattr(state.predicate, "top_k", None)
-            if fast is None:
-                runner = lambda text: state.predicate.rank(text, limit=k)  # noqa: E731
-            else:
-                runner = lambda text: fast(text, k)  # noqa: E731
-        elif op == "select":
-            if threshold is None:
-                raise ValueError("op='select' requires a threshold")
-            state = self._state(threshold)
-            runner = lambda text: state.predicate.select(text, threshold)  # noqa: E731
-        else:
+        if op == "top_k" and (k is None or k < 0):
+            raise ValueError("op='top_k' requires a non-negative k")
+        if op == "select" and threshold is None:
+            raise ValueError("op='select' requires a threshold")
+        if op not in ("rank", "top_k", "select"):
             raise ValueError(
                 f"unknown batch op {op!r}; expected 'rank', 'top_k' or 'select'"
             )
+        state = self._state(threshold if op == "select" else None)
+        predicate = state.predicate
+        if isinstance(predicate, DeclarativePredicate):
+            batches = predicate.run_many(
+                queries, op=op, k=k, threshold=threshold, limit=limit
+            )
+            return [self._to_matches(batch) for batch in batches]
+        if op == "rank":
+            runner = lambda text: predicate.rank(text, limit=limit)  # noqa: E731
+        elif op == "top_k":
+            fast = getattr(predicate, "top_k", None)
+            if fast is None:
+                runner = lambda text: predicate.rank(text, limit=k)  # noqa: E731
+            else:
+                runner = lambda text: fast(text, k)  # noqa: E731
+        else:
+            runner = lambda text: predicate.select(text, threshold)  # noqa: E731
         return [self._to_matches(runner(text)) for text in queries]
 
     # -- join / dedup -----------------------------------------------------------
@@ -624,6 +639,19 @@ class Query:
         )
         return not blocked or bool(getattr(target, "_prunes_before_scoring", False))
 
+    def _declarative_fastpath(self) -> bool:
+        """Whether this query's declarative predicate runs the fast paths."""
+        if not isinstance(self._predicate, str):
+            return bool(getattr(self._predicate, "fastpath", False))
+        return bool(self._predicate_kwargs.get("fastpath", True))
+
+    def _declarative_kind(self) -> Optional[str]:
+        """``similarity_kind`` of the declarative realization, if any."""
+        if not isinstance(self._predicate, str):
+            return getattr(self._predicate, "similarity_kind", None)
+        declarative = registry.spec_for(self._predicate).declarative
+        return getattr(declarative, "similarity_kind", None)
+
     def plan(
         self, op: str = "rank", threshold: Optional[float] = None
     ) -> QueryPlan:
@@ -634,6 +662,21 @@ class Query:
         if realization == "declarative":
             backend_name = self._backend_name()
             notes.append(f"scores computed by SQL on the {backend_name!r} backend")
+            if self._declarative_fastpath():
+                notes.append(
+                    "declarative fast path: shared token/weight tables "
+                    "(reused across predicates), batched multi-query SQL"
+                )
+                if op == "top_k":
+                    notes.append(
+                        "top_k fast path: ORDER BY score DESC, tid LIMIT k "
+                        "pushed into the scoring SQL"
+                    )
+                elif op == "select" and self._declarative_kind() == "jaccard":
+                    notes.append(
+                        "select fast path: length/prefix bounds pushed into "
+                        "the scoring SQL (exact for jaccard)"
+                    )
         else:
             notes.append("direct realization executes in-process (no SQL)")
             if self._backend is not None:
@@ -730,6 +773,8 @@ class Query:
         report.num_candidates = getattr(state.predicate, "last_num_candidates", None)
         if op == "top_k":
             report.pruning = getattr(state.predicate, "pruning_stats", None)
+        if isinstance(state.predicate, DeclarativePredicate):
+            report.sql_stats = state.predicate.last_sql_stats
         if state.recorder is not None:
             report.sql = tuple(state.recorder.statements)
         if state.blocker is not None and before is not None:

@@ -9,7 +9,11 @@ Experiments execute through :class:`repro.engine.SimilarityEngine`, so any
 predicate can be evaluated in either realization (``realization="direct"`` /
 ``"declarative"``) on either SQL backend, and the whole query workload runs
 as one :meth:`~repro.engine.query.Query.run_many` batch that pays
-preprocessing once.
+preprocessing once.  On the declarative realization the batch additionally
+executes through the per-family batched SQL (one grouped statement per
+workload instead of one per query) over the engine's shared token/weight
+cores, so evaluating several declarative predicates back to back re-uses
+both the tokenization and the common weight tables.
 """
 
 from __future__ import annotations

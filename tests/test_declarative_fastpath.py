@@ -1,0 +1,229 @@
+"""Declarative fast-path tests: pushdown, in-SQL pruning, shared cores.
+
+Three guarantees of the declarative fast path are exercised here:
+
+* **Exactness** -- the ORDER BY/LIMIT top-k pushdown and the in-SQL
+  length/prefix candidate pruning must return exactly what the unpruned,
+  unpushed path (``fastpath=False``) returns, property-tested over random
+  corpora, queries and thresholds on both backends.
+* **Shared-core reuse** -- fitting a second declarative predicate on an
+  already-prepared backend must reuse the shared token tables instead of
+  re-materializing them (counted in executed preprocessing statements).
+* **Parameterized statements** -- query strings reach the SQL through bind
+  parameters end to end, so quotes and SQL metacharacters in the data are
+  inert (regression: they used to be string-interpolated literals).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import MemoryBackend, SQLiteBackend
+from repro.declarative import clear_shared_state, make_declarative_predicate
+from repro.engine import SimilarityEngine
+from repro.engine.plan import RecordingBackend
+
+#: Small token-y alphabet with spaces and quotes (quotes must be inert).
+words = st.sampled_from(
+    ["MORGAN", "STANLEY", "GROUP", "O'REILLY", "AT&T", "INC", "HOTEL", "BEIJING"]
+)
+strings = st.lists(words, min_size=1, max_size=4).map(" ".join)
+corpora = st.lists(strings, min_size=2, max_size=12)
+
+BACKENDS = [MemoryBackend, SQLiteBackend]
+
+
+def _pair(name, backend_cls, corpus, **kwargs):
+    """A (fast, baseline) predicate pair fitted on separate backends."""
+    fast = make_declarative_predicate(name, backend=backend_cls(), **kwargs)
+    fast.preprocess(corpus)
+    slow = make_declarative_predicate(
+        name, backend=backend_cls(), fastpath=False, **kwargs
+    )
+    slow.preprocess(corpus)
+    return fast, slow
+
+
+class TestPushdownExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(corpus=corpora, query=strings, k=st.integers(min_value=0, max_value=6))
+    def test_order_by_limit_pushdown_equals_full_rank(self, corpus, query, k):
+        for backend_cls in BACKENDS:
+            for name in ("jaccard", "bm25", "weighted_match"):
+                fast, slow = _pair(name, backend_cls, corpus)
+                assert fast.rank(query, limit=k) == slow.rank(query, limit=k), (
+                    name,
+                    backend_cls.__name__,
+                )
+                assert fast.top_k(query, k) == slow.rank(query, limit=k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        corpus=corpora,
+        query=strings,
+        threshold=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_pruned_select_equals_unpruned(self, corpus, query, threshold):
+        """Length/prefix bounds pushed into the Jaccard SQL stay exact."""
+        for backend_cls in BACKENDS:
+            fast, slow = _pair("jaccard", backend_cls, corpus)
+            assert fast.select(query, threshold) == slow.select(query, threshold), (
+                backend_cls.__name__,
+                threshold,
+            )
+
+    def test_pruned_select_scores_fewer_candidates(self):
+        from repro.datagen import make_dataset
+
+        corpus = make_dataset("CU1", size=120, num_clean=30, seed=9).strings
+        fast, slow = _pair("jaccard", SQLiteBackend, corpus)
+        fast_results = fast.select(corpus[3], 0.7)
+        fast_candidates = fast.last_num_candidates
+        slow_results = slow.select(corpus[3], 0.7)
+        assert fast_results == slow_results
+        assert fast_candidates < slow.last_num_candidates
+        assert fast.last_sql_stats.fastpath == ("length-filter", "prefix-filter")
+
+    @settings(max_examples=15, deadline=None)
+    @given(corpus=corpora, queries=st.lists(strings, min_size=1, max_size=4))
+    def test_batched_scores_equal_sequential(self, corpus, queries):
+        for backend_cls in BACKENDS:
+            for name in ("intersect", "cosine", "lm", "edit_distance"):
+                fast, slow = _pair(name, backend_cls, corpus)
+                batched = fast.run_many(queries, op="rank")
+                for query, batch in zip(queries, batched):
+                    expected = slow.rank(query)
+                    assert [m.tid for m in batch] == [m.tid for m in expected]
+                    for got, want in zip(batch, expected):
+                        assert got.score == pytest.approx(
+                            want.score, rel=1e-9, abs=1e-12
+                        )
+
+
+class TestSharedCores:
+    def _count_statements(self, recorder, fit):
+        recorder.clear()
+        fit()
+        return len(recorder.statements)
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_second_predicate_reuses_shared_token_tables(self, backend_cls):
+        """Acceptance: fitting a second declarative predicate on an
+        already-prepared backend reuses the shared token tables."""
+        corpus = [f"COMPANY {i} HOLDINGS {i % 5} LLC" for i in range(40)]
+        recorder = RecordingBackend(backend_cls())
+        recorder.enabled = True
+        first = self._count_statements(
+            recorder,
+            lambda: make_declarative_predicate("bm25", backend=recorder).preprocess(corpus),
+        )
+        second = self._count_statements(
+            recorder,
+            lambda: make_declarative_predicate("cosine", backend=recorder).preprocess(corpus),
+        )
+        third = self._count_statements(
+            recorder,
+            lambda: make_declarative_predicate(
+                "weighted_match", backend=recorder
+            ).preprocess(corpus),
+        )
+        # The first fit pays the core (BASE_TABLE/BASE_TOKENS/stats tables);
+        # later fits only materialize their own small weight tables.
+        assert second < first and third < first
+        assert not any(
+            "BASE_TOKENS" in statement and ("CREATE TABLE" in statement or "bulk load" in statement)
+            for statement in recorder.statements
+        ), recorder.statements
+
+    def test_refitting_same_predicate_reuses_core(self):
+        corpus = ["ALPHA ONE", "BETA TWO", "GAMMA THREE"]
+        recorder = RecordingBackend(SQLiteBackend())
+        recorder.enabled = True
+        predicate = make_declarative_predicate("jaccard", backend=recorder)
+        predicate.preprocess(corpus)
+        recorder.clear()
+        predicate.preprocess(corpus)
+        assert not any(
+            "CREATE TABLE" in statement for statement in recorder.statements
+        ), recorder.statements
+
+    def test_two_corpora_coexist_without_clobbering(self):
+        backend = SQLiteBackend()
+        first = make_declarative_predicate("jaccard", backend=backend)
+        first.preprocess(["MORGAN STANLEY", "GOLDMAN SACHS"])
+        second = make_declarative_predicate("jaccard", backend=backend)
+        second.preprocess(["HOTEL BEIJING", "HOTEL SHANGHAI"])
+        # Namespaced cores: the first predicate still answers from its own
+        # tables after the second fit, with no refit required.
+        assert not first.tables_stale()
+        assert first.rank("MORGAN STANLEY")[0].tid == 0
+        assert second.rank("HOTEL BEIJING")[0].tid == 0
+        assert first.core.prefix != second.core.prefix
+
+    def test_parameter_variants_coexist_without_staleness(self):
+        from repro.text.weights import BM25Parameters
+
+        backend = SQLiteBackend()
+        corpus = ["MORGAN STANLEY GROUP", "MORGAN HOLDINGS", "STANLEY INC"]
+        default = make_declarative_predicate("bm25", backend=backend)
+        default.preprocess(corpus)
+        expected = default.rank("MORGAN STANLEY")
+        tuned = make_declarative_predicate(
+            "bm25", backend=backend, params=BM25Parameters(k1=0.4, b=0.9)
+        )
+        tuned.preprocess(corpus)
+        # Parameter-signed features get variant-named tables, so the two
+        # instances coexist on one backend: neither goes stale, both answer
+        # from their own weights, and alternating queries never refit.
+        assert not default.tables_stale() and not tuned.tables_stale()
+        assert default._weights_table != tuned._weights_table
+        assert default.rank("MORGAN STANLEY") == expected
+        assert tuned.rank("MORGAN STANLEY")  # answers, from its own table
+        assert not default.tables_stale()
+
+    def test_clear_shared_state_forces_rematerialization(self):
+        backend = SQLiteBackend()
+        predicate = make_declarative_predicate("jaccard", backend=backend)
+        predicate.preprocess(["ALPHA BETA", "GAMMA DELTA"])
+        clear_shared_state(backend)
+        assert predicate.tables_stale()
+        assert predicate.rank("ALPHA BETA")[0].tid == 0  # self-heals
+
+
+class TestParameterizedQueries:
+    QUOTED_CORPUS = [
+        "O'Reilly & Sons",
+        "It's a 'test' -- DROP TABLE BASE_TOKENS",
+        'Quote "Unquote" Partners',
+        "Plain Company Inc",
+    ]
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_edit_distance_handles_quotes_end_to_end(self, backend_cls):
+        predicate = make_declarative_predicate("edit_distance", backend=backend_cls())
+        predicate.preprocess(self.QUOTED_CORPUS)
+        ranking = predicate.rank("O'Reilly & Sons")
+        assert ranking[0].tid == 0 and ranking[0].score == 1.0
+        selected = predicate.select("It's a 'test' -- DROP TABLE BASE_TOKENS", 0.9)
+        assert [match.tid for match in selected] == [1]
+        batched = predicate.run_many(
+            ["O'Reilly & Sons", 'Quote "Unquote" Partners'], op="rank"
+        )
+        assert batched[0][0].tid == 0 and batched[1][0].tid == 2
+
+    def test_engine_run_with_quoted_queries(self):
+        engine = SimilarityEngine(realization="declarative", backend="sqlite")
+        query = engine.from_strings(self.QUOTED_CORPUS).predicate("edit_distance")
+        assert query.top_k("O'Reilly & Sons", 1)[0].tid == 0
+
+    def test_memory_engine_rejects_unbound_placeholders(self):
+        backend = MemoryBackend()
+        backend.create_table("t", ["x TEXT"])
+        from repro.dbengine.errors import ParseError
+
+        with pytest.raises(ParseError):
+            backend.query("SELECT x FROM t WHERE x = ?", [])
+        with pytest.raises(ParseError):
+            backend.query("SELECT x FROM t WHERE x = ?", ["a", "b"])

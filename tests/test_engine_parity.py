@@ -123,6 +123,50 @@ def test_identical_rankings_across_realizations_and_backends(
                     ), context
 
 
+@pytest.mark.parametrize("name", sorted(available_predicates()))
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_batched_equals_sequential_for_every_predicate(
+    name, backend, engine, uis_dataset, parity_queries
+):
+    """The batched SQL path (one statement per batch) must agree with the
+    sequential per-query path, per predicate and per backend: same tids in
+    the same tie-group order, scores equal to float noise."""
+    kwargs = PREDICATE_KWARGS.get(name, {})
+    query = (
+        engine.from_strings(uis_dataset.strings)
+        .predicate(name, **kwargs)
+        .realization("declarative")
+        .backend(backend)
+    )
+    batched = query.run_many(parity_queries, op="rank")
+    for text, batch_ranking in zip(parity_queries, batched):
+        sequential = query.rank(text)
+        context = (name, backend, text)
+        assert_same_ranking(sequential, batch_ranking, context)
+        assert len(batch_ranking) == len(sequential), context
+        scores = {match.tid: match.score for match in batch_ranking}
+        for match in sequential:
+            assert scores[match.tid] == pytest.approx(
+                match.score, rel=1e-9, abs=1e-12
+            ), context
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_batched_top_k_and_select_agree(backend, engine, uis_dataset, parity_queries):
+    """run_many's op variants equal their single-query counterparts."""
+    query = (
+        engine.from_strings(uis_dataset.strings)
+        .predicate("jaccard")
+        .realization("declarative")
+        .backend(backend)
+    )
+    top = query.run_many(parity_queries, op="top_k", k=3)
+    sel = query.run_many(parity_queries, op="select", threshold=0.4)
+    for text, top_batch, sel_batch in zip(parity_queries, top, sel):
+        assert [m.tid for m in top_batch] == [m.tid for m in query.top_k(text, 3)]
+        assert [m.tid for m in sel_batch] == [m.tid for m in query.select(text, 0.4)]
+
+
 def test_top_k_and_select_agree_across_realizations(engine, uis_dataset):
     """The same Query call agrees for the other terminal operations too."""
     text = uis_dataset.records[0].text
