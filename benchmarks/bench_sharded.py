@@ -1,0 +1,272 @@
+"""Sharded-execution benchmark -- exactness guard + multi-core speedup.
+
+Partitions the 10k-row UIS company-names relation into shards, broadcasts
+the globally computed collection statistics into every shard-local fit, and
+runs the weighted-predicate workload (``run_many`` of pruned ``top_k(k=10)``
+queries) three ways:
+
+* unsharded (the PR-3/PR-4 single-threaded fast path -- the baseline),
+* sharded with the **serial** executor (isolates partition/merge overhead),
+* sharded with the **process** executor (the multi-core configuration).
+
+Every sharded run must return **bit-identical** ``(tid, score)`` lists to
+the unsharded engine -- the benchmark fails otherwise, which is the cheap CI
+guard against silently losing exactness.  The speedup of the process
+executor is reported per predicate plus as the workload geometric mean; it
+is hardware-bound (``min(num_shards, cores)`` ways of parallelism), so the
+report records ``cpu_count`` alongside, and ``--require-speedup`` gates only
+when the machine can physically deliver it.
+
+Writes ``BENCH_sharded.json`` to the repository root.
+
+Standalone usage (CI runs the smoke variant)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py          # full
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke  # tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for _path in (str(_SRC), str(_HERE)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.datagen import make_dataset  # noqa: E402
+from repro.engine import SimilarityEngine  # noqa: E402
+
+#: The weighted predicates: collection-statistics-dependent scoring, i.e.
+#: the predicates naive partitioning would get wrong.
+PREDICATES = ["bm25", "cosine", "weighted_match"]
+TOP_K = 10
+NUM_SHARDS = 4
+
+
+def _pairs(batches):
+    return [[(m.tid, m.score) for m in batch] for batch in batches]
+
+
+def _timed_run_many(query, texts, k):
+    started = time.perf_counter()
+    batches = query.run_many(texts, op="top_k", k=k)
+    return batches, time.perf_counter() - started
+
+
+def bench_predicate(engine, name, strings, queries, num_shards) -> dict:
+    baseline = engine.from_strings(strings).predicate(name)
+    serial = baseline.shards(num_shards, executor="serial")
+    process = baseline.shards(num_shards, executor="process", max_workers=num_shards)
+
+    # Fit outside the timed region (the workload amortizes preprocessing).
+    started = time.perf_counter()
+    baseline.fitted_predicate()
+    baseline_fit_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    process.fitted_predicate()
+    sharded_fit_seconds = time.perf_counter() - started
+    serial.fitted_predicate()
+
+    expected, baseline_seconds = _timed_run_many(baseline, queries, TOP_K)
+    serial_out, serial_seconds = _timed_run_many(serial, queries, TOP_K)
+    process_out, process_seconds = _timed_run_many(process, queries, TOP_K)
+
+    # Single-query acceptance check: sharded ProcessPool top_k(k=10) must be
+    # bit-identical to the unsharded engine, query by query.
+    single_identical = all(
+        [(m.tid, m.score) for m in process.top_k(text, TOP_K)]
+        == [(m.tid, m.score) for m in baseline.top_k(text, TOP_K)]
+        for text in queries[: min(10, len(queries))]
+    )
+
+    return {
+        "predicate": name,
+        "top_k": TOP_K,
+        "num_shards": num_shards,
+        "baseline_fit_seconds": baseline_fit_seconds,
+        "sharded_fit_seconds": sharded_fit_seconds,
+        "baseline_seconds": baseline_seconds,
+        "serial_seconds": serial_seconds,
+        "process_seconds": process_seconds,
+        "baseline_qps": len(queries) / baseline_seconds if baseline_seconds else None,
+        "process_qps": len(queries) / process_seconds if process_seconds else None,
+        "serial_speedup": (
+            baseline_seconds / serial_seconds if serial_seconds else None
+        ),
+        "process_speedup": (
+            baseline_seconds / process_seconds if process_seconds else None
+        ),
+        "identical_serial": _pairs(serial_out) == _pairs(expected),
+        "identical_process": _pairs(process_out) == _pairs(expected),
+        "identical_single_query_process": single_identical,
+    }
+
+
+def run(size: int, num_queries: int, num_shards: int = NUM_SHARDS, seed: int = 42) -> dict:
+    dataset = make_dataset("CU1", size=size, num_clean=max(50, size // 10), seed=seed)
+    strings = dataset.strings
+    step = max(1, len(strings) // num_queries)
+    queries = strings[::step][:num_queries]
+    engine = SimilarityEngine()
+    try:
+        results = [
+            bench_predicate(engine, name, strings, queries, num_shards)
+            for name in PREDICATES
+        ]
+    finally:
+        engine.clear_cache()  # shuts down the process pools
+    speedups = [entry["process_speedup"] for entry in results if entry["process_speedup"]]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else None
+    )
+    return {
+        "benchmark": "sharded",
+        "relation": {"generator": "UIS company names (CU1)", "size": len(strings)},
+        "config": {
+            "top_k": TOP_K,
+            "num_shards": num_shards,
+            "num_queries": len(queries),
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "process_speedup_geomean": geomean,
+    }
+
+
+def check(report: dict, require_speedup: float = 0.0) -> list:
+    """Guard conditions; returns a list of human-readable failures."""
+    failures = []
+    for entry in report["results"]:
+        name = entry["predicate"]
+        for key in (
+            "identical_serial",
+            "identical_process",
+            "identical_single_query_process",
+        ):
+            if not entry[key]:
+                failures.append(f"{name}: sharded results diverged ({key})")
+    if require_speedup:
+        cores = report["config"]["cpu_count"] or 1
+        if cores < 2:
+            print(
+                f"note: --require-speedup skipped, only {cores} CPU(s) available "
+                "(parallel speedup is hardware-bound)",
+                file=sys.stderr,
+            )
+        else:
+            geomean = report["process_speedup_geomean"] or 0.0
+            if geomean < require_speedup:
+                failures.append(
+                    f"process-executor geomean speedup {geomean:.2f}x "
+                    f"< required {require_speedup}x"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus, exactness guard only (CI perf-smoke job)",
+    )
+    parser.add_argument("--size", type=int, default=None, help="relation size")
+    parser.add_argument("--queries", type=int, default=None, help="number of queries")
+    parser.add_argument(
+        "--shards", type=int, default=NUM_SHARDS, help="shard count (default 4)"
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the process-executor geomean speedup reaches this "
+        "factor (skipped on single-core machines)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_HERE.parent / "BENCH_sharded.json",
+        help="output JSON path (default: repo root BENCH_sharded.json)",
+    )
+    args = parser.parse_args(argv)
+
+    size = args.size or (500 if args.smoke else 10_000)
+    num_queries = args.queries or (8 if args.smoke else 40)
+    report = run(size=size, num_queries=num_queries, num_shards=args.shards)
+    report["smoke"] = bool(args.smoke)
+
+    failures = check(report, require_speedup=args.require_speedup)
+    report["failures"] = failures
+
+    for entry in report["results"]:
+        print(
+            f"{entry['predicate']:>15}  top_k(k={entry['top_k']}) x"
+            f"{report['config']['num_queries']} queries, "
+            f"{entry['num_shards']} shards: serial {entry['serial_speedup']:.2f}x, "
+            f"process {entry['process_speedup']:.2f}x "
+            f"({entry['baseline_qps']:.0f} -> {entry['process_qps']:.0f} q/s)  "
+            f"identical={entry['identical_process']}"
+        )
+    if report["process_speedup_geomean"]:
+        print(
+            f"{'geomean':>15}  process executor {report['process_speedup_geomean']:.2f}x "
+            f"on {report['config']['cpu_count']} CPU(s)"
+        )
+
+    if not args.smoke:
+        args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("sharded execution exact across executors")
+    return 0
+
+
+def test_sharded(benchmark):
+    """Pytest harness entry: small-scale run with the exactness guards."""
+    report = benchmark.pedantic(
+        lambda: run(size=1200, num_queries=10), rounds=1, iterations=1
+    )
+    failures = check(report)
+    assert not failures, failures
+    from _bench_support import format_table, record_report
+
+    rows = [
+        [
+            entry["predicate"],
+            f"{entry['serial_speedup']:.2f}x",
+            f"{entry['process_speedup']:.2f}x",
+            str(entry["identical_process"]),
+        ]
+        for entry in report["results"]
+    ]
+    record_report(
+        "sharded",
+        f"Sharded execution -- {report['relation']['size']} tuples, "
+        f"{report['config']['num_shards']} shards, k={TOP_K}, "
+        f"{report['config']['cpu_count']} CPU(s)",
+        format_table(
+            ["predicate", "serial speedup", "process speedup", "identical"], rows
+        ),
+        notes=(
+            "Sharded runs must be bit-identical to the unsharded engine; the "
+            "process-executor speedup is bounded by min(shards, cores)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

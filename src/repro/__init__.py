@@ -69,6 +69,7 @@ from repro.engine import (
     SimilarityEngine,
     SimilarityPredicateProtocol,
 )
+from repro.shard import ShardedPredicate, ShardStats
 
 __version__ = "1.2.0"
 
@@ -90,5 +91,7 @@ __all__ = [
     "MinHashLSH",
     "BlockingPipeline",
     "make_blocker",
+    "ShardedPredicate",
+    "ShardStats",
     "__version__",
 ]

@@ -76,6 +76,24 @@ class SQLBackend(ABC):
         this with a real ``CREATE INDEX``.
         """
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any resources the backend holds (connections, handles).
+
+        The in-memory engine holds nothing and inherits this no-op; SQLite
+        overrides it to close its connection.  Backends are context managers
+        (``with SQLiteBackend() as backend: ...``) built on this method, and
+        the engine closes the backends *it* created when its cache is
+        cleared.
+        """
+
+    def __enter__(self) -> "SQLBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- conveniences ------------------------------------------------------------
 
     def recreate_table(self, name: str, columns: Sequence[str]) -> None:

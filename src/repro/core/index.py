@@ -79,6 +79,26 @@ class InvertedIndex:
     def tokens(self) -> Iterable[str]:
         return self._postings.keys()
 
+    def slice(self, start: int, stop: int) -> "InvertedIndex":
+        """The sub-index over tuples ``start <= tid < stop``, tids rebased to 0.
+
+        Posting lists are stored in increasing tid order, so slicing them by
+        the contiguous range yields exactly the index that would have been
+        built from ``token_lists[start:stop]`` -- the invariant sharded
+        execution relies on (a shard-local fit equals a slice of the global
+        fit).
+        """
+        sliced = InvertedIndex.__new__(InvertedIndex)
+        sliced._term_frequencies = self._term_frequencies[start:stop]
+        sliced._postings = {}
+        for token, plist in self._postings.items():
+            local = [
+                (tid - start, tf) for tid, tf in plist if start <= tid < stop
+            ]
+            if local:
+                sliced._postings[token] = local
+        return sliced
+
 
 _EMPTY_POSTINGS: List[Tuple[int, float]] = []
 
@@ -154,6 +174,26 @@ class WeightedPostingIndex:
     def postings(self, token: str) -> List[Tuple[int, float]]:
         """``(tid, contribution)`` pairs for every tuple ``token`` scores on."""
         return self._postings.get(token, _EMPTY_POSTINGS)
+
+    def slice(self, start: int, stop: int) -> "WeightedPostingIndex":
+        """The sub-index over tuples ``start <= tid < stop``, tids rebased to 0.
+
+        Contributions are carried over unchanged (they were computed against
+        collection-level statistics, which do not change with the slice), and
+        the per-token max/min bounds are recomputed over the surviving
+        postings -- tightening them to the slice is what makes per-shard
+        max-score bounds useful for short-circuiting whole shards.
+        """
+        postings: Dict[str, List[Tuple[int, float]]] = {}
+        for token, plist in self._postings.items():
+            local = [
+                (tid - start, contribution)
+                for tid, contribution in plist
+                if start <= tid < stop
+            ]
+            if local:
+                postings[token] = local
+        return WeightedPostingIndex(postings)
 
     def max_contribution(self, token: str) -> float:
         return self._max.get(token, 0.0)

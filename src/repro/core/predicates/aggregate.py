@@ -152,7 +152,7 @@ class CosineTfIdf(_AggregateBase):
     name = "Cosine"
 
     def weight_phase(self) -> None:
-        self._stats = CollectionStatistics(self._token_lists)
+        self._stats = self._collection_statistics(self._token_lists)
         idf = self._stats.idf_table()
         self._idf = idf
         self._doc_weights = [
@@ -183,7 +183,7 @@ class BM25(_AggregateBase):
         self.params = params or BM25Parameters()
 
     def weight_phase(self) -> None:
-        self._stats = CollectionStatistics(self._token_lists)
+        self._stats = self._collection_statistics(self._token_lists)
         self._doc_weights = [
             bm25_document_weights(self._stats, tid, self.params)
             for tid in range(len(self._token_lists))

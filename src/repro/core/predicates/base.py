@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.topk import PruningStats, maxscore_top_k
+from repro.text.weights import CollectionStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.blocking.base import Blocker
@@ -112,6 +113,15 @@ class Predicate(ABC):
         self._fitted = False
         self._blocker: Optional["Blocker"] = None
         self._restriction: Optional[Set[int]] = None
+        #: Optional collection-statistics factory (the sharded-execution
+        #: seam): when set, :meth:`_collection_statistics` builds statistics
+        #: through it instead of computing them from the fitted token lists.
+        #: Sharded execution injects a factory returning a view that keeps
+        #: per-tuple statistics shard-local but answers collection-level
+        #: questions (N, df, cf, avgdl, idf/RS weights) from a global pass,
+        #: so shard-local fits score tuples bit-identically to an unsharded
+        #: fit.  ``None`` (the default) keeps the classic behaviour.
+        self._stats_factory = None
         #: Number of candidates scored by the most recent :meth:`rank` /
         #: :meth:`select` call (after blocking); joins aggregate this into
         #: their candidate-pair statistics.
@@ -144,6 +154,19 @@ class Predicate(ABC):
     @abstractmethod
     def weight_phase(self) -> None:
         """Phase 2 of preprocessing: compute weights / statistics."""
+
+    def _collection_statistics(
+        self, token_lists: Sequence[Sequence[str]]
+    ) -> CollectionStatistics:
+        """Collection statistics over the fitted token lists.
+
+        Every weighting scheme obtains its statistics through this hook so a
+        stats provider can be injected (see :attr:`_stats_factory`); the
+        default computes them from the token lists alone.
+        """
+        if self._stats_factory is not None:
+            return self._stats_factory(token_lists)
+        return CollectionStatistics(token_lists)
 
     # -- blocking -------------------------------------------------------------
 

@@ -67,7 +67,7 @@ class _CombinationBase(Predicate):
         self._qgram_to_tids = dict(qgram_to_tids)
 
     def weight_phase(self) -> None:
-        self._stats = CollectionStatistics(self._word_lists)
+        self._stats = self._collection_statistics(self._word_lists)
         self._idf = self._stats.idf_table()
         self._average_idf = self._stats.average_idf()
 
@@ -182,13 +182,23 @@ class GESJaccard(GES):
         return common / union if union else 0.0
 
     def filter_score(self, query_words: Sequence[str], tuple_words: Sequence[str]) -> float:
-        """Over-estimating filter score (equation 4.7)."""
-        total_weight = sum(self._weight(word) for word in query_words)
+        """Over-estimating filter score (equation 4.7).
+
+        Both sums run over the query words in *sorted* order so the float
+        value only depends on the word multiset, never on word order.  The
+        min-hash variant (:class:`GESApx`) quantizes per-word similarities to
+        a ``1/num_hashes`` lattice, so with near-equal weights the exact
+        score lands on lattice points like 0.525; summation-order jitter of
+        one ulp around such a point would otherwise flip candidates at
+        thresholds placed exactly on the lattice.
+        """
+        ordered = sorted(query_words)
+        total_weight = sum(self._weight(word) for word in ordered)
         if total_weight == 0.0:
             return 0.0
         adjustment = 1.0 - 1.0 / self.q
         score = 0.0
-        for word in query_words:
+        for word in ordered:
             best = max(
                 (self._word_similarity(word, other) for other in tuple_words),
                 default=0.0,

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional
 from repro.core.index import InvertedIndex
 from repro.core.predicates.base import Predicate
 from repro.text.tokenize import QgramTokenizer, Tokenizer
-from repro.text.weights import CollectionStatistics
 
 __all__ = ["HMM"]
 
@@ -51,7 +50,7 @@ class HMM(Predicate):
         self._index = InvertedIndex(self._token_lists)
 
     def weight_phase(self) -> None:
-        stats = CollectionStatistics(self._token_lists)
+        stats = self._collection_statistics(self._token_lists)
         collection_size = stats.collection_size or 1
         general_english = {
             token: stats.collection_frequency(token) / collection_size

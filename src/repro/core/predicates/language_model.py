@@ -60,20 +60,14 @@ class LanguageModeling(Predicate):
         self._index = InvertedIndex(self._token_lists)
 
     def weight_phase(self) -> None:
-        stats = CollectionStatistics(self._token_lists)
+        stats = self._collection_statistics(self._token_lists)
         self._stats = stats
         collection_size = stats.collection_size or 1
 
-        # p̂_avg(t): mean maximum-likelihood probability over tuples containing t.
-        pml_sums: Dict[str, float] = {}
-        for tid in range(len(self._token_lists)):
-            length = stats.length(tid) or 1
-            for token, tf in stats.term_frequencies(tid).items():
-                pml_sums[token] = pml_sums.get(token, 0.0) + tf / length
-        pavg = {
-            token: total / stats.document_frequency(token)
-            for token, total in pml_sums.items()
-        }
+        # p̂_avg(t): mean maximum-likelihood probability over tuples containing
+        # t -- a collection-level statistic, so it comes from the statistics
+        # object (globally computed under sharded execution).
+        pavg = stats.pavg_table()
         self._cfcs = {
             token: stats.collection_frequency(token) / collection_size
             for token in stats.vocabulary

@@ -169,7 +169,7 @@ class _WeightedOverlapBase(_OverlapBase):
         self._weighted_index: WeightedPostingIndex | None = None
 
     def weight_phase(self) -> None:
-        self._stats = CollectionStatistics(self._token_lists)
+        self._stats = self._collection_statistics(self._token_lists)
         if self.weighting == "rs":
             self._weights = self._stats.rs_table()
         else:

@@ -125,7 +125,13 @@ class DeclarativePredicate(ABC):
         self._restriction: Optional[Set[int]] = None
         #: Number of candidates scored by the most recent :meth:`rank` /
         #: :meth:`select` call (after blocking), as for direct predicates.
+        #: Reset to ``None`` by :meth:`run_many` -- no single query's count
+        #: describes a batch; the per-qid counts live in
+        #: :attr:`last_batch_candidates` instead.
         self.last_num_candidates: Optional[int] = None
+        #: Per-query candidate counts of the most recent :meth:`run_many`
+        #: batch (``None`` before any batch ran).
+        self.last_batch_candidates: Optional[List[int]] = None
         #: SQL-side work counters of the most recent query execution.
         self.last_sql_stats: Optional[SQLFastPathStats] = None
         #: Last query's raw ``(tid, score)`` rows, so :meth:`score` loops over
@@ -521,6 +527,7 @@ class DeclarativePredicate(ABC):
             per_query_rows = self.query_scores_batch(queries)
         batched = getattr(self, "_last_batch_sql", False)
         results: List[List[Match]] = []
+        per_query_candidates: List[int] = []
         total_rows = 0
         for query, raw in zip(queries, per_query_rows):
             rows = [
@@ -529,6 +536,7 @@ class DeclarativePredicate(ABC):
                 if score is not None
             ]
             rows = self._apply_candidate_filter(query, rows)
+            per_query_candidates.append(len(rows))
             total_rows += len(rows)
             rows.sort(key=lambda st: (-st.score, st.tid))
             if op == "select":
@@ -536,6 +544,12 @@ class DeclarativePredicate(ABC):
             elif limit is not None:
                 rows = rows[:limit]
             results.append(rows)
+        # One scalar cannot describe a batch: expose the per-qid counts and
+        # reset the single-query counter so a later reader does not mistake
+        # the batch's last (or a previous sequential call's) value for a
+        # meaningful per-query statistic.
+        self.last_batch_candidates = per_query_candidates
+        self.last_num_candidates = None
         markers = []
         if batched:
             markers.append("batch")

@@ -17,7 +17,7 @@ The engine is the library's front door (see :class:`SimilarityEngine`):
 """
 
 from repro.core.predicates.base import Match
-from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
+from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend, RunManyStats
 from repro.engine.protocol import SimilarityPredicateProtocol
 from repro.engine.query import Query, SimilarityEngine
 from repro.engine.registry import (
@@ -41,6 +41,7 @@ __all__ = [
     "Match",
     "QueryPlan",
     "ExplainReport",
+    "RunManyStats",
     "RecordingBackend",
     "SimilarityPredicateProtocol",
     "PredicateSpec",

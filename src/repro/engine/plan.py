@@ -19,8 +19,35 @@ from repro.blocking.base import BlockingStats
 from repro.core.predicates.base import Match
 from repro.core.topk import PruningStats
 from repro.declarative.base import SQLFastPathStats
+from repro.shard.predicate import ShardStats
 
-__all__ = ["QueryPlan", "ExplainReport", "RecordingBackend"]
+__all__ = ["QueryPlan", "ExplainReport", "RunManyStats", "RecordingBackend"]
+
+
+@dataclass(frozen=True)
+class RunManyStats:
+    """Per-query work counters of one :meth:`Query.run_many` batch.
+
+    A batch has no single meaningful ``last_num_candidates`` -- the engine
+    records the candidate count of *every* query of the batch instead
+    (``None`` entries mean the executed path could not observe a count).
+    """
+
+    num_queries: int
+    candidates_per_query: Tuple[Optional[int], ...]
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(count or 0 for count in self.candidates_per_query)
+
+    def describe(self) -> str:
+        observed = [c for c in self.candidates_per_query if c is not None]
+        if not observed:
+            return f"{self.num_queries} queries (candidate counts unobserved)"
+        return (
+            f"{self.num_queries} queries, {self.total_candidates} candidates "
+            f"scored (min {min(observed)} / max {max(observed)} per query)"
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +108,16 @@ class ExplainReport:
     #: SQL-side work counters when the declarative realization ran (rows the
     #: statement returned vs. base size, and which fast paths it used).
     sql_stats: Optional[SQLFastPathStats] = None
+    #: Shard-level counters when the query ran over a sharded predicate
+    #: (shards executed vs. skipped by their max-score upper bound).
+    shards: Optional[ShardStats] = None
+    #: The strategy the sample query *actually* executed with -- as opposed
+    #: to the plan's prediction.  ``plan()`` cannot know everything (e.g. a
+    #: restriction attached at execution time), so the report states what
+    #: really ran and, when that differs from the plan's announced fast
+    #: path, why (:attr:`fallback_reason`).
+    execution: Optional[str] = None
+    fallback_reason: Optional[str] = None
     #: Candidates actually scored (after blocking) for the sample query.
     num_candidates: Optional[int] = None
     num_results: Optional[int] = None
@@ -91,12 +128,18 @@ class ExplainReport:
 
     def describe(self) -> str:
         lines = [self.plan.describe()]
+        if self.execution is not None:
+            lines.append(f"executed:    {self.execution}")
+        if self.fallback_reason is not None:
+            lines.append(f"fallback:    {self.fallback_reason}")
         if self.seconds is not None:
             lines.append(f"query time:  {self.seconds * 1000.0:.2f} ms")
         if self.num_candidates is not None:
             lines.append(f"candidates:  {self.num_candidates} scored")
         if self.pruning is not None:
             lines.append(f"pruning:     {self.pruning.describe()}")
+        if self.shards is not None:
+            lines.append(f"shards:      {self.shards.describe()}")
         if self.sql_stats is not None:
             lines.append(f"sql path:    {self.sql_stats.describe()}")
         if self.num_results is not None:

@@ -39,7 +39,8 @@ from repro.core.predicates.base import Match, Predicate
 from repro.declarative.base import DeclarativePredicate
 from repro.declarative.shared import clear_shared_state
 from repro.engine import registry
-from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend
+from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend, RunManyStats
+from repro.shard.predicate import ShardedPredicate, shard_offsets
 
 __all__ = ["SimilarityEngine", "Query"]
 
@@ -83,10 +84,24 @@ class SimilarityEngine:
         predicate: str = "bm25",
         realization: str = "direct",
         backend: str = "memory",
+        num_shards: int = 1,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
     ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
         self.default_predicate = predicate
         self.default_realization = realization
         self.default_backend = backend
+        #: Session-wide sharding defaults (direct realization only): with
+        #: ``num_shards > 1`` the base relation is partitioned and queries
+        #: execute per shard -- serially, on a thread pool or on a process
+        #: pool (``executor``) -- with an exact global merge (see
+        #: :mod:`repro.shard`).  Overridable per query via
+        #: :meth:`Query.shards`.
+        self.num_shards = int(num_shards)
+        self.executor = executor
+        self.max_workers = max_workers
         self._states: Dict[tuple, _FittedState] = {}
         self._blockers: Dict[tuple, Blocker] = {}
         #: ids of blockers this engine attached itself (vs. blockers a caller
@@ -140,17 +155,27 @@ class SimilarityEngine:
         Blockers the engine attached to caller-owned predicate instances are
         detached first -- once their ids are forgotten they would otherwise
         pass for caller-attached and keep pruning blocker-less queries.
+
+        Resources the engine itself created are *closed*, not just dropped:
+        SQL backends instantiated for named backend specs have their
+        connections closed (a long-lived engine must not accumulate open
+        SQLite handles across ``clear_cache`` cycles), and sharded
+        predicates shut down their worker pools.  Backend *instances* a
+        caller passed in are left open -- the caller owns their lifecycle.
         """
         for state in self._states.values():
             attached = getattr(state.predicate, "blocker", None)
             if attached is not None and id(attached) in self._attached_blocker_ids:
                 state.predicate.set_blocker(None)
+            if isinstance(state.predicate, ShardedPredicate):
+                state.predicate.close()
         self._states.clear()
         self._blockers.clear()
         self._attached_blocker_ids.clear()
         self._instance_fits.clear()
         for backend in self._backend_instances.values():
             clear_shared_state(backend)
+            backend.close()
         self._backend_instances.clear()
         self._corpora.clear()
 
@@ -206,8 +231,13 @@ class Query:
         self._backend: Optional[object] = None
         self._blocker_spec: Optional[Union[str, Blocker]] = None
         self._blocker_kwargs: Dict[str, object] = {}
+        self._num_shards: Optional[int] = None
+        self._executor: Optional[object] = None
+        self._max_workers: Optional[int] = None
         #: Statistics of the most recent :meth:`self_join` / :meth:`dedup` run.
         self.last_self_join_stats: Optional[SelfJoinStats] = None
+        #: Per-query candidate counts of the most recent :meth:`run_many`.
+        self.last_run_many_stats: Optional[RunManyStats] = None
 
     # -- fluent builder ---------------------------------------------------------
 
@@ -219,6 +249,9 @@ class Query:
         other._backend = self._backend
         other._blocker_spec = self._blocker_spec
         other._blocker_kwargs = dict(self._blocker_kwargs)
+        other._num_shards = self._num_shards
+        other._executor = self._executor
+        other._max_workers = self._max_workers
         return other
 
     def predicate(
@@ -282,6 +315,31 @@ class Query:
         other._blocker_kwargs = dict(blocker_kwargs)
         return other
 
+    def shards(
+        self,
+        num_shards: int,
+        executor: Optional[object] = None,
+        max_workers: Optional[int] = None,
+    ) -> "Query":
+        """Partition the base relation into ``num_shards`` for this query.
+
+        Applies to the direct realization of *named* predicates: the relation
+        is split into contiguous shards, the collection statistics are
+        computed once globally and injected into every shard-local fit, and
+        results merge exactly (see :mod:`repro.shard`).  ``executor`` picks
+        the execution strategy (``"serial"`` / ``"thread"`` / ``"process"``
+        or a :class:`~repro.shard.executors.ShardExecutor` instance);
+        ``None`` keeps the engine default.  ``num_shards=1`` restores
+        unsharded execution.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        other = self._clone()
+        other._num_shards = int(num_shards)
+        other._executor = executor
+        other._max_workers = max_workers
+        return other
+
     # -- plan resolution --------------------------------------------------------
 
     @property
@@ -313,6 +371,38 @@ class Query:
         if isinstance(self._backend, str):
             return self._backend.strip().lower()
         return getattr(self._backend, "name", type(self._backend).__name__)
+
+    def _resolved_shards(self) -> tuple:
+        """``(num_shards, executor_spec, max_workers)`` for this query."""
+        num_shards = (
+            self._num_shards if self._num_shards is not None else self._engine.num_shards
+        )
+        executor = self._executor if self._executor is not None else self._engine.executor
+        max_workers = (
+            self._max_workers
+            if self._max_workers is not None
+            else self._engine.max_workers
+        )
+        return num_shards, executor, max_workers
+
+    def _sharding_active(self) -> bool:
+        """Whether this query executes through a sharded predicate.
+
+        Sharding partitions the *direct* realization of engine-built (named)
+        predicates; predicate instances own their fitted state and the
+        declarative realization executes in SQL, so both stay unsharded.
+        """
+        if not isinstance(self._predicate, str):
+            return False
+        if self._resolved_realization() != "direct":
+            return False
+        return self._resolved_shards()[0] > 1
+
+    @staticmethod
+    def _executor_name(executor: object) -> str:
+        if isinstance(executor, str):
+            return executor.strip().lower()
+        return getattr(executor, "name", type(executor).__name__)
 
     def _blocker_needs_threshold(self) -> bool:
         spec = self._blocker_spec
@@ -356,7 +446,17 @@ class Query:
                 if self._backend is None or isinstance(self._backend, str)
                 else ("instance", id(self._backend))
             )
-        return (self._corpus.key, realization, predicate_key, backend_key)
+        shard_key: object = None
+        if self._sharding_active():
+            num_shards, executor, max_workers = self._resolved_shards()
+            shard_key = (
+                num_shards,
+                self._executor_name(executor)
+                if isinstance(executor, str)
+                else ("instance", id(executor)),
+                max_workers,
+            )
+        return (self._corpus.key, realization, predicate_key, backend_key, shard_key)
 
     def _blocker_for(
         self, predicate_key: tuple, threshold: Optional[float]
@@ -457,6 +557,17 @@ class Query:
                     realization="declarative",
                     backend=recorder,
                     **self._predicate_kwargs,
+                )
+            elif self._sharding_active():
+                name, kwargs = self._predicate, dict(self._predicate_kwargs)
+                num_shards, executor, max_workers = self._resolved_shards()
+                predicate = ShardedPredicate(
+                    factory=lambda: registry.make(
+                        name, realization="direct", **kwargs
+                    ),
+                    num_shards=num_shards,
+                    executor=executor,
+                    max_workers=max_workers,
                 )
             else:
                 predicate = registry.make(
@@ -559,9 +670,17 @@ class Query:
             )
         state = self._state(threshold if op == "select" else None)
         predicate = state.predicate
-        if isinstance(predicate, DeclarativePredicate):
+        if isinstance(predicate, (DeclarativePredicate, ShardedPredicate)):
+            # Both batch natively: declarative predicates score the whole
+            # workload in one SQL statement, sharded predicates send each
+            # shard the whole workload as one task.  Both record per-qid
+            # candidate counts and reset last_num_candidates themselves.
             batches = predicate.run_many(
                 queries, op=op, k=k, threshold=threshold, limit=limit
+            )
+            counts = predicate.last_batch_candidates or []
+            self.last_run_many_stats = RunManyStats(
+                num_queries=len(queries), candidates_per_query=tuple(counts)
             )
             return [self._to_matches(batch) for batch in batches]
         if op == "rank":
@@ -574,7 +693,19 @@ class Query:
                 runner = lambda text: fast(text, k)  # noqa: E731
         else:
             runner = lambda text: predicate.select(text, threshold)  # noqa: E731
-        return [self._to_matches(runner(text)) for text in queries]
+        results = []
+        counts = []
+        for text in queries:
+            results.append(self._to_matches(runner(text)))
+            counts.append(getattr(predicate, "last_num_candidates", None))
+        self.last_run_many_stats = RunManyStats(
+            num_queries=len(queries), candidates_per_query=tuple(counts)
+        )
+        # A batch leaves no meaningful single-query count behind (it would be
+        # the last query's, mistakable for the batch's).
+        if hasattr(predicate, "last_num_candidates"):
+            predicate.last_num_candidates = None
+        return results
 
     # -- join / dedup -----------------------------------------------------------
 
@@ -623,7 +754,10 @@ class Query:
         Mirrors the predicates' own fallback logic: predicates that apply
         blockers *after* scoring (the aggregate family) need the full
         candidate set and drop to the heap path when the plan carries a
-        blocker; pre-scoring-blocked predicates (WeightedMatch) keep pruning.
+        blocker; pre-scoring-blocked predicates (WeightedMatch) keep
+        pruning.  Sharded execution answers *any* blocked top_k by merging
+        the blocked per-shard rankings, so a blocked sharded plan never
+        runs the max-score path.
         """
         if isinstance(self._predicate, str):
             if self._resolved_realization() != "direct":
@@ -637,7 +771,11 @@ class Query:
             not isinstance(self._predicate, str)
             and getattr(self._predicate, "blocker", None) is not None
         )
-        return not blocked or bool(getattr(target, "_prunes_before_scoring", False))
+        if not blocked:
+            return True
+        if self._sharding_active():
+            return False
+        return bool(getattr(target, "_prunes_before_scoring", False))
 
     def _declarative_fastpath(self) -> bool:
         """Whether this query's declarative predicate runs the fast paths."""
@@ -662,6 +800,11 @@ class Query:
         if realization == "declarative":
             backend_name = self._backend_name()
             notes.append(f"scores computed by SQL on the {backend_name!r} backend")
+            if self._resolved_shards()[0] > 1:
+                notes.append(
+                    "sharding ignored: it applies to the direct realization "
+                    "(the declarative realization executes unsharded SQL)"
+                )
             if self._declarative_fastpath():
                 notes.append(
                     "declarative fast path: shared token/weight tables "
@@ -681,6 +824,31 @@ class Query:
             notes.append("direct realization executes in-process (no SQL)")
             if self._backend is not None:
                 notes.append("backend setting ignored by the direct realization")
+            if self._sharding_active():
+                num_shards, executor, _ = self._resolved_shards()
+                actual = max(1, min(num_shards, len(self._corpus) or 1))
+                offsets = shard_offsets(len(self._corpus), actual)
+                layout = [
+                    offsets[i + 1] - offsets[i] for i in range(actual)
+                ]
+                notes.append(
+                    f"sharded execution: {actual} shards "
+                    f"via {self._executor_name(executor)!r} executor, "
+                    f"layout {layout} (global statistics broadcast; exact merge)"
+                )
+                if op == "top_k" and self._supports_maxscore():
+                    notes.append(
+                        "sharded top_k: shards whose max-score upper bound "
+                        "cannot reach the global kth score are skipped"
+                    )
+            elif (
+                self._resolved_shards()[0] > 1
+                and not isinstance(self._predicate, str)
+            ):
+                notes.append(
+                    "sharding ignored: predicate instances own their fitted "
+                    "state (pass a predicate name to shard)"
+                )
             if op == "top_k":
                 if self._supports_maxscore():
                     notes.append(
@@ -748,6 +916,7 @@ class Query:
                 candidates_in=stats.candidates_in,
                 candidates_out=stats.candidates_out,
             )
+        ran_top_k = False
         try:
             started = time.perf_counter()
             if op == "select":
@@ -758,6 +927,7 @@ class Query:
                 fast = getattr(state.predicate, "top_k", None)
                 if fast is not None and k is not None:
                     results = fast(query, k)
+                    ran_top_k = True
                 else:
                     results = state.predicate.rank(query, limit=k)
             elif op == "rank":
@@ -772,7 +942,64 @@ class Query:
         report.results = tuple(self._to_matches(results))
         report.num_candidates = getattr(state.predicate, "last_num_candidates", None)
         if op == "top_k":
-            report.pruning = getattr(state.predicate, "pruning_stats", None)
+            # Report only what *this* execution did.  Reading pruning_stats
+            # unconditionally used to surface stale counters from an earlier
+            # top_k call whenever the sample execution itself took the
+            # rank/heap path (e.g. no k given, or a blocked aggregate
+            # predicate) -- overclaiming a fast path that never ran.
+            pruning = (
+                getattr(state.predicate, "pruning_stats", None) if ran_top_k else None
+            )
+            report.pruning = pruning
+            if not ran_top_k:
+                report.execution = "top_k executed as a full ranking"
+                if k is None:
+                    report.fallback_reason = (
+                        "no k was given to explain(); pass k= to run the "
+                        "top_k path"
+                    )
+                else:
+                    report.fallback_reason = (
+                        "the predicate implements no top_k method; "
+                        "rank(limit=k) ran instead"
+                    )
+            elif isinstance(state.predicate, DeclarativePredicate):
+                report.execution = "top_k via SQL (see sql path / emitted SQL)"
+            elif pruning is not None:
+                report.execution = "top_k via max-score pruned accumulation"
+            else:
+                report.execution = "top_k via heap accumulation"
+                if self._resolved_realization() == "direct":
+                    target = (
+                        registry.spec_for(self._predicate).direct
+                        if isinstance(self._predicate, str)
+                        else self._predicate
+                    )
+                    if not getattr(target, "supports_maxscore", False):
+                        report.fallback_reason = (
+                            "predicate score is not a monotone sum of "
+                            "per-token contributions"
+                        )
+                    elif state.blocker is not None and isinstance(
+                        state.predicate, ShardedPredicate
+                    ):
+                        report.fallback_reason = (
+                            "sharded execution answers blocked top_k by "
+                            "merging the blocked per-shard rankings"
+                        )
+                    elif state.blocker is not None and not getattr(
+                        target, "_prunes_before_scoring", False
+                    ):
+                        report.fallback_reason = (
+                            "blocker applies after scoring for this predicate "
+                            "family, which needs the full candidate set"
+                        )
+                    else:
+                        report.fallback_reason = (
+                            "max-score plan unavailable at execution time "
+                            "(an active candidate restriction disables it)"
+                        )
+        report.shards = getattr(state.predicate, "shard_stats", None)
         if isinstance(state.predicate, DeclarativePredicate):
             report.sql_stats = state.predicate.last_sql_stats
         if state.recorder is not None:

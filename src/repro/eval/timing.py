@@ -64,12 +64,27 @@ def _resolve(
     predicate: Union[Predicate, DeclarativePredicate, str],
     realization: str = "direct",
     backend: object = None,
+    num_shards: int = 1,
+    executor: object = "serial",
     **kwargs,
 ) -> Union[Predicate, DeclarativePredicate]:
     if isinstance(predicate, str):
         from repro.engine.registry import make
 
+        if num_shards > 1 and realization == "direct":
+            from repro.shard import ShardedPredicate
+
+            name, frozen = predicate, dict(kwargs)
+            return ShardedPredicate(
+                factory=lambda: make(name, realization="direct", **frozen),
+                num_shards=num_shards,
+                executor=executor,
+            )
         return make(predicate, realization=realization, backend=backend, **kwargs)
+    if num_shards > 1:
+        raise ValueError(
+            "sharded timing requires a predicate name (instances own their state)"
+        )
     return predicate
 
 
@@ -112,14 +127,26 @@ def time_queries(
     queries: Sequence[str],
     realization: str = "direct",
     backend: object = None,
+    num_shards: int = 1,
+    executor: object = "serial",
     **predicate_kwargs,
 ) -> QueryTiming:
     """Measure average query (ranking) time over a workload.
 
     The predicate is fit first (not included in the measurement) unless it is
-    already fitted on the given relation.
+    already fitted on the given relation.  With ``num_shards > 1`` (direct
+    realization, predicate given by name) the workload is timed over sharded
+    execution with the given executor (see :mod:`repro.shard`) -- results are
+    exact, so this measures the scheduling overhead/speedup in isolation.
     """
-    predicate = _resolve(predicate, realization, backend, **predicate_kwargs)
+    predicate = _resolve(
+        predicate,
+        realization,
+        backend,
+        num_shards=num_shards,
+        executor=executor,
+        **predicate_kwargs,
+    )
     fitted = getattr(predicate, "is_fitted", False) or getattr(
         predicate, "is_preprocessed", False
     )

@@ -1,0 +1,49 @@
+"""Sharded (data-partitioned) execution of the direct realization.
+
+The paper's predicates all score against *collection-level* statistics (idf,
+RS weights, average tuple length), which is exactly what makes naive
+data-partitioned parallelism inexact: a shard that computes its own document
+frequencies weighs tokens differently from the whole relation.  This package
+implements the standard IR/DBMS answer -- document partitioning with
+*broadcast global statistics*:
+
+1. one global pass computes the predicate-independent collection statistics
+   (``N``, ``df``, ``cf``, ``avgdl``, ``p̂_avg`` -- everything
+   :class:`repro.text.weights.CollectionStatistics` derives);
+2. each shard fits a shard-local predicate with those statistics *injected*
+   (:class:`~repro.shard.stats.ShardStatisticsView`), so every tuple receives
+   bit-identical weights -- and therefore bit-identical scores -- to an
+   unsharded fit;
+3. queries execute per shard through a pluggable executor
+   (:mod:`~repro.shard.executors`: serial / thread pool / process pool) and
+   merge exactly in the canonical ``(score desc, tid)`` order, with per-shard
+   max-score bounds short-circuiting shards that cannot reach the global
+   ``k``-th score.
+
+:class:`~repro.shard.predicate.ShardedPredicate` exposes the same protocol
+as a direct :class:`~repro.core.predicates.base.Predicate`, so the engine,
+joins and deduplication use it as a drop-in replacement
+(``SimilarityEngine(num_shards=4, executor="process")``).
+"""
+
+from repro.shard.executors import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    make_executor,
+)
+from repro.shard.predicate import ShardedPredicate, ShardStats, shard_offsets
+from repro.shard.stats import ShardStatisticsView
+
+__all__ = [
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "make_executor",
+    "ShardedPredicate",
+    "ShardStats",
+    "ShardStatisticsView",
+    "shard_offsets",
+]

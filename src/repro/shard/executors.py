@@ -1,0 +1,280 @@
+"""Pluggable executors that run per-shard tasks serially or in parallel.
+
+An executor is bound to the fitted shard predicates once
+(:meth:`ShardExecutor.bind`) and then asked to run batches of *tasks* --
+``(shard_id, op, payload)`` triples resolved by
+:func:`repro.shard.predicate.execute_shard_op`.  Three strategies ship:
+
+* :class:`SerialShardExecutor` -- in-process loop; no parallelism, no
+  overhead.  The baseline, and the only strategy that can short-circuit
+  shards *between* task executions.
+* :class:`ThreadShardExecutor` -- a ``ThreadPoolExecutor``.  Python-level
+  scoring holds the GIL, so this mainly helps when scoring releases it
+  (future native kernels) or for I/O-ish predicates; it exists because the
+  executor seam should not hard-code that assumption.
+* :class:`ProcessShardExecutor` -- a ``ProcessPoolExecutor``.  On platforms
+  with ``fork`` the fitted shards are inherited copy-on-write by the worker
+  processes (nothing is pickled per task but the task payloads and result
+  rows); without ``fork`` the shard predicate itself is shipped with each
+  task, which is correct but slow and memory-hungry -- a warning is emitted
+  once.
+
+Executors are deliberately tiny: distribution beyond one machine only needs
+a fourth strategy with the same two methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "make_executor",
+]
+
+#: One task: (shard id, operation name, payload dict).
+ShardTask = Tuple[int, str, dict]
+
+
+def _run_task(shard, op: str, payload: dict):
+    # Local import: predicate.py imports this module for the executor types.
+    from repro.shard.predicate import execute_shard_op
+
+    return execute_shard_op(shard, op, payload)
+
+
+class ShardExecutor(ABC):
+    """Strategy interface: run ``(shard_id, op, payload)`` tasks."""
+
+    name: str = "executor"
+    #: Whether tasks of one batch may run concurrently (drives how the
+    #: sharded top-k schedules its bound-ordered short-circuit).
+    parallel: bool = False
+
+    def __init__(self) -> None:
+        self._shards: List[object] = []
+        self._owner: Optional[object] = None
+
+    def bind(self, shards: Sequence[object], owner: Optional[object] = None) -> None:
+        """(Re)attach the fitted shard predicates tasks will run against.
+
+        An executor holds per-predicate worker state (the bound shards, and
+        for process pools a forked snapshot of them), so one instance cannot
+        serve two predicates at once: a second predicate binding a live
+        executor would silently redirect the first predicate's queries to
+        the wrong shards.  Rebinding is allowed for the same ``owner`` (a
+        refit) or after :meth:`close`.
+        """
+        if (
+            owner is not None
+            and self._owner is not None
+            and self._owner is not owner
+        ):
+            raise ValueError(
+                f"{type(self).__name__} is already bound to another sharded "
+                "predicate; executors hold per-predicate worker state and "
+                "cannot be shared -- pass an executor name (or a fresh "
+                "instance) per predicate"
+            )
+        self._owner = owner
+        self._shards = list(shards)
+
+    @abstractmethod
+    def run(self, tasks: Sequence[ShardTask]) -> List[object]:
+        """Execute the tasks and return their results in task order."""
+
+    def close(self) -> None:
+        """Release pools/processes; the executor may be re-bound afterwards."""
+        self._owner = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Run every task inline, in order."""
+
+    name = "serial"
+    parallel = False
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[object]:
+        return [
+            _run_task(self._shards[shard_id], op, payload)
+            for shard_id, op, payload in tasks
+        ]
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Run tasks on a persistent thread pool (shards shared, not copied)."""
+
+    name = "thread"
+    parallel = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or max(1, len(self._shards))
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[object]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_task, self._shards[shard_id], op, payload)
+            for shard_id, op, payload in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+
+#: Fitted shard lists inherited by forked workers, keyed per bind() call.
+_FORK_REGISTRY: Dict[int, List[object]] = {}
+_FORK_KEYS = itertools.count(1)
+
+
+def _registry_task(key: int, shard_id: int, op: str, payload: dict):
+    """Worker entry on forked pools: shards come from the inherited registry."""
+    return _run_task(_FORK_REGISTRY[key][shard_id], op, payload)
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Run tasks on a persistent process pool (true multi-core scoring)."""
+
+    name = "process"
+    parallel = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key: Optional[int] = None
+        self._fork = "fork" in multiprocessing.get_all_start_methods()
+        self._warned_spawn = False
+
+    def bind(self, shards: Sequence[object], owner: Optional[object] = None) -> None:
+        # A rebind invalidates the forked snapshot: tear the pool down so
+        # the next run forks fresh workers seeing the new shards.  The
+        # ownership check must run *before* the teardown, though -- a
+        # rejected bind must not kill the current owner's pool.
+        if (
+            owner is not None
+            and self._owner is not None
+            and self._owner is not owner
+        ):
+            super().bind(shards, owner)  # raises
+        self.close()
+        super().bind(shards, owner)
+        if self._fork:
+            self._key = next(_FORK_KEYS)
+            _FORK_REGISTRY[self._key] = self._shards
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or min(
+                max(1, len(self._shards)), os.cpu_count() or 1
+            )
+            if self._fork:
+                context = multiprocessing.get_context("fork")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+            else:  # pragma: no cover - non-fork platforms
+                if not self._warned_spawn:
+                    warnings.warn(
+                        "fork is unavailable; the process executor ships the "
+                        "fitted shard with every task (correct but slow)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._warned_spawn = True
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[object]:
+        if self._fork and self._key is None:
+            # Closed (or never forked) with shards still bound: re-register
+            # them so the pool created below forks a fresh snapshot instead
+            # of looking up a retired registry key.
+            self._key = next(_FORK_KEYS)
+            _FORK_REGISTRY[self._key] = self._shards
+        pool = self._ensure_pool()
+        if self._fork:
+            futures = [
+                pool.submit(_registry_task, self._key, shard_id, op, payload)
+                for shard_id, op, payload in tasks
+            ]
+        else:  # pragma: no cover - non-fork platforms
+            futures = [
+                pool.submit(_run_task, self._shards[shard_id], op, payload)
+                for shard_id, op, payload in tasks
+            ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._key is not None:
+            _FORK_REGISTRY.pop(self._key, None)
+            self._key = None
+        super().close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+_EXECUTORS = {
+    "serial": SerialShardExecutor,
+    "thread": ThreadShardExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+def make_executor(
+    executor: Union[str, ShardExecutor, None],
+    max_workers: Optional[int] = None,
+) -> ShardExecutor:
+    """Resolve an executor spec (name or instance) to an executor.
+
+    Names: ``"serial"``, ``"thread"``, ``"process"``.  Instances are used
+    as-is (the caller owns their lifecycle).
+    """
+    if executor is None:
+        return SerialShardExecutor()
+    if isinstance(executor, ShardExecutor):
+        return executor
+    key = str(executor).strip().lower()
+    if key not in _EXECUTORS:
+        raise ValueError(
+            f"unknown shard executor {executor!r}; available: {sorted(_EXECUTORS)}"
+        )
+    cls = _EXECUTORS[key]
+    if cls is SerialShardExecutor:
+        return cls()
+    return cls(max_workers=max_workers)

@@ -1,0 +1,799 @@
+"""Sharded execution of a direct predicate with an exact global merge.
+
+:class:`ShardedPredicate` partitions the base relation into ``S`` contiguous
+shards, computes the predicate-independent collection statistics in one
+global pass, and fits one shard-local predicate per shard with those
+statistics injected (:mod:`repro.shard.stats`).  Every shard then scores its
+tuples *bit-identically* to an unsharded fit, so merging per-shard results in
+the canonical ``(score desc, tid)`` order reproduces the unsharded answer
+exactly -- selections, rankings, top-k and batched workloads alike.
+
+Query execution runs through a pluggable :class:`~repro.shard.executors.
+ShardExecutor` (serial / thread pool / process pool).  ``top_k`` additionally
+uses per-shard max-score bounds (the same bounds
+:mod:`repro.core.topk` uses within a shard) to short-circuit shards whose
+upper bound cannot reach the global ``k``-th score: the highest-bound shard
+runs first to establish the floor, then provably hopeless shards are skipped
+outright and the rest run -- concurrently on parallel executors, one at a
+time with a progressively rising floor on the serial executor.
+
+Blockers apply *pre-partition*: they are fitted on the full relation and
+their candidate decisions are taken against global tuple ids, then narrowed
+into per-shard restrictions.  Sharded results therefore match the unsharded
+blocked results wherever the blocker is exact for the predicate; for
+heuristic combinations (a Jaccard-derived filter on a non-Jaccard predicate,
+which already warns at attach time) the blocked *selection* of the
+edit-distance family may prune slightly more than the unsharded path, whose
+``select`` does not consult the blocker's probe tokens.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.predicates.base import Match, Predicate
+from repro.core.topk import PruningStats, maxscore_top_k
+from repro.shard.executors import ShardExecutor, make_executor
+from repro.shard.stats import InjectedStatsFactory
+from repro.text.weights import CollectionStatistics
+
+__all__ = ["ShardStats", "ShardedPredicate", "shard_offsets", "execute_shard_op"]
+
+#: Relative float-safety margin of the shard short-circuit test, mirroring
+#: :data:`repro.core.topk._CUTOFF_MARGIN`: a shard is skipped only when its
+#: upper bound sits below the global k-th score by more than the accumulated
+#: float error of either side could span.
+_BOUND_MARGIN = 1e-9
+
+
+def shard_offsets(num_tuples: int, num_shards: int) -> List[int]:
+    """Contiguous, balanced shard boundaries: ``S + 1`` offsets.
+
+    Shard ``i`` owns global tuple ids ``offsets[i] <= tid < offsets[i + 1]``;
+    the first ``num_tuples % num_shards`` shards are one tuple larger.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, extra = divmod(num_tuples, num_shards)
+    offsets = [0]
+    for index in range(num_shards):
+        offsets.append(offsets[-1] + base + (1 if index < extra else 0))
+    return offsets
+
+
+@dataclass
+class ShardStats:
+    """Shard-level work counters of the most recent sharded operation."""
+
+    num_shards: int
+    executor: str
+    shard_sizes: Tuple[int, ...]
+    shards_run: int = 0
+    #: Shards proven unable to reach the global k-th score by their
+    #: max-score upper bound and never executed (top-k fast path only).
+    shards_skipped: int = 0
+
+    def describe(self) -> str:
+        skipped = (
+            f", {self.shards_skipped} skipped by max-score bound"
+            if self.shards_skipped
+            else ""
+        )
+        return (
+            f"{self.shards_run}/{self.num_shards} shards run "
+            f"via {self.executor!r} executor{skipped}"
+        )
+
+
+def execute_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
+    """Run one operation against one fitted shard predicate.
+
+    This is the function shard executors invoke -- in-process, on a worker
+    thread, or inside a worker process.  Results are plain tuples/ints so
+    process executors pickle as little as possible, and per-shard work
+    counters travel back explicitly (a worker process mutating its own copy
+    of the shard would otherwise be invisible to the parent).
+    """
+    if op == "rank":
+        allowed = payload.get("allowed")
+        if allowed is not None:
+            with shard.restrict_candidates(allowed):
+                rows = shard.rank(payload["query"], limit=payload.get("limit"))
+        else:
+            rows = shard.rank(payload["query"], limit=payload.get("limit"))
+        return {
+            "rows": [(m.tid, m.score) for m in rows],
+            "candidates": shard.last_num_candidates,
+        }
+    if op == "select":
+        allowed = payload.get("allowed")
+        if allowed is not None:
+            with shard.restrict_candidates(allowed):
+                rows = shard.select(payload["query"], payload["threshold"])
+        else:
+            rows = shard.select(payload["query"], payload["threshold"])
+        return {
+            "rows": [(m.tid, m.score) for m in rows],
+            "candidates": shard.last_num_candidates,
+        }
+    if op == "top_k":
+        rows = shard.top_k(payload["query"], payload["k"])
+        return {
+            "rows": [(m.tid, m.score) for m in rows],
+            "candidates": shard.last_num_candidates,
+            "pruning": shard.pruning_stats,
+        }
+    if op == "run_many":
+        rows_per_query: List[List[Tuple[int, float]]] = []
+        candidates_per_query: List[Optional[int]] = []
+        pruning: Optional[PruningStats] = None
+        batch_op = payload["op"]
+        for query in payload["queries"]:
+            if batch_op == "top_k":
+                rows = shard.top_k(query, payload["k"])
+                if shard.pruning_stats is not None:
+                    if pruning is None:
+                        pruning = PruningStats()
+                    _accumulate_pruning(pruning, shard.pruning_stats)
+            elif batch_op == "select":
+                rows = shard.select(query, payload["threshold"])
+            else:
+                rows = shard.rank(query, limit=payload.get("limit"))
+            rows_per_query.append([(m.tid, m.score) for m in rows])
+            candidates_per_query.append(shard.last_num_candidates)
+        return {
+            "rows_per_query": rows_per_query,
+            "candidates_per_query": candidates_per_query,
+            "pruning": pruning,
+        }
+    raise ValueError(f"unknown shard operation {op!r}")
+
+
+def _accumulate_pruning(total: PruningStats, part: PruningStats) -> None:
+    total.tokens_total += part.tokens_total
+    total.tokens_opened += part.tokens_opened
+    total.postings_total += part.postings_total
+    total.postings_opened += part.postings_opened
+    total.postings_skipped += part.postings_skipped
+    total.candidates_scored += part.candidates_scored
+    total.candidates_rescored += part.candidates_rescored
+    total.pruned = total.pruned or part.pruned
+
+
+class ShardedPredicate:
+    """Data-partitioned execution of a direct predicate, exact by merge.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh (unfitted) predicate
+        instance; called once per shard plus once for the prototype that
+        answers protocol attributes (name, tokenizer, score semantics).
+    num_shards:
+        Requested shard count; clamped to the relation size at fit time.
+    executor:
+        ``"serial"`` / ``"thread"`` / ``"process"`` or a
+        :class:`~repro.shard.executors.ShardExecutor` instance.
+    max_workers:
+        Worker cap for pooled executors (defaults to shard count, bounded by
+        the CPU count for processes).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Predicate],
+        num_shards: int = 2,
+        executor: object = "serial",
+        max_workers: Optional[int] = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._factory = factory
+        self.requested_shards = int(num_shards)
+        self._prototype = factory()
+        #: Executor instances passed in stay caller-owned: :meth:`close`
+        #: leaves them running (mirroring the engine's treatment of
+        #: caller-passed SQL backends); name specs create an owned executor.
+        self._owns_executor = not isinstance(executor, ShardExecutor)
+        self._executor: ShardExecutor = make_executor(executor, max_workers)
+        self._strings: List[str] = []
+        self._token_lists: List[List[str]] = []
+        self._global_stats: Optional[CollectionStatistics] = None
+        self._offsets: List[int] = [0]
+        self._shards: List[Predicate] = []
+        self._fitted = False
+        self._blocker = None
+        self._restriction: Optional[Set[int]] = None
+        #: Mirrors the direct-predicate protocol: candidates scored by the
+        #: most recent single query (summed across shards), aggregated
+        #: max-score counters, shard-level counters, and per-query candidate
+        #: counts of the most recent :meth:`run_many` batch.
+        self.last_num_candidates: Optional[int] = None
+        self.pruning_stats: Optional[PruningStats] = None
+        self.shard_stats: Optional[ShardStats] = None
+        self.last_batch_candidates: Optional[List[Optional[int]]] = None
+
+    # -- protocol attributes ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._prototype.name
+
+    @property
+    def family(self) -> str:
+        return self._prototype.family
+
+    @property
+    def similarity_kind(self) -> str:
+        return self._prototype.similarity_kind
+
+    @property
+    def supports_maxscore(self) -> bool:
+        return bool(getattr(self._prototype, "supports_maxscore", False))
+
+    @property
+    def _prunes_before_scoring(self) -> bool:
+        return bool(getattr(self._prototype, "_prunes_before_scoring", False))
+
+    @property
+    def tokenizer(self):
+        return self._prototype.tokenizer
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def base_strings(self) -> List[str]:
+        return list(self._strings)
+
+    @property
+    def num_shards(self) -> int:
+        """Actual shard count after clamping to the relation size."""
+        return len(self._shards) if self._shards else self.requested_shards
+
+    @property
+    def executor_name(self) -> str:
+        return self._executor.name
+
+    @property
+    def shards(self) -> List[Predicate]:
+        """The fitted shard-local predicates (shard ``i`` owns
+        ``offsets[i] <= tid < offsets[i+1]``)."""
+        return list(self._shards)
+
+    @property
+    def offsets(self) -> List[int]:
+        return list(self._offsets)
+
+    # -- preprocessing ----------------------------------------------------------
+
+    def fit(self, strings: Sequence[str]) -> "ShardedPredicate":
+        """Global statistics pass, then one injected shard-local fit per shard."""
+        self._strings = list(strings)
+        count = len(self._strings)
+        num_shards = max(1, min(self.requested_shards, count or 1))
+        self._offsets = shard_offsets(count, num_shards)
+        tokenizer = self._prototype.tokenizer
+        self._token_lists = [tokenizer.tokenize(text) for text in self._strings]
+        self._global_stats = CollectionStatistics(self._token_lists)
+        stats_factory = InjectedStatsFactory(self._global_stats)
+        self._shards = []
+        for index in range(num_shards):
+            shard = self._factory()
+            shard._stats_factory = stats_factory
+            shard.fit(self._strings[self._offsets[index]:self._offsets[index + 1]])
+            self._shards.append(shard)
+        self._fitted = True
+        self._executor.bind(self._shards, owner=self)
+        if self._blocker is not None:
+            self._fit_blocker(self._blocker)
+        return self
+
+    def close(self) -> None:
+        """Shut down the executor's worker pool (shards stay usable: pooled
+        executors re-create their pool lazily on the next query).
+
+        Caller-passed executor *instances* are left running -- the caller
+        owns their lifecycle, exactly like SQL backend instances passed to
+        the engine.
+        """
+        if self._owns_executor:
+            self._executor.close()
+
+    # -- blocking (pre-partition: fitted on the full relation) ------------------
+
+    @property
+    def blocker(self):
+        return self._blocker
+
+    def set_blocker(self, blocker) -> "ShardedPredicate":
+        """Attach a blocker, fitted on the *full* relation (pre-partition)."""
+        if (
+            blocker is not None
+            and getattr(blocker, "semantics", "any") == "jaccard"
+            and self.similarity_kind != "jaccard"
+        ):
+            import warnings
+
+            warnings.warn(
+                f"{type(blocker).__name__} derives its bounds from Jaccard "
+                f"semantics; with the {self.name} predicate it is a heuristic "
+                "and may drop candidates whose score reaches the threshold",
+                UserWarning,
+                stacklevel=2,
+            )
+        self._blocker = blocker
+        if blocker is not None and self._fitted:
+            self._fit_blocker(blocker)
+        return self
+
+    def _fit_blocker(self, blocker) -> None:
+        blocker.fit(self._blocker_corpus(blocker))
+
+    def _blocker_corpus(self, blocker) -> List[List[str]]:
+        """Global token lists the blocker indexes, mirroring the unsharded
+        predicate: families that share their own token lists with blockers
+        (overlap, edit) yield the predicate-tokenizer lists of the global
+        pass; the rest tokenize with the blocker's tokenizer."""
+        if type(self._prototype)._blocker_corpus is Predicate._blocker_corpus:
+            return blocker.tokenizer.tokenize_many(self._strings)
+        return self._token_lists
+
+    def _blocker_query_tokens(self, query: str, blocker) -> Set[str]:
+        if (
+            type(self._prototype)._blocker_query_tokens
+            is Predicate._blocker_query_tokens
+        ):
+            return set(blocker.tokenizer.tokenize(query))
+        return set(self._prototype.tokenizer.tokenize(query))
+
+    def _check_blocker_threshold(self, threshold: float) -> None:
+        if self._blocker is not None and not self._blocker.supports_threshold(
+            threshold
+        ):
+            raise ValueError(
+                f"selection threshold {threshold} is below the threshold the "
+                f"attached {self._blocker.name!r} blocker was built for; "
+                "rebuild the blocker with the lower threshold"
+            )
+
+    @contextmanager
+    def restrict_candidates(self, allowed: Optional[Set[int]]):
+        """Scope queries to the given *global* tuple ids (self-join probes)."""
+        previous = self._restriction
+        self._restriction = allowed
+        try:
+            yield
+        finally:
+            self._restriction = previous
+
+    # -- execution helpers ------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit() on a base relation "
+                "before querying"
+            )
+
+    def _shard_of(self, tid: int) -> Tuple[int, int]:
+        shard_id = bisect_right(self._offsets, tid) - 1
+        return shard_id, tid - self._offsets[shard_id]
+
+    def _local_allowed(self, allowed: Set[int], shard_id: int) -> Set[int]:
+        low, high = self._offsets[shard_id], self._offsets[shard_id + 1]
+        return {tid - low for tid in allowed if low <= tid < high}
+
+    def _merge_rows(
+        self, per_shard: Sequence[Sequence[Tuple[int, float]]], shard_ids: Sequence[int]
+    ) -> List[Match]:
+        merged = [
+            Match(tid + self._offsets[shard_id], score)
+            for shard_id, rows in zip(shard_ids, per_shard)
+            for tid, score in rows
+        ]
+        merged.sort(key=lambda m: (-m.score, m.tid))
+        return merged
+
+    def _run_all(self, op: str, payloads: Sequence[dict]) -> List[dict]:
+        tasks = [
+            (shard_id, op, payload) for shard_id, payload in enumerate(payloads)
+        ]
+        return self._executor.run(tasks)
+
+    def _run_on(self, shard_ids: Sequence[int], op: str, payload: dict) -> List[dict]:
+        tasks = [(shard_id, op, payload) for shard_id in shard_ids]
+        return self._executor.run(tasks)
+
+    def _record_shards(self, shards_run: int, shards_skipped: int = 0) -> None:
+        self.shard_stats = ShardStats(
+            num_shards=len(self._shards),
+            executor=self._executor.name,
+            shard_sizes=tuple(
+                self._offsets[i + 1] - self._offsets[i]
+                for i in range(len(self._shards))
+            ),
+            shards_run=shards_run,
+            shards_skipped=shards_skipped,
+        )
+
+    def _global_candidates(self, probe_tokens: Set[str]) -> Set[int]:
+        """Union of the shard indexes' candidates for the probe tokens
+        (global ids) -- identical to the unsharded index's candidate set."""
+        candidates: Set[int] = set()
+        for shard_id, shard in enumerate(self._shards):
+            index = getattr(shard, "_index", None)
+            if index is None:  # pragma: no cover - defensive
+                continue
+            offset = self._offsets[shard_id]
+            for token in probe_tokens:
+                for tid, _ in index.postings(token):
+                    candidates.add(tid + offset)
+        return candidates
+
+    def _blocked_allowed(self, query: str) -> Optional[Set[int]]:
+        """Global allowed set for pre-scoring families under blocking.
+
+        Reproduces ``InvertedIndex.candidates(tokens, blocker)`` against the
+        union of the shard indexes: probe tokens from the blocker, candidate
+        union over shards, then one global prune -- all on global ids, i.e.
+        strictly *pre-partition*.
+        """
+        blocker = self._blocker
+        query_tokens = self._blocker_query_tokens(query, blocker)
+        probe = blocker.probe_tokens(query_tokens)
+        candidates = self._global_candidates(probe)
+        allowed = blocker.prune(query_tokens, candidates)
+        if self._restriction is not None:
+            allowed = allowed & self._restriction
+        return allowed
+
+    def _restricted_payloads(
+        self, base: dict, allowed: Optional[Set[int]]
+    ) -> List[dict]:
+        payloads = []
+        for shard_id in range(len(self._shards)):
+            payload = dict(base)
+            payload["allowed"] = (
+                None if allowed is None else self._local_allowed(allowed, shard_id)
+            )
+            payloads.append(payload)
+        return payloads
+
+    # -- query time -------------------------------------------------------------
+
+    def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
+        """Merged ranking, bit-identical to the unsharded predicate's."""
+        self._require_fitted()
+        self.pruning_stats = None
+        merged = self._filtered_rank(query, limit)
+        return merged if limit is None else merged[:limit]
+
+    def _filtered_rank(self, query: str, limit: Optional[int]) -> List[Match]:
+        """Merged, blocker/restriction-honoring ranking (before any limit cut)."""
+        blocker, restriction = self._blocker, self._restriction
+        shard_ids = list(range(len(self._shards)))
+        if blocker is not None and self._prunes_before_scoring:
+            # Pre-scoring families: one global blocking decision, narrowed
+            # into per-shard restrictions -- each shard only scores tuples
+            # the (globally fitted) blocker admits.
+            allowed = self._blocked_allowed(query)
+            results = self._run_all(
+                "rank",
+                self._restricted_payloads({"query": query, "limit": limit}, allowed),
+            )
+            merged = self._merge_rows([r["rows"] for r in results], shard_ids)
+            self.last_num_candidates = sum(r["candidates"] or 0 for r in results)
+            self._record_shards(len(self._shards))
+            return merged
+        # Post-scoring families (or no blocker): shards score their full
+        # candidate sets (under any active restriction); the blocker then
+        # prunes the merged rows, exactly like the unsharded post-scoring
+        # path.  A limit can only be pushed into the shards when no blocker
+        # filters rows afterwards.
+        allowed = None if restriction is None else set(restriction)
+        results = self._run_all(
+            "rank",
+            self._restricted_payloads(
+                {"query": query, "limit": None if blocker is not None else limit},
+                allowed,
+            ),
+        )
+        merged = self._merge_rows([r["rows"] for r in results], shard_ids)
+        if blocker is not None:
+            query_tokens = self._blocker_query_tokens(query, blocker)
+            pruned = blocker.prune(query_tokens, {m.tid for m in merged})
+            merged = [m for m in merged if m.tid in pruned]
+            self.last_num_candidates = len(merged)
+        else:
+            self.last_num_candidates = sum(r["candidates"] or 0 for r in results)
+        self._record_shards(len(self._shards))
+        return merged
+
+    def select(self, query: str, threshold: float) -> List[Match]:
+        """Merged approximate selection (thresholded per shard where possible)."""
+        self._require_fitted()
+        self._check_blocker_threshold(threshold)
+        self.pruning_stats = None
+        blocker, restriction = self._blocker, self._restriction
+        shard_ids = list(range(len(self._shards)))
+        if blocker is not None and not self._prunes_before_scoring:
+            # Post-scoring families: prune the merged *unthresholded* scores
+            # first (as the unsharded path does), then threshold.
+            merged = self._filtered_rank(query, limit=None)
+            return [m for m in merged if m.score >= threshold]
+        allowed: Optional[Set[int]] = None
+        if blocker is not None:
+            allowed = self._blocked_allowed(query)
+        elif restriction is not None:
+            allowed = set(restriction)
+        results = self._run_all(
+            "select",
+            self._restricted_payloads({"query": query, "threshold": threshold}, allowed),
+        )
+        merged = self._merge_rows([r["rows"] for r in results], shard_ids)
+        self.last_num_candidates = sum(r["candidates"] or 0 for r in results)
+        self._record_shards(len(self._shards))
+        return merged
+
+    def score(self, query: str, tid: int) -> float:
+        """Similarity of one tuple, routed to its owning shard.
+
+        Blocker/restriction semantics mirror the unsharded
+        :meth:`Predicate.score` exactly: pre-scoring families (overlap,
+        edit) see only candidates their blocked ``_scores`` would produce,
+        while post-scoring families score through their raw ``_scores``
+        dict -- which ignores blockers and restrictions -- so sharded and
+        unsharded answers stay bit-identical either way.
+        """
+        self._require_fitted()
+        if not 0 <= tid < len(self._strings):
+            return 0.0
+        shard_id, local_tid = self._shard_of(tid)
+        if not self._prunes_before_scoring:
+            return self._shards[shard_id].score(query, local_tid)
+        if self._restriction is not None and tid not in self._restriction:
+            return 0.0
+        blocker = self._blocker
+        if blocker is not None:
+            query_tokens = self._blocker_query_tokens(query, blocker)
+            probe = blocker.probe_tokens(query_tokens)
+            shard = self._shards[shard_id]
+            index = getattr(shard, "_index", None)
+            if index is not None:
+                term_frequencies = index.term_frequencies(local_tid)
+                if not any(token in term_frequencies for token in probe):
+                    return 0.0
+            if tid not in blocker.prune(query_tokens, {tid}):
+                return 0.0
+        return self._shards[shard_id].score(query, local_tid)
+
+    def top_k(self, query: str, k: int) -> List[Match]:
+        """The global top ``k``: exact heap merge of per-shard top-k results.
+
+        For monotone-sum predicates, per-shard upper bounds (sum of positive
+        per-term maxima, the same bounds max-score pruning uses inside a
+        shard) short-circuit shards that provably cannot reach the global
+        ``k``-th score.  Aggregated per-shard :class:`PruningStats` land in
+        :attr:`pruning_stats`; shard-level counters in :attr:`shard_stats`.
+        """
+        self._require_fitted()
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.pruning_stats = None
+        if k == 0:
+            self._record_shards(0, 0)
+            self.last_num_candidates = 0
+            return []
+        if self._blocker is not None or self._restriction is not None:
+            # Blocked top-k equals blocked rank cut to k (the same fallback
+            # the unsharded aggregate family takes): the merge layer applies
+            # the global blocking decision before the cut.
+            return self._filtered_rank(query, limit=k)[:k]
+
+        plans = [shard._maxscore_plan(query) for shard in self._shards]
+        if any(plan is None for plan in plans):
+            # Not a monotone-sum predicate: run every shard's heap-based
+            # top_k and merge.
+            results = self._run_all(
+                "top_k", [{"query": query, "k": k}] * len(self._shards)
+            )
+            merged = self._merge_rows(
+                [r["rows"] for r in results], list(range(len(self._shards)))
+            )
+            self.last_num_candidates = sum(r["candidates"] or 0 for r in results)
+            self._record_shards(len(self._shards))
+            return merged[:k]
+
+        bounds = [
+            sum(max(0.0, term.upper_bound) for term in plan[0]) for plan in plans
+        ]
+        order = sorted(range(len(self._shards)), key=lambda i: (-bounds[i], i))
+        pruning = PruningStats()
+        collected: Dict[int, List[Tuple[int, float]]] = {}
+
+        def absorb(shard_id: int, result: dict) -> None:
+            collected[shard_id] = result["rows"]
+            if result["pruning"] is not None:
+                _accumulate_pruning(pruning, result["pruning"])
+
+        def kth_score() -> Optional[float]:
+            scores = sorted(
+                (score for rows in collected.values() for _, score in rows),
+                reverse=True,
+            )
+            return scores[k - 1] if len(scores) >= k else None
+
+        def skippable(shard_id: int, kth: Optional[float]) -> bool:
+            if kth is None:
+                return False
+            bound = bounds[shard_id]
+            margin = _BOUND_MARGIN * (abs(kth) + bound)
+            return bound < kth - margin
+
+        payload = {"query": query, "k": k}
+
+        def run_inline(shard_id: int) -> dict:
+            # In-process execution reuses the plan already built for the
+            # bounds above; shard.top_k would rebuild the identical plan.
+            # Worker processes/threads rebuild theirs instead (plans hold
+            # references into the shard's posting lists -- recomputing is
+            # cheaper than shipping them).
+            terms, allowed, rescore = plans[shard_id]
+            top, stats = maxscore_top_k(k, terms, rescore, allowed=allowed)
+            return {"rows": top, "candidates": stats.candidates_scored,
+                    "pruning": stats}
+
+        skipped: List[int] = []
+        if self._executor.parallel:
+            # Establish the floor with the highest-bound shard, skip shards
+            # the floor already rules out, then run the rest concurrently.
+            first = order[0]
+            absorb(first, self._run_on([first], "top_k", payload)[0])
+            kth = kth_score()
+            survivors = [
+                shard_id for shard_id in order[1:] if not skippable(shard_id, kth)
+            ]
+            skipped = [
+                shard_id for shard_id in order[1:] if skippable(shard_id, kth)
+            ]
+            for shard_id, result in zip(
+                survivors, self._run_on(survivors, "top_k", payload)
+            ):
+                absorb(shard_id, result)
+        else:
+            # Serial executor: re-evaluate the floor after every shard, so a
+            # rising k-th score keeps skipping later (lower-bound) shards.
+            for shard_id in order:
+                if skippable(shard_id, kth_score()):
+                    skipped.append(shard_id)
+                    continue
+                absorb(shard_id, run_inline(shard_id))
+
+        # Skipped shards never opened a posting list: account their whole
+        # posting volume as skipped, exactly like unopened terms within a
+        # shard.  `live` mirrors maxscore_top_k's term filter.
+        for shard_id in skipped:
+            live = [
+                term
+                for term in plans[shard_id][0]
+                if term.query_weight != 0.0 and term.postings
+            ]
+            pruning.tokens_total += len(live)
+            postings = sum(len(term.postings) for term in live)
+            pruning.postings_total += postings
+            pruning.postings_skipped += postings
+            pruning.pruned = True
+
+        merged = self._merge_rows(
+            [collected[shard_id] for shard_id in sorted(collected)],
+            sorted(collected),
+        )
+        self.pruning_stats = pruning
+        self.last_num_candidates = pruning.candidates_scored
+        self._record_shards(len(collected), len(skipped))
+        return merged[:k]
+
+    def run_many(
+        self,
+        queries: Sequence[str],
+        op: str = "rank",
+        k: Optional[int] = None,
+        threshold: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[List[Match]]:
+        """Execute a query workload: one task per shard for the whole batch.
+
+        Semantics match calling the corresponding single-query method per
+        query; scheduling differs -- each shard receives the entire workload
+        as a single task, so a process-pool executor pays one round trip per
+        shard instead of one per (query, shard) pair.  Per-query candidate
+        counts land in :attr:`last_batch_candidates` and
+        :attr:`last_num_candidates` is reset to ``None`` (no single query's
+        count would describe the batch).
+        """
+        queries = list(queries)
+        if op == "top_k":
+            if k is None or k < 0:
+                raise ValueError("op='top_k' requires a non-negative k")
+        elif op == "select":
+            if threshold is None:
+                raise ValueError("op='select' requires a threshold")
+            self._check_blocker_threshold(threshold)
+        elif op != "rank":
+            raise ValueError(
+                f"unknown batch op {op!r}; expected 'rank', 'top_k' or 'select'"
+            )
+        self._require_fitted()
+        if not queries:
+            self.last_batch_candidates = []
+            self.last_num_candidates = None
+            return []
+        if self._blocker is not None or self._restriction is not None:
+            # Blocked batches take the per-query merge paths (the global
+            # blocking decision is per query); candidate counts are still
+            # recorded per query.
+            results: List[List[Match]] = []
+            counts: List[Optional[int]] = []
+            for query in queries:
+                if op == "top_k":
+                    results.append(self.top_k(query, k))
+                elif op == "select":
+                    results.append(self.select(query, threshold))
+                else:
+                    results.append(self.rank(query, limit=limit))
+                counts.append(self.last_num_candidates)
+            self.last_batch_candidates = counts
+            self.last_num_candidates = None
+            return results
+
+        payload = {
+            "queries": queries,
+            "op": op,
+            "k": k,
+            "threshold": threshold,
+            "limit": k if op == "top_k" else limit,
+        }
+        shard_results = self._run_all("run_many", [payload] * len(self._shards))
+        pruning: Optional[PruningStats] = None
+        merged_batches: List[List[Match]] = []
+        counts = []
+        cut = k if op == "top_k" else limit
+        for query_index in range(len(queries)):
+            per_shard = [
+                result["rows_per_query"][query_index] for result in shard_results
+            ]
+            merged = self._merge_rows(per_shard, list(range(len(self._shards))))
+            if cut is not None and op != "select":
+                merged = merged[:cut]
+            merged_batches.append(merged)
+            query_counts = [
+                result["candidates_per_query"][query_index]
+                for result in shard_results
+            ]
+            counts.append(
+                sum(count or 0 for count in query_counts)
+                if any(count is not None for count in query_counts)
+                else None
+            )
+        for result in shard_results:
+            if result["pruning"] is not None:
+                if pruning is None:
+                    pruning = PruningStats()
+                _accumulate_pruning(pruning, result["pruning"])
+        self.pruning_stats = pruning
+        self.last_batch_candidates = counts
+        self.last_num_candidates = None
+        self._record_shards(len(self._shards))
+        return merged_batches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "fitted" if self._fitted else "unfitted"
+        return (
+            f"ShardedPredicate({self.name}, shards={self.num_shards}, "
+            f"executor={self._executor.name!r}, {status}, n={len(self._strings)})"
+        )

@@ -1,0 +1,83 @@
+"""Global collection statistics injected into shard-local fits.
+
+Exactness of sharded execution rests on one observation: every weighting
+scheme in the paper factors into a *per-tuple* part (term frequencies, tuple
+length) and a *collection-level* part (``N``, ``df``, ``cf``, ``avgdl``,
+``p̂_avg``).  :class:`ShardStatisticsView` computes the per-tuple part from
+the shard's own token lists -- so tuple ids stay shard-local -- while
+answering every collection-level question from a
+:class:`~repro.text.weights.CollectionStatistics` computed once over the
+*whole* relation.  A predicate fitted on a shard through this view therefore
+assigns each tuple exactly the weights an unsharded fit would, bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.text.weights import CollectionStatistics
+
+__all__ = ["ShardStatisticsView", "InjectedStatsFactory"]
+
+
+class ShardStatisticsView(CollectionStatistics):
+    """Shard-local per-tuple statistics over global collection-level ones.
+
+    The collection-level fields are *shared* with the global statistics
+    object (same dict instances), so derived tables (idf, RS weights,
+    ``p̂_avg``) iterate the same vocabulary in the same order as the
+    unsharded computation -- summations stay float-identical, not just
+    mathematically equal.
+    """
+
+    def __init__(
+        self,
+        token_lists: Sequence[Sequence[str]],
+        global_stats: CollectionStatistics,
+    ):
+        # Deliberately no ``super().__init__()``: the base constructor would
+        # aggregate shard-local df/cf/averages only for them to be replaced
+        # by the global answers below.  Only the per-tuple fields are built
+        # here (_token_lists, _term_frequencies, _lengths stay local).
+        self._token_lists: List[List[str]] = [list(tokens) for tokens in token_lists]
+        self._term_frequencies: List[Counter] = [
+            Counter(tokens) for tokens in self._token_lists
+        ]
+        self._lengths: List[int] = [len(tokens) for tokens in self._token_lists]
+        self._pavg_table = None
+        self._global = global_stats
+        # Collection-level answers come from the global pass (shared dict
+        # instances, so derived tables iterate in the global order).
+        self._num_tuples = global_stats.num_tuples
+        self._document_frequency = global_stats._document_frequency
+        self._collection_frequency = global_stats._collection_frequency
+        self._collection_size = global_stats.collection_size
+        self._average_length = global_stats.average_length
+
+    @property
+    def num_local_tuples(self) -> int:
+        """Number of tuples in this shard (``num_tuples`` is the global N)."""
+        return len(self._token_lists)
+
+    def pavg_table(self) -> Dict[str, float]:
+        """Global ``p̂_avg`` table (shared with -- and cached on -- the
+        global statistics object)."""
+        return self._global.pavg_table()
+
+
+class InjectedStatsFactory:
+    """Picklable ``token_lists -> ShardStatisticsView`` factory.
+
+    Assigned to a shard predicate's ``_stats_factory`` before fitting; kept a
+    class (rather than a closure) so shard predicates survive pickling when a
+    process-pool executor has to ship them to spawned workers.
+    """
+
+    def __init__(self, global_stats: CollectionStatistics):
+        self.global_stats = global_stats
+
+    def __call__(
+        self, token_lists: Sequence[Sequence[str]]
+    ) -> ShardStatisticsView:
+        return ShardStatisticsView(token_lists, self.global_stats)

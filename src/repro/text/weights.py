@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
     "CollectionStatistics",
@@ -85,6 +85,7 @@ class CollectionStatistics:
         self._average_length = (
             self._collection_size / self._num_tuples if self._num_tuples else 0.0
         )
+        self._pavg_table: Optional[Dict[str, float]] = None
 
     # -- raw statistics -----------------------------------------------------
 
@@ -169,6 +170,27 @@ class CollectionStatistics:
     def rs_table(self) -> Dict[str, float]:
         """RS weight for every token in the vocabulary."""
         return {token: self.rs_weight(token) for token in self._document_frequency}
+
+    def pavg_table(self) -> Dict[str, float]:
+        """``p̂_avg(t)``: mean maximum-likelihood probability of ``t`` over the
+        tuples containing it (Ponte-Croft language model, section 3.3.1).
+
+        Computed lazily (only the LM predicate needs it) and cached, so the
+        common weighting schemes do not pay the extra pass.  Exposing it here
+        makes it part of the predicate-independent collection statistics that
+        sharded execution computes globally and injects per shard.
+        """
+        if self._pavg_table is None:
+            pml_sums: Dict[str, float] = {}
+            for tid in range(self._num_tuples):
+                length = self._lengths[tid] or 1
+                for token, tf in self._term_frequencies[tid].items():
+                    pml_sums[token] = pml_sums.get(token, 0.0) + tf / length
+            self._pavg_table = {
+                token: total / self._document_frequency[token]
+                for token, total in pml_sums.items()
+            }
+        return self._pavg_table
 
 
 def idf_weights(stats: CollectionStatistics, tokens: Iterable[str]) -> Dict[str, float]:

@@ -1,0 +1,259 @@
+"""Regression tests for the engine-stats / lifecycle / explain bugfix sweep.
+
+Each class pins one fixed bug:
+
+* ``run_many`` used to leave ``last_num_candidates`` holding a single
+  misleading value (the batch's last query -- or, before any filter ran, a
+  previous sequential call's); it now records per-qid counts and resets the
+  scalar.
+* ``SimilarityEngine.clear_cache`` used to leak SQLite connections the
+  engine itself had created; it now closes them (and ``SQLBackend`` is a
+  context manager).
+* ``GESJaccard``/``GESApx`` filter scores used to depend on query word
+  *order* (float summation), flipping candidates at thresholds on the
+  min-hash score lattice; summation is now canonical (sorted).
+* ``explain()`` used to report stale ``PruningStats`` from an earlier
+  ``top_k`` call when its own execution ran the rank/heap path -- it now
+  reports the strategy that actually executed, plus the fallback reason.
+"""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.sqlite import SQLiteBackend
+from repro.core.predicates.registry import make_predicate
+from repro.engine import SimilarityEngine
+
+CORPUS = [
+    "AT&T Corporation",
+    "ATT Corp",
+    "International Business Machines",
+    "IBM Corporation",
+    "Morgan Stanley Inc",
+    "Morgn Stanley Incorporated",
+    "Goldman Sachs Group",
+    "Deutsche Bank AG",
+]
+
+
+class TestRunManyCandidateStats:
+    @pytest.mark.parametrize("realization", ["direct", "declarative"])
+    def test_batch_resets_single_query_counter(self, realization):
+        engine = SimilarityEngine(realization=realization)
+        query = engine.from_strings(CORPUS).predicate("bm25")
+        # A sequential call leaves a per-query count behind ...
+        query.select("Morgan Stanley", 0.1)
+        predicate = query.fitted_predicate()
+        assert predicate.last_num_candidates is not None
+        # ... which a batch must not leave dangling: per-qid counts are
+        # recorded, the scalar is reset.
+        query.run_many(["IBM Corp", "Goldman"], op="top_k", k=2)
+        assert predicate.last_num_candidates is None
+
+    @pytest.mark.parametrize("realization", ["direct", "declarative"])
+    def test_per_query_counts_match_sequential_execution(self, realization):
+        engine = SimilarityEngine(realization=realization)
+        query = engine.from_strings(CORPUS).predicate("bm25")
+        texts = ["Morgan Stanley", "IBM Corp", "zzz"]
+        query.run_many(texts, op="rank")
+        stats = query.last_run_many_stats
+        assert stats is not None
+        assert stats.num_queries == len(texts)
+        expected = []
+        predicate = query.fitted_predicate()
+        for text in texts:
+            predicate.rank(text)
+            expected.append(predicate.last_num_candidates)
+        assert list(stats.candidates_per_query) == expected
+        assert stats.total_candidates == sum(expected)
+        assert "queries" in stats.describe()
+
+    def test_declarative_predicate_records_batch_counts(self):
+        engine = SimilarityEngine(realization="declarative")
+        query = engine.from_strings(CORPUS).predicate("jaccard")
+        texts = ["Morgan Stanley", "IBM"]
+        query.run_many(texts, op="select", threshold=0.2)
+        predicate = query.fitted_predicate()
+        assert predicate.last_num_candidates is None
+        assert len(predicate.last_batch_candidates) == len(texts)
+        assert all(count >= 0 for count in predicate.last_batch_candidates)
+
+    def test_empty_batch(self):
+        engine = SimilarityEngine()
+        query = engine.from_strings(CORPUS).predicate("bm25")
+        assert query.run_many([], op="rank") == []
+        assert query.last_run_many_stats.num_queries == 0
+
+
+class TestBackendLifecycle:
+    def test_clear_cache_closes_engine_owned_sqlite_backend(self):
+        engine = SimilarityEngine(realization="declarative", backend="sqlite")
+        query = engine.from_strings(CORPUS[:5]).predicate("bm25")
+        assert len(query.rank("Morgan Stanley")) > 0
+        backend = engine._backend_instances["sqlite"]
+        engine.clear_cache()
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend.query("SELECT 1")
+        # The engine itself stays usable: a fresh backend is created lazily.
+        assert len(query.rank("Morgan Stanley")) > 0
+        engine.clear_cache()
+
+    def test_clear_cache_leaves_caller_owned_backend_open(self):
+        with SQLiteBackend() as backend:
+            engine = SimilarityEngine(realization="declarative")
+            query = (
+                engine.from_strings(CORPUS[:5]).predicate("bm25").backend(backend)
+            )
+            assert len(query.rank("Morgan Stanley")) > 0
+            engine.clear_cache()
+            # Caller-owned instance: still open after the engine drops caches.
+            assert backend.query("SELECT 1") == [(1,)]
+
+    def test_sqlite_backend_is_a_context_manager(self):
+        with SQLiteBackend() as backend:
+            backend.create_table("T", ["x INTEGER"])
+            backend.insert_rows("T", [(1,), (2,)])
+            assert backend.row_count("T") == 2
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend.query("SELECT 1")
+
+
+_words = st.sampled_from(
+    ["morgan", "stanley", "goldman", "sachs", "deutsche", "bank", "group",
+     "incorporated", "corporation", "international"]
+)
+
+
+class TestGesApxFilterDeterminism:
+    @given(
+        words=st.lists(_words, min_size=2, max_size=8, unique=True),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_score_is_word_order_invariant(self, words, data):
+        corpus = [
+            "morgan stanley incorporated group",
+            "goldman sachs group incorporated",
+            "deutsche bank international corporation",
+            "morgan goldman deutsche stanley",
+            "stanley sachs bank group",
+        ]
+        predicate = make_predicate("ges_apx", threshold=0.525).fit(corpus)
+        permuted = data.draw(st.permutations(words))
+        for tuple_words in (corpus[0].split(), corpus[3].split()):
+            original = predicate.filter_score(words, tuple_words)
+            shuffled = predicate.filter_score(list(permuted), tuple_words)
+            # Bit-identical, not approximately equal: a one-ulp difference is
+            # exactly what used to flip candidates at lattice thresholds.
+            assert original == shuffled
+
+    def test_candidate_membership_stable_at_lattice_threshold(self):
+        # 0.525 sits on the min-hash filter's score lattice (multiples of
+        # 1/(2*num_hashes) around the q-gram adjustment constant); candidate
+        # membership there must not depend on query word order.
+        corpus = [
+            "morgan stanley incorporated group",
+            "goldman sachs group incorporated",
+            "deutsche bank international corporation",
+            "morgan goldman deutsche stanley",
+            "stanley sachs bank group",
+            "incorporated international morgan bank",
+        ]
+        predicate = make_predicate("ges_apx", threshold=0.525).fit(corpus)
+        words = ["morgan", "stanley", "goldman", "sachs", "deutsche", "bank",
+                 "group", "incorporated"]
+        forward = {m.tid for m in predicate.rank(" ".join(words))}
+        backward = {m.tid for m in predicate.rank(" ".join(reversed(words)))}
+        assert forward == backward
+
+    def test_ges_jaccard_inherits_sorted_summation(self):
+        corpus = ["morgan stanley group", "goldman sachs group"]
+        predicate = make_predicate("ges_jaccard", threshold=0.5).fit(corpus)
+        words = ["stanley", "morgan", "group"]
+        assert predicate.filter_score(words, corpus[0].split()) == (
+            predicate.filter_score(list(reversed(words)), corpus[0].split())
+        )
+
+
+class TestExplainExecutionAccuracy:
+    def test_no_stale_pruning_stats_without_k(self):
+        engine = SimilarityEngine()
+        query = engine.from_strings(CORPUS * 10).predicate("bm25")
+        # Prime the cached predicate with real pruning counters ...
+        query.top_k("Morgan Stanley Inc", 3)
+        assert query.fitted_predicate().pruning_stats is not None
+        # ... then explain without k: the sample execution runs a full
+        # ranking, so the report must not surface the stale counters.
+        report = query.explain("IBM Corp", op="top_k")
+        assert report.pruning is None
+        assert report.execution == "top_k executed as a full ranking"
+        assert "pass k=" in report.fallback_reason
+
+    def test_reports_maxscore_when_it_ran(self):
+        engine = SimilarityEngine()
+        report = (
+            engine.from_strings(CORPUS * 10)
+            .predicate("bm25")
+            .explain("Morgan Stanley Inc", k=3)
+        )
+        assert report.execution == "top_k via max-score pruned accumulation"
+        assert report.fallback_reason is None
+        assert report.pruning is not None
+
+    def test_reports_heap_fallback_reason_for_blocked_aggregates(self):
+        engine = SimilarityEngine()
+        report = (
+            engine.from_strings(CORPUS)
+            .predicate("bm25")
+            .blocker("lsh")
+            .explain("Morgan Stanley", k=3)
+        )
+        assert report.execution == "top_k via heap accumulation"
+        assert "after scoring" in report.fallback_reason
+        assert report.pruning is None
+        assert "executed:" in report.describe()
+        assert "fallback:" in report.describe()
+
+    def test_reports_non_monotone_fallback_reason(self):
+        engine = SimilarityEngine()
+        report = (
+            engine.from_strings(CORPUS).predicate("jaccard").explain("IBM", k=2)
+        )
+        assert report.execution == "top_k via heap accumulation"
+        assert "monotone sum" in report.fallback_reason
+
+    def test_sharded_blocked_topk_plan_and_reason_agree(self):
+        # A blocked sharded top_k merges the blocked per-shard rankings; the
+        # plan must not announce max-score pruning and the report must name
+        # the real reason (not a nonexistent restriction).
+        engine = SimilarityEngine()
+        query = (
+            engine.from_strings(CORPUS * 3)
+            .predicate("weighted_match")
+            .shards(2)
+            .blocker("lsh")
+        )
+        notes = " | ".join(query.plan("top_k").notes)
+        assert "max-score" not in notes
+        assert "heap" in notes
+        report = query.explain("Morgan Stanley", k=3)
+        assert report.execution == "top_k via heap accumulation"
+        assert "merging the blocked per-shard rankings" in report.fallback_reason
+        # Unblocked, the same sharded plan runs (and reports) max-score.
+        unblocked = query.blocker(None)
+        assert any("max-score" in note for note in unblocked.plan("top_k").notes)
+        assert (
+            unblocked.explain("Morgan Stanley", k=3).execution
+            == "top_k via max-score pruned accumulation"
+        )
+
+    def test_declarative_topk_reports_sql_execution(self):
+        engine = SimilarityEngine(realization="declarative")
+        report = engine.from_strings(CORPUS[:5]).predicate("bm25").explain(
+            "Morgan Stanley", k=2
+        )
+        assert report.execution == "top_k via SQL (see sql path / emitted SQL)"
+        assert report.pruning is None

@@ -1,0 +1,487 @@
+"""Sharded execution must be bit-identical to unsharded execution.
+
+The sharding subsystem's whole contract is exactness: partitioning the base
+relation and broadcasting globally computed collection statistics must not
+change a single float.  These tests check that contract property-based
+(random corpora x shard counts x k values x blockers) for the weighted
+predicates, plus the structural invariant that a shard-local fit equals a
+*slice* of the global fit, the executor strategies, and the engine wiring
+(``num_shards=`` / ``Query.shards`` / plan + explain reporting).
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import make_blocker
+from repro.core.predicates.registry import make_predicate
+from repro.engine import SimilarityEngine
+from repro.shard import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardedPredicate,
+    ThreadShardExecutor,
+    make_executor,
+    shard_offsets,
+)
+
+#: The predicates whose scores depend on collection statistics -- the ones
+#: naive partitioning would get wrong, and the ISSUE's exactness target.
+WEIGHTED = ["weighted_match", "weighted_jaccard", "cosine", "bm25"]
+
+ALL_DIRECT = WEIGHTED + [
+    "intersect",
+    "jaccard",
+    "lm",
+    "hmm",
+    "edit_distance",
+    "ges",
+    "ges_jaccard",
+    "ges_apx",
+    "soft_tfidf",
+]
+
+CORPUS = [
+    "AT&T Corporation",
+    "ATT Corp",
+    "A T and T Corporation",
+    "International Business Machines",
+    "Intl Business Machines Corp",
+    "IBM Corporation",
+    "Morgan Stanley Inc",
+    "Morgn Stanley Incorporated",
+    "Goldman Sachs Group",
+    "Goldmann Sachs Grp",
+    "Deutsche Bank AG",
+    "Deutsch Bank",
+]
+
+_words = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "corp", "inc", "intl", "ab", "ba", "aa"]
+)
+_strings = st.lists(_words, min_size=1, max_size=4).map(" ".join)
+_corpora = st.lists(_strings, min_size=2, max_size=24)
+_shard_counts = st.sampled_from([1, 2, 7])
+
+
+def _pairs(scored):
+    return [(m.tid, m.score) for m in scored]
+
+
+def _sharded(name, corpus, num_shards, executor="serial", **kwargs):
+    return ShardedPredicate(
+        lambda: make_predicate(name, **kwargs),
+        num_shards=num_shards,
+        executor=executor,
+    ).fit(corpus)
+
+
+class TestShardOffsets:
+    def test_balanced_partition(self):
+        assert shard_offsets(10, 4) == [0, 3, 6, 8, 10]
+        assert shard_offsets(9, 3) == [0, 3, 6, 9]
+        assert shard_offsets(2, 7) == [0, 1, 2, 2, 2, 2, 2, 2]
+        assert shard_offsets(0, 1) == [0, 0]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_offsets(5, 0)
+
+
+class TestShardedExactness:
+    """Property: sharded select/top_k/rank/run_many == unsharded, bit for bit."""
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    @given(
+        corpus=_corpora,
+        query=_strings,
+        k=st.integers(0, 20),
+        num_shards=_shard_counts,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_topk_and_rank(self, name, corpus, query, k, num_shards):
+        base = make_predicate(name).fit(corpus)
+        sharded = _sharded(name, corpus, num_shards)
+        assert _pairs(sharded.top_k(query, k)) == _pairs(base.top_k(query, k))
+        assert _pairs(sharded.rank(query)) == _pairs(base.rank(query))
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    @given(
+        corpus=_corpora,
+        query=_strings,
+        threshold=st.floats(0.0, 5.0),
+        num_shards=_shard_counts,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_select(self, name, corpus, query, threshold, num_shards):
+        base = make_predicate(name).fit(corpus)
+        sharded = _sharded(name, corpus, num_shards)
+        assert _pairs(sharded.select(query, threshold)) == _pairs(
+            base.select(query, threshold)
+        )
+        assert sharded.last_num_candidates == base.last_num_candidates
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    @given(
+        corpus=_corpora,
+        queries=st.lists(_strings, min_size=1, max_size=4),
+        k=st.integers(1, 8),
+        num_shards=_shard_counts,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_run_many(self, name, corpus, queries, k, num_shards):
+        base = make_predicate(name).fit(corpus)
+        sharded = _sharded(name, corpus, num_shards)
+        batches = sharded.run_many(queries, op="top_k", k=k)
+        expected = [base.top_k(query, k) for query in queries]
+        assert [_pairs(b) for b in batches] == [_pairs(b) for b in expected]
+        # Batches record per-qid counts and reset the single-query counter.
+        assert len(sharded.last_batch_candidates) == len(queries)
+        assert sharded.last_num_candidates is None
+
+    @pytest.mark.parametrize("name", ALL_DIRECT)
+    def test_every_direct_predicate_on_company_corpus(self, name):
+        corpus = CORPUS * 3
+        base = make_predicate(name).fit(corpus)
+        sharded = _sharded(name, corpus, 7)
+        for query in ("Morgn Stanley", "IBM Corp", "Goldman Sachs Group", "zzz"):
+            assert _pairs(sharded.rank(query)) == _pairs(base.rank(query))
+            assert _pairs(sharded.top_k(query, 5)) == _pairs(base.top_k(query, 5))
+
+    @pytest.mark.parametrize("name", ["bm25", "weighted_match", "jaccard"])
+    def test_score_parity_under_blocker_and_restriction(self, name):
+        # Unsharded score() ignores blockers/restrictions for post-scoring
+        # families (it reads the raw _scores dict) but honors them for
+        # pre-scoring ones; sharded score() must mirror both behaviours.
+        base = make_predicate(name).fit(CORPUS)
+        sharded = _sharded(name, CORPUS, 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            base.set_blocker(make_blocker("lsh", lsh_bands=4, lsh_rows=2))
+            sharded.set_blocker(make_blocker("lsh", lsh_bands=4, lsh_rows=2))
+        for query in ("Morgan Stanley", "Deutsche Bank"):
+            for tid in range(len(CORPUS)):
+                assert sharded.score(query, tid) == base.score(query, tid), (
+                    name,
+                    query,
+                    tid,
+                )
+        base.set_blocker(None)
+        sharded.set_blocker(None)
+        allowed = {0, 4, 7}
+        with base.restrict_candidates(allowed), sharded.restrict_candidates(allowed):
+            for tid in range(len(CORPUS)):
+                assert sharded.score("Morgan Stanley", tid) == base.score(
+                    "Morgan Stanley", tid
+                ), (name, tid)
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    def test_score_routes_to_owning_shard(self, name):
+        base = make_predicate(name).fit(CORPUS)
+        sharded = _sharded(name, CORPUS, 5)
+        for query in ("Morgan Stanley", "IBM", ""):
+            for tid in range(len(CORPUS)):
+                assert sharded.score(query, tid) == base.score(query, tid)
+        assert sharded.score("Morgan", -1) == 0.0
+        assert sharded.score("Morgan", len(CORPUS) + 3) == 0.0
+
+
+class TestShardedBlocking:
+    """Blockers apply pre-partition: fitted globally, decided on global ids."""
+
+    @given(corpus=_corpora, query=_strings, num_shards=_shard_counts)
+    @settings(max_examples=20, deadline=None)
+    def test_jaccard_with_exact_filters(self, corpus, query, num_shards):
+        threshold = 0.4
+        base = make_predicate("jaccard").fit(corpus)
+        base.set_blocker(make_blocker("length+prefix", threshold=threshold))
+        sharded = _sharded("jaccard", corpus, num_shards)
+        sharded.set_blocker(make_blocker("length+prefix", threshold=threshold))
+        assert _pairs(sharded.select(query, threshold)) == _pairs(
+            base.select(query, threshold)
+        )
+        assert _pairs(sharded.rank(query)) == _pairs(base.rank(query))
+        assert _pairs(sharded.top_k(query, 5)) == _pairs(base.top_k(query, 5))
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    @given(corpus=_corpora, query=_strings, num_shards=_shard_counts)
+    @settings(max_examples=15, deadline=None)
+    def test_weighted_with_lsh(self, name, corpus, query, num_shards):
+        def blocked(predicate):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", UserWarning)
+                predicate.set_blocker(make_blocker("lsh", lsh_bands=4, lsh_rows=2))
+            return predicate
+
+        base = blocked(make_predicate(name).fit(corpus))
+        sharded = blocked(_sharded(name, corpus, num_shards))
+        assert _pairs(sharded.rank(query)) == _pairs(base.rank(query))
+        assert _pairs(sharded.top_k(query, 4)) == _pairs(base.top_k(query, 4))
+        assert _pairs(sharded.select(query, 0.5)) == _pairs(base.select(query, 0.5))
+
+    def test_restriction_uses_global_ids(self):
+        base = make_predicate("bm25").fit(CORPUS)
+        sharded = _sharded("bm25", CORPUS, 4)
+        allowed = {1, 6, 7, 11}
+        with base.restrict_candidates(allowed), sharded.restrict_candidates(allowed):
+            for query in ("Morgan Stanley", "Deutsche Bank"):
+                assert _pairs(sharded.rank(query)) == _pairs(base.rank(query))
+                assert _pairs(sharded.top_k(query, 3)) == _pairs(base.top_k(query, 3))
+
+
+class TestSliceInvariant:
+    """A shard-local fit equals a slice of the global fit."""
+
+    @pytest.mark.parametrize("name", WEIGHTED)
+    def test_shard_weighted_index_equals_global_slice(self, name):
+        corpus = CORPUS * 2
+        base = make_predicate(name).fit(corpus)
+        sharded = _sharded(name, corpus, 3)
+        offsets = sharded.offsets
+        for shard_id, shard in enumerate(sharded.shards):
+            expected = base._weighted_index.slice(
+                offsets[shard_id], offsets[shard_id + 1]
+            )
+            assert shard._weighted_index._postings == expected._postings
+            assert shard._weighted_index._max == expected._max
+            assert shard._weighted_index._min == expected._min
+
+    def test_inverted_index_slice_matches_refit(self):
+        from repro.core.index import InvertedIndex
+
+        token_lists = [["a", "b"], ["b", "c"], ["c", "a"], ["a", "a", "d"]]
+        full = InvertedIndex(token_lists)
+        sliced = full.slice(1, 3)
+        rebuilt = InvertedIndex(token_lists[1:3])
+        assert sliced._postings == rebuilt._postings
+        assert [dict(c) for c in sliced._term_frequencies] == [
+            dict(c) for c in rebuilt._term_frequencies
+        ]
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_executors_are_exact(self, executor):
+        corpus = CORPUS * 4
+        base = make_predicate("bm25").fit(corpus)
+        sharded = _sharded("bm25", corpus, 4, executor=executor)
+        try:
+            for query in ("Morgan Stanley Inc", "IBM Corp", "Goldman"):
+                assert _pairs(sharded.top_k(query, 5)) == _pairs(base.top_k(query, 5))
+                assert _pairs(sharded.select(query, 2.0)) == _pairs(
+                    base.select(query, 2.0)
+                )
+            batches = sharded.run_many(["Morgan Stanley", "IBM"], op="top_k", k=3)
+            expected = [base.top_k(q, 3) for q in ("Morgan Stanley", "IBM")]
+            assert [_pairs(b) for b in batches] == [_pairs(b) for b in expected]
+        finally:
+            sharded.close()
+
+    def test_executor_instances_cannot_be_shared(self):
+        # An executor holds per-predicate shard state; a second predicate
+        # binding a live instance would silently redirect the first
+        # predicate's queries to the wrong shards -- it must fail loudly.
+        executor = SerialShardExecutor()
+        first = ShardedPredicate(
+            lambda: make_predicate("bm25"), num_shards=2, executor=executor
+        ).fit(CORPUS)
+        with pytest.raises(ValueError, match="cannot be shared"):
+            ShardedPredicate(
+                lambda: make_predicate("bm25"), num_shards=2, executor=executor
+            ).fit(CORPUS[:6])
+        # The original binding is intact, and refits of the owner still work.
+        assert len(first.top_k("Morgan Stanley", 3)) == 3
+        first.fit(CORPUS)
+        assert len(first.top_k("Morgan Stanley", 3)) == 3
+
+    def test_close_leaves_caller_owned_executor_running(self):
+        executor = ThreadShardExecutor(max_workers=2)
+        try:
+            sharded = ShardedPredicate(
+                lambda: make_predicate("bm25"), num_shards=2, executor=executor
+            ).fit(CORPUS)
+            sharded.close()  # caller-owned: must stay usable
+            assert len(sharded.top_k("Morgan Stanley", 3)) == 3
+        finally:
+            executor.close()
+
+    def test_process_executor_recovers_after_close(self):
+        # clear_cache() closes owned pools; a later query on a still-live
+        # predicate must lazily re-register the shards and fork fresh
+        # workers instead of failing on a retired registry key.
+        sharded = _sharded("bm25", CORPUS * 2, 2, executor="process")
+        base = make_predicate("bm25").fit(CORPUS * 2)
+        try:
+            assert _pairs(sharded.top_k("Morgan Stanley", 3)) == _pairs(
+                base.top_k("Morgan Stanley", 3)
+            )
+            sharded._executor.close()
+            assert _pairs(sharded.top_k("IBM Corp", 3)) == _pairs(
+                base.top_k("IBM Corp", 3)
+            )
+        finally:
+            sharded.close()
+
+    def test_make_executor_resolves_names_and_instances(self):
+        assert isinstance(make_executor(None), SerialShardExecutor)
+        assert isinstance(make_executor("serial"), SerialShardExecutor)
+        assert isinstance(make_executor("thread"), ThreadShardExecutor)
+        assert isinstance(make_executor("process"), ProcessShardExecutor)
+        instance = SerialShardExecutor()
+        assert make_executor(instance) is instance
+        with pytest.raises(ValueError):
+            make_executor("cluster")
+
+    def test_topk_aggregates_pruning_and_shard_stats(self):
+        corpus = CORPUS * 25
+        sharded = _sharded("bm25", corpus, 4)
+        base = make_predicate("bm25").fit(corpus)
+        query = "Morgan Stanley Inc"
+        assert _pairs(sharded.top_k(query, 3)) == _pairs(base.top_k(query, 3))
+        stats = sharded.pruning_stats
+        assert stats is not None
+        assert stats.postings_opened + stats.postings_skipped == stats.postings_total
+        shard_stats = sharded.shard_stats
+        assert shard_stats.num_shards == 4
+        assert shard_stats.shards_run + shard_stats.shards_skipped == 4
+        assert "shards run" in shard_stats.describe()
+
+    def test_skewed_corpus_skips_shards(self):
+        # The first shard holds every Morgan-like tuple (rare tokens, high RS
+        # weight); the other shards share no q-gram with the query, so their
+        # max-score bound is 0 and they must be skipped once the first shard
+        # establishes a positive k-th score.
+        corpus = ["Morgan Stanley Incorporated"] * 10 + [
+            "zzz qqq xxx",
+            "vvv www yyy",
+            "kkk lll uuu",
+            "fff jjj bbb",
+        ] * 15
+        sharded = _sharded("weighted_match", corpus, 4)
+        base = make_predicate("weighted_match").fit(corpus)
+        query = "Morgan Stanley Incorporated"
+        assert _pairs(sharded.top_k(query, 5)) == _pairs(base.top_k(query, 5))
+        assert sharded.shard_stats.shards_skipped > 0
+
+
+class TestEngineSharding:
+    def test_engine_default_and_per_query_override(self):
+        engine = SimilarityEngine(num_shards=3)
+        sharded = engine.from_strings(CORPUS).predicate("bm25")
+        unsharded = sharded.shards(1)
+        for query in ("Morgan Stanley", "IBM Corp"):
+            assert [(m.tid, m.score, m.string) for m in sharded.top_k(query, 4)] == [
+                (m.tid, m.score, m.string) for m in unsharded.top_k(query, 4)
+            ]
+            assert _pairs(sharded.select(query, 1.0)) == _pairs(
+                unsharded.select(query, 1.0)
+            )
+
+    def test_plan_reports_shard_layout(self):
+        engine = SimilarityEngine()
+        query = engine.from_strings(CORPUS).predicate("bm25").shards(4)
+        notes = " | ".join(query.plan("top_k").notes)
+        assert "4 shards" in notes
+        assert "serial" in notes
+        assert "exact merge" in notes
+
+    def test_plan_notes_sharding_ignored_for_declarative(self):
+        engine = SimilarityEngine(num_shards=4)
+        query = (
+            engine.from_strings(CORPUS[:6]).predicate("bm25").realization("declarative")
+        )
+        assert any("sharding ignored" in note for note in query.plan("rank").notes)
+
+    def test_explain_reports_shard_stats(self):
+        engine = SimilarityEngine()
+        report = (
+            engine.from_strings(CORPUS * 5)
+            .predicate("bm25")
+            .shards(3)
+            .explain("Morgan Stanley Inc", k=4)
+        )
+        assert report.shards is not None
+        assert report.shards.num_shards == 3
+        assert report.pruning is not None
+        assert "shards:" in report.describe()
+
+    def test_sharded_run_many_matches_unsharded(self):
+        engine = SimilarityEngine()
+        queries = ["Morgan Stanley", "IBM Corp", "Goldman Sachs"]
+        sharded = engine.from_strings(CORPUS).predicate("cosine").shards(2)
+        unsharded = engine.from_strings(CORPUS).predicate("cosine")
+        assert [
+            [_pairs([m])[0] for m in batch]
+            for batch in sharded.run_many(queries, op="top_k", k=3)
+        ] == [
+            [_pairs([m])[0] for m in batch]
+            for batch in unsharded.run_many(queries, op="top_k", k=3)
+        ]
+        stats = sharded.last_run_many_stats
+        assert stats is not None and stats.num_queries == len(queries)
+
+    def test_sharded_join_and_dedup(self):
+        engine = SimilarityEngine(num_shards=3)
+        sharded = engine.from_strings(CORPUS)
+        unsharded = engine.from_strings(CORPUS).shards(1)
+        probe = ["Morgn Stanley", "IBM Corp"]
+        assert [
+            (m.left_id, m.right_id, m.score)
+            for m in sharded.join(probe, threshold=2.0, top_k=2)
+        ] == [
+            (m.left_id, m.right_id, m.score)
+            for m in unsharded.join(probe, threshold=2.0, top_k=2)
+        ]
+        assert [
+            tuple(cluster.members) for cluster in sharded.dedup(threshold=6.0)
+        ] == [tuple(cluster.members) for cluster in unsharded.dedup(threshold=6.0)]
+
+    def test_predicate_instances_stay_unsharded(self):
+        engine = SimilarityEngine(num_shards=4)
+        instance = make_predicate("bm25")
+        query = engine.from_strings(CORPUS).predicate(instance)
+        assert query._sharding_active() is False
+        assert any("sharding ignored" in note for note in query.plan("rank").notes)
+        results = query.top_k("Morgan Stanley", 3)
+        assert len(results) == 3
+
+    def test_clear_cache_closes_shard_executors(self):
+        engine = SimilarityEngine()
+        query = engine.from_strings(CORPUS).predicate("bm25").shards(
+            2, executor="thread"
+        )
+        query.top_k("Morgan Stanley", 3)
+        predicate = query.fitted_predicate()
+        assert isinstance(predicate, ShardedPredicate)
+        engine.clear_cache()
+        # The predicate still answers (serial fallback through a fresh pool
+        # would rebind lazily); the engine state cache is empty.
+        assert engine.cache_size == 0
+
+    def test_rejects_invalid_shard_counts(self):
+        engine = SimilarityEngine()
+        with pytest.raises(ValueError):
+            engine.from_strings(CORPUS).shards(0)
+        with pytest.raises(ValueError):
+            SimilarityEngine(num_shards=0)
+
+
+class TestTimingHarness:
+    def test_time_queries_supports_sharding(self):
+        from repro.eval.timing import time_queries
+
+        timing = time_queries(
+            "bm25", CORPUS * 3, ["Morgan Stanley", "IBM"], num_shards=2
+        )
+        assert timing.num_queries == 2
+        assert timing.total_seconds >= 0.0
+
+    def test_time_queries_rejects_sharded_instances(self):
+        from repro.eval.timing import time_queries
+
+        with pytest.raises(ValueError):
+            time_queries(
+                make_predicate("bm25"), CORPUS, ["Morgan"], num_shards=2
+            )
