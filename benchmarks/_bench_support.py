@@ -16,6 +16,7 @@ from repro.datagen import make_dataset
 from repro.datagen.datasets import scalability_config
 from repro.datagen.generator import DatasetGenerator, GeneratedDataset
 from repro.datagen.sources import dblp_titles
+from repro.obs import bench_envelope, write_json
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -114,3 +115,29 @@ def record_report(experiment: str, title: str, table: str, notes: str = "") -> N
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{experiment}.txt"
     path.write_text(f"{title}\n\n{text}\n", encoding="utf-8")
+
+
+def record_json(
+    experiment: str,
+    relation: str,
+    config: Dict[str, object],
+    results: Sequence[Dict[str, object]],
+) -> Path:
+    """Persist machine-readable results next to the text report.
+
+    Every benchmark that emits timings writes the same ``repro.obs/1`` bench
+    envelope (see :func:`repro.obs.bench_envelope`), so downstream tooling can
+    consume ``benchmarks/results/*.json`` without per-benchmark parsers.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    write_json(
+        path,
+        bench_envelope(
+            benchmark=experiment,
+            relation=relation,
+            config=dict(config),
+            results=[dict(row) for row in results],
+        ),
+    )
+    return path

@@ -14,7 +14,7 @@ for a representative predicate of each class.
 
 from __future__ import annotations
 
-import time
+from repro.obs import perf_clock
 
 from _bench_support import format_table, performance_dataset, record_report
 
@@ -28,12 +28,12 @@ NUM_QUERIES = 10
 
 
 def _time_predicate(predicate, strings, queries) -> tuple:
-    started = time.perf_counter()
+    started = perf_clock()
     predicate.fit(strings)
-    preprocess = time.perf_counter() - started
-    started = time.perf_counter()
+    preprocess = perf_clock() - started
+    started = perf_clock()
     rankings = [tuple(s.tid for s in predicate.rank(query, limit=5)) for query in queries]
-    query_seconds = time.perf_counter() - started
+    query_seconds = perf_clock() - started
     return preprocess, query_seconds / len(queries), rankings
 
 

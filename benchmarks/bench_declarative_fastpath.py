@@ -36,7 +36,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -49,6 +48,7 @@ from repro.backends import SQLiteBackend  # noqa: E402
 from repro.datagen import make_dataset  # noqa: E402
 from repro.declarative import make_declarative_predicate  # noqa: E402
 from repro.engine.plan import RecordingBackend  # noqa: E402
+from repro.obs import MetricsRegistry, Observability, bench_envelope, perf_clock  # noqa: E402
 
 PREDICATES = ["bm25", "cosine", "jaccard"]
 TOP_K = 10
@@ -78,9 +78,9 @@ def _rankings_match(fast, slow):
 
 
 def _timed(fn):
-    started = time.perf_counter()
+    started = perf_clock()
     output = fn()
-    return output, time.perf_counter() - started
+    return output, perf_clock() - started
 
 
 def bench_predicate(name: str, strings, queries) -> dict:
@@ -167,13 +167,16 @@ def bench_predicate(name: str, strings, queries) -> dict:
 
 def bench_shared_cores(strings) -> dict:
     """Preprocessing-statement counts: the second fit must reuse the core."""
-    recorder = RecordingBackend(SQLiteBackend())
-    recorder.enabled = True
+    obs = Observability(metrics=MetricsRegistry())
+    recorder = RecordingBackend(SQLiteBackend(), obs=obs)
     counts = {}
     for name in ("bm25", "cosine", "weighted_match"):
-        recorder.clear()
+        # One fresh registry per fit: its statement counter then counts
+        # exactly that fit's statements (the backend itself stays shared, so
+        # later fits reuse the token/weight cores the first one built).
+        obs.metrics = MetricsRegistry()
         make_declarative_predicate(name, backend=recorder).preprocess(strings)
-        counts[name] = len(recorder.statements)
+        counts[name] = int(obs.metrics.value("sql_statements_total"))
     first = counts["bm25"]
     return {
         "preprocessing_statements": counts,
@@ -198,19 +201,19 @@ def run(size: int, num_queries: int, seed: int = 42) -> dict:
     strings = dataset.strings
     step = max(1, len(strings) // num_queries)
     queries = strings[::step][:num_queries]
-    report = {
-        "benchmark": "declarative_fastpath",
-        "relation": {"generator": "UIS company names (CU1)", "size": len(strings)},
-        "backend": "sqlite",
-        "config": {
+    report = bench_envelope(
+        benchmark="declarative_fastpath",
+        relation={"generator": "UIS company names (CU1)", "size": len(strings)},
+        config={
             "top_k": TOP_K,
             "select_threshold": SELECT_THRESHOLD,
             "num_queries": len(queries),
             "seed": seed,
         },
-        "shared_cores": bench_shared_cores(strings),
-        "results": [bench_predicate(name, strings, queries) for name in PREDICATES],
-    }
+        results=[bench_predicate(name, strings, queries) for name in PREDICATES],
+        backend="sqlite",
+        shared_cores=bench_shared_cores(strings),
+    )
     report["overall"] = {
         "top_k_speedup_geomean": _geomean(
             entry["top_k"]["speedup"] for entry in report["results"]

@@ -44,6 +44,14 @@ def test_figure_5_2_preprocessing_time(benchmark):
     table = format_table(
         ["predicate", "tokenize (ms)", "weights (ms)", "total (ms)"], rows
     )
+    from _bench_support import record_json
+
+    record_json(
+        "figure_5_2",
+        relation=f"DBLP titles x{PERFORMANCE_SIZE}",
+        config={"num_tuples": PERFORMANCE_SIZE},
+        results=[timing.to_record() for timing in timings.values()],
+    )
     record_report(
         "figure_5_2",
         f"Figure 5.2 -- preprocessing time, {PERFORMANCE_SIZE}-tuple titles dataset",

@@ -74,6 +74,17 @@ def test_figure_5_3_query_time(benchmark):
         key=lambda row: float(row[1]),
     )
     table = format_table(["predicate", "avg query time (ms)"], rows)
+    from _bench_support import record_json
+
+    record_json(
+        "figure_5_3",
+        relation=f"DBLP titles x{PERFORMANCE_SIZE}",
+        config={
+            "num_tuples": PERFORMANCE_SIZE,
+            "num_queries": PERFORMANCE_QUERIES,
+        },
+        results=[timing.to_record() for timing in timings.values()],
+    )
     record_report(
         "figure_5_3",
         f"Figure 5.3 -- average query time, {PERFORMANCE_SIZE}-tuple titles dataset, "

@@ -32,7 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -45,6 +44,7 @@ from repro.core.join import ApproximateJoiner  # noqa: E402
 from repro.core.predicates.base import ScoredTuple  # noqa: E402
 from repro.core.predicates.registry import make_predicate  # noqa: E402
 from repro.datagen import make_dataset  # noqa: E402
+from repro.obs import MetricsRegistry, NOOP_TRACER, bench_envelope, perf_clock  # noqa: E402
 
 #: Monotone-sum predicates with the max-score pruned top_k fast path.
 PREDICATES = ["bm25", "cosine", "weighted_match"]
@@ -106,9 +106,9 @@ def _naive_select(predicate, query: str, threshold: float):
 
 
 def _timed(fn, queries):
-    started = time.perf_counter()
+    started = perf_clock()
     outputs = [fn(query) for query in queries]
-    return outputs, time.perf_counter() - started
+    return outputs, perf_clock() - started
 
 
 def bench_predicate(name: str, strings, queries) -> dict:
@@ -179,15 +179,15 @@ def bench_predicate(name: str, strings, queries) -> dict:
             )
         return matches
 
-    started = time.perf_counter()
+    started = perf_clock()
     naive_join_matches = naive_join()
-    naive_join_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    naive_join_seconds = perf_clock() - started
+    started = perf_clock()
     fast_join_matches = [
         (m.left_id, m.right_id, m.score)
         for m in joiner.join(probe, threshold=SELECT_THRESHOLD, top_k=TOP_K)
     ]
-    fast_join_seconds = time.perf_counter() - started
+    fast_join_seconds = perf_clock() - started
     result["join_top_k"] = {
         "probes": len(probe),
         "naive_seconds": naive_join_seconds,
@@ -205,17 +205,65 @@ def run(size: int, num_queries: int, seed: int = 42) -> dict:
     strings = dataset.strings
     step = max(1, len(strings) // num_queries)
     queries = strings[::step][:num_queries]
-    return {
-        "benchmark": "query_fastpath",
-        "relation": {"generator": "UIS company names (CU1)", "size": len(strings)},
-        "config": {
+    return bench_envelope(
+        benchmark="query_fastpath",
+        relation={"generator": "UIS company names (CU1)", "size": len(strings)},
+        config={
             "top_k": TOP_K,
             "select_threshold": SELECT_THRESHOLD,
             "num_queries": len(queries),
             "join_probes": min(JOIN_PROBES, len(queries)),
             "seed": seed,
         },
-        "results": [bench_predicate(name, strings, queries) for name in PREDICATES],
+        results=[bench_predicate(name, strings, queries) for name in PREDICATES],
+    )
+
+
+def obs_overhead(size: int, num_queries: int, rounds: int = 5, seed: int = 42) -> dict:
+    """Cost of the disabled observability layer around real query work.
+
+    Times the same ``top_k`` workload bare and wrapped the way the engine
+    wraps it when tracing is off -- a counter increment, two no-op spans and
+    a histogram observation per query -- and reports the best-of-``rounds``
+    ratio.  The no-op path must stay within noise (CI asserts <= 5%).
+    """
+    dataset = make_dataset("CU1", size=size, num_clean=max(50, size // 10), seed=seed)
+    strings = dataset.strings
+    step = max(1, len(strings) // num_queries)
+    queries = strings[::step][:num_queries]
+    predicate = make_predicate("cosine").fit(strings)
+    metrics = MetricsRegistry()
+
+    def bare() -> None:
+        for query in queries:
+            predicate.top_k(query, TOP_K)
+
+    def wrapped() -> None:
+        for query in queries:
+            metrics.inc("queries_total")
+            started = perf_clock()
+            with NOOP_TRACER.span("engine.query", op="top_k", k=TOP_K):
+                with NOOP_TRACER.span("execute.direct"):
+                    predicate.top_k(query, TOP_K)
+            metrics.observe("latency.engine.query", perf_clock() - started)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = perf_clock()
+            fn()
+            best = min(best, perf_clock() - started)
+        return best
+
+    bare()  # warm caches identically for both measurements
+    bare_seconds = best_of(bare)
+    wrapped_seconds = best_of(wrapped)
+    return {
+        "bare_seconds": bare_seconds,
+        "wrapped_seconds": wrapped_seconds,
+        "overhead_ratio": wrapped_seconds / bare_seconds if bare_seconds else 1.0,
+        "rounds": rounds,
+        "num_queries": len(queries),
     }
 
 
@@ -261,6 +309,17 @@ def main(argv=None) -> int:
         help="fail unless every predicate's top_k speedup reaches this factor",
     )
     parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="also measure the disabled-tracing overhead (CI asserts <= --obs-overhead-limit)",
+    )
+    parser.add_argument(
+        "--obs-overhead-limit",
+        type=float,
+        default=1.05,
+        help="maximum tolerated wrapped/bare ratio for the no-op tracer path",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=_HERE.parent / "BENCH_query_fastpath.json",
@@ -274,6 +333,22 @@ def main(argv=None) -> int:
     report["smoke"] = bool(args.smoke)
 
     failures = check(report, require_speedup=args.require_speedup)
+
+    if args.obs_overhead:
+        overhead = obs_overhead(size=size, num_queries=num_queries)
+        report["obs_overhead"] = overhead
+        print(
+            f"obs overhead (no-op tracer): bare {overhead['bare_seconds']:.4f}s, "
+            f"wrapped {overhead['wrapped_seconds']:.4f}s, "
+            f"ratio {overhead['overhead_ratio']:.4f} "
+            f"(limit {args.obs_overhead_limit})"
+        )
+        if overhead["overhead_ratio"] > args.obs_overhead_limit:
+            failures.append(
+                f"no-op tracer overhead {overhead['overhead_ratio']:.4f}x exceeds "
+                f"the {args.obs_overhead_limit}x limit"
+            )
+
     report["failures"] = failures
 
     for entry in report["results"]:

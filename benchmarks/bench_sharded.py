@@ -32,7 +32,6 @@ import json
 import math
 import os
 import sys
-import time
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -43,6 +42,7 @@ for _path in (str(_SRC), str(_HERE)):
 
 from repro.datagen import make_dataset  # noqa: E402
 from repro.engine import SimilarityEngine  # noqa: E402
+from repro.obs import bench_envelope, perf_clock  # noqa: E402
 
 #: The weighted predicates: collection-statistics-dependent scoring, i.e.
 #: the predicates naive partitioning would get wrong.
@@ -56,9 +56,9 @@ def _pairs(batches):
 
 
 def _timed_run_many(query, texts, k):
-    started = time.perf_counter()
+    started = perf_clock()
     batches = query.run_many(texts, op="top_k", k=k)
-    return batches, time.perf_counter() - started
+    return batches, perf_clock() - started
 
 
 def bench_predicate(engine, name, strings, queries, num_shards) -> dict:
@@ -67,12 +67,12 @@ def bench_predicate(engine, name, strings, queries, num_shards) -> dict:
     process = baseline.shards(num_shards, executor="process", max_workers=num_shards)
 
     # Fit outside the timed region (the workload amortizes preprocessing).
-    started = time.perf_counter()
+    started = perf_clock()
     baseline.fitted_predicate()
-    baseline_fit_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    baseline_fit_seconds = perf_clock() - started
+    started = perf_clock()
     process.fitted_predicate()
-    sharded_fit_seconds = time.perf_counter() - started
+    sharded_fit_seconds = perf_clock() - started
     serial.fitted_predicate()
 
     expected, baseline_seconds = _timed_run_many(baseline, queries, TOP_K)
@@ -129,19 +129,19 @@ def run(size: int, num_queries: int, num_shards: int = NUM_SHARDS, seed: int = 4
         if speedups
         else None
     )
-    return {
-        "benchmark": "sharded",
-        "relation": {"generator": "UIS company names (CU1)", "size": len(strings)},
-        "config": {
+    return bench_envelope(
+        benchmark="sharded",
+        relation={"generator": "UIS company names (CU1)", "size": len(strings)},
+        config={
             "top_k": TOP_K,
             "num_shards": num_shards,
             "num_queries": len(queries),
             "seed": seed,
             "cpu_count": os.cpu_count(),
         },
-        "results": results,
-        "process_speedup_geomean": geomean,
-    }
+        results=results,
+        process_speedup_geomean=geomean,
+    )
 
 
 def check(report: dict, require_speedup: float = 0.0) -> list:

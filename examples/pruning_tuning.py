@@ -15,10 +15,9 @@ predicates.
 
 from __future__ import annotations
 
-import time
-
 from repro.datagen import make_dataset
 from repro.eval import ExperimentRunner, IdfPruner
+from repro.obs import perf_clock
 
 RATES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
 PREDICATES = ["jaccard", "bm25"]
@@ -36,10 +35,10 @@ def main() -> None:
         for rate in RATES:
             pruner = IdfPruner(rate).fit(dataset.strings)
             predicate = pruner.apply(name, dataset.strings)
-            started = time.perf_counter()
+            started = perf_clock()
             for query in queries:
                 predicate.rank(query)
-            elapsed_ms = (time.perf_counter() - started) * 1000 / len(queries)
+            elapsed_ms = (perf_clock() - started) * 1000 / len(queries)
             accuracy = runner.evaluate(predicate, num_queries=NUM_QUERIES)
             print(
                 f"{name:10s} {rate:5.2f} {pruner.retained_fraction * 100:6.1f} "

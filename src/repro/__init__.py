@@ -35,7 +35,14 @@ Package map:
   MinHash-LSH, pipelines);
 * :mod:`repro.text` -- tokenizers, string distances, weighting schemes;
 * :mod:`repro.datagen` -- the UIS-style benchmark data generator;
-* :mod:`repro.eval` -- accuracy metrics, experiment runner, timing harness.
+* :mod:`repro.eval` -- accuracy metrics, experiment runner, timing harness;
+* :mod:`repro.obs` -- end-to-end observability: span-tree tracing across
+  engine -> realization -> shards -> SQL, a process-wide metrics registry
+  of counters and latency histograms, the shared monotonic clock, and the
+  JSON export schema used by traces, metrics and benchmarks.  Off by
+  default (the no-op tracer costs nothing); turn it on per query with
+  ``query.trace("AT&T Inc.", k=1)`` or per engine with
+  ``SimilarityEngine(tracer=Tracer())``.
 
 Migrating from ``ApproximateSelector``: the class remains as a deprecated
 thin shim; ``ApproximateSelector(strings, predicate="bm25").top_k(q, 5)`` is
@@ -71,7 +78,7 @@ from repro.engine import (
 )
 from repro.shard import ShardedPredicate, ShardStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SimilarityEngine",

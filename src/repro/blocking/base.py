@@ -75,6 +75,12 @@ class BlockingStats:
         self.candidates_in = 0
         self.candidates_out = 0
 
+    def publish(self, metrics) -> None:
+        """Accumulate into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        metrics.inc("blocker_probes", self.probes)
+        metrics.inc("blocker_candidates_in", self.candidates_in)
+        metrics.inc("blocker_candidates_out", self.candidates_out)
+
 
 class Blocker(ABC):
     """Base class of all candidate blockers.

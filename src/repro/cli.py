@@ -118,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's plan, emitted SQL and blocker statistics",
     )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of the executed query (engine -> shards -> SQL)",
+    )
+    query.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="METRICS_JSON",
+        help="write the engine's metrics registry to this JSON file after the query",
+    )
     _add_engine_arguments(query)
     _add_blocker_arguments(query)
 
@@ -190,8 +202,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 k=None if args.threshold is not None else args.top,
             )
             print(report.describe())
+            if args.trace and report.trace is not None:
+                print()
+                print(report.trace.describe())
             print()
             results = list(report.results or ())
+        elif args.trace:
+            traced = query.trace(
+                args.query,
+                threshold=args.threshold,
+                k=None if args.threshold is not None else args.top,
+            )
+            print(traced.describe())
+            print()
+            results = list(traced.results)
         elif args.threshold is not None:
             results = query.select(args.query, args.threshold)
         else:
@@ -200,6 +224,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {error}")
     for result in results:
         print(f"{result.score:10.4f}\t{result.tid}\t{result.string}")
+    if args.metrics_out is not None:
+        from repro.obs import metrics_to_json, write_json
+
+        # The CLI process runs exactly one query against a fresh engine, so
+        # the process-wide registry holds this invocation's counters only.
+        write_json(args.metrics_out, metrics_to_json(query.engine.metrics))
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
 
 

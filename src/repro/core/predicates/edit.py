@@ -111,7 +111,17 @@ class EditDistance(Predicate):
 
         # Honor an active blocker / self-join restriction (this select()
         # bypasses rank(), so the generic filtering there does not apply).
-        allowed = self._generic_allowed(query, shared)
+        # Candidate generation must consult the blocker's probe tokens --
+        # exactly like ``_scores`` and the sharded merge layer -- so blocked
+        # selections agree bit for bit whether sharded or not: a tuple
+        # sharing only non-probe q-grams with the query is not a candidate.
+        allowed: Optional[set] = None
+        if self._blocker is not None:
+            allowed = self._index.candidates(query_tokens, blocker=self._blocker)
+            if self._restriction is not None:
+                allowed &= self._restriction
+        elif self._restriction is not None:
+            allowed = self._restriction
         if allowed is not None:
             shared = {tid: common for tid, common in shared.items() if tid in allowed}
         self.last_num_candidates = len(shared)

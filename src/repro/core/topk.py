@@ -97,6 +97,15 @@ class PruningStats:
             + (" (early termination)" if self.pruned else "")
         )
 
+    def publish(self, metrics) -> None:
+        """Accumulate these counters into a :class:`~repro.obs.metrics.
+        MetricsRegistry` (the long-lived view of per-call stats)."""
+        metrics.inc("postings_opened", self.postings_opened)
+        metrics.inc("postings_skipped", self.postings_skipped)
+        metrics.inc("tokens_opened", self.tokens_opened)
+        metrics.inc("candidates_scored", self.candidates_scored)
+        metrics.inc("candidates_rescored", self.candidates_rescored)
+
 
 @dataclass(frozen=True)
 class Term:

@@ -55,6 +55,12 @@ class SQLFastPathStats:
             f"{self.rows_scored}/{self.base_size} candidate rows returned by SQL{via}"
         )
 
+    def publish(self, metrics) -> None:
+        """Accumulate into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        metrics.inc("sql_rows_scored", self.rows_scored)
+        for path in self.fastpath:
+            metrics.inc(f"sql_fastpath.{path}")
+
 
 class DeclarativePredicate(ABC):
     """A similarity predicate realized as SQL over a :class:`SQLBackend`.

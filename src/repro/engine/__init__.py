@@ -17,7 +17,13 @@ The engine is the library's front door (see :class:`SimilarityEngine`):
 """
 
 from repro.core.predicates.base import Match
-from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend, RunManyStats
+from repro.engine.plan import (
+    ExplainReport,
+    QueryPlan,
+    RecordingBackend,
+    RunManyStats,
+    TraceResult,
+)
 from repro.engine.protocol import SimilarityPredicateProtocol
 from repro.engine.query import Query, SimilarityEngine
 from repro.engine.registry import (
@@ -43,6 +49,7 @@ __all__ = [
     "ExplainReport",
     "RunManyStats",
     "RecordingBackend",
+    "TraceResult",
     "SimilarityPredicateProtocol",
     "PredicateSpec",
     "SPECS",

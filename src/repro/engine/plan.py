@@ -3,10 +3,12 @@
 :class:`QueryPlan` is the lazily-derived description of how a
 :class:`repro.engine.query.Query` will execute (predicate, realization,
 backend, blocker); :class:`ExplainReport` adds what actually happened when a
-sample query ran -- the emitted SQL (declarative realization), blocker
-candidate-reduction statistics and timings.  :class:`RecordingBackend` is the
-transparent backend wrapper that captures every SQL statement the declarative
-realization emits.
+sample query ran -- the captured span tree, the emitted SQL (declarative
+realization), blocker candidate-reduction statistics and timings.
+:class:`RecordingBackend` is the transparent backend wrapper that emits a
+``sql.statement`` span (and a ``sql_statements_total`` counter) for every
+statement the declarative realization runs; with the default no-op tracer it
+costs one method call per statement and stores nothing.
 """
 
 from __future__ import annotations
@@ -19,9 +21,17 @@ from repro.blocking.base import BlockingStats
 from repro.core.predicates.base import Match
 from repro.core.topk import PruningStats
 from repro.declarative.base import SQLFastPathStats
+from repro.obs.trace import Observability, Span
 from repro.shard.predicate import ShardStats
 
-__all__ = ["QueryPlan", "ExplainReport", "RunManyStats", "RecordingBackend"]
+__all__ = [
+    "QueryPlan",
+    "ExplainReport",
+    "RunManyStats",
+    "RecordingBackend",
+    "TraceResult",
+    "sql_statements",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +58,11 @@ class RunManyStats:
             f"{self.num_queries} queries, {self.total_candidates} candidates "
             f"scored (min {min(observed)} / max {max(observed)} per query)"
         )
+
+    def publish(self, metrics) -> None:
+        """Accumulate into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        metrics.inc("batch_queries_total", self.num_queries)
+        metrics.inc("batch_candidates_total", self.total_candidates)
 
 
 @dataclass(frozen=True)
@@ -125,6 +140,9 @@ class ExplainReport:
     #: The sample query's matches (with strings), so callers that want both
     #: the explanation and the answer pay for one execution, not two.
     results: Optional[Tuple[Match, ...]] = None
+    #: Span tree captured while the sample query ran: the report's numbers
+    #: (``seconds``, ``sql``, per-shard counters) are read off this tree.
+    trace: Optional[Span] = None
 
     def describe(self) -> str:
         lines = [self.plan.describe()]
@@ -161,18 +179,44 @@ class ExplainReport:
         return self.describe()
 
 
-class RecordingBackend(SQLBackend):
-    """A transparent :class:`SQLBackend` proxy that can record statements.
+@dataclass
+class TraceResult:
+    """What :meth:`Query.trace` returns: the answer plus its span tree."""
 
-    Wraps the real backend the declarative realization runs on.  Recording is
-    off by default -- a long-lived engine must not accumulate every statement
-    of every query -- and is switched on (:attr:`enabled`) by ``explain()``
-    around its sample execution, which then inspects :attr:`statements`.
-    Table loads that bypass SQL (bulk ``insert_rows``) are recorded as SQL
-    comments so the full script is visible.
+    results: object
+    span: Span
+
+    def describe(self) -> str:
+        return self.span.describe()
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def sql_statements(root: Span) -> Tuple[str, ...]:
+    """The rendered SQL of every ``sql.statement`` span under ``root``."""
+    return tuple(
+        str(span.attributes.get("sql", ""))
+        for span in root.walk()
+        if span.name == "sql.statement"
+    )
+
+
+class RecordingBackend(SQLBackend):
+    """A transparent :class:`SQLBackend` proxy emitting ``sql.statement`` spans.
+
+    Wraps the real backend the declarative realization runs on.  Every
+    statement increments ``sql_statements_total`` in the metrics registry and
+    -- when the shared :class:`~repro.obs.trace.Observability` holder carries
+    a live tracer -- opens a ``sql.statement`` span carrying the rendered
+    SQL, nested under whatever engine span is currently open.  With the
+    default no-op tracer nothing is stored, so a long-lived engine never
+    accumulates statement text.  Table loads that bypass SQL (bulk
+    ``insert_rows``) are rendered as SQL comments so the full script is
+    visible in a trace.
     """
 
-    def __init__(self, inner: SQLBackend):
+    def __init__(self, inner: SQLBackend, obs: Optional[Observability] = None):
         # Deliberately no ``super().__init__()``: the inner backend already
         # registered the default UDFs, and this proxy adds no state of its own.
         self.inner = inner
@@ -180,46 +224,49 @@ class RecordingBackend(SQLBackend):
         self.supports_window_functions = getattr(
             inner, "supports_window_functions", False
         )
-        self.enabled = False
-        self.statements: List[str] = []
-
-    def _record(self, statement: str) -> None:
-        if self.enabled:
-            self.statements.append(statement)
+        self.obs = obs if obs is not None else Observability()
 
     # -- SQLBackend interface ----------------------------------------------------
 
     def execute(self, sql: str, params: Optional[Sequence[object]] = None) -> object:
-        self._record(self._render(sql, params))
-        return self.inner.execute(sql, params)
+        self.obs.metrics.inc("sql_statements_total")
+        with self.obs.tracer.span("sql.statement", sql=self._render(sql, params)):
+            return self.inner.execute(sql, params)
 
     def query(self, sql: str, params: Optional[Sequence[object]] = None) -> List[Tuple]:
-        self._record(self._render(sql, params))
-        return self.inner.query(sql, params)
+        self.obs.metrics.inc("sql_statements_total")
+        with self.obs.tracer.span("sql.statement", sql=self._render(sql, params)):
+            return self.inner.query(sql, params)
 
     @staticmethod
     def _render(sql: str, params: Optional[Sequence[object]]) -> str:
-        """Annotate recorded statements with their bound parameter values."""
+        """Annotate traced statements with their bound parameter values."""
         if not params:
             return sql
         return f"{sql} -- params: {tuple(params)!r}"
+
+    def _statement_span(self, statement: str):
+        self.obs.metrics.inc("sql_statements_total")
+        return self.obs.tracer.span("sql.statement", sql=statement)
 
     def create_table(
         self, name: str, columns: Sequence[str], if_not_exists: bool = False
     ) -> None:
         clause = "IF NOT EXISTS " if if_not_exists else ""
-        self._record(f"CREATE TABLE {clause}{name} ({', '.join(columns)})")
-        self.inner.create_table(name, columns, if_not_exists=if_not_exists)
+        with self._statement_span(f"CREATE TABLE {clause}{name} ({', '.join(columns)})"):
+            self.inner.create_table(name, columns, if_not_exists=if_not_exists)
 
     def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         materialized = [tuple(row) for row in rows]
-        self._record(f"-- bulk load {len(materialized)} rows into {name}")
-        return self.inner.insert_rows(name, materialized)
+        with self._statement_span(
+            f"-- bulk load {len(materialized)} rows into {name}"
+        ):
+            return self.inner.insert_rows(name, materialized)
 
     def drop_table(self, name: str, if_exists: bool = True) -> None:
         clause = "IF EXISTS " if if_exists else ""
-        self._record(f"DROP TABLE {clause}{name}")
-        self.inner.drop_table(name, if_exists=if_exists)
+        with self._statement_span(f"DROP TABLE {clause}{name}"):
+            self.inner.drop_table(name, if_exists=if_exists)
 
     def has_table(self, name: str) -> bool:
         return self.inner.has_table(name)
@@ -228,13 +275,10 @@ class RecordingBackend(SQLBackend):
         self.inner.register_function(name, num_args, func)
 
     def create_index(self, name: str, table: str, columns: Sequence[str]) -> None:
-        self._record(f"CREATE INDEX {name} ON {table} ({', '.join(columns)})")
-        self.inner.create_index(name, table, columns)
-
-    # -- recording ---------------------------------------------------------------
-
-    def clear(self) -> None:
-        self.statements.clear()
+        with self._statement_span(
+            f"CREATE INDEX {name} ON {table} ({', '.join(columns)})"
+        ):
+            self.inner.create_index(name, table, columns)
 
     def close(self) -> None:
         close = getattr(self.inner, "close", None)

@@ -27,9 +27,9 @@ the engine keyed by the full plan, so repeated queries -- and
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.blocking.base import Blocker, BlockingStats
 from repro.blocking.factory import THRESHOLD_STAGE_NAMES, make_blocker
@@ -39,7 +39,17 @@ from repro.core.predicates.base import Match, Predicate
 from repro.declarative.base import DeclarativePredicate
 from repro.declarative.shared import clear_shared_state
 from repro.engine import registry
-from repro.engine.plan import ExplainReport, QueryPlan, RecordingBackend, RunManyStats
+from repro.engine.plan import (
+    ExplainReport,
+    QueryPlan,
+    RecordingBackend,
+    RunManyStats,
+    TraceResult,
+    sql_statements,
+)
+from repro.obs.clock import perf_clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Observability, Span, Tracer
 from repro.shard.predicate import ShardedPredicate, shard_offsets
 
 __all__ = ["SimilarityEngine", "Query"]
@@ -87,12 +97,25 @@ class SimilarityEngine:
         num_shards: int = 1,
         executor: str = "serial",
         max_workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.default_predicate = predicate
         self.default_realization = realization
         self.default_backend = backend
+        #: The observability pair (tracer + metrics registry) threaded through
+        #: every layer the engine builds: terminal operations open span trees
+        #: on the tracer (:data:`~repro.obs.trace.NOOP_TRACER` by default, a
+        #: no-op), recording backends emit ``sql.statement`` spans, sharded
+        #: predicates ship per-shard spans back from their workers, and all
+        #: of them publish counters into the metrics registry
+        #: (:data:`~repro.obs.metrics.GLOBAL_METRICS` by default).  The
+        #: holder is shared *by reference*, so ``Query.trace()`` /
+        #: ``explain()`` can swap a capturing tracer in for one call and
+        #: every layer sees it.
+        self.obs = Observability(tracer=tracer, metrics=metrics)
         #: Session-wide sharding defaults (direct realization only): with
         #: ``num_shards > 1`` the base relation is partitioned and queries
         #: execute per shard -- serially, on a thread pool or on a process
@@ -120,6 +143,16 @@ class SimilarityEngine:
         self._backend_instances: Dict[str, object] = {}
         self._corpora: Dict[tuple, _Corpus] = {}
         self._corpus_counter = 0
+
+    @property
+    def tracer(self) -> object:
+        """The engine's tracer (swap via :attr:`obs`, not by reassigning)."""
+        return self.obs.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry the engine's layers publish into."""
+        return self.obs.metrics
 
     # -- building queries -------------------------------------------------------
 
@@ -238,6 +271,11 @@ class Query:
         self.last_self_join_stats: Optional[SelfJoinStats] = None
         #: Per-query candidate counts of the most recent :meth:`run_many`.
         self.last_run_many_stats: Optional[RunManyStats] = None
+
+    @property
+    def engine(self) -> SimilarityEngine:
+        """The engine this query executes on (tracer/metrics live there)."""
+        return self._engine
 
     # -- fluent builder ---------------------------------------------------------
 
@@ -502,7 +540,22 @@ class Query:
         via :meth:`blocker`) are left alone.
         """
         predicate_key = self._predicate_key()
-        state = self._engine._state(predicate_key, self._build_state)
+        engine = self._engine
+        obs = engine.obs
+        cached = engine._states.get(predicate_key)
+        if cached is not None:
+            obs.metrics.inc("cache_hits")
+            with obs.tracer.span("cache_hit", predicate=self.predicate_name):
+                pass
+            state = cached
+        else:
+            fit_started = perf_clock()
+            with obs.tracer.span(
+                "fit", predicate=self.predicate_name, num_tuples=len(self._corpus)
+            ):
+                state = engine._state(predicate_key, self._build_state)
+            obs.metrics.inc("fits_total")
+            obs.metrics.observe("latency.fit", perf_clock() - fit_started)
         predicate = state.predicate
         refit = False
         if (
@@ -524,7 +577,16 @@ class Query:
                 # not refit it on this corpus; the reconciliation below
                 # attaches and fits the right one.
                 predicate.set_blocker(None)
-            predicate.fit(self._corpus.strings)
+            fit_started = perf_clock()
+            with obs.tracer.span(
+                "fit",
+                predicate=self.predicate_name,
+                num_tuples=len(self._corpus),
+                refit=True,
+            ):
+                predicate.fit(self._corpus.strings)
+            obs.metrics.inc("fits_total")
+            obs.metrics.observe("latency.fit", perf_clock() - fit_started)
         if not isinstance(self._predicate, str):
             self._engine._instance_fits[id(predicate)] = self._corpus.key
         attached = getattr(predicate, "blocker", None)
@@ -551,7 +613,10 @@ class Query:
                     if self._backend is not None
                     else self._engine.default_backend
                 )
-                recorder = RecordingBackend(self._engine._backend_instance(backend_spec))
+                recorder = RecordingBackend(
+                    self._engine._backend_instance(backend_spec),
+                    obs=self._engine.obs,
+                )
                 predicate = registry.make(
                     self._predicate,
                     realization="declarative",
@@ -568,6 +633,7 @@ class Query:
                     num_shards=num_shards,
                     executor=executor,
                     max_workers=max_workers,
+                    obs=self._engine.obs,
                 )
             else:
                 predicate = registry.make(
@@ -581,7 +647,7 @@ class Query:
                 and not predicate.is_preprocessed
                 and inner_backend is not None
             ):
-                recorder = RecordingBackend(inner_backend)
+                recorder = RecordingBackend(inner_backend, obs=self._engine.obs)
                 predicate.backend = recorder
         fitted = getattr(predicate, "is_fitted", False) or getattr(
             predicate, "is_preprocessed", False
@@ -609,10 +675,138 @@ class Query:
         strings = self._corpus.strings
         return [item.with_string(strings[item.tid]) for item in scored]
 
+    @staticmethod
+    def _execution_kind(predicate: object) -> str:
+        """Which ``execute.*`` span a predicate's operations run under."""
+        if isinstance(predicate, ShardedPredicate):
+            return "sharded"
+        if isinstance(predicate, DeclarativePredicate):
+            return "declarative"
+        return "direct"
+
+    @contextmanager
+    def _query_span(self, op: str, **attributes) -> Iterator[None]:
+        """Root ``engine.query`` span + the per-query counter/latency pair."""
+        obs = self._engine.obs
+        obs.metrics.inc("queries_total")
+        started = perf_clock()
+        with obs.tracer.span(
+            "engine.query",
+            op=op,
+            predicate=self.predicate_name,
+            num_tuples=len(self._corpus),
+            **attributes,
+        ):
+            yield
+        obs.metrics.observe("latency.engine.query", perf_clock() - started)
+
+    def _execute(
+        self,
+        state: _FittedState,
+        runner,
+        publish_pruning: bool = False,
+        annotate_candidates: bool = True,
+    ):
+        """Run one operation inside its ``execute.<kind>`` span.
+
+        Returns ``(results, span)``.  After the runner finishes, the
+        predicate's per-call stats objects are published into the metrics
+        registry and mirrored onto the span: pruning counters become a
+        ``postings.scan`` child (direct realization; sharded executions
+        carry them on their per-shard spans instead), SQL/shard counters
+        become span attributes, and the blocker's candidate-reduction delta
+        for exactly this operation feeds the ``blocker_*`` counters.
+        """
+        obs = self._engine.obs
+        predicate = state.predicate
+        kind = self._execution_kind(predicate)
+        blocker_stats = state.blocker.stats if state.blocker is not None else None
+        before = (
+            (
+                blocker_stats.probes,
+                blocker_stats.candidates_in,
+                blocker_stats.candidates_out,
+            )
+            if blocker_stats is not None
+            else None
+        )
+        started = perf_clock()
+        with obs.tracer.span("execute." + kind) as span:
+            results = runner()
+            self._annotate_execution(
+                span, state, kind, publish_pruning, annotate_candidates
+            )
+        obs.metrics.observe("latency.execute." + kind, perf_clock() - started)
+        if before is not None:
+            BlockingStats(
+                probes=blocker_stats.probes - before[0],
+                candidates_in=blocker_stats.candidates_in - before[1],
+                candidates_out=blocker_stats.candidates_out - before[2],
+            ).publish(obs.metrics)
+        return results, span
+
+    def _annotate_execution(
+        self,
+        span,
+        state: _FittedState,
+        kind: str,
+        publish_pruning: bool,
+        annotate_candidates: bool,
+    ) -> None:
+        obs = self._engine.obs
+        predicate = state.predicate
+        traced = obs.tracer.enabled
+        if annotate_candidates and traced:
+            candidates = getattr(predicate, "last_num_candidates", None)
+            if candidates is not None:
+                span.set(num_candidates=candidates)
+        if publish_pruning:
+            pruning = getattr(predicate, "pruning_stats", None)
+            if pruning is not None:
+                pruning.publish(obs.metrics)
+                if traced and kind == "direct":
+                    span.attach(
+                        Span(
+                            "postings.scan",
+                            attributes={
+                                "tokens_total": pruning.tokens_total,
+                                "tokens_opened": pruning.tokens_opened,
+                                "postings_total": pruning.postings_total,
+                                "postings_opened": pruning.postings_opened,
+                                "postings_skipped": pruning.postings_skipped,
+                                "candidates_scored": pruning.candidates_scored,
+                                "candidates_rescored": pruning.candidates_rescored,
+                                "pruned": pruning.pruned,
+                            },
+                        )
+                    )
+        if kind == "declarative":
+            sql_stats = getattr(predicate, "last_sql_stats", None)
+            if sql_stats is not None:
+                sql_stats.publish(obs.metrics)
+                if traced:
+                    span.set(
+                        sql_rows=sql_stats.rows_scored,
+                        base_size=sql_stats.base_size,
+                    )
+        elif kind == "sharded":
+            shard_stats = getattr(predicate, "shard_stats", None)
+            if shard_stats is not None:
+                shard_stats.publish(obs.metrics)
+                if traced:
+                    span.set(
+                        shards_run=shard_stats.shards_run,
+                        shards_skipped=shard_stats.shards_skipped,
+                    )
+
     def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
         """All candidate tuples ordered by decreasing similarity to ``query``."""
-        state = self._state(None)
-        return self._to_matches(state.predicate.rank(query, limit=limit))
+        with self._query_span("rank"):
+            state = self._state(None)
+            results, _ = self._execute(
+                state, lambda: state.predicate.rank(query, limit=limit)
+            )
+        return self._to_matches(results)
 
     def top_k(self, query: str, k: int) -> List[Match]:
         """The ``k`` most similar tuples.
@@ -625,16 +819,27 @@ class Query:
         """
         if k < 0:
             raise ValueError("k must be non-negative")
-        state = self._state(None)
-        runner = getattr(state.predicate, "top_k", None)
-        if runner is None:  # declarative realization: SQL ranks, Python trims
-            return self._to_matches(state.predicate.rank(query, limit=k))
-        return self._to_matches(runner(query, k))
+        with self._query_span("top_k", k=k):
+            state = self._state(None)
+            fast = getattr(state.predicate, "top_k", None)
+            if fast is None:  # declarative realization: SQL ranks, Python trims
+                results, _ = self._execute(
+                    state, lambda: state.predicate.rank(query, limit=k)
+                )
+            else:
+                results, _ = self._execute(
+                    state, lambda: fast(query, k), publish_pruning=True
+                )
+        return self._to_matches(results)
 
     def select(self, query: str, threshold: float) -> List[Match]:
         """The approximate selection ``{t | sim(query, t) >= threshold}``."""
-        state = self._state(threshold)
-        return self._to_matches(state.predicate.select(query, threshold))
+        with self._query_span("select", threshold=threshold):
+            state = self._state(threshold)
+            results, _ = self._execute(
+                state, lambda: state.predicate.select(query, threshold)
+            )
+        return self._to_matches(results)
 
     def score(self, query: str, tid: int) -> float:
         """Similarity between ``query`` and the tuple with id ``tid``."""
@@ -668,49 +873,65 @@ class Query:
             raise ValueError(
                 f"unknown batch op {op!r}; expected 'rank', 'top_k' or 'select'"
             )
-        state = self._state(threshold if op == "select" else None)
-        predicate = state.predicate
-        if isinstance(predicate, (DeclarativePredicate, ShardedPredicate)):
-            # Both batch natively: declarative predicates score the whole
-            # workload in one SQL statement, sharded predicates send each
-            # shard the whole workload as one task.  Both record per-qid
-            # candidate counts and reset last_num_candidates themselves.
-            batches = predicate.run_many(
-                queries, op=op, k=k, threshold=threshold, limit=limit
-            )
-            counts = predicate.last_batch_candidates or []
+        obs = self._engine.obs
+        # Count logical queries, not batches; the root span carries the size.
+        obs.metrics.inc("queries_total", max(0, len(queries) - 1))
+        with self._query_span("run_many", batch_op=op, num_queries=len(queries)):
+            state = self._state(threshold if op == "select" else None)
+            predicate = state.predicate
+            if isinstance(predicate, (DeclarativePredicate, ShardedPredicate)):
+                # Both batch natively: declarative predicates score the whole
+                # workload in one SQL statement, sharded predicates send each
+                # shard the whole workload as one task.  Both record per-qid
+                # candidate counts and reset last_num_candidates themselves.
+                batches, _ = self._execute(
+                    state,
+                    lambda: predicate.run_many(
+                        queries, op=op, k=k, threshold=threshold, limit=limit
+                    ),
+                    publish_pruning=(
+                        op == "top_k" and isinstance(predicate, ShardedPredicate)
+                    ),
+                    annotate_candidates=False,
+                )
+                counts = predicate.last_batch_candidates or []
+                self.last_run_many_stats = RunManyStats(
+                    num_queries=len(queries), candidates_per_query=tuple(counts)
+                )
+                self.last_run_many_stats.publish(obs.metrics)
+                return [self._to_matches(batch) for batch in batches]
+            if op == "rank":
+                runner = lambda text: predicate.rank(text, limit=limit)  # noqa: E731
+            elif op == "top_k":
+                fast = getattr(predicate, "top_k", None)
+                if fast is None:
+                    runner = lambda text: predicate.rank(text, limit=k)  # noqa: E731
+                else:
+                    runner = lambda text: fast(text, k)  # noqa: E731
+            else:
+                runner = lambda text: predicate.select(text, threshold)  # noqa: E731
+            results: List[List[Match]] = []
+            counts = []
+
+            def run_batch() -> None:
+                for text in queries:
+                    results.append(self._to_matches(runner(text)))
+                    counts.append(getattr(predicate, "last_num_candidates", None))
+
+            self._execute(state, run_batch, annotate_candidates=False)
             self.last_run_many_stats = RunManyStats(
                 num_queries=len(queries), candidates_per_query=tuple(counts)
             )
-            return [self._to_matches(batch) for batch in batches]
-        if op == "rank":
-            runner = lambda text: predicate.rank(text, limit=limit)  # noqa: E731
-        elif op == "top_k":
-            fast = getattr(predicate, "top_k", None)
-            if fast is None:
-                runner = lambda text: predicate.rank(text, limit=k)  # noqa: E731
-            else:
-                runner = lambda text: fast(text, k)  # noqa: E731
-        else:
-            runner = lambda text: predicate.select(text, threshold)  # noqa: E731
-        results = []
-        counts = []
-        for text in queries:
-            results.append(self._to_matches(runner(text)))
-            counts.append(getattr(predicate, "last_num_candidates", None))
-        self.last_run_many_stats = RunManyStats(
-            num_queries=len(queries), candidates_per_query=tuple(counts)
-        )
-        # A batch leaves no meaningful single-query count behind (it would be
-        # the last query's, mistakable for the batch's).
-        if hasattr(predicate, "last_num_candidates"):
-            predicate.last_num_candidates = None
-        return results
+            self.last_run_many_stats.publish(obs.metrics)
+            # A batch leaves no meaningful single-query count behind (it would
+            # be the last query's, mistakable for the batch's).
+            if hasattr(predicate, "last_num_candidates"):
+                predicate.last_num_candidates = None
+            return results
 
     # -- join / dedup -----------------------------------------------------------
 
-    def _joiner(self, threshold: float) -> ApproximateJoiner:
-        state = self._state(threshold)
+    def _joiner(self, state: _FittedState, threshold: float) -> ApproximateJoiner:
         return ApproximateJoiner(
             self._corpus.strings, predicate=state.predicate, threshold=threshold
         )
@@ -722,7 +943,15 @@ class Query:
         top_k: Optional[int] = None,
     ) -> List[JoinMatch]:
         """Approximate join: probe strings against the indexed base relation."""
-        return self._joiner(threshold).join(probe, threshold=threshold, top_k=top_k)
+        with self._query_span("join", threshold=threshold):
+            state = self._state(threshold)
+            joiner = self._joiner(state, threshold)
+            matches, _ = self._execute(
+                state,
+                lambda: joiner.join(probe, threshold=threshold, top_k=top_k),
+                annotate_candidates=False,
+            )
+        return matches
 
     def self_join(
         self, threshold: float = 0.5, include_identity: bool = False
@@ -731,18 +960,27 @@ class Query:
 
         Work counters land in :attr:`last_self_join_stats`.
         """
-        joiner = self._joiner(threshold)
-        matches = joiner.self_join(threshold, include_identity=include_identity)
+        with self._query_span("self_join", threshold=threshold):
+            state = self._state(threshold)
+            joiner = self._joiner(state, threshold)
+            matches, _ = self._execute(
+                state,
+                lambda: joiner.self_join(threshold, include_identity=include_identity),
+                annotate_candidates=False,
+            )
         self.last_self_join_stats = joiner.last_self_join_stats
         return matches
 
     def dedup(self, threshold: float = 0.5) -> List[DuplicateCluster]:
         """Duplicate clusters of the base relation at the given threshold."""
-        state = self._state(threshold)
-        deduplicator = Deduplicator(
-            self._corpus.strings, predicate=state.predicate, threshold=threshold
-        )
-        clusters = deduplicator.clusters()
+        with self._query_span("dedup", threshold=threshold):
+            state = self._state(threshold)
+            deduplicator = Deduplicator(
+                self._corpus.strings, predicate=state.predicate, threshold=threshold
+            )
+            clusters, _ = self._execute(
+                state, deduplicator.clusters, annotate_candidates=False
+            )
         self.last_self_join_stats = deduplicator.joiner.last_self_join_stats
         return clusters
 
@@ -885,6 +1123,46 @@ class Query:
             notes=tuple(notes),
         )
 
+    def trace(
+        self,
+        query: str,
+        op: Optional[str] = None,
+        k: Optional[int] = None,
+        threshold: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> TraceResult:
+        """Run one operation and return its results with the span tree.
+
+        ``op`` defaults like :meth:`explain`: ``select`` when a threshold is
+        given, ``top_k`` when ``k`` is given, ``rank`` otherwise.  When the
+        engine already carries a live tracer it is used as-is; with the
+        default no-op tracer a capturing :class:`~repro.obs.trace.Tracer` is
+        activated for just this call -- so tracing one query never requires
+        rebuilding the engine.
+        """
+        if op is None:
+            op = (
+                "select"
+                if threshold is not None
+                else ("top_k" if k is not None else "rank")
+            )
+        obs = self._engine.obs
+        tracer = obs.tracer if obs.tracer.enabled else Tracer()
+        with obs.activate(tracer):
+            if op == "rank":
+                results: object = self.rank(query, limit=limit)
+            elif op == "top_k":
+                if k is None or k < 0:
+                    raise ValueError("op='top_k' requires a non-negative k")
+                results = self.top_k(query, k)
+            elif op == "select":
+                if threshold is None:
+                    raise ValueError("op='select' requires a threshold")
+                results = self.select(query, threshold)
+            else:
+                raise ValueError(f"trace() cannot execute op {op!r}")
+        return TraceResult(results=results, span=tracer.last_root)
+
     def explain(
         self,
         query: Optional[str] = None,
@@ -894,50 +1172,59 @@ class Query:
     ) -> ExplainReport:
         """The chosen plan -- and, with a sample ``query``, what it executed.
 
-        With ``query`` given, the operation runs once and the report carries
-        the emitted SQL (declarative realization), the blocker's candidate
-        reduction for that query, the number of candidates scored and the
-        wall-clock time.
+        With ``query`` given, the operation runs once under a capturing
+        tracer and the report is read off the span tree it produced: the
+        emitted SQL (``sql.statement`` spans), the execute-span duration,
+        the blocker's candidate reduction for that query and the number of
+        candidates scored.  The tree itself lands in ``report.trace``.
         """
         if op is None:
             op = "select" if threshold is not None else ("top_k" if k is not None else "rank")
         report = ExplainReport(plan=self.plan(op, threshold=threshold))
         if query is None:
             return report
-        state = self._state(threshold)
-        if state.recorder is not None:
-            state.recorder.clear()
-            state.recorder.enabled = True
-        before: Optional[BlockingStats] = None
-        if state.blocker is not None:
-            stats = state.blocker.stats
-            before = BlockingStats(
-                probes=stats.probes,
-                candidates_in=stats.candidates_in,
-                candidates_out=stats.candidates_out,
-            )
+        if op not in ("rank", "top_k", "select"):
+            raise ValueError(f"explain() cannot execute op {op!r}")
+        if op == "select" and threshold is None:
+            raise ValueError("op='select' requires a threshold")
+        obs = self._engine.obs
+        tracer = obs.tracer if obs.tracer.enabled else Tracer()
         ran_top_k = False
-        try:
-            started = time.perf_counter()
-            if op == "select":
-                if threshold is None:
-                    raise ValueError("op='select' requires a threshold")
-                results = state.predicate.select(query, threshold)
-            elif op == "top_k":
-                fast = getattr(state.predicate, "top_k", None)
-                if fast is not None and k is not None:
-                    results = fast(query, k)
-                    ran_top_k = True
+        with obs.activate(tracer):
+            obs.metrics.inc("queries_total")
+            with tracer.span(
+                "engine.query",
+                op=op,
+                predicate=self.predicate_name,
+                num_tuples=len(self._corpus),
+                explain=True,
+            ) as root:
+                state = self._state(threshold)
+                before: Optional[BlockingStats] = None
+                if state.blocker is not None:
+                    stats = state.blocker.stats
+                    before = BlockingStats(
+                        probes=stats.probes,
+                        candidates_in=stats.candidates_in,
+                        candidates_out=stats.candidates_out,
+                    )
+                if op == "select":
+                    runner = lambda: state.predicate.select(query, threshold)  # noqa: E731
+                elif op == "top_k":
+                    fast = getattr(state.predicate, "top_k", None)
+                    if fast is not None and k is not None:
+                        runner = lambda: fast(query, k)  # noqa: E731
+                        ran_top_k = True
+                    else:
+                        runner = lambda: state.predicate.rank(query, limit=k)  # noqa: E731
                 else:
-                    results = state.predicate.rank(query, limit=k)
-            elif op == "rank":
-                results = state.predicate.rank(query)
-            else:
-                raise ValueError(f"explain() cannot execute op {op!r}")
-            report.seconds = time.perf_counter() - started
-        finally:
-            if state.recorder is not None:
-                state.recorder.enabled = False
+                    runner = lambda: state.predicate.rank(query)  # noqa: E731
+                results, execute_span = self._execute(
+                    state, runner, publish_pruning=ran_top_k
+                )
+        report.trace = root
+        report.seconds = execute_span.duration
+        report.sql = sql_statements(root)
         report.num_results = len(results)
         report.results = tuple(self._to_matches(results))
         report.num_candidates = getattr(state.predicate, "last_num_candidates", None)
@@ -1002,8 +1289,6 @@ class Query:
         report.shards = getattr(state.predicate, "shard_stats", None)
         if isinstance(state.predicate, DeclarativePredicate):
             report.sql_stats = state.predicate.last_sql_stats
-        if state.recorder is not None:
-            report.sql = tuple(state.recorder.statements)
         if state.blocker is not None and before is not None:
             after = state.blocker.stats
             report.blocker_stats = BlockingStats(

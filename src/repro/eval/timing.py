@@ -13,12 +13,12 @@ engine registry, so ``realization="declarative"`` (with an optional
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence, Union
 
 from repro.core.predicates.base import Predicate
 from repro.declarative.base import DeclarativePredicate
+from repro.obs.clock import perf_clock
 
 __all__ = [
     "PreprocessingTiming",
@@ -41,6 +41,16 @@ class PreprocessingTiming:
     def total_seconds(self) -> float:
         return self.tokenization_seconds + self.weights_seconds
 
+    def to_record(self) -> dict:
+        """Plain-dict form matching the benchmark JSON schema's result rows."""
+        return {
+            "predicate": self.predicate_name,
+            "num_tuples": self.num_tuples,
+            "tokenization_seconds": self.tokenization_seconds,
+            "weights_seconds": self.weights_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
 
 @dataclass(frozen=True)
 class QueryTiming:
@@ -58,6 +68,16 @@ class QueryTiming:
     @property
     def average_milliseconds(self) -> float:
         return self.average_seconds * 1000.0
+
+    def to_record(self) -> dict:
+        """Plain-dict form matching the benchmark JSON schema's result rows."""
+        return {
+            "predicate": self.predicate_name,
+            "num_tuples": self.num_tuples,
+            "num_queries": self.num_queries,
+            "total_seconds": self.total_seconds,
+            "average_milliseconds": self.average_milliseconds,
+        }
 
 
 def _resolve(
@@ -103,11 +123,11 @@ def time_preprocessing(
     # core (BASE_TABLE + BASE_TOKENS + the common statistics tables); on an
     # already-prepared backend it measures as near-zero, which is exactly the
     # amortization the shared-core design buys.
-    started = time.perf_counter()
+    started = perf_clock()
     predicate.tokenize_phase()
-    tokenized = time.perf_counter()
+    tokenized = perf_clock()
     predicate.weight_phase()
-    finished = time.perf_counter()
+    finished = perf_clock()
     if declarative:
         predicate._preprocessed = True
     else:
@@ -154,10 +174,10 @@ def time_queries(
     if not fitted or (base is not None and base != list(strings)):
         predicate.fit(strings)
 
-    started = time.perf_counter()
+    started = perf_clock()
     for query in queries:
         predicate.rank(query)
-    elapsed = time.perf_counter() - started
+    elapsed = perf_clock() - started
     return QueryTiming(
         predicate_name=getattr(predicate, "name", type(predicate).__name__),
         num_tuples=len(strings),

@@ -1,0 +1,182 @@
+"""Process-wide named counters and fixed-bucket histograms.
+
+The engine's per-call stats dataclasses (:class:`~repro.core.topk.
+PruningStats`, :class:`~repro.declarative.base.SQLFastPathStats`,
+:class:`~repro.engine.plan.RunManyStats`, :class:`~repro.blocking.base.
+BlockingStats`, :class:`~repro.shard.predicate.ShardStats`) describe *one*
+operation and are overwritten by the next; the :class:`MetricsRegistry`
+accumulates them into long-lived counters and latency histograms a serving
+front (or the planned cost model) can read at any time.
+
+Conventions:
+
+* counters are monotone totals (``queries_total``, ``cache_hits``,
+  ``sql_statements_total``, ``postings_opened``, ``postings_skipped``,
+  ``shard_tasks``, ...);
+* histograms observe seconds into fixed buckets
+  (``latency.fit``, ``latency.execute.direct|declarative|sharded``).
+
+:data:`GLOBAL_METRICS` is the default registry every engine publishes into;
+pass ``SimilarityEngine(metrics=MetricsRegistry())`` for an isolated one.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "GLOBAL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) of the default latency buckets: 100 µs .. 10 s,
+#: roughly log-spaced, plus an implicit overflow bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotone named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values (typically seconds).
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot is
+    the overflow bucket.  Quantiles are bucket-resolution estimates: the
+    upper bound of the bucket where the cumulative count crosses ``q``.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be within (0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return float("inf")  # overflow bucket
+        return float("inf")  # pragma: no cover - unreachable
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.6f})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use, thread-safe."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- access ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name, buckets or DEFAULT_LATENCY_BUCKETS)
+                )
+        return histogram
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment the named counter (created at zero if missing)."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (0 if it was never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (see :mod:`repro.obs.export`)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every counter and histogram (tests; not for live engines)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry (every engine without an explicit
+#: ``metrics=`` publishes here).
+GLOBAL_METRICS = MetricsRegistry()

@@ -19,12 +19,22 @@ time with a progressively rising floor on the serial executor.
 
 Blockers apply *pre-partition*: they are fitted on the full relation and
 their candidate decisions are taken against global tuple ids, then narrowed
-into per-shard restrictions.  Sharded results therefore match the unsharded
-blocked results wherever the blocker is exact for the predicate; for
-heuristic combinations (a Jaccard-derived filter on a non-Jaccard predicate,
-which already warns at attach time) the blocked *selection* of the
-edit-distance family may prune slightly more than the unsharded path, whose
-``select`` does not consult the blocker's probe tokens.
+into per-shard restrictions.  Sharded results match the unsharded blocked
+results: candidate generation consults the blocker's probe tokens on both
+paths (including the edit-distance family's ``select``, whose unsharded
+candidate set is built through ``InvertedIndex.candidates`` with the blocker
+attached), so exact blockers agree bit for bit and heuristic combinations
+(a Jaccard-derived filter on a non-Jaccard predicate, which already warns at
+attach time) prune identically sharded or not.
+
+Tracing: when the engine's :class:`~repro.obs.trace.Observability` holder
+carries a live tracer, every task payload is stamped with its shard id and
+the worker times its own execution (workers in other processes use their own
+clock, so durations are meaningful but absolute timestamps are not
+comparable to the parent's).  The resulting ``shard[i].task`` span records
+travel back as plain dicts and are re-attached under the currently open
+``execute.sharded`` span; shards skipped by the top-k bound contribute
+``shard[i].skipped`` spans carrying the posting volume they avoided.
 """
 
 from __future__ import annotations
@@ -36,6 +46,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.predicates.base import Match, Predicate
 from repro.core.topk import PruningStats, maxscore_top_k
+from repro.obs.clock import perf_clock
+from repro.obs.trace import Observability, Span
 from repro.shard.executors import ShardExecutor, make_executor
 from repro.shard.stats import InjectedStatsFactory
 from repro.text.weights import CollectionStatistics
@@ -87,6 +99,11 @@ class ShardStats:
             f"via {self.executor!r} executor{skipped}"
         )
 
+    def publish(self, metrics) -> None:
+        """Accumulate into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        metrics.inc("shards_run", self.shards_run)
+        metrics.inc("shards_skipped", self.shards_skipped)
+
 
 def execute_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
     """Run one operation against one fitted shard predicate.
@@ -96,7 +113,57 @@ def execute_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
     process executors pickle as little as possible, and per-shard work
     counters travel back explicitly (a worker process mutating its own copy
     of the shard would otherwise be invisible to the parent).
+
+    Payloads stamped with ``trace``/``shard_id`` (by a tracing parent, see
+    :meth:`ShardedPredicate._trace_payload`) additionally time the execution
+    with the worker's own clock and attach a serializable ``shard[i].task``
+    span record under ``result["span"]``.
     """
+    if not payload.get("trace"):
+        return _dispatch_shard_op(shard, op, payload)
+    started = perf_clock()
+    result = _dispatch_shard_op(shard, op, payload)
+    result["span"] = _shard_span_record(
+        payload.get("shard_id", -1), op, started, perf_clock(), result
+    )
+    return result
+
+
+def _shard_span_record(
+    shard_id: int, op: str, started: float, ended: float, result: dict
+) -> dict:
+    """Serializable ``shard[i].task`` span record for one executed task."""
+    attributes: Dict[str, object] = {"shard_id": shard_id, "op": op}
+    rows = result.get("rows")
+    if rows is not None:
+        attributes["rows"] = len(rows)
+    if result.get("candidates") is not None:
+        attributes["candidates"] = result["candidates"]
+    rows_per_query = result.get("rows_per_query")
+    if rows_per_query is not None:
+        attributes["num_queries"] = len(rows_per_query)
+        attributes["rows"] = sum(len(per_query) for per_query in rows_per_query)
+    pruning = result.get("pruning")
+    if pruning is not None:
+        attributes.update(
+            tokens_total=pruning.tokens_total,
+            tokens_opened=pruning.tokens_opened,
+            postings_total=pruning.postings_total,
+            postings_opened=pruning.postings_opened,
+            postings_skipped=pruning.postings_skipped,
+            candidates_scored=pruning.candidates_scored,
+            candidates_rescored=pruning.candidates_rescored,
+        )
+    return {
+        "name": f"shard[{shard_id}].task",
+        "start": started,
+        "end": ended,
+        "attributes": attributes,
+        "children": [],
+    }
+
+
+def _dispatch_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
     if op == "rank":
         allowed = payload.get("allowed")
         if allowed is not None:
@@ -180,6 +247,10 @@ class ShardedPredicate:
     max_workers:
         Worker cap for pooled executors (defaults to shard count, bounded by
         the CPU count for processes).
+    obs:
+        The :class:`~repro.obs.trace.Observability` holder to publish into
+        (the engine passes its own, so sharded spans land under the engine's
+        execute span); a private default pair otherwise.
     """
 
     def __init__(
@@ -188,9 +259,11 @@ class ShardedPredicate:
         num_shards: int = 2,
         executor: object = "serial",
         max_workers: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        self.obs = obs if obs is not None else Observability()
         self._factory = factory
         self.requested_shards = int(num_shards)
         self._prototype = factory()
@@ -399,15 +472,42 @@ class ShardedPredicate:
         merged.sort(key=lambda m: (-m.score, m.tid))
         return merged
 
+    def _trace_payload(self, shard_id: int, payload: dict) -> dict:
+        """Stamp a payload for tracing (copy-on-write: payload dicts are
+        shared across shards, so the stamp must not leak between tasks)."""
+        if not self.obs.tracer.enabled:
+            return payload
+        payload = dict(payload)
+        payload["shard_id"] = shard_id
+        payload["trace"] = True
+        return payload
+
+    def _finish(self, results: List[dict]) -> List[dict]:
+        """Count the completed tasks and re-attach their shipped spans."""
+        self.obs.metrics.inc("shard_tasks", len(results))
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            parent = tracer.current
+            if parent is not None:
+                for result in results:
+                    record = result.get("span") if isinstance(result, dict) else None
+                    if record is not None:
+                        parent.attach(Span.from_dict(record))
+        return results
+
     def _run_all(self, op: str, payloads: Sequence[dict]) -> List[dict]:
         tasks = [
-            (shard_id, op, payload) for shard_id, payload in enumerate(payloads)
+            (shard_id, op, self._trace_payload(shard_id, payload))
+            for shard_id, payload in enumerate(payloads)
         ]
-        return self._executor.run(tasks)
+        return self._finish(self._executor.run(tasks))
 
     def _run_on(self, shard_ids: Sequence[int], op: str, payload: dict) -> List[dict]:
-        tasks = [(shard_id, op, payload) for shard_id in shard_ids]
-        return self._executor.run(tasks)
+        tasks = [
+            (shard_id, op, self._trace_payload(shard_id, payload))
+            for shard_id in shard_ids
+        ]
+        return self._finish(self._executor.run(tasks))
 
     def _record_shards(self, shards_run: int, shards_skipped: int = 0) -> None:
         self.shard_stats = ShardStats(
@@ -643,10 +743,17 @@ class ShardedPredicate:
             # Worker processes/threads rebuild theirs instead (plans hold
             # references into the shard's posting lists -- recomputing is
             # cheaper than shipping them).
+            tracing = self.obs.tracer.enabled
+            started = perf_clock() if tracing else 0.0
             terms, allowed, rescore = plans[shard_id]
             top, stats = maxscore_top_k(k, terms, rescore, allowed=allowed)
-            return {"rows": top, "candidates": stats.candidates_scored,
-                    "pruning": stats}
+            result = {"rows": top, "candidates": stats.candidates_scored,
+                      "pruning": stats}
+            if tracing:
+                result["span"] = _shard_span_record(
+                    shard_id, "top_k", started, perf_clock(), result
+                )
+            return self._finish([result])[0]
 
         skipped: List[int] = []
         if self._executor.parallel:
@@ -676,7 +783,12 @@ class ShardedPredicate:
 
         # Skipped shards never opened a posting list: account their whole
         # posting volume as skipped, exactly like unopened terms within a
-        # shard.  `live` mirrors maxscore_top_k's term filter.
+        # shard.  `live` mirrors maxscore_top_k's term filter.  Each skipped
+        # shard also contributes a zero-duration span carrying the posting
+        # volume it avoided, so span-level counters aggregate to the same
+        # totals as :attr:`pruning_stats`.
+        tracing = self.obs.tracer.enabled
+        parent = self.obs.tracer.current if tracing else None
         for shard_id in skipped:
             live = [
                 term
@@ -688,6 +800,20 @@ class ShardedPredicate:
             pruning.postings_total += postings
             pruning.postings_skipped += postings
             pruning.pruned = True
+            if parent is not None:
+                parent.attach(
+                    Span(
+                        f"shard[{shard_id}].skipped",
+                        attributes={
+                            "shard_id": shard_id,
+                            "op": "top_k",
+                            "skipped": True,
+                            "tokens_total": len(live),
+                            "postings_total": postings,
+                            "postings_skipped": postings,
+                        },
+                    )
+                )
 
         merged = self._merge_rows(
             [collected[shard_id] for shard_id in sorted(collected)],

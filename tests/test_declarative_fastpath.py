@@ -23,7 +23,8 @@ from hypothesis import strategies as st
 from repro.backends import MemoryBackend, SQLiteBackend
 from repro.declarative import clear_shared_state, make_declarative_predicate
 from repro.engine import SimilarityEngine
-from repro.engine.plan import RecordingBackend
+from repro.engine.plan import RecordingBackend, sql_statements
+from repro.obs import Observability, Tracer
 
 #: Small token-y alphabet with spaces and quotes (quotes must be inert).
 words = st.sampled_from(
@@ -103,51 +104,51 @@ class TestPushdownExactness:
 
 
 class TestSharedCores:
-    def _count_statements(self, recorder, fit):
-        recorder.clear()
-        fit()
-        return len(recorder.statements)
+    def _captured_statements(self, obs, fit):
+        """SQL statements emitted by ``fit``, captured as sql.statement spans."""
+        tracer = Tracer()
+        with obs.activate(tracer):
+            with tracer.span("capture"):
+                fit()
+        return sql_statements(tracer.last_root)
 
     @pytest.mark.parametrize("backend_cls", BACKENDS)
     def test_second_predicate_reuses_shared_token_tables(self, backend_cls):
         """Acceptance: fitting a second declarative predicate on an
         already-prepared backend reuses the shared token tables."""
         corpus = [f"COMPANY {i} HOLDINGS {i % 5} LLC" for i in range(40)]
-        recorder = RecordingBackend(backend_cls())
-        recorder.enabled = True
-        first = self._count_statements(
-            recorder,
+        obs = Observability()
+        recorder = RecordingBackend(backend_cls(), obs=obs)
+        first = self._captured_statements(
+            obs,
             lambda: make_declarative_predicate("bm25", backend=recorder).preprocess(corpus),
         )
-        second = self._count_statements(
-            recorder,
+        second = self._captured_statements(
+            obs,
             lambda: make_declarative_predicate("cosine", backend=recorder).preprocess(corpus),
         )
-        third = self._count_statements(
-            recorder,
+        third = self._captured_statements(
+            obs,
             lambda: make_declarative_predicate(
                 "weighted_match", backend=recorder
             ).preprocess(corpus),
         )
         # The first fit pays the core (BASE_TABLE/BASE_TOKENS/stats tables);
         # later fits only materialize their own small weight tables.
-        assert second < first and third < first
+        assert len(second) < len(first) and len(third) < len(first)
         assert not any(
             "BASE_TOKENS" in statement and ("CREATE TABLE" in statement or "bulk load" in statement)
-            for statement in recorder.statements
-        ), recorder.statements
+            for statement in second + third
+        ), (second, third)
 
     def test_refitting_same_predicate_reuses_core(self):
         corpus = ["ALPHA ONE", "BETA TWO", "GAMMA THREE"]
-        recorder = RecordingBackend(SQLiteBackend())
-        recorder.enabled = True
+        obs = Observability()
+        recorder = RecordingBackend(SQLiteBackend(), obs=obs)
         predicate = make_declarative_predicate("jaccard", backend=recorder)
         predicate.preprocess(corpus)
-        recorder.clear()
-        predicate.preprocess(corpus)
-        assert not any(
-            "CREATE TABLE" in statement for statement in recorder.statements
-        ), recorder.statements
+        refit = self._captured_statements(obs, lambda: predicate.preprocess(corpus))
+        assert not any("CREATE TABLE" in statement for statement in refit), refit
 
     def test_two_corpora_coexist_without_clobbering(self):
         backend = SQLiteBackend()

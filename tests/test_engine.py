@@ -255,9 +255,10 @@ class TestStateCaching:
         assert second.rank("Zebra Quux Ltd")[0].tid == 0
         assert first.rank("Beijing Hotel") == expected
 
-    def test_recorder_only_records_during_explain(self, engine, company_strings):
-        # Normal query workloads must not accumulate SQL statements without
-        # bound on a long-lived engine; only explain() records.
+    def test_recorder_only_captures_while_tracing(self, engine, company_strings):
+        # Normal query workloads must not accumulate SQL statement text
+        # without bound on a long-lived engine: capture happens only while a
+        # live tracer is active (explain()/trace()), as sql.statement spans.
         query = (
             engine.from_strings(company_strings)
             .predicate("jaccard")
@@ -265,11 +266,16 @@ class TestStateCaching:
         )
         query.run_many(["Beijing Hotel", "AT&T Inc."], op="rank")
         predicate = query.fitted_predicate()
-        assert predicate.backend.statements == []
+        assert not engine.tracer.enabled  # default engine: no-op tracer
         report = query.explain("Beijing Hotel", k=3)
         assert any("QUERY_TOKENS" in statement for statement in report.sql)
+        # The report's SQL is read off the captured span tree.
+        assert report.trace is not None
+        spans = [s for s in report.trace.walk() if s.name == "sql.statement"]
+        assert tuple(s.attributes["sql"] for s in spans) == report.sql
+        # Queries outside explain()/trace() leave no trace behind.
         query.rank("Morgan Stanley")
-        assert list(predicate.backend.statements) == list(report.sql)
+        assert engine.obs.tracer.last_root is None
 
     def test_clear_cache_detaches_engine_attached_blockers(self, engine, company_strings):
         # Once clear_cache() forgets the engine-attached blocker ids, a
