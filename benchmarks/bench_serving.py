@@ -1,0 +1,356 @@
+"""Serving-layer benchmark -- bit-identity guard + concurrent load profile.
+
+Boots the full serving stack (asyncio HTTP server, admission control,
+micro-batcher, per-corpus engines) in-process, then measures it two ways:
+
+* **Identity guard** -- for *every* registered predicate (all 13), a
+  ``top_k`` answered through the server must be bit-identical (tids, float
+  scores, strings, order) to a direct :class:`SimilarityEngine` call.  This
+  is what CI's ``--smoke`` mode asserts: the serving layer may change *when*
+  work runs (queueing, coalescing, worker threads), never *what* it
+  computes.
+* **Load profile** -- ``--clients`` worker threads (>= 8 by default) drive
+  open-loop traffic (each thread sends on a fixed arrival schedule and does
+  not slow its schedule down when responses lag) against one corpus, with
+  the micro-batcher off (``window=0``) and on, reporting p50/p99 latency,
+  achieved QPS, rejection counts and the server-side batch-size
+  distribution.
+
+Writes ``BENCH_serving.json`` to the repository root.
+
+Standalone usage (CI runs the smoke variant)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for _path in (str(_SRC), str(_HERE)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.datagen import make_dataset  # noqa: E402
+from repro.engine import SimilarityEngine  # noqa: E402
+from repro.obs import bench_envelope, perf_clock  # noqa: E402
+from repro.serve import ServeClient, ServeError, ServeServer, SimilarityService  # noqa: E402
+
+TOP_K = 10
+
+
+class _ServerThread:
+    """The serving stack on a private event loop in a daemon thread."""
+
+    def __init__(self, service: SimilarityService):
+        self.service = service
+        self.host = ""
+        self.port = 0
+        self._loop = None
+        self._server = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve benchmark: server failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._server is not None:
+            self._loop.call_soon_threadsafe(self._server.request_stop)
+        self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = ServeServer(self.service, port=0)
+        self.host, self.port = await self._server.start()
+        self._ready.set()
+        await self._server.serve_until_stopped()
+
+
+def _quantile(sorted_values, q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list (0 on empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def check_identity(server: _ServerThread, corpus_id: str, strings, queries) -> list:
+    """Served-vs-direct bit-identity over every registered predicate."""
+    engine = SimilarityEngine()
+    client = ServeClient(server.host, server.port)
+    mismatches = []
+    try:
+        for predicate in SimilarityEngine.available_predicates():
+            for text in queries:
+                served = client.top_k(corpus_id, text, k=TOP_K, predicate=predicate)
+                direct = (
+                    engine.from_strings(strings)
+                    .predicate(predicate)
+                    .top_k(text, TOP_K)
+                )
+                if served != direct:
+                    mismatches.append(f"{predicate}: served != direct for {text!r}")
+                    break
+    finally:
+        client.close()
+        engine.clear_cache()
+    return mismatches
+
+
+def run_load(
+    server: _ServerThread,
+    corpus_id: str,
+    queries,
+    num_clients: int,
+    requests_per_client: int,
+    target_qps_per_client: float,
+) -> dict:
+    """Open-loop load: each client thread sends on a fixed arrival schedule."""
+    interval = 1.0 / target_qps_per_client if target_qps_per_client else 0.0
+    latencies: list = []
+    ok = rejected = timed_out = failed = 0
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def client_worker(worker_id: int) -> None:
+        nonlocal ok, rejected, timed_out, failed
+        client = ServeClient(server.host, server.port)
+        local_latencies = []
+        local_ok = local_rejected = local_timed_out = local_failed = 0
+        start_barrier.wait(timeout=60)
+        schedule_start = perf_clock()
+        for index in range(requests_per_client):
+            # Open loop: wait only until the scheduled arrival time; if the
+            # previous response came back late, fire immediately.
+            due = schedule_start + index * interval
+            delay = due - perf_clock()
+            if delay > 0:
+                threading.Event().wait(delay)
+            text = queries[(worker_id + index) % len(queries)]
+            started = perf_clock()
+            try:
+                client.top_k(corpus_id, text, k=TOP_K)
+                local_latencies.append(perf_clock() - started)
+                local_ok += 1
+            except ServeError as error:
+                if error.status == 429:
+                    local_rejected += 1
+                elif error.status == 504:
+                    local_timed_out += 1
+                else:
+                    local_failed += 1
+            except Exception:
+                local_failed += 1
+        client.close()
+        with lock:
+            latencies.extend(local_latencies)
+            ok += local_ok
+            rejected += local_rejected
+            timed_out += local_timed_out
+            failed += local_failed
+
+    threads = [
+        threading.Thread(target=client_worker, args=(i,)) for i in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait(timeout=60)
+    wall_started = perf_clock()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall_seconds = perf_clock() - wall_started
+    latencies.sort()
+    metrics = server.service.obs.metrics
+    batches = metrics.value("serve.batches_total")
+    batched_queries = metrics.value("serve.batched_queries_total")
+    return {
+        "num_clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "requests_total": num_clients * requests_per_client,
+        "ok": ok,
+        "rejected_429": rejected,
+        "timed_out_504": timed_out,
+        "failed": failed,
+        "wall_seconds": wall_seconds,
+        "qps": ok / wall_seconds if wall_seconds else 0.0,
+        "p50_ms": _quantile(latencies, 0.50) * 1000.0,
+        "p99_ms": _quantile(latencies, 0.99) * 1000.0,
+        "mean_batch_size": (batched_queries / batches) if batches else 0.0,
+        "queue_depth_high_water": metrics.gauge("serve.queue_depth").high_water,
+    }
+
+
+def run(
+    size: int,
+    num_clients: int,
+    requests_per_client: int,
+    identity_queries: int,
+    seed: int = 42,
+) -> dict:
+    dataset = make_dataset("CU1", size=size, num_clean=max(50, size // 10), seed=seed)
+    strings = dataset.strings
+    step = max(1, len(strings) // 16)
+    queries = strings[::step][:16]
+
+    # Identity guard: its own server so the load metrics stay clean.
+    service = SimilarityService(max_concurrency=4, max_queue=64, batch_window=0.002)
+    with _ServerThread(service) as server:
+        client = ServeClient(server.host, server.port)
+        corpus_id = client.register_corpus(strings)
+        client.close()
+        mismatches = check_identity(
+            server, corpus_id, strings, queries[:identity_queries]
+        )
+
+    scenarios = []
+    for label, window in (("unbatched", 0.0), ("batched", 0.002)):
+        service = SimilarityService(
+            max_concurrency=4,
+            max_queue=max(64, num_clients * requests_per_client),
+            batch_window=window,
+            batch_max=32,
+        )
+        with _ServerThread(service) as server:
+            client = ServeClient(server.host, server.port)
+            corpus_id = client.register_corpus(strings)
+            # Warm the fitted state so the load measures serving, not fitting.
+            client.top_k(corpus_id, queries[0], k=TOP_K)
+            client.close()
+            row = run_load(
+                server,
+                corpus_id,
+                queries,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                target_qps_per_client=25.0,
+            )
+        row["scenario"] = label
+        row["batch_window"] = window
+        scenarios.append(row)
+
+    return bench_envelope(
+        benchmark="serving",
+        relation={"generator": "UIS company names (CU1)", "size": len(strings)},
+        config={
+            "top_k": TOP_K,
+            "num_clients": num_clients,
+            "requests_per_client": requests_per_client,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "predicates_identity_checked": len(
+                SimilarityEngine.available_predicates()
+            ),
+        },
+        results=scenarios,
+        identity_mismatches=mismatches,
+    )
+
+
+def check(report: dict) -> list:
+    """Guard conditions; returns a list of human-readable failures."""
+    failures = list(report["identity_mismatches"])
+    for entry in report["results"]:
+        label = entry["scenario"]
+        if entry["num_clients"] < 8:
+            failures.append(f"{label}: fewer than 8 concurrent clients")
+        if entry["ok"] == 0:
+            failures.append(f"{label}: no request succeeded")
+        if entry["failed"]:
+            failures.append(f"{label}: {entry['failed']} hard failures")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus, identity guard + short load burst (CI perf-smoke job)",
+    )
+    parser.add_argument("--size", type=int, default=None, help="relation size")
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads (>= 8)"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, help="requests per client"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_HERE.parent / "BENCH_serving.json",
+        help="output JSON path (default: repo root BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+
+    size = args.size or (300 if args.smoke else 3000)
+    requests_per_client = args.requests or (6 if args.smoke else 40)
+    identity_queries = 2 if args.smoke else 4
+    report = run(
+        size=size,
+        num_clients=args.clients,
+        requests_per_client=requests_per_client,
+        identity_queries=identity_queries,
+    )
+    report["smoke"] = bool(args.smoke)
+
+    failures = check(report)
+    report["failures"] = failures
+
+    checked = report["config"]["predicates_identity_checked"]
+    print(
+        f"identity guard: {checked} predicates served bit-identically"
+        if not report["identity_mismatches"]
+        else f"identity guard: {len(report['identity_mismatches'])} MISMATCHES"
+    )
+    for entry in report["results"]:
+        print(
+            f"{entry['scenario']:>10}  {entry['num_clients']} clients x"
+            f"{entry['requests_per_client']} requests: "
+            f"{entry['qps']:.0f} q/s, p50 {entry['p50_ms']:.1f} ms, "
+            f"p99 {entry['p99_ms']:.1f} ms, "
+            f"mean batch {entry['mean_batch_size']:.2f}, "
+            f"429s {entry['rejected_429']}"
+        )
+
+    if not args.smoke:
+        args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serving layer exact under concurrent load")
+    return 0
+
+
+def test_serving(benchmark):
+    """Pytest harness entry: small-scale run with the identity guards."""
+    report = benchmark.pedantic(
+        lambda: run(
+            size=300, num_clients=8, requests_per_client=4, identity_queries=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    failures = check(report)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

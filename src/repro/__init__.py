@@ -42,7 +42,14 @@ Package map:
   JSON export schema used by traces, metrics and benchmarks.  Off by
   default (the no-op tracer costs nothing); turn it on per query with
   ``query.trace("AT&T Inc.", k=1)`` or per engine with
-  ``SimilarityEngine(tracer=Tracer())``.
+  ``SimilarityEngine(tracer=Tracer())``;
+* :mod:`repro.serve` -- similarity-as-a-service: an asyncio HTTP serving
+  layer (stdlib only) that multiplexes concurrent clients over the engine
+  with admission control (bounded concurrency + queue, 429/504
+  backpressure), micro-batching of compatible requests into ``run_many``
+  batch executions (bit-identical to direct calls), per-corpus engine
+  lifecycle with LRU eviction, graceful SIGTERM drain, and a small JSON
+  client.  ``python -m repro.cli serve`` starts a server.
 
 Migrating from ``ApproximateSelector``: the class remains as a deprecated
 thin shim; ``ApproximateSelector(strings, predicate="bm25").top_k(q, 5)`` is
@@ -78,7 +85,7 @@ from repro.engine import (
 )
 from repro.shard import ShardedPredicate, ShardStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SimilarityEngine",

@@ -37,7 +37,11 @@ class SQLiteBackend(SQLBackend):
     supports_window_functions = sqlite3.sqlite_version_info >= (3, 25, 0)
 
     def __init__(self, path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(path)
+        # The engine serializes all statements on a shared backend under its
+        # own lock (see SimilarityEngine._lock), and the serving layer runs
+        # engine calls on worker-pool threads -- so the connection must be
+        # usable from threads other than the one that created it.
+        self.connection = sqlite3.connect(path, check_same_thread=False)
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA temp_store = MEMORY")

@@ -150,6 +150,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(dedup)
     _add_blocker_arguments(dedup)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived similarity server (see repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--base",
+        type=Path,
+        default=None,
+        help="TSV file to pre-register as a corpus (its id is printed)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="requests executing at once; more wait in the admission queue",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait; beyond this the server answers 429",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (queue wait + execution)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds the micro-batcher waits to coalesce compatible requests",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="batch size that flushes immediately without waiting the window",
+    )
+    serve.add_argument(
+        "--max-corpora",
+        type=int,
+        default=8,
+        help="registered corpora kept warm; least recently used are evicted",
+    )
+
     return parser
 
 
@@ -279,12 +330,37 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SimilarityService, run_server
+
+    service = SimilarityService(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        max_corpora=args.max_corpora,
+    )
+    if args.base is not None:
+        corpus_id, num_tuples, _ = service.register_corpus(_load_strings(args.base))
+        print(f"registered corpus {corpus_id} ({num_tuples} tuples)", flush=True)
+
+    def announce(host: str, port: int) -> None:
+        # The drain test and the benchmark parse this line for the port.
+        print(f"listening on {host}:{port}", flush=True)
+
+    run_server(service, host=args.host, port=args.port, on_listening=announce)
+    print("drained and stopped", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "predicates": _cmd_predicates,
     "generate": _cmd_generate,
     "query": _cmd_query,
     "evaluate": _cmd_evaluate,
     "dedup": _cmd_dedup,
+    "serve": _cmd_serve,
 }
 
 

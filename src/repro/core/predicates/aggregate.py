@@ -53,7 +53,7 @@ class _AggregateBase(Predicate):
         self._weighted_index: WeightedPostingIndex | None = None
 
     def tokenize_phase(self) -> None:
-        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._token_lists = self._relation_token_lists()
         self._index = InvertedIndex(self._token_lists)
 
     def _build_weighted_index(self) -> None:

@@ -111,6 +111,9 @@ class Predicate(ABC):
     def __init__(self) -> None:
         self._strings: List[str] = []
         self._fitted = False
+        #: Pre-tokenized relation handed to the current :meth:`fit` call (the
+        #: single-tokenization seam); ``None`` outside of such a fit.
+        self._fit_token_lists: Optional[List[List[str]]] = None
         self._blocker: Optional["Blocker"] = None
         self._restriction: Optional[Set[int]] = None
         #: Optional collection-statistics factory (the sharded-execution
@@ -133,19 +136,52 @@ class Predicate(ABC):
 
     # -- preprocessing --------------------------------------------------------
 
-    def fit(self, strings: Sequence[str]) -> "Predicate":
+    def fit(
+        self,
+        strings: Sequence[str],
+        token_lists: Optional[Sequence[Sequence[str]]] = None,
+    ) -> "Predicate":
         """Preprocess the base relation (tokenization + weights).
+
+        ``token_lists`` is the preprocessing seam sharded execution uses to
+        tokenize a relation exactly once: when given, it must be the result
+        of tokenizing ``strings`` with this predicate's own tokenizer, and
+        :meth:`_relation_token_lists` hands it to :meth:`tokenize_phase`
+        instead of re-tokenizing.  Callers own that contract -- the lists are
+        trusted, not verified.
 
         Returns ``self`` so that ``predicate = BM25().fit(strings)`` reads
         naturally.
         """
         self._strings = list(strings)
-        self.tokenize_phase()
-        self.weight_phase()
+        self._fit_token_lists = (
+            [list(tokens) for tokens in token_lists]
+            if token_lists is not None
+            else None
+        )
+        try:
+            self.tokenize_phase()
+            self.weight_phase()
+        finally:
+            # The seam is per-fit input, not fitted state: drop it so refits
+            # without token_lists re-tokenize instead of replaying stale lists.
+            self._fit_token_lists = None
         self._fitted = True
         if self._blocker is not None:
             self._fit_blocker(self._blocker)
         return self
+
+    def _relation_token_lists(self) -> List[List[str]]:
+        """Token lists of the base relation for :meth:`tokenize_phase`.
+
+        Returns the pre-tokenized lists passed to :meth:`fit` when available
+        (the sharded single-tokenization seam), otherwise tokenizes the
+        fitted strings with the predicate's tokenizer.
+        """
+        pretokenized = getattr(self, "_fit_token_lists", None)
+        if pretokenized is not None:
+            return pretokenized
+        return [self.tokenizer.tokenize(text) for text in self._strings]
 
     @abstractmethod
     def tokenize_phase(self) -> None:

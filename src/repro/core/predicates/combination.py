@@ -56,7 +56,7 @@ class _CombinationBase(Predicate):
         self._average_idf: float = 0.0
 
     def tokenize_phase(self) -> None:
-        self._word_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._word_lists = self._relation_token_lists()
         self._word_qgrams = {}
         qgram_to_tids: Dict[str, Set[int]] = defaultdict(set)
         for tid, words in enumerate(self._word_lists):

@@ -46,7 +46,7 @@ class EditDistance(Predicate):
 
     def tokenize_phase(self) -> None:
         self._normalized = [normalize_string(text) for text in self._strings]
-        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._token_lists = self._relation_token_lists()
         self._index = InvertedIndex(self._token_lists)
 
     def weight_phase(self) -> None:

@@ -48,7 +48,7 @@ class _OverlapBase(Predicate):
         self._index: InvertedIndex | None = None
 
     def tokenize_phase(self) -> None:
-        self._token_lists = [self.tokenizer.tokenize(text) for text in self._strings]
+        self._token_lists = self._relation_token_lists()
         self._token_sets = [set(tokens) for tokens in self._token_lists]
         self._index = InvertedIndex(self._token_lists)
 

@@ -27,6 +27,7 @@ the engine keyed by the full plan, so repeated queries -- and
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -143,6 +144,25 @@ class SimilarityEngine:
         self._backend_instances: Dict[str, object] = {}
         self._corpora: Dict[tuple, _Corpus] = {}
         self._corpus_counter = 0
+        #: Reentrant lock guarding the fitted-state/instance/backend caches
+        #: and declarative SQL execution.  Concurrent callers (the serving
+        #: layer runs engine calls on worker threads) must neither double-fit
+        #: one cache key nor interleave statements on a shared SQL backend --
+        #: declarative predicates stage queries in fixed-name tables, so two
+        #: unserialized executions would clobber each other's staged rows.
+        #: Reentrant because fits and declarative executions nest through the
+        #: same code paths (``explain`` fits inside an execution span).
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        """Locks do not pickle; snapshots re-create one on load."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     @property
     def tracer(self) -> object:
@@ -163,11 +183,12 @@ class SimilarityEngine:
         the same strings yields queries that share fitted predicate state.
         """
         content = tuple(rows)
-        corpus = self._corpora.get(content)
-        if corpus is None:
-            self._corpus_counter += 1
-            corpus = _Corpus(key=self._corpus_counter, strings=list(content))
-            self._corpora[content] = corpus
+        with self._lock:
+            corpus = self._corpora.get(content)
+            if corpus is None:
+                self._corpus_counter += 1
+                corpus = _Corpus(key=self._corpus_counter, strings=list(content))
+                self._corpora[content] = corpus
         return Query(self, corpus)
 
     # -- registry passthrough ---------------------------------------------------
@@ -196,21 +217,22 @@ class SimilarityEngine:
         predicates shut down their worker pools.  Backend *instances* a
         caller passed in are left open -- the caller owns their lifecycle.
         """
-        for state in self._states.values():
-            attached = getattr(state.predicate, "blocker", None)
-            if attached is not None and id(attached) in self._attached_blocker_ids:
-                state.predicate.set_blocker(None)
-            if isinstance(state.predicate, ShardedPredicate):
-                state.predicate.close()
-        self._states.clear()
-        self._blockers.clear()
-        self._attached_blocker_ids.clear()
-        self._instance_fits.clear()
-        for backend in self._backend_instances.values():
-            clear_shared_state(backend)
-            backend.close()
-        self._backend_instances.clear()
-        self._corpora.clear()
+        with self._lock:
+            for state in self._states.values():
+                attached = getattr(state.predicate, "blocker", None)
+                if attached is not None and id(attached) in self._attached_blocker_ids:
+                    state.predicate.set_blocker(None)
+                if isinstance(state.predicate, ShardedPredicate):
+                    state.predicate.close()
+            self._states.clear()
+            self._blockers.clear()
+            self._attached_blocker_ids.clear()
+            self._instance_fits.clear()
+            for backend in self._backend_instances.values():
+                clear_shared_state(backend)
+                backend.close()
+            self._backend_instances.clear()
+            self._corpora.clear()
 
     @property
     def cache_size(self) -> int:
@@ -218,11 +240,12 @@ class SimilarityEngine:
         return len(self._states)
 
     def _state(self, key: tuple, build) -> _FittedState:
-        state = self._states.get(key)
-        if state is None:
-            state = build()
-            self._states[key] = state
-        return state
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = build()
+                self._states[key] = state
+            return state
 
     def _backend_instance(self, spec: Union[str, object]) -> object:
         """Resolve a backend spec to the engine's shared instance.
@@ -235,10 +258,11 @@ class SimilarityEngine:
         if not isinstance(spec, str):
             return spec
         name = spec.strip().lower()
-        backend = self._backend_instances.get(name)
-        if backend is None:
-            backend = registry.make_backend(name)
-            self._backend_instances[name] = backend
+        with self._lock:
+            backend = self._backend_instances.get(name)
+            if backend is None:
+                backend = registry.make_backend(name)
+                self._backend_instances[name] = backend
         return backend
 
 
@@ -542,6 +566,15 @@ class Query:
         predicate_key = self._predicate_key()
         engine = self._engine
         obs = engine.obs
+        with engine._lock:
+            return self._state_locked(predicate_key, engine, obs, threshold)
+
+    def _state_locked(
+        self, predicate_key: tuple, engine: SimilarityEngine, obs, threshold
+    ) -> _FittedState:
+        """Body of :meth:`_state`; runs under the engine lock so concurrent
+        callers cannot double-fit one cache key or interleave the blocker
+        reconciliation below with another thread's."""
         cached = engine._states.get(predicate_key)
         if cached is not None:
             obs.metrics.inc("cache_hits")
@@ -732,7 +765,14 @@ class Query:
         )
         started = perf_clock()
         with obs.tracer.span("execute." + kind) as span:
-            results = runner()
+            if kind == "declarative":
+                # Declarative predicates stage query rows in fixed-name
+                # tables on the (engine-shared) SQL backend; concurrent
+                # executions must not interleave statements.
+                with self._engine._lock:
+                    results = runner()
+            else:
+                results = runner()
             self._annotate_execution(
                 span, state, kind, publish_pruning, annotate_candidates
             )

@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     GLOBAL_METRICS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "NOOP_TRACER",
     "Observability",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "GLOBAL_METRICS",

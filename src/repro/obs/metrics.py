@@ -14,7 +14,10 @@ Conventions:
   ``sql_statements_total``, ``postings_opened``, ``postings_skipped``,
   ``shard_tasks``, ...);
 * histograms observe seconds into fixed buckets
-  (``latency.fit``, ``latency.execute.direct|declarative|sharded``).
+  (``latency.fit``, ``latency.execute.direct|declarative|sharded``);
+* gauges are point-in-time levels that go up *and* down
+  (``serve.queue_depth``, ``serve.active_requests``) -- the serving layer's
+  admission controller is the main writer.
 
 :data:`GLOBAL_METRICS` is the default registry every engine publishes into;
 pass ``SimilarityEngine(metrics=MetricsRegistry())`` for an isolated one.
@@ -28,6 +31,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "GLOBAL_METRICS",
@@ -56,6 +60,36 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time level that can rise and fall (queue depths etc.).
+
+    Unlike :class:`Counter`, a gauge is not monotone: ``set`` overwrites the
+    level and ``inc``/``dec`` move it.  ``high_water`` remembers the maximum
+    level ever set, which is what capacity planning reads after a load run.
+    """
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value}, high_water={self.high_water})"
 
 
 class Histogram:
@@ -119,6 +153,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -130,6 +165,13 @@ class MetricsRegistry:
             with self._lock:
                 counter = self._counters.setdefault(name, Counter(name))
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
 
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
@@ -155,6 +197,11 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0
 
+    def gauge_value(self, name: str) -> float:
+        """Current level of a gauge (0 if it was never set)."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0
+
     # -- snapshots ---------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -164,6 +211,10 @@ class MetricsRegistry:
                 name: counter.value
                 for name, counter in sorted(self._counters.items())
             },
+            "gauges": {
+                name: {"value": gauge.value, "high_water": gauge.high_water}
+                for name, gauge in sorted(self._gauges.items())
+            },
             "histograms": {
                 name: histogram.to_dict()
                 for name, histogram in sorted(self._histograms.items())
@@ -171,9 +222,10 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        """Drop every counter and histogram (tests; not for live engines)."""
+        """Drop every counter, gauge and histogram (tests; not live engines)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

@@ -1,0 +1,152 @@
+"""Micro-batching: coalesce compatible requests into one engine execution.
+
+Concurrent clients asking the same plan (same corpus, predicate, backend,
+operation and parameters -- see
+:meth:`~repro.serve.protocol.QueryRequest.batch_key`) do not need one engine
+execution each: :meth:`Query.run_many` answers the whole set against one
+shared fitted state, and on the declarative realization scores the entire
+workload in one SQL statement.  The :class:`MicroBatcher` exploits that
+window: the first request of a key opens a bucket and starts a timer; every
+compatible request arriving within ``window`` seconds joins the bucket; the
+bucket flushes when the timer fires or when it reaches ``max_batch``
+entries, whichever comes first.  Each submitter awaits a future resolved
+with its own slice of the batch result.
+
+Coalescing changes *when* work runs, never *what* it computes: ``run_many``
+executes the same per-query code paths as the single-query terminals, so a
+batched answer is bit-identical to the answer the request would have gotten
+alone (the serving test-suite and the benchmark smoke mode assert this).
+
+Futures may be abandoned (the submitter's deadline expired and
+``asyncio.wait_for`` cancelled the await); the flush checks ``fut.done()``
+before resolving, so a late batch never trips over a cancelled waiter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import Observability
+
+__all__ = ["MicroBatcher"]
+
+#: Histogram buckets for the ``serve.batch_size`` distribution.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class _Bucket:
+    """Requests of one batch key waiting for their window to close."""
+
+    __slots__ = ("items", "timer")
+
+    def __init__(self) -> None:
+        self.items: List[Tuple[object, asyncio.Future]] = []
+        self.timer: Optional[asyncio.Task] = None
+
+
+class MicroBatcher:
+    """Coalesces ``submit()`` calls per key into windowed batch executions.
+
+    Parameters
+    ----------
+    runner:
+        ``async (key, requests) -> results`` executing one batch; must
+        return exactly one result per request, in request order.
+    window:
+        Seconds the first request of a bucket waits for company.
+    max_batch:
+        Bucket size that triggers an immediate (early) flush.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Hashable, Sequence[object]], Awaitable[Sequence[object]]],
+        window: float = 0.005,
+        max_batch: int = 16,
+        obs: Optional[Observability] = None,
+    ):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._runner = runner
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.obs = obs if obs is not None else Observability()
+        self._buckets: dict = {}
+        self._flushes: set = set()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in open buckets."""
+        return sum(len(bucket.items) for bucket in self._buckets.values())
+
+    async def submit(self, key: Hashable, request: object) -> object:
+        """Enqueue one request and await its individual result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+            bucket.timer = loop.create_task(self._window_flush(key, bucket))
+        bucket.items.append((request, future))
+        if len(bucket.items) >= self.max_batch:
+            self._close_bucket(key, bucket)
+        return await future
+
+    async def flush_all(self) -> None:
+        """Flush every open bucket now and wait for in-flight flushes (drain)."""
+        for key, bucket in list(self._buckets.items()):
+            if self._buckets.get(key) is bucket:
+                self._close_bucket(key, bucket)
+        while self._flushes:
+            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _close_bucket(self, key: Hashable, bucket: _Bucket) -> None:
+        """Detach a bucket from the open set and start its flush task."""
+        if self._buckets.get(key) is bucket:
+            del self._buckets[key]
+        if bucket.timer is not None and not bucket.timer.done():
+            bucket.timer.cancel()
+        task = asyncio.get_running_loop().create_task(self._flush(key, bucket))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _window_flush(self, key: Hashable, bucket: _Bucket) -> None:
+        try:
+            await asyncio.sleep(self.window)
+        except asyncio.CancelledError:
+            return
+        if self._buckets.get(key) is bucket:
+            del self._buckets[key]
+            bucket.timer = None
+            await self._flush(key, bucket)
+
+    async def _flush(self, key: Hashable, bucket: _Bucket) -> None:
+        items = bucket.items
+        if not items:
+            return
+        metrics = self.obs.metrics
+        metrics.inc("serve.batches_total")
+        metrics.inc("serve.batched_queries_total", len(items))
+        metrics.histogram("serve.batch_size", BATCH_SIZE_BUCKETS).observe(len(items))
+        requests = [request for request, _ in items]
+        try:
+            results = await self._runner(key, requests)
+            if len(results) != len(requests):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(requests)} requests"
+                )
+        except Exception as exc:  # resolve every waiter, never swallow
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(items, results):
+            if not future.done():
+                future.set_result(result)

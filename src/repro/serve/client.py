@@ -1,0 +1,112 @@
+"""A small synchronous client for the serving layer (stdlib ``http.client``).
+
+Used by the load-generator benchmark and the end-to-end tests; also the
+reference for how to talk to the server from any HTTP client::
+
+    client = ServeClient("127.0.0.1", 8077)
+    corpus_id = client.register_corpus(["AT&T Inc.", "IBM Corp."])
+    matches = client.top_k(corpus_id, "AT&T Incorporated", k=5)
+
+Error envelopes (rejections, timeouts, bad requests) raise
+:class:`ServeError` carrying the HTTP status and machine-readable error
+code, so load generators can count 429s separately from failures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import List, Optional, Sequence
+
+from repro.core.predicates.base import Match
+from repro.serve.protocol import matches_from_payload
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-200 response from the server."""
+
+    def __init__(self, status: int, error: str, message: str):
+        super().__init__(f"[{status} {error}] {message}")
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class ServeClient:
+    """One keep-alive HTTP connection to a serve endpoint (not thread-safe;
+    give each client thread its own instance)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # -- raw transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One round trip; returns the decoded envelope, raising on errors."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException):
+            # Stale keep-alive (e.g. server restarted): retry once fresh.
+            self._connection.close()
+            self._connection.connect()
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        envelope = json.loads(raw.decode("utf-8"))
+        if envelope.get("kind") == "error":
+            raise ServeError(
+                envelope.get("status", response.status),
+                envelope.get("error", "unknown"),
+                envelope.get("message", ""),
+            )
+        return envelope
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def register_corpus(self, strings: Sequence[str]) -> str:
+        envelope = self.request("POST", "/corpora", {"strings": list(strings)})
+        return envelope["corpus_id"]
+
+    def query(self, corpus_id: str, text: str, **options) -> dict:
+        """Raw query round trip; returns the full result envelope."""
+        payload = {"corpus_id": corpus_id, "text": text}
+        payload.update(options)
+        return self.request("POST", "/query", payload)
+
+    def top_k(self, corpus_id: str, text: str, k: int, **options) -> List[Match]:
+        envelope = self.query(corpus_id, text, op="top_k", k=k, **options)
+        return matches_from_payload(envelope["matches"])
+
+    def rank(
+        self, corpus_id: str, text: str, limit: Optional[int] = None, **options
+    ) -> List[Match]:
+        envelope = self.query(corpus_id, text, op="rank", limit=limit, **options)
+        return matches_from_payload(envelope["matches"])
+
+    def select(
+        self, corpus_id: str, text: str, threshold: float, **options
+    ) -> List[Match]:
+        envelope = self.query(
+            corpus_id, text, op="select", threshold=threshold, **options
+        )
+        return matches_from_payload(envelope["matches"])
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/shutdown")

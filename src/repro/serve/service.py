@@ -1,0 +1,325 @@
+"""The similarity service: corpora, engines and the request pipeline.
+
+:class:`SimilarityService` is the asyncio front of the library -- everything
+the HTTP server does is one call to :meth:`~SimilarityService.handle`.  One
+request flows::
+
+    handle(payload)
+      parse            (protocol.parse_query_request -> 400 on bad input)
+      serve.request    (span; also the latency.serve.request histogram)
+      ├─ admission     (bounded queue + concurrency; 429 / 504 failures)
+      └─ batch         (micro-batcher coalesces compatible requests...)
+         └─ engine.query / run_many   (...into one engine execution)
+
+Each registered corpus owns one :class:`~repro.engine.query.SimilarityEngine`
+whose fitted-state caches make repeated queries cheap; the engines share the
+service's :class:`~repro.obs.trace.Observability` holder by reference, so the
+engine's own span tree (``engine.query -> fit/cache_hit -> execute.*``)
+nests under the service's ``serve.batch`` span and one metrics registry sees
+every layer.  Corpora are interned by content hash and evicted LRU beyond
+``max_corpora`` -- eviction calls the engine's ``clear_cache()``, which
+closes engine-owned SQL backends and shard worker pools (the warm-state
+lifecycle the engine already defines).
+
+Batches execute on worker threads (``asyncio.to_thread``) so the event loop
+keeps accepting requests while the engine computes; a per-corpus lock
+serializes executions on one engine, which keeps per-call stats objects
+coherent and -- together with the engine's internal lock -- makes served
+results bit-identical to direct engine calls under any interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.predicates.base import Match
+from repro.engine.query import Query, SimilarityEngine
+from repro.obs.clock import perf_clock
+from repro.obs.trace import Observability, Span
+from repro.serve.admission import AdmissionController, AdmissionTimeout, RejectedError
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    ProtocolError,
+    QueryRequest,
+    error_envelope,
+    parse_query_request,
+    result_envelope,
+)
+
+__all__ = ["SimilarityService", "corpus_id_for"]
+
+
+def corpus_id_for(strings: Sequence[str]) -> str:
+    """Deterministic content id of a relation (same strings -> same id)."""
+    digest = hashlib.sha1()
+    for text in strings:
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class _CorpusEntry:
+    """One registered relation: its strings, engine and execution lock."""
+
+    corpus_id: str
+    strings: List[str]
+    engine: SimilarityEngine
+    #: Serializes batch executions on this corpus's engine so per-call stats
+    #: and staged declarative tables never interleave across worker threads.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SimilarityService:
+    """Asyncio request pipeline over per-corpus similarity engines."""
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        max_queue: int = 16,
+        default_timeout: Optional[float] = 30.0,
+        batch_window: float = 0.005,
+        batch_max: int = 16,
+        max_corpora: int = 8,
+        obs: Optional[Observability] = None,
+    ):
+        if max_corpora < 1:
+            raise ValueError("max_corpora must be >= 1")
+        self.obs = obs if obs is not None else Observability()
+        self.default_timeout = default_timeout
+        self.max_corpora = int(max_corpora)
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency, max_queue=max_queue, obs=self.obs
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch, window=batch_window, max_batch=batch_max, obs=self.obs
+        )
+        self._corpora: "OrderedDict[str, _CorpusEntry]" = OrderedDict()
+        self._corpora_lock = threading.Lock()
+        self._draining = False
+
+    # -- corpus lifecycle --------------------------------------------------------
+
+    def register_corpus(self, strings: Sequence[str]) -> Tuple[str, int, bool]:
+        """Intern a relation; returns ``(corpus_id, num_tuples, created)``.
+
+        Registering the same strings twice is idempotent (same id, warm
+        engine kept).  Beyond ``max_corpora`` the least recently used corpus
+        is evicted and its engine's warm state released via ``clear_cache``.
+        """
+        if not isinstance(strings, (list, tuple)) or not all(
+            isinstance(text, str) for text in strings
+        ):
+            raise ProtocolError("strings must be a JSON array of strings")
+        if not strings:
+            raise ProtocolError("strings must not be empty")
+        corpus_id = corpus_id_for(strings)
+        with self._corpora_lock:
+            entry = self._corpora.get(corpus_id)
+            if entry is not None:
+                self._corpora.move_to_end(corpus_id)
+                return corpus_id, len(entry.strings), False
+            engine = SimilarityEngine()
+            # Share the service's observability holder by reference so
+            # tracer swaps and metrics reach every engine layer.
+            engine.obs = self.obs
+            self._corpora[corpus_id] = _CorpusEntry(
+                corpus_id=corpus_id, strings=list(strings), engine=engine
+            )
+            evicted = []
+            while len(self._corpora) > self.max_corpora:
+                _, stale = self._corpora.popitem(last=False)
+                evicted.append(stale)
+        for stale in evicted:
+            with stale.lock:  # wait out any in-flight batch on this corpus
+                stale.engine.clear_cache()
+            self.obs.metrics.inc("serve.corpora_evicted_total")
+        return corpus_id, len(strings), True
+
+    def corpus(self, corpus_id: str) -> _CorpusEntry:
+        """Look up a registered corpus (LRU touch); 404 when unknown."""
+        with self._corpora_lock:
+            entry = self._corpora.get(corpus_id)
+            if entry is None:
+                raise ProtocolError(
+                    f"unknown corpus_id {corpus_id!r}; register it via POST /corpora",
+                    status=404,
+                    error="unknown_corpus",
+                )
+            self._corpora.move_to_end(corpus_id)
+            return entry
+
+    @property
+    def corpus_ids(self) -> List[str]:
+        with self._corpora_lock:
+            return list(self._corpora)
+
+    def close(self) -> None:
+        """Release every engine's warm state (backends, pools, corpora)."""
+        with self._corpora_lock:
+            entries = list(self._corpora.values())
+            self._corpora.clear()
+        for entry in entries:
+            with entry.lock:
+                entry.engine.clear_cache()
+
+    # -- request pipeline --------------------------------------------------------
+
+    async def handle(self, payload: object) -> dict:
+        """Serve one query request; always returns a response envelope."""
+        metrics = self.obs.metrics
+        metrics.inc("serve.requests_total")
+        started = perf_clock()
+        try:
+            request = parse_query_request(payload, self.default_timeout)
+            if self._draining:
+                raise ProtocolError(
+                    "server is draining; retry against another instance",
+                    status=503,
+                    error="draining",
+                )
+            self.corpus(request.corpus_id)  # 404 before queuing
+            matches, batch_size = await asyncio.wait_for(
+                self._admit_and_run(request),
+                timeout=request.timeout,
+            )
+        except ProtocolError as exc:
+            envelope = exc.envelope()
+        except (RejectedError, AdmissionTimeout) as exc:
+            envelope = error_envelope(exc.status, exc.error, str(exc))
+        except asyncio.TimeoutError:
+            metrics.inc("serve.timeouts_total")
+            envelope = error_envelope(
+                504, "timeout", f"request deadline of {request.timeout:.3f}s expired"
+            )
+        else:
+            envelope = result_envelope(
+                request, matches, batch_size, perf_clock() - started
+            )
+        elapsed = perf_clock() - started
+        metrics.observe("latency.serve.request", elapsed)
+        if envelope["status"] != 200:
+            metrics.inc("serve.errors_total")
+        return envelope
+
+    async def _admit_and_run(
+        self, request: QueryRequest
+    ) -> Tuple[List[Match], int]:
+        """Admission then batched execution, inside the ``serve.request`` span.
+
+        The span is built by hand rather than as a context manager: the
+        batch executes on a worker thread (its spans open on that thread's
+        stack), so the request span adopts the finished batch span as a
+        child record instead of nesting it live.
+        """
+        tracer = self.obs.tracer
+        span = (
+            Span(
+                "serve.request",
+                start=perf_clock(),
+                attributes={
+                    "corpus_id": request.corpus_id,
+                    "op": request.op,
+                    "predicate": request.predicate,
+                },
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            admit_started = perf_clock()
+            async with self.admission.admit(timeout=request.timeout):
+                if span is not None:
+                    span.attach(
+                        Span(
+                            "serve.admission",
+                            start=admit_started,
+                            end=perf_clock(),
+                        )
+                    )
+                matches, batch_span, batch_size = await self.batcher.submit(
+                    request.batch_key(), request
+                )
+            if span is not None:
+                span.set(batch_size=batch_size)
+                if batch_span is not None:
+                    span.attach(Span.from_dict(batch_span))
+            return matches, batch_size
+        finally:
+            if span is not None:
+                span.end = perf_clock()
+                tracer.last_root = span
+
+    # -- batch execution ---------------------------------------------------------
+
+    async def _run_batch(
+        self, key: Tuple, requests: Sequence[QueryRequest]
+    ) -> List[Tuple[List[Match], Optional[dict], int]]:
+        """Execute one coalesced batch off the event loop."""
+        batches, batch_span = await asyncio.to_thread(
+            self._execute_batch, requests
+        )
+        size = len(requests)
+        return [(matches, batch_span, size) for matches in batches]
+
+    def _execute_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> Tuple[List[List[Match]], Optional[dict]]:
+        """Worker-thread body: one ``run_many`` for the whole bucket.
+
+        All requests share one batch key, so the first request describes the
+        plan for all of them.  ``run_many`` routes each query through the
+        same code paths as the single-query terminals, which is what makes
+        the split results bit-identical to individual calls.
+        """
+        first = requests[0]
+        entry = self.corpus(first.corpus_id)
+        tracer = self.obs.tracer
+        with entry.lock:
+            with tracer.span(
+                "serve.batch",
+                corpus_id=first.corpus_id,
+                op=first.op,
+                predicate=first.predicate,
+                batch_size=len(requests),
+            ) as span:
+                query = self._build_query(entry, first)
+                batches = query.run_many(
+                    [request.text for request in requests],
+                    op=first.op,
+                    k=first.k,
+                    threshold=first.threshold,
+                    limit=first.limit,
+                )
+        record = span.to_dict() if tracer.enabled else None
+        return batches, record
+
+    @staticmethod
+    def _build_query(entry: _CorpusEntry, request: QueryRequest) -> Query:
+        query = entry.engine.from_strings(entry.strings).predicate(request.predicate)
+        if request.realization is not None:
+            query = query.realization(request.realization)
+        if request.backend is not None:
+            query = query.backend(request.backend)
+        if request.num_shards > 1:
+            query = query.shards(request.num_shards, executor=request.executor)
+        return query
+
+    # -- drain -------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop taking new requests, finish everything in flight."""
+        self._draining = True
+        await self.batcher.flush_all()
+        while self.admission.active or self.admission.waiting or self.batcher.pending:
+            await asyncio.sleep(0.005)
+        await self.batcher.flush_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining

@@ -39,7 +39,10 @@ travel back as plain dicts and are re-attached under the currently open
 
 from __future__ import annotations
 
+import os
+import pickle
 from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -103,6 +106,18 @@ class ShardStats:
         """Accumulate into a :class:`~repro.obs.metrics.MetricsRegistry`."""
         metrics.inc("shards_run", self.shards_run)
         metrics.inc("shards_skipped", self.shards_skipped)
+
+
+def _fit_shard_task(
+    shard: Predicate,
+    strings: List[str],
+    token_lists: List[List[str]],
+    stats_factory: "InjectedStatsFactory",
+) -> Predicate:
+    """Worker entry for parallel shard fitting: fit and ship the shard back."""
+    shard._stats_factory = stats_factory
+    shard.fit(strings, token_lists=token_lists)
+    return shard
 
 
 def execute_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
@@ -260,11 +275,15 @@ class ShardedPredicate:
         executor: object = "serial",
         max_workers: Optional[int] = None,
         obs: Optional[Observability] = None,
+        parallel_fit: Optional[bool] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.obs = obs if obs is not None else Observability()
         self._factory = factory
+        #: ``True``/``False`` forces parallel fitting on/off; ``None`` decides
+        #: by executor and core count (see :meth:`_parallel_fit_active`).
+        self.parallel_fit = parallel_fit
         self.requested_shards = int(num_shards)
         self._prototype = factory()
         #: Executor instances passed in stay caller-owned: :meth:`close`
@@ -345,7 +364,18 @@ class ShardedPredicate:
     # -- preprocessing ----------------------------------------------------------
 
     def fit(self, strings: Sequence[str]) -> "ShardedPredicate":
-        """Global statistics pass, then one injected shard-local fit per shard."""
+        """Global statistics pass, then one injected shard-local fit per shard.
+
+        The relation is tokenized exactly once (with the prototype's
+        tokenizer): the global statistics pass consumes the token lists and
+        per-shard slices of the same lists are handed into each shard-local
+        fit through the :meth:`Predicate.fit` ``token_lists`` seam, so shard
+        fits pay no second tokenization.  With ``parallel_fit`` (or the
+        ``"process"`` executor on a multi-core machine) the shard-local fits
+        themselves run inside a transient process pool -- the fitted shards
+        travel back pickled, which preserves dict iteration order and
+        therefore bit-identical scores.
+        """
         self._strings = list(strings)
         count = len(self._strings)
         num_shards = max(1, min(self.requested_shards, count or 1))
@@ -354,17 +384,64 @@ class ShardedPredicate:
         self._token_lists = [tokenizer.tokenize(text) for text in self._strings]
         self._global_stats = CollectionStatistics(self._token_lists)
         stats_factory = InjectedStatsFactory(self._global_stats)
-        self._shards = []
-        for index in range(num_shards):
-            shard = self._factory()
-            shard._stats_factory = stats_factory
-            shard.fit(self._strings[self._offsets[index]:self._offsets[index + 1]])
-            self._shards.append(shard)
+        slices = [
+            (
+                self._strings[self._offsets[i]:self._offsets[i + 1]],
+                self._token_lists[self._offsets[i]:self._offsets[i + 1]],
+            )
+            for i in range(num_shards)
+        ]
+        self._shards = None
+        if num_shards > 1 and self._parallel_fit_active():
+            self._shards = self._fit_shards_parallel(slices, stats_factory)
+        if self._shards is None:
+            self._shards = []
+            for shard_strings, shard_tokens in slices:
+                shard = self._factory()
+                shard._stats_factory = stats_factory
+                shard.fit(shard_strings, token_lists=shard_tokens)
+                self._shards.append(shard)
         self._fitted = True
         self._executor.bind(self._shards, owner=self)
         if self._blocker is not None:
             self._fit_blocker(self._blocker)
         return self
+
+    def _parallel_fit_active(self) -> bool:
+        """Whether shard-local fits should run in worker processes.
+
+        ``parallel_fit=True`` forces it, ``False`` disables it, and ``None``
+        (the default) enables it exactly when it can pay off: a ``"process"``
+        executor on a machine with more than one core.
+        """
+        if self.parallel_fit is not None:
+            return self.parallel_fit
+        return self._executor.name == "process" and (os.cpu_count() or 1) > 1
+
+    def _fit_shards_parallel(
+        self,
+        slices: Sequence[Tuple[List[str], List[List[str]]]],
+        stats_factory: InjectedStatsFactory,
+    ) -> Optional[List[Predicate]]:
+        """Fit every shard in a transient process pool; ``None`` on fallback.
+
+        Unfitted predicate instances are shipped out (factories are often
+        closures and do not pickle), fitted ones come back.  Unpicklable
+        predicates fall back to the serial in-parent fit -- parallel fitting
+        is an optimization, never a requirement.
+        """
+        try:
+            unfitted = [self._factory() for _ in slices]
+            with ProcessPoolExecutor(max_workers=min(len(slices), os.cpu_count() or 1)) as pool:
+                futures = [
+                    pool.submit(
+                        _fit_shard_task, shard, strings, tokens, stats_factory
+                    )
+                    for shard, (strings, tokens) in zip(unfitted, slices)
+                ]
+                return [future.result() for future in futures]
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
 
     def close(self) -> None:
         """Shut down the executor's worker pool (shards stay usable: pooled

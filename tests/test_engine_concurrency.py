@@ -1,0 +1,214 @@
+"""Concurrency regressions for the engine, plus the fit token-list seam.
+
+The serving layer runs engine calls on worker threads, so the engine's
+fitted-state / instance / backend caches must behave under concurrent
+access: one fit per plan no matter how many threads race it, and results
+identical to single-threaded execution.  The second half covers the
+``Predicate.fit(token_lists=...)`` seam: sharded fits tokenize the relation
+exactly once, and parallel (process-pool) shard fitting stays bit-identical
+to the serial fit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import SimilarityEngine
+from repro.engine import registry
+from repro.obs.metrics import MetricsRegistry
+from repro.shard.predicate import ShardedPredicate
+
+
+class TestEngineThreadSafety:
+    def test_racing_threads_fit_once_and_agree(self, company_strings):
+        engine = SimilarityEngine(metrics=MetricsRegistry())
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        results: list = [None] * num_threads
+        errors: list = []
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                query = engine.from_strings(company_strings).predicate("bm25")
+                results[index] = query.top_k("Morgn Stanley", 5)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        # The racing threads shared ONE fit (the cache did not double-build).
+        assert engine.metrics.value("fits_total") == 1
+        assert engine.cache_size == 1
+        for result in results[1:]:
+            assert result == results[0]
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_concurrent_declarative_queries_on_shared_backend(
+        self, backend, company_strings
+    ):
+        """Interleaved declarative executions must not clobber each other's
+        staged query tables on the engine-shared SQL backend."""
+        engine = SimilarityEngine(metrics=MetricsRegistry())
+        plans = [("bm25", "Morgn Stanley"), ("jaccard", "AT&T"), ("cosine", "Beijing")]
+        num_threads = 6
+        results: list = [None] * num_threads
+        errors: list = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker(index: int) -> None:
+            predicate, text = plans[index % len(plans)]
+            try:
+                barrier.wait(timeout=30)
+                query = (
+                    engine.from_strings(company_strings)
+                    .predicate(predicate)
+                    .realization("declarative")
+                    .backend(backend)
+                )
+                results[index] = query.top_k(text, 4)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        # Compare against a fresh single-threaded engine, plan by plan.
+        serial_engine = SimilarityEngine()
+        for index, (predicate, text) in enumerate(
+            plans[i % len(plans)] for i in range(num_threads)
+        ):
+            serial = (
+                serial_engine.from_strings(company_strings)
+                .predicate(predicate)
+                .realization("declarative")
+                .backend(backend)
+                .top_k(text, 4)
+            )
+            assert results[index] == serial, (predicate, text)
+        engine.clear_cache()
+        serial_engine.clear_cache()
+
+    def test_concurrent_corpus_interning(self, company_strings):
+        engine = SimilarityEngine()
+        queries: list = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def worker(index: int) -> None:
+            barrier.wait(timeout=30)
+            queries[index] = engine.from_strings(company_strings)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # All racing registrations interned to ONE corpus object.
+        keys = {query._corpus.key for query in queries}
+        assert len(keys) == 1
+
+
+class _CountingTokenizer:
+    """Wraps a tokenizer, counting tokenize() calls (shared across shards)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def tokenize(self, text):
+        self.calls += 1
+        return self.inner.tokenize(text)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestFitTokenSeam:
+    def test_fit_accepts_pretokenized_lists(self, company_strings):
+        baseline = registry.make("bm25", realization="direct").fit(company_strings)
+        pretokenized = registry.make("bm25", realization="direct")
+        token_lists = [
+            pretokenized.tokenizer.tokenize(text) for text in company_strings
+        ]
+        pretokenized.fit(company_strings, token_lists=token_lists)
+        assert pretokenized.top_k("Morgn Stanley", 5) == baseline.top_k(
+            "Morgn Stanley", 5
+        )
+
+    def test_seam_is_per_fit_not_fitted_state(self, company_strings):
+        predicate = registry.make("bm25", realization="direct")
+        token_lists = [
+            predicate.tokenizer.tokenize(text) for text in company_strings
+        ]
+        predicate.fit(company_strings, token_lists=token_lists)
+        assert predicate._fit_token_lists is None  # cleared after the fit
+        # A refit without the seam re-tokenizes the *new* strings.
+        predicate.fit(company_strings[:4])
+        assert predicate.top_k("AT&T", 2) == registry.make(
+            "bm25", realization="direct"
+        ).fit(company_strings[:4]).top_k("AT&T", 2)
+
+    def test_sharded_fit_tokenizes_each_string_once(self, company_strings):
+        counter_holder: list = []
+
+        def factory():
+            predicate = registry.make("bm25", realization="direct")
+            counting = _CountingTokenizer(predicate.tokenizer)
+            predicate.tokenizer = counting
+            counter_holder.append(counting)
+            return predicate
+
+        sharded = ShardedPredicate(factory=factory, num_shards=3, parallel_fit=False)
+        sharded.fit(company_strings)
+        # One global tokenization pass; the shard-local fits reuse its lists
+        # through the token_lists seam instead of re-tokenizing.
+        fit_calls = sum(counting.calls for counting in counter_holder)
+        assert fit_calls == len(company_strings)
+        baseline = registry.make("bm25", realization="direct").fit(company_strings)
+        assert sharded.top_k("Morgn Stanley", 5) == baseline.top_k("Morgn Stanley", 5)
+        sharded.close()
+
+    @pytest.mark.parametrize("predicate_name", ["bm25", "jaccard"])
+    def test_parallel_process_fit_is_bit_identical(
+        self, predicate_name, company_strings
+    ):
+        sharded = ShardedPredicate(
+            factory=lambda: registry.make(predicate_name, realization="direct"),
+            num_shards=3,
+            parallel_fit=True,  # force the process-pool fit even on one core
+        )
+        sharded.fit(company_strings)
+        baseline = registry.make(predicate_name, realization="direct").fit(
+            company_strings
+        )
+        for text in ("Morgn Stanley", "AT&T Incorporated", "Beijing Hotel"):
+            assert sharded.top_k(text, 5) == baseline.top_k(text, 5)
+            assert sharded.rank(text) == baseline.rank(text)
+        sharded.close()
+
+    def test_parallel_fit_falls_back_on_unpicklable_predicates(
+        self, company_strings
+    ):
+        def factory():
+            predicate = registry.make("bm25", realization="direct")
+            predicate._unpicklable = lambda: None  # lambdas do not pickle
+            return predicate
+
+        sharded = ShardedPredicate(factory=factory, num_shards=2, parallel_fit=True)
+        sharded.fit(company_strings)  # falls back to the serial in-parent fit
+        baseline = registry.make("bm25", realization="direct").fit(company_strings)
+        assert sharded.top_k("Morgn Stanley", 5) == baseline.top_k("Morgn Stanley", 5)
+        sharded.close()

@@ -148,7 +148,7 @@ class TestMetrics:
         assert list(snapshot["counters"]) == ["a", "b"]
         assert snapshot["histograms"]["lat"]["count"] == 1
         metrics.reset()
-        assert metrics.to_dict() == {"counters": {}, "histograms": {}}
+        assert metrics.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
 
 
 class TestExport:

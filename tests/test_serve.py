@@ -1,0 +1,777 @@
+"""Tests of the serving layer: protocol, admission, batching, HTTP, drain.
+
+The load-bearing invariant throughout is *bit-identity*: a request served
+through admission control and micro-batching must return exactly the
+``Match`` list a direct call on a :class:`SimilarityEngine` returns --
+same tids, same float scores, same strings, same order -- under any
+interleaving of concurrent clients.  The hypothesis test at the bottom
+drives that across realizations and shard counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SimilarityEngine
+from repro.obs.clock import perf_clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Observability, Tracer
+from repro.serve import (
+    AdmissionController,
+    AdmissionTimeout,
+    MicroBatcher,
+    ProtocolError,
+    RejectedError,
+    ServeClient,
+    ServeError,
+    ServeServer,
+    SimilarityService,
+    corpus_id_for,
+    parse_query_request,
+)
+from repro.serve.protocol import match_to_dict
+
+
+ROWS = [
+    "Morgan Stanley Group Inc.",
+    "Goldman Sachs Group",
+    "AT&T Incorporated",
+    "IBM Incorporated",
+    "AT&T Inc.",
+    "Beijing Hotel",
+    "Beijing Labs",
+    "Hotel Beijing",
+    "Stanley Morgan Group Incorporated",
+    "Silicon Valley Group, Inc.",
+    "Pacific Gas and Electric Company",
+    "Granite Construction Incorporated",
+]
+
+
+def fresh_obs() -> Observability:
+    return Observability(metrics=MetricsRegistry())
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_minimal_top_k(self):
+        request = parse_query_request(
+            {"corpus_id": "abc", "text": "AT&T", "op": "top_k", "k": 3}
+        )
+        assert request.corpus_id == "abc"
+        assert request.op == "top_k"
+        assert request.k == 3
+        assert request.predicate == "bm25"
+
+    def test_default_timeout_applies(self):
+        request = parse_query_request(
+            {"corpus_id": "abc", "text": "x", "op": "rank"}, default_timeout=12.5
+        )
+        assert request.timeout == 12.5
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},
+            {"corpus_id": "a"},
+            {"corpus_id": "a", "text": "x", "op": "explode"},
+            {"corpus_id": "a", "text": "x", "op": "top_k"},  # missing k
+            {"corpus_id": "a", "text": "x", "op": "top_k", "k": -1},
+            {"corpus_id": "a", "text": "x", "op": "top_k", "k": True},
+            {"corpus_id": "a", "text": "x", "op": "select"},  # missing threshold
+            {"corpus_id": "a", "text": "x", "op": "rank", "num_shards": 0},
+            {"corpus_id": "a", "text": "x", "op": "rank", "timeout": -1},
+            {"corpus_id": "a", "text": "x", "op": "rank", "bogus": 1},
+        ],
+    )
+    def test_rejects_bad_payloads(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_query_request(payload)
+        assert excinfo.value.status == 400
+
+    def test_batch_key_separates_plans(self):
+        base = {"corpus_id": "a", "text": "x", "op": "top_k", "k": 3}
+        same_plan_other_text = dict(base, text="y")
+        other_k = dict(base, k=4)
+        other_predicate = dict(base, predicate="jaccard")
+        key = parse_query_request(base).batch_key()
+        assert parse_query_request(same_plan_other_text).batch_key() == key
+        assert parse_query_request(other_k).batch_key() != key
+        assert parse_query_request(other_predicate).batch_key() != key
+
+    def test_corpus_id_is_content_deterministic(self):
+        assert corpus_id_for(ROWS) == corpus_id_for(list(ROWS))
+        assert corpus_id_for(ROWS) != corpus_id_for(ROWS[:-1])
+        # Boundary-shift must change the id (the separator matters).
+        assert corpus_id_for(["ab", "c"]) != corpus_id_for(["a", "bc"])
+
+
+# ---------------------------------------------------------------------------
+# admission
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_concurrency_is_capped(self):
+        async def run():
+            controller = AdmissionController(
+                max_concurrency=2, max_queue=16, obs=fresh_obs()
+            )
+            active = 0
+            high_water = 0
+
+            async def worker():
+                nonlocal active, high_water
+                async with controller.admit():
+                    active += 1
+                    high_water = max(high_water, active)
+                    await asyncio.sleep(0.005)
+                    active -= 1
+
+            await asyncio.gather(*[worker() for _ in range(8)])
+            return high_water, controller.obs.metrics
+
+        high_water, metrics = asyncio.run(run())
+        assert high_water == 2
+        assert metrics.gauge("serve.active_requests").high_water == 2
+        assert metrics.gauge_value("serve.active_requests") == 0
+        assert metrics.gauge_value("serve.queue_depth") == 0
+
+    def test_full_queue_rejects_immediately(self):
+        async def run():
+            obs = fresh_obs()
+            controller = AdmissionController(max_concurrency=1, max_queue=1, obs=obs)
+            release = asyncio.Event()
+
+            async def holder():
+                async with controller.admit():
+                    await release.wait()
+
+            async def waiter():
+                async with controller.admit():
+                    pass
+
+            holding = asyncio.create_task(holder())
+            await asyncio.sleep(0.005)
+            waiting = asyncio.create_task(waiter())
+            await asyncio.sleep(0.005)
+            started = perf_clock()
+            with pytest.raises(RejectedError):
+                async with controller.admit():
+                    pass
+            elapsed = perf_clock() - started
+            release.set()
+            await asyncio.gather(holding, waiting)
+            return elapsed, obs.metrics
+
+        elapsed, metrics = asyncio.run(run())
+        assert elapsed < 0.05  # rejected without waiting
+        assert metrics.value("serve.rejections_total") == 1
+
+    def test_queued_request_times_out(self):
+        async def run():
+            obs = fresh_obs()
+            controller = AdmissionController(max_concurrency=1, max_queue=4, obs=obs)
+            release = asyncio.Event()
+
+            async def holder():
+                async with controller.admit():
+                    await release.wait()
+
+            holding = asyncio.create_task(holder())
+            await asyncio.sleep(0.005)
+            with pytest.raises(AdmissionTimeout):
+                async with controller.admit(timeout=0.02):
+                    pass
+            release.set()
+            await holding
+            return obs.metrics
+
+        metrics = asyncio.run(run())
+        assert metrics.value("serve.timeouts_total") == 1
+        assert metrics.gauge_value("serve.queue_depth") == 0
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_coalesces_within_window(self):
+        calls = []
+
+        async def runner(key, requests):
+            calls.append((key, list(requests)))
+            return [value * 2 for value in requests]
+
+        async def run():
+            batcher = MicroBatcher(runner, window=0.02, max_batch=16, obs=fresh_obs())
+            return await asyncio.gather(*[batcher.submit("k", i) for i in range(5)])
+
+        assert asyncio.run(run()) == [0, 2, 4, 6, 8]
+        assert len(calls) == 1
+        assert calls[0][1] == [0, 1, 2, 3, 4]
+
+    def test_distinct_keys_do_not_coalesce(self):
+        calls = []
+
+        async def runner(key, requests):
+            calls.append(key)
+            return list(requests)
+
+        async def run():
+            batcher = MicroBatcher(runner, window=0.02, obs=fresh_obs())
+            return await asyncio.gather(
+                batcher.submit("a", 1), batcher.submit("b", 2)
+            )
+
+        assert asyncio.run(run()) == [1, 2]
+        assert sorted(calls) == ["a", "b"]
+
+    def test_max_batch_flushes_early(self):
+        async def runner(key, requests):
+            return list(requests)
+
+        async def run():
+            # Window long enough that only the early flush can finish fast.
+            batcher = MicroBatcher(runner, window=2.0, max_batch=3, obs=fresh_obs())
+            started = perf_clock()
+            results = await asyncio.gather(*[batcher.submit("k", i) for i in range(3)])
+            return results, perf_clock() - started
+
+        results, elapsed = asyncio.run(run())
+        assert results == [0, 1, 2]
+        assert elapsed < 1.0
+
+    def test_runner_failure_reaches_every_waiter(self):
+        async def runner(key, requests):
+            raise ValueError("boom")
+
+        async def run():
+            batcher = MicroBatcher(runner, window=0.005, obs=fresh_obs())
+            return await asyncio.gather(
+                *[batcher.submit("k", i) for i in range(3)], return_exceptions=True
+            )
+
+        results = asyncio.run(run())
+        assert len(results) == 3
+        assert all(isinstance(result, ValueError) for result in results)
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def runner(key, requests):
+            return [1]  # wrong arity for a batch of 2
+
+        async def run():
+            batcher = MicroBatcher(runner, window=0.005, obs=fresh_obs())
+            return await asyncio.gather(
+                batcher.submit("k", 1), batcher.submit("k", 2), return_exceptions=True
+            )
+
+        results = asyncio.run(run())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_flush_all_resolves_pending(self):
+        async def runner(key, requests):
+            return list(requests)
+
+        async def run():
+            batcher = MicroBatcher(runner, window=30.0, obs=fresh_obs())
+            pending = asyncio.create_task(batcher.submit("k", 7))
+            await asyncio.sleep(0.005)
+            assert batcher.pending == 1
+            await batcher.flush_all()
+            return await asyncio.wait_for(pending, timeout=1.0)
+
+        assert asyncio.run(run()) == 7
+
+    def test_batch_metrics_published(self):
+        async def runner(key, requests):
+            return list(requests)
+
+        obs = fresh_obs()
+
+        async def run():
+            batcher = MicroBatcher(runner, window=0.02, obs=obs)
+            await asyncio.gather(*[batcher.submit("k", i) for i in range(4)])
+
+        asyncio.run(run())
+        assert obs.metrics.value("serve.batches_total") == 1
+        assert obs.metrics.value("serve.batched_queries_total") == 4
+        histogram = obs.metrics.histogram("serve.batch_size")
+        assert histogram.count == 1
+
+
+# ---------------------------------------------------------------------------
+# service pipeline
+# ---------------------------------------------------------------------------
+
+
+def make_service(**kwargs) -> SimilarityService:
+    kwargs.setdefault("batch_window", 0.002)
+    kwargs.setdefault("obs", fresh_obs())
+    return SimilarityService(**kwargs)
+
+
+class TestService:
+    def test_register_is_idempotent(self):
+        service = make_service()
+        first = service.register_corpus(ROWS)
+        second = service.register_corpus(list(ROWS))
+        assert first[0] == second[0]
+        assert first[2] is True and second[2] is False
+
+    def test_served_results_match_direct_engine(self):
+        service = make_service()
+        corpus_id, _, _ = service.register_corpus(ROWS)
+        payload = {"corpus_id": corpus_id, "text": "Morgn Stanley", "op": "top_k", "k": 4}
+        envelope = asyncio.run(service.handle(payload))
+        assert envelope["status"] == 200
+        direct = (
+            SimilarityEngine().from_strings(ROWS).predicate("bm25").top_k(
+                "Morgn Stanley", 4
+            )
+        )
+        assert envelope["matches"] == [match_to_dict(match) for match in direct]
+        service.close()
+
+    def test_unknown_corpus_is_404(self):
+        service = make_service()
+        envelope = asyncio.run(
+            service.handle({"corpus_id": "nope", "text": "x", "op": "rank"})
+        )
+        assert envelope["status"] == 404
+        assert envelope["error"] == "unknown_corpus"
+
+    def test_bad_payload_is_400(self):
+        service = make_service()
+        envelope = asyncio.run(service.handle({"text": "x"}))
+        assert envelope["status"] == 400
+        assert envelope["kind"] == "error"
+
+    def test_concurrent_same_plan_requests_coalesce(self):
+        service = make_service(batch_window=0.01, max_concurrency=8, max_queue=32)
+        corpus_id, _, _ = service.register_corpus(ROWS)
+        texts = ["Morgn Stanley", "AT&T", "Beijing", "Goldman", "IBM Corp"]
+
+        async def run():
+            payloads = [
+                {"corpus_id": corpus_id, "text": text, "op": "top_k", "k": 3}
+                for text in texts
+            ]
+            return await asyncio.gather(*[service.handle(p) for p in payloads])
+
+        envelopes = asyncio.run(run())
+        assert all(envelope["status"] == 200 for envelope in envelopes)
+        # All five shared one bucket: one batch execution of size 5.
+        metrics = service.obs.metrics
+        assert metrics.value("serve.batches_total") == 1
+        assert envelopes[0]["batch_size"] == len(texts)
+        # Batched answers are bit-identical to sequential direct calls.
+        query = SimilarityEngine().from_strings(ROWS).predicate("bm25")
+        for text, envelope in zip(texts, envelopes):
+            assert envelope["matches"] == [
+                match_to_dict(match) for match in query.top_k(text, 3)
+            ]
+        service.close()
+
+    def test_request_span_tree(self):
+        obs = Observability(tracer=Tracer(), metrics=MetricsRegistry())
+        service = make_service(obs=obs)
+        corpus_id, _, _ = service.register_corpus(ROWS)
+        envelope = asyncio.run(
+            service.handle(
+                {"corpus_id": corpus_id, "text": "AT&T", "op": "top_k", "k": 2}
+            )
+        )
+        assert envelope["status"] == 200
+        root = obs.tracer.last_root
+        assert root is not None and root.name == "serve.request"
+        assert root.find("serve.admission") is not None
+        batch = root.find("serve.batch")
+        assert batch is not None
+        assert batch.find("engine.query") is not None
+        assert batch.find("execute.direct") is not None
+        service.close()
+
+    def test_lru_eviction_clears_engine_state(self):
+        service = make_service(max_corpora=1)
+        first_id, _, _ = service.register_corpus(ROWS)
+        first_engine = service.corpus(first_id).engine
+        asyncio.run(
+            service.handle(
+                {"corpus_id": first_id, "text": "AT&T", "op": "top_k", "k": 1}
+            )
+        )
+        assert first_engine.cache_size == 1
+        second_id, _, _ = service.register_corpus(ROWS[:4])
+        assert service.corpus_ids == [second_id]
+        assert first_engine.cache_size == 0  # evicted corpus released its state
+        envelope = asyncio.run(
+            service.handle(
+                {"corpus_id": first_id, "text": "AT&T", "op": "top_k", "k": 1}
+            )
+        )
+        assert envelope["status"] == 404
+        assert service.obs.metrics.value("serve.corpora_evicted_total") == 1
+        service.close()
+
+    def test_deadline_expiry_is_504(self):
+        async def run():
+            service = make_service(max_concurrency=1, max_queue=4)
+            corpus_id, _, _ = service.register_corpus(ROWS)
+            release = asyncio.Event()
+
+            async def holder():
+                async with service.admission.admit():
+                    await release.wait()
+
+            holding = asyncio.create_task(holder())
+            await asyncio.sleep(0.005)
+            envelope = await service.handle(
+                {
+                    "corpus_id": corpus_id,
+                    "text": "AT&T",
+                    "op": "top_k",
+                    "k": 1,
+                    "timeout": 0.03,
+                }
+            )
+            release.set()
+            await holding
+            service.close()
+            return envelope
+
+        envelope = asyncio.run(run())
+        assert envelope["status"] == 504
+        assert envelope["error"] == "timeout"
+
+    def test_overload_is_429(self):
+        async def run():
+            service = make_service(max_concurrency=1, max_queue=0)
+            corpus_id, _, _ = service.register_corpus(ROWS)
+            release = asyncio.Event()
+
+            async def holder():
+                async with service.admission.admit():
+                    await release.wait()
+
+            holding = asyncio.create_task(holder())
+            await asyncio.sleep(0.005)
+            envelope = await service.handle(
+                {"corpus_id": corpus_id, "text": "AT&T", "op": "top_k", "k": 1}
+            )
+            release.set()
+            await holding
+            service.close()
+            return envelope
+
+        envelope = asyncio.run(run())
+        assert envelope["status"] == 429
+        assert envelope["error"] == "rejected"
+
+    def test_draining_service_answers_503(self):
+        service = make_service()
+        corpus_id, _, _ = service.register_corpus(ROWS)
+        asyncio.run(service.drain())
+        envelope = asyncio.run(
+            service.handle(
+                {"corpus_id": corpus_id, "text": "AT&T", "op": "top_k", "k": 1}
+            )
+        )
+        assert envelope["status"] == 503
+        assert envelope["error"] == "draining"
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP server end-to-end
+# ---------------------------------------------------------------------------
+
+
+class _ServerThread:
+    """Runs a ServeServer on a private event loop in a daemon thread."""
+
+    def __init__(self, service: SimilarityService):
+        self.service = service
+        self.host: str = ""
+        self.port: int = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: ServeServer | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._server is not None:
+            self._loop.call_soon_threadsafe(self._server.request_stop)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server thread failed to stop"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = ServeServer(self.service, port=0)
+        self.host, self.port = await self._server.start()
+        self._ready.set()
+        await self._server.serve_until_stopped()
+
+
+class TestHTTPServer:
+    def test_health_metrics_and_routing(self):
+        with _ServerThread(make_service()) as server:
+            client = ServeClient(server.host, server.port)
+            health = client.health()
+            assert health["kind"] == "health" and health["draining"] is False
+            snapshot = client.metrics()
+            assert snapshot["schema"] == "repro.obs/1"
+            assert snapshot["kind"] == "metrics"
+            with pytest.raises(ServeError) as excinfo:
+                client.request("GET", "/nope")
+            assert excinfo.value.status == 404
+            with pytest.raises(ServeError) as excinfo:
+                client.request("GET", "/query")
+            assert excinfo.value.status == 405
+            client.close()
+
+    def test_rejects_invalid_json_body(self):
+        with _ServerThread(make_service()) as server:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            connection.request(
+                "POST", "/query", b"{not json", {"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            envelope = json.loads(response.read())
+            assert response.status == 400
+            assert envelope["error"] == "bad_request"
+            connection.close()
+
+    def test_served_queries_bit_identical_over_http(self):
+        engine = SimilarityEngine()
+        with _ServerThread(make_service()) as server:
+            client = ServeClient(server.host, server.port)
+            corpus_id = client.register_corpus(ROWS)
+            for predicate in ("bm25", "jaccard", "cosine"):
+                for realization in ("direct", "declarative"):
+                    served = client.top_k(
+                        corpus_id,
+                        "Morgn Stanley",
+                        k=5,
+                        predicate=predicate,
+                        realization=realization,
+                    )
+                    direct = (
+                        engine.from_strings(ROWS)
+                        .predicate(predicate)
+                        .realization(realization)
+                        .top_k("Morgn Stanley", 5)
+                    )
+                    assert served == direct, (predicate, realization)
+            client.close()
+
+    def test_eight_concurrent_clients(self):
+        texts = ["Morgn Stanley", "AT&T", "Beijing Hotel", "Goldman", "IBM"]
+        expected = {}
+        query = SimilarityEngine().from_strings(ROWS).predicate("bm25")
+        for text in texts:
+            expected[text] = query.top_k(text, 3)
+        failures: list = []
+        with _ServerThread(
+            make_service(max_concurrency=4, max_queue=64, batch_window=0.002)
+        ) as server:
+            seed_client = ServeClient(server.host, server.port)
+            corpus_id = seed_client.register_corpus(ROWS)
+            seed_client.close()
+
+            def client_worker(worker_id: int) -> None:
+                try:
+                    client = ServeClient(server.host, server.port)
+                    for round_index in range(3):
+                        text = texts[(worker_id + round_index) % len(texts)]
+                        served = client.top_k(corpus_id, text, k=3)
+                        if served != expected[text]:
+                            failures.append((worker_id, text))
+                    client.close()
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    failures.append((worker_id, repr(exc)))
+
+            threads = [
+                threading.Thread(target=client_worker, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert failures == []
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown (subprocess + SIGTERM)
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_without_dropping_requests(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--batch-window",
+                "0.002",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("listening on"), line
+            port = int(line.rsplit(":", 1)[1])
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+            connection.request(
+                "POST",
+                "/corpora",
+                json.dumps({"strings": ROWS}),
+                {"Content-Type": "application/json"},
+            )
+            corpus_id = json.loads(connection.getresponse().read())["corpus_id"]
+            connection.close()
+
+            responses: list = []
+
+            def fire_query(text: str) -> None:
+                worker = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+                worker.request(
+                    "POST",
+                    "/query",
+                    json.dumps(
+                        {"corpus_id": corpus_id, "text": text, "op": "top_k", "k": 3}
+                    ),
+                    {"Content-Type": "application/json"},
+                )
+                responses.append(json.loads(worker.getresponse().read()))
+                worker.close()
+
+            threads = [
+                threading.Thread(target=fire_query, args=(text,))
+                for text in ("Morgn Stanley", "AT&T", "Beijing")
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.01)  # requests in flight
+            process.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30)
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        # Every mid-flight request got a full, successful response.
+        assert len(responses) == 3
+        assert all(envelope["status"] == 200 for envelope in responses)
+        assert all(envelope["matches"] for envelope in responses)
+        assert process.returncode == 0
+        assert "drained and stopped" in stdout
+        assert "Traceback" not in stderr
+
+
+# ---------------------------------------------------------------------------
+# served-vs-sequential equivalence (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+_WORDS = sorted({word for row in ROWS for word in row.replace(",", " ").split()})
+
+#: One shared engine for the sequential (expected) side, so fitted state is
+#: cached across hypothesis examples.
+_EXPECTED_ENGINE = SimilarityEngine()
+
+
+def _expected_top_k(text: str, realization: str, num_shards: int):
+    query = _EXPECTED_ENGINE.from_strings(ROWS).predicate("bm25").realization(
+        realization
+    )
+    if num_shards > 1:
+        query = query.shards(num_shards)
+    return query.top_k(text, 5)
+
+
+class TestServedEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        queries=st.lists(
+            st.lists(st.sampled_from(_WORDS), min_size=1, max_size=4).map(" ".join),
+            min_size=1,
+            max_size=6,
+        ),
+        num_shards=st.sampled_from([1, 2, 7]),
+        realization=st.sampled_from(["direct", "declarative"]),
+    )
+    def test_concurrent_serving_is_bit_identical(
+        self, queries, num_shards, realization
+    ):
+        expected = [
+            _expected_top_k(text, realization, num_shards) for text in queries
+        ]
+
+        async def run():
+            service = make_service(max_concurrency=4, max_queue=64)
+            corpus_id, _, _ = service.register_corpus(ROWS)
+            payloads = [
+                {
+                    "corpus_id": corpus_id,
+                    "text": text,
+                    "op": "top_k",
+                    "k": 5,
+                    "realization": realization,
+                    "num_shards": num_shards,
+                }
+                for text in queries
+            ]
+            envelopes = await asyncio.gather(
+                *[service.handle(payload) for payload in payloads]
+            )
+            service.close()
+            return envelopes
+
+        envelopes = asyncio.run(run())
+        for text, envelope, matches in zip(queries, envelopes, expected):
+            assert envelope["status"] == 200, envelope
+            assert envelope["matches"] == [
+                match_to_dict(match) for match in matches
+            ], (text, realization, num_shards)
