@@ -85,7 +85,7 @@ from repro.engine import (
 )
 from repro.shard import ShardedPredicate, ShardStats
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SimilarityEngine",

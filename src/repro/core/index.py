@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core import kernels
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (blocking uses text only)
     from repro.blocking.base import Blocker
 
@@ -116,6 +118,12 @@ class WeightedPostingIndex:
     Each token also records its maximum and minimum stored contribution,
     which is exactly what max-score pruning (:mod:`repro.core.topk`) needs to
     bound unopened posting lists.
+
+    When numpy is available (the ``fast`` extra), each posting list is also
+    materialized once as a contiguous ``(int64 tids, float64 contributions)``
+    array pair so the vectorized kernels (:mod:`repro.core.kernels`) can
+    accumulate at C speed; without numpy ``arrays()`` returns ``None`` and
+    every scoring path falls back to the list-of-tuples postings.
     """
 
     def __init__(self, postings: Dict[str, List[Tuple[int, float]]]):
@@ -126,6 +134,7 @@ class WeightedPostingIndex:
             contributions = [contribution for _, contribution in plist]
             self._max[token] = max(contributions)
             self._min[token] = min(contributions)
+        self._arrays = kernels.build_arrays(postings)
 
     @classmethod
     def from_doc_weights(
@@ -175,6 +184,16 @@ class WeightedPostingIndex:
         """``(tid, contribution)`` pairs for every tuple ``token`` scores on."""
         return self._postings.get(token, _EMPTY_POSTINGS)
 
+    def arrays(self, token: str):
+        """``(int64 tids, float64 contributions)`` arrays, or ``None``.
+
+        ``None`` either because numpy is unavailable or because the token has
+        no postings; callers fall back to :meth:`postings` in both cases.
+        """
+        if self._arrays is None:
+            return None
+        return self._arrays.get(token)
+
     def slice(self, start: int, stop: int) -> "WeightedPostingIndex":
         """The sub-index over tuples ``start <= tid < stop``, tids rebased to 0.
 
@@ -182,7 +201,10 @@ class WeightedPostingIndex:
         collection-level statistics, which do not change with the slice), and
         the per-token max/min bounds are recomputed over the surviving
         postings -- tightening them to the slice is what makes per-shard
-        max-score bounds useful for short-circuiting whole shards.
+        max-score bounds useful for short-circuiting whole shards.  Going
+        through the constructor also rebuilds the kernel array backing, so a
+        sliced index carries exactly the arrays a shard-local fit would have
+        built (the shard==slice invariant extends to the vectorized path).
         """
         postings: Dict[str, List[Tuple[int, float]]] = {}
         for token, plist in self._postings.items():

@@ -1,0 +1,621 @@
+"""Vectorized scoring kernels with a pure-Python fallback.
+
+Every monotone-sum predicate (WeightedMatch, WeightedJaccard, Cosine, BM25,
+LM, HMM) spends its query time in the same inner loop: accumulate
+``score[tid] += query_weight * contribution`` over precomputed weighted
+posting lists.  In pure Python that loop is interpreter-bound and holds the
+GIL, so ``executor="thread"`` buys nothing.  This module provides the
+C-speed replacement: per-token postings are materialized once at fit time as
+contiguous ``int64`` tid / ``float64`` contribution arrays
+(:func:`build_arrays`, stored by
+:class:`~repro.core.index.WeightedPostingIndex`), and accumulation happens
+with ``np.add.at`` -- numpy's *unbuffered, in-element-order* scatter-add.
+
+Bit-identity guarantee
+----------------------
+
+The scalar path accumulates ``scores.get(tid, 0.0) + qw * contribution``
+visiting tokens in a canonical order (sorted query tokens, or query
+first-occurrence order for HMM) and each posting list in increasing tid
+order.  The vectorized path concatenates the per-token ``qw * contribution``
+arrays in exactly that order and applies them with ``np.add.at``, which is
+documented to perform the additions element by element (unbuffered).  Each
+per-tid addition chain is therefore the same float64 operations in the same
+order as the scalar path, so results are **bit-identical** -- the exactness
+guarantee the whole test suite pins.  (``qw * c`` is skipped when
+``qw == 1.0``; IEEE-754 guarantees ``1.0 * c == c`` bitwise.)
+
+Backend dispatch
+----------------
+
+numpy is an optional dependency (the ``fast`` extra).  When it is missing --
+or disabled via ``REPRO_KERNEL=python`` in the environment -- every entry
+point falls back to the scalar loops, which *are* the pre-kernel code paths
+verbatim.  :func:`use_backend` forces a backend for a scope (used by the
+equivalence tests and benchmarks to compare both paths in one process), and
+:func:`ops_snapshot` exposes per-backend invocation counters so the engine
+can attribute kernel work in its metrics registry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "np",
+    "numpy_available",
+    "active_backend",
+    "use_backend",
+    "ops_snapshot",
+    "build_arrays",
+    "accumulate",
+    "make_topk_accumulator",
+    "DenseScores",
+    "dense_pair",
+    "dense_from_lists",
+    "top_items",
+    "sorted_items",
+    "select_items",
+]
+
+#: Environment switch: ``REPRO_KERNEL=python`` (or ``off``) disables numpy
+#: entirely -- imports, fit-time array building, and dispatch -- which is how
+#: CI proves the pure-Python fallback on machines that do have numpy.
+_ENV_DISABLED = os.environ.get("REPRO_KERNEL", "").strip().lower() in (
+    "python",
+    "off",
+    "scalar",
+)
+
+if _ENV_DISABLED:  # pragma: no cover - exercised via subprocess in CI
+    np = None
+else:
+    try:
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+        np = None
+
+#: Backend forced by :func:`use_backend`; ``None`` means auto (numpy when
+#: importable).  Process-global on purpose: shard worker threads must see the
+#: same forcing as the thread that entered the context.
+_forced: Optional[str] = None
+
+_ops_lock = threading.Lock()
+_ops: Dict[str, int] = {"numpy": 0, "python": 0}
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be selected at all."""
+    return np is not None
+
+
+def active_backend() -> str:
+    """The backend the next kernel call will use: ``"numpy"`` or ``"python"``."""
+    if _forced is not None:
+        return _forced
+    return "numpy" if np is not None else "python"
+
+
+@contextmanager
+def use_backend(name: str):
+    """Force kernel dispatch to ``name`` for the duration of the context.
+
+    The forcing is process-global (nested contexts restore the previous
+    value), so worker threads spawned inside the context -- the shard
+    layer's thread executor -- dispatch consistently with their parent.
+    """
+    global _forced
+    if name not in ("numpy", "python"):
+        raise ValueError("backend must be 'numpy' or 'python'")
+    if name == "numpy" and np is None:
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    previous = _forced
+    _forced = name
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+def _count_op(backend: str) -> None:
+    with _ops_lock:
+        _ops[backend] += 1
+
+
+def ops_snapshot() -> Dict[str, int]:
+    """Per-backend kernel invocation counts since process start.
+
+    The engine snapshots this around each execution and publishes the delta
+    as ``kernel_ops.<backend>`` counters, so traces and metrics attribute
+    which backend actually did the scoring work.
+    """
+    with _ops_lock:
+        return dict(_ops)
+
+
+# -- fit-time array building --------------------------------------------------
+
+
+def build_arrays(
+    postings: Dict[str, List[Tuple[int, float]]],
+) -> Optional[Dict[str, Tuple["np.ndarray", "np.ndarray"]]]:
+    """Materialize posting lists as ``(int64 tids, float64 contributions)``.
+
+    Returns ``None`` when numpy is unavailable (callers store ``None`` and
+    every kernel entry point falls back to the list-of-tuples postings).
+    Arrays are built even while :func:`use_backend` forces the python
+    backend -- forcing affects compute dispatch only, so a fit performed
+    under one backend serves queries under the other.
+    """
+    if np is None:
+        return None
+    arrays: Dict[str, Tuple["np.ndarray", "np.ndarray"]] = {}
+    for token, plist in postings.items():
+        arrays[token] = _arrays_from_postings(plist)
+    return arrays
+
+
+def _arrays_from_postings(
+    plist: Sequence[Tuple[int, float]],
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    count = len(plist)
+    tids = np.fromiter((tid for tid, _ in plist), dtype=np.int64, count=count)
+    contributions = np.fromiter(
+        (contribution for _, contribution in plist),
+        dtype=np.float64,
+        count=count,
+    )
+    return tids, contributions
+
+
+# -- batch accumulation (rank / select / score paths) -------------------------
+
+
+def accumulate(
+    index,
+    items: Sequence[Tuple[str, float]],
+    size: int,
+) -> Dict[int, float]:
+    """``{tid: Σ qw * contribution}`` over the given ``(token, qw)`` items.
+
+    ``items`` must already be in the predicate's canonical token order and
+    free of zero query weights; ``index`` is a
+    :class:`~repro.core.index.WeightedPostingIndex` (duck-typed: ``postings``
+    and ``arrays`` accessors).  ``size`` is the relation size, bounding tids.
+
+    Candidate membership matches the scalar loops exactly: every tid touched
+    by an opened posting appears in the result, *including* tids whose
+    contributions cancel to exactly ``0.0`` (possible under negative RS
+    weights) and tids with stored zero contributions (the language model
+    keeps them on purpose).
+    """
+    backend = active_backend()
+    _count_op(backend)
+    if backend == "numpy":
+        return _accumulate_numpy(index, items, size)
+    return _accumulate_python(index, items)
+
+
+def _accumulate_python(index, items: Sequence[Tuple[str, float]]) -> Dict[int, float]:
+    scores: Dict[int, float] = {}
+    for token, query_weight in items:
+        if query_weight == 1.0:
+            for tid, contribution in index.postings(token):
+                scores[tid] = scores.get(tid, 0.0) + contribution
+        else:
+            for tid, contribution in index.postings(token):
+                scores[tid] = scores.get(tid, 0.0) + query_weight * contribution
+    return scores
+
+
+class DenseScores(dict):
+    """Score dict backed by ``(tids, values)`` arrays, materialized lazily.
+
+    The numpy accumulate produces its candidate set as an int64 tid array
+    plus the matching float64 scores; building a 10k-entry Python dict out
+    of them costs more than the accumulation itself, and the hot paths
+    (``rank``/``select``/``top_k`` selection) only ever need the arrays.  So
+    the dict starts empty and fills itself from the arrays on the first
+    dict-API access -- every Python-level read (``len``, iteration, ``get``,
+    ``items``, ``==`` ...) behaves exactly like the plain dict the scalar
+    path returns, with identical keys and bit-identical float values.
+
+    ``tids`` is tid-ascending; ``values[i]`` is the score of ``tids[i]``.
+    Mutation is supported (materializes first) and marks the arrays stale so
+    the selection kernels fall back to the dict.  Caveat: C-level fast paths
+    that read dict storage directly without calling the overridden methods
+    (``dict(d)``, ``{**d}``, ``other.update(d)``) see the unmaterialized
+    dict -- call ``.materialize()`` first if you need those.
+    """
+
+    __slots__ = ("tids", "vals", "_filled", "_stale")
+
+    def __init__(self, tids, values):
+        super().__init__()
+        self.tids = tids
+        self.vals = values
+        self._filled = False
+        self._stale = False
+
+    def materialize(self) -> "DenseScores":
+        """Fill the underlying dict from the arrays (idempotent)."""
+        if not self._filled:
+            self._filled = True
+            super().update(zip(self.tids.tolist(), self.vals.tolist()))
+        return self
+
+    def _arrays(self):
+        """``(tids, values)`` while they still reflect the content, else None."""
+        if self._stale:
+            return None
+        return self.tids, self.vals
+
+    def _touch(self) -> "DenseScores":
+        self.materialize()
+        self._stale = True
+        return self
+
+    # -- reads (materialize, then plain dict behavior) ------------------------
+
+    def __len__(self):
+        return super().__len__() if self._filled else int(self.tids.size)
+
+    def __iter__(self):
+        return super(DenseScores, self.materialize()).__iter__()
+
+    def __reversed__(self):
+        return super(DenseScores, self.materialize()).__reversed__()
+
+    def __contains__(self, key):
+        return super(DenseScores, self.materialize()).__contains__(key)
+
+    def __getitem__(self, key):
+        return super(DenseScores, self.materialize()).__getitem__(key)
+
+    def get(self, key, default=None):
+        return super(DenseScores, self.materialize()).get(key, default)
+
+    def keys(self):
+        return super(DenseScores, self.materialize()).keys()
+
+    def values(self):  # noqa: A003 - dict API
+        return super(DenseScores, self.materialize()).values()
+
+    def items(self):
+        return super(DenseScores, self.materialize()).items()
+
+    def __eq__(self, other):
+        return super(DenseScores, self.materialize()).__eq__(other)
+
+    def __ne__(self, other):
+        return super(DenseScores, self.materialize()).__ne__(other)
+
+    __hash__ = None  # dicts are unhashable
+
+    def __repr__(self):
+        return super(DenseScores, self.materialize()).__repr__()
+
+    def copy(self):
+        return dict(self.materialize())
+
+    def __or__(self, other):
+        return dict(self.materialize()) | other
+
+    def __ror__(self, other):
+        return other | dict(self.materialize())
+
+    def __reduce__(self):
+        # Pickles as the plain dict it represents.
+        return (dict, (dict(self.materialize()),))
+
+    # -- mutation (materialize, mark arrays stale) ----------------------------
+
+    def __setitem__(self, key, value):
+        super(DenseScores, self._touch()).__setitem__(key, value)
+
+    def __delitem__(self, key):
+        super(DenseScores, self._touch()).__delitem__(key)
+
+    def setdefault(self, key, default=None):
+        return super(DenseScores, self._touch()).setdefault(key, default)
+
+    def pop(self, *args):
+        return super(DenseScores, self._touch()).pop(*args)
+
+    def popitem(self):
+        return super(DenseScores, self._touch()).popitem()
+
+    def clear(self):
+        super(DenseScores, self._touch()).clear()
+
+    def update(self, *args, **kwargs):
+        super(DenseScores, self._touch()).update(*args, **kwargs)
+
+    def __ior__(self, other):
+        self._touch().update(other)
+        return self
+
+
+def dense_pair(scores) -> Optional[Tuple["np.ndarray", "np.ndarray"]]:
+    """``(tids, values)`` of an unmutated :class:`DenseScores`, else ``None``.
+
+    The backend gate makes forced-python scopes take the scalar paths even
+    when handed a numpy-produced dict.
+    """
+    if active_backend() != "numpy" or not isinstance(scores, DenseScores):
+        return None
+    return scores._arrays()
+
+
+def dense_from_lists(tids, values: List[float]) -> "DenseScores":
+    """Re-wrap transformed scores over the same candidate tid array.
+
+    ``values`` is a list of Python floats aligned with ``tids``;
+    ``np.array`` round-trips them exactly (float64 either way).
+    """
+    return DenseScores(tids, np.array(values, dtype=np.float64))
+
+
+def _accumulate_numpy(
+    index, items: Sequence[Tuple[str, float]], size: int
+) -> Dict[int, float]:
+    tid_parts: List["np.ndarray"] = []
+    value_parts: List["np.ndarray"] = []
+    for token, query_weight in items:
+        pair = index.arrays(token)
+        if pair is None:
+            plist = index.postings(token)
+            if not plist:
+                continue
+            pair = _arrays_from_postings(plist)
+        tids, contributions = pair
+        tid_parts.append(tids)
+        value_parts.append(
+            contributions if query_weight == 1.0 else query_weight * contributions
+        )
+    if not tid_parts:
+        return {}
+    all_tids = tid_parts[0] if len(tid_parts) == 1 else np.concatenate(tid_parts)
+    all_values = (
+        value_parts[0] if len(value_parts) == 1 else np.concatenate(value_parts)
+    )
+    accumulator = np.zeros(size, dtype=np.float64)
+    # Unbuffered scatter-add: additions apply in element order, reproducing
+    # the scalar per-tid accumulation chains bit for bit.
+    np.add.at(accumulator, all_tids, all_values)
+    touched = np.zeros(size, dtype=bool)
+    touched[all_tids] = True
+    candidates = np.flatnonzero(touched)
+    # Lazily-materialized dict: .tolist() round-trips to exact Python
+    # ints/floats on first dict access; dict order is tid-ascending (the
+    # scalar dict is first-touch order) -- no consumer depends on dict
+    # order, only on content.
+    return DenseScores(candidates, accumulator[candidates])
+
+
+# -- selection (ordering of scored candidates for rank / select) --------------
+#
+# Selection involves no float arithmetic -- only comparisons on the exact
+# score values -- so the vectorized variants are bit-identical to the scalar
+# ones by construction.  The ordering key is always (score desc, tid asc),
+# which is unique per item, so any correct implementation yields one answer.
+
+#: Below this many candidates the scalar paths win (array conversion and
+#: numpy call overhead dominate); the cutover only affects speed, never
+#: results.
+_SELECTION_MIN = 64
+
+
+def _selection_arrays(scores: Dict[int, float]):
+    """``(tids, values)`` arrays for a score dict, or ``None`` to fall back.
+
+    Reuses the arrays a :class:`DenseScores` carries when they still match
+    the dict (defensive length check); other dicts -- post-processed scores
+    from WeightedJaccard/LM/HMM, blocker-filtered dicts -- are converted via
+    ``np.fromiter``.
+    """
+    if active_backend() != "numpy" or len(scores) < _SELECTION_MIN:
+        return None
+    pair = dense_pair(scores)
+    if pair is not None:
+        return pair
+    count = len(scores)
+    tids = np.fromiter(scores.keys(), dtype=np.int64, count=count)
+    values = np.fromiter(scores.values(), dtype=np.float64, count=count)
+    return tids, values
+
+
+def _ordered_pairs(tids, values) -> List[Tuple[int, float]]:
+    """``(tid, score)`` pairs sorted by (score desc, tid asc), exactly."""
+    order = np.lexsort((tids, -values))
+    return list(zip(tids[order].tolist(), values[order].tolist()))
+
+
+def top_items(scores: Dict[int, float], limit: int) -> List[Tuple[int, float]]:
+    """The ``limit`` largest ``(tid, score)`` items, score desc / tid asc.
+
+    Equals ``heapq.nlargest(limit, scores.items(), key=(score, -tid))``
+    bit for bit: the vectorized path partitions on the exact values, keeps
+    everything strictly above the kth value, fills the remaining slots with
+    the smallest tids among the boundary ties, and orders the winners with
+    one lexsort.
+    """
+    if limit <= 0 or not scores:
+        return []
+    pair = _selection_arrays(scores)
+    if pair is None:
+        return heapq.nlargest(limit, scores.items(), key=lambda item: (item[1], -item[0]))
+    tids, values = pair
+    if limit >= values.size:
+        return _ordered_pairs(tids, values)
+    keep = np.argpartition(-values, limit - 1)[:limit]
+    kth = values[keep].min()
+    above = np.flatnonzero(values > kth)
+    ties = np.flatnonzero(values == kth)
+    fill = np.argsort(tids[ties], kind="stable")[: limit - above.size]
+    chosen = np.concatenate([above, ties[fill]])
+    return _ordered_pairs(tids[chosen], values[chosen])
+
+
+def sorted_items(scores: Dict[int, float]) -> List[Tuple[int, float]]:
+    """All ``(tid, score)`` items sorted by score desc, tid asc."""
+    pair = _selection_arrays(scores)
+    if pair is None:
+        return sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return _ordered_pairs(*pair)
+
+
+def select_items(
+    scores: Dict[int, float], threshold: float
+) -> List[Tuple[int, float]]:
+    """``(tid, score)`` items with ``score >= threshold``, score desc / tid asc."""
+    pair = _selection_arrays(scores)
+    if pair is None:
+        survivors = [item for item in scores.items() if item[1] >= threshold]
+        survivors.sort(key=lambda item: (-item[1], item[0]))
+        return survivors
+    tids, values = pair
+    keep = values >= threshold
+    return _ordered_pairs(tids[keep], values[keep])
+
+
+# -- top-k accumulators (max-score path in core/topk.py) ----------------------
+
+
+class _PythonTopKAccumulator:
+    """The pre-kernel max-score accumulation state, verbatim.
+
+    A dict of partial sums plus the running best; `iter_by_partial` is the
+    lazily-popped max-heap of the original implementation, so only the
+    candidates actually rescored pay for ordering.
+    """
+
+    def __init__(self, allowed: Optional[Set[int]]):
+        self._allowed = allowed
+        self._partials: Dict[int, float] = {}
+        self.best_partial = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return len(self._partials)
+
+    def add_term(self, term) -> None:
+        partials = self._partials
+        best = self.best_partial
+        query_weight = term.query_weight
+        allowed = self._allowed
+        if allowed is None:
+            for tid, contribution in term.postings:
+                value = partials.get(tid, 0.0) + query_weight * contribution
+                partials[tid] = value
+                if value > best:
+                    best = value
+        else:
+            for tid, contribution in term.postings:
+                if tid in allowed:
+                    value = partials.get(tid, 0.0) + query_weight * contribution
+                    partials[tid] = value
+                    if value > best:
+                        best = value
+        self.best_partial = best
+
+    def kth_largest(self, k: int) -> float:
+        return heapq.nlargest(k, self._partials.values())[-1]
+
+    def iter_by_partial(self) -> Iterator[Tuple[float, int]]:
+        by_partial = [(-partial, tid) for tid, partial in self._partials.items()]
+        heapq.heapify(by_partial)
+        while by_partial:
+            negated_partial, tid = heapq.heappop(by_partial)
+            yield -negated_partial, tid
+
+
+class _NumpyTopKAccumulator:
+    """Dense-array max-score accumulation: one ``np.add.at`` per opened term.
+
+    Bit-identity with the scalar accumulator holds term by term: within a
+    term the tids are unique (one posting per tuple), so the scatter-add
+    updates each touched slot with the same single float64 addition the
+    scalar loop performs, and ``best_partial`` -- the max over the term's
+    post-update values -- sees exactly the values the scalar running max
+    saw at the same point.
+    """
+
+    def __init__(self, size: int, allowed: Optional[Set[int]]):
+        self._acc = np.zeros(size, dtype=np.float64)
+        self._touched = np.zeros(size, dtype=bool)
+        if allowed is None:
+            self._allowed_mask = None
+        else:
+            mask = np.zeros(size, dtype=bool)
+            if allowed:
+                indices = np.fromiter(allowed, dtype=np.int64, count=len(allowed))
+                indices = indices[(indices >= 0) & (indices < size)]
+                mask[indices] = True
+            self._allowed_mask = mask
+        self.count = 0
+        self.best_partial = float("-inf")
+
+    def add_term(self, term) -> None:
+        pair = term.arrays
+        if pair is None:
+            pair = _arrays_from_postings(term.postings)
+        tids, contributions = pair
+        if self._allowed_mask is not None:
+            keep = self._allowed_mask[tids]
+            tids = tids[keep]
+            contributions = contributions[keep]
+            if not tids.size:
+                return
+        query_weight = term.query_weight
+        values = (
+            contributions if query_weight == 1.0 else query_weight * contributions
+        )
+        np.add.at(self._acc, tids, values)
+        newly = tids[~self._touched[tids]]
+        if newly.size:
+            self.count += int(newly.size)
+            self._touched[newly] = True
+        term_best = float(self._acc[tids].max())
+        if term_best > self.best_partial:
+            self.best_partial = term_best
+
+    def kth_largest(self, k: int) -> float:
+        values = self._acc[self._touched]
+        return float(np.partition(values, values.size - k)[values.size - k])
+
+    def iter_by_partial(self) -> Iterator[Tuple[float, int]]:
+        candidates = np.flatnonzero(self._touched)
+        partials = self._acc[candidates]
+        # (partial desc, tid asc) -- the scalar heap's pop order.  Negation
+        # is exact, and -0.0 ties with 0.0 fall through to the tid key in
+        # both implementations.
+        order = np.lexsort((candidates, -partials))
+        candidate_list = candidates.tolist()
+        partial_list = partials.tolist()
+        for position in order.tolist():
+            yield partial_list[position], candidate_list[position]
+
+
+def make_topk_accumulator(live_terms: Sequence, allowed: Optional[Set[int]]):
+    """Backend-appropriate accumulator for :func:`repro.core.topk.maxscore_top_k`.
+
+    ``live_terms`` must have non-empty postings (the caller filters); their
+    lists are in increasing tid order, so the last entry bounds the dense
+    array size the numpy accumulator needs.
+    """
+    backend = active_backend()
+    _count_op(backend)
+    if backend == "numpy":
+        size = 0
+        for term in live_terms:
+            pair = term.arrays
+            last_tid = int(pair[0][-1]) if pair is not None else term.postings[-1][0]
+            if last_tid >= size:
+                size = last_tid + 1
+        return _NumpyTopKAccumulator(size, allowed)
+    return _PythonTopKAccumulator(allowed)

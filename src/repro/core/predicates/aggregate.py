@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core import kernels
 from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
 from repro.core.topk import Term
@@ -40,6 +41,8 @@ __all__ = ["CosineTfIdf", "BM25"]
 class _AggregateBase(Predicate):
     family = "aggregate-weighted"
     supports_maxscore = True
+    #: Monotone-sum accumulation: scoring routes through repro.core.kernels.
+    uses_kernels = True
 
     def __init__(self, tokenizer: Tokenizer | None = None):
         super().__init__()
@@ -69,19 +72,16 @@ class _AggregateBase(Predicate):
     def _accumulate(self, query_weights: Dict[str, float]) -> Dict[int, float]:
         """Dot product of query weights against every candidate's doc weights.
 
-        One flat loop over the precomputed weighted postings; tokens are
-        visited in sorted order so per-tuple summation order is canonical.
+        One kernel call over the precomputed weighted postings; tokens are
+        visited in sorted order so per-tuple summation order is canonical
+        (the kernels reproduce that order bit for bit on both backends).
         """
         assert self._weighted_index is not None
-        weighted = self._weighted_index
-        scores: Dict[int, float] = {}
-        for token in sorted(query_weights):
-            query_weight = query_weights[token]
-            if query_weight == 0.0:
-                continue
-            for tid, contribution in weighted.postings(token):
-                scores[tid] = scores.get(tid, 0.0) + query_weight * contribution
-        return scores
+        return kernels.accumulate(
+            self._weighted_index,
+            self._sorted_items(query_weights),
+            len(self._token_lists),
+        )
 
     def _scores(self, query: str) -> Dict[int, float]:
         return self._accumulate(self._query_weights(query))
@@ -132,6 +132,7 @@ class _AggregateBase(Predicate):
                 postings=weighted.postings(token),
                 max_contribution=weighted.max_contribution(token),
                 min_contribution=weighted.min_contribution(token),
+                arrays=weighted.arrays(token),
             )
             for token in sorted(query_weights)
             if query_weights[token] != 0.0 and token in weighted

@@ -17,12 +17,12 @@ framework imposes:
 
 from __future__ import annotations
 
-import heapq
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
 
+from repro.core import kernels
 from repro.core.topk import PruningStats, maxscore_top_k
 from repro.text.weights import CollectionStatistics
 
@@ -308,20 +308,18 @@ class Predicate(ABC):
         Only candidate tuples (those with a non-trivial score) are returned;
         ties are broken by tuple id so rankings are deterministic.  With a
         blocker attached (see :meth:`set_blocker`), only candidates that
-        survive blocking are ranked.  With ``limit``, a size-``limit`` heap
-        replaces the full sort (``O(n log k)`` instead of ``O(n log n)``).
+        survive blocking are ranked.  With ``limit``, a top-``limit``
+        selection replaces the full sort (``O(n log k)`` instead of
+        ``O(n log n)`` scalar; a vectorized partition under the numpy
+        kernel backend) -- both orderings are exact.
         """
         self._require_fitted()
         scores = self._candidate_scores(query)
         if limit is not None:
-            top = heapq.nlargest(
-                limit, scores.items(), key=lambda item: (item[1], -item[0])
-            )
-            return [ScoredTuple(tid, score) for tid, score in top]
-        return sorted(
-            (ScoredTuple(tid, score) for tid, score in scores.items()),
-            key=lambda st: (-st.score, st.tid),
-        )
+            top = kernels.top_items(scores, limit)
+        else:
+            top = kernels.sorted_items(scores)
+        return [ScoredTuple(tid, score) for tid, score in top]
 
     def top_k(self, query: str, k: int) -> List[ScoredTuple]:
         """The ``k`` most similar tuples -- exactly ``rank(query, limit=k)``.
@@ -367,13 +365,10 @@ class Predicate(ABC):
         self._require_fitted()
         self._check_blocker_threshold(threshold)
         scores = self._candidate_scores(query)
-        survivors = [
+        return [
             ScoredTuple(tid, score)
-            for tid, score in scores.items()
-            if score >= threshold
+            for tid, score in kernels.select_items(scores, threshold)
         ]
-        survivors.sort(key=lambda st: (-st.score, st.tid))
-        return survivors
 
     def _check_blocker_threshold(self, threshold: float) -> None:
         """Refuse selections below the threshold an exact blocker was built for.

@@ -20,7 +20,8 @@ import math
 from collections import Counter
 from typing import Dict, List, Optional
 
-from repro.core.index import InvertedIndex
+from repro.core import kernels
+from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
 from repro.text.tokenize import QgramTokenizer, Tokenizer
 
@@ -32,6 +33,9 @@ class HMM(Predicate):
 
     name = "HMM"
     family = "language-modeling"
+    #: Monotone-sum log-space accumulation routes through repro.core.kernels
+    #: (final exponentiation stays math.exp, like the LM predicate).
+    uses_kernels = True
 
     def __init__(self, tokenizer: Tokenizer | None = None, a0: float = 0.2):
         super().__init__()
@@ -44,6 +48,9 @@ class HMM(Predicate):
         self._index: InvertedIndex | None = None
         #: per-tuple token -> log(1 + a1 P(q|D) / (a0 P(q|GE)))
         self._log_weights: List[Dict[str, float]] = []
+        #: token -> [(tid, log weight)]: the same factors folded into posting
+        #: lists so query-time accumulation is one kernel call.
+        self._weighted_index: WeightedPostingIndex | None = None
 
     def tokenize_phase(self) -> None:
         self._token_lists = self._relation_token_lists()
@@ -66,17 +73,36 @@ class HMM(Predicate):
                 factor = 1.0 + (self.a1 * p_string) / (self.a0 * p_general)
                 weights[token] = math.log(factor)
             self._log_weights.append(weights)
+        # Every posting has a (strictly positive) log factor: fold them into
+        # weighted posting lists for the vectorized accumulation kernels.
+        assert self._index is not None
+        contributions: Dict[str, List] = {}
+        for token in self._index.tokens():
+            contributions[token] = [
+                (tid, self._log_weights[tid][token])
+                for tid, _ in self._index.postings(token)
+            ]
+        self._weighted_index = WeightedPostingIndex(contributions)
 
     def _scores(self, query: str) -> Dict[int, float]:
-        assert self._index is not None
+        assert self._weighted_index is not None
         query_counts = Counter(self.tokenizer.tokenize(query))
-        log_scores: Dict[int, float] = {}
-        for token, multiplicity in query_counts.items():
-            for tid, _ in self._index.postings(token):
-                log_scores[tid] = (
-                    log_scores.get(tid, 0.0)
-                    + multiplicity * self._log_weights[tid][token]
-                )
+        # Query first-occurrence token order (not sorted): the canonical
+        # order _score_one replicates, preserved through the kernel.
+        log_scores = kernels.accumulate(
+            self._weighted_index,
+            [(token, float(count)) for token, count in query_counts.items()],
+            len(self._token_lists),
+        )
+        pair = kernels.dense_pair(log_scores)
+        if pair is not None:
+            tids, values = pair
+            # Scalar math.exp over the exact accumulated log scores (np.exp
+            # is not guaranteed ULP-identical to libm).
+            exp = math.exp
+            return kernels.dense_from_lists(
+                tids, [exp(value) for value in values.tolist()]
+            )
         return {tid: math.exp(value) for tid, value in log_scores.items()}
 
     def _score_one(self, query: str, tid: int) -> Optional[float]:

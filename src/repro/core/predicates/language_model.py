@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.core import kernels
 from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
 from repro.text.tokenize import QgramTokenizer, Tokenizer
@@ -35,6 +36,10 @@ class LanguageModeling(Predicate):
 
     name = "LM"
     family = "language-modeling"
+    #: Monotone-sum log-space accumulation routes through repro.core.kernels
+    #: (the final exponentiation stays math.exp -- np.exp is not guaranteed
+    #: ULP-identical to libm).
+    uses_kernels = True
 
     def __init__(self, tokenizer: Tokenizer | None = None):
         super().__init__()
@@ -46,6 +51,8 @@ class LanguageModeling(Predicate):
         self._pm: List[Dict[str, float]] = []
         #: per-tuple Σ_{t ∈ D} log(1 - p̂(t|M_D))
         self._sum_complement: List[float] = []
+        #: the same values as a float64 array (None without numpy)
+        self._sum_complement_array = None
         #: token -> cf_t / cs
         self._cfcs: Dict[str, float] = {}
         #: token -> [(tid, log(pm) - log(1-pm) - log(cf/cs))]: the whole
@@ -104,6 +111,12 @@ class LanguageModeling(Predicate):
                 plist.append((tid, math.log(pm) - math.log(1.0 - pm) - log_cfcs))
             contributions[token] = plist
         self._weighted_index = WeightedPostingIndex(contributions)
+        # Array mirror for the vectorized finalize gather (built regardless
+        # of backend forcing, like the posting arrays).
+        if kernels.np is not None:
+            self._sum_complement_array = kernels.np.array(
+                self._sum_complement, dtype=kernels.np.float64
+            )
 
     # -- query time -----------------------------------------------------------
 
@@ -125,12 +138,25 @@ class LanguageModeling(Predicate):
 
     def _scores(self, query: str) -> Dict[int, float]:
         assert self._weighted_index is not None
-        weighted = self._weighted_index
         query_tokens = set(self.tokenizer.tokenize(query))
-        accumulators: Dict[int, float] = {}
-        for token in sorted(query_tokens):
-            for tid, contribution in weighted.postings(token):
-                accumulators[tid] = accumulators.get(tid, 0.0) + contribution
+        accumulators = kernels.accumulate(
+            self._weighted_index,
+            [(token, 1.0) for token in sorted(query_tokens)],
+            len(self._token_lists),
+        )
+        pair = kernels.dense_pair(accumulators)
+        if pair is not None and self._sum_complement_array is not None:
+            tids, accumulated = pair
+            # One float64 add per candidate -- the identical IEEE operation
+            # the scalar comprehension performs -- then scalar math.exp
+            # (np.exp is not guaranteed ULP-identical to libm).
+            log_scores = (accumulated + self._sum_complement_array[tids]).tolist()
+            exp = math.exp
+            try:
+                finalized = [exp(log_score) for log_score in log_scores]
+            except OverflowError:  # pragma: no cover - defensive
+                finalized = [self._finalize(log_score) for log_score in log_scores]
+            return kernels.dense_from_lists(tids, finalized)
         return {
             tid: self._finalize(accumulated + self._sum_complement[tid])
             for tid, accumulated in accumulators.items()

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Set, Tuple
 
+from repro.core import kernels
 from repro.core.index import InvertedIndex, WeightedPostingIndex
 from repro.core.predicates.base import Predicate
 from repro.core.topk import Term
@@ -158,6 +159,9 @@ class Jaccard(_OverlapBase):
 class _WeightedOverlapBase(_OverlapBase):
     """Weighted overlap predicates share the RS/idf weight table."""
 
+    #: Monotone-sum accumulation: scoring routes through repro.core.kernels.
+    uses_kernels = True
+
     def __init__(self, tokenizer: Tokenizer | None = None, weighting: str = "rs"):
         super().__init__(tokenizer)
         if weighting not in ("rs", "idf"):
@@ -186,15 +190,15 @@ class _WeightedOverlapBase(_OverlapBase):
         """Weight of the common tokens per candidate, postings-driven.
 
         Tokens are visited in sorted order so per-tuple summation order is
-        canonical (and matches :meth:`_tuple_common_weight`).
+        canonical (and matches :meth:`_tuple_common_weight`); the kernel
+        reproduces that order bit for bit on both backends.
         """
         assert self._weighted_index is not None
-        weighted = self._weighted_index
-        common_weight: Dict[int, float] = {}
-        for token in sorted(query_tokens):
-            for tid, weight in weighted.postings(token):
-                common_weight[tid] = common_weight.get(tid, 0.0) + weight
-        return common_weight
+        return kernels.accumulate(
+            self._weighted_index,
+            [(token, 1.0) for token in sorted(query_tokens)],
+            len(self._token_sets),
+        )
 
     def _tuple_common_weight(
         self, sorted_tokens: Sequence[str], tid: int
@@ -263,6 +267,7 @@ class WeightedMatch(_WeightedOverlapBase):
                 postings=weighted.postings(token),
                 max_contribution=weighted.max_contribution(token),
                 min_contribution=weighted.min_contribution(token),
+                arrays=weighted.arrays(token),
             )
             for token in sorted_tokens
             if token in weighted

@@ -48,6 +48,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core import kernels
+
 __all__ = ["PruningStats", "Term", "maxscore_top_k"]
 
 #: Relative float-safety margin of the cutoff test.  Accumulated partial sums
@@ -121,6 +123,10 @@ class Term:
     postings: Sequence[Tuple[int, float]] = field(repr=False)
     max_contribution: float
     min_contribution: float
+    #: Optional ``(int64 tids, float64 contributions)`` array backing from
+    #: :meth:`repro.core.index.WeightedPostingIndex.arrays`; the numpy kernel
+    #: accumulator uses it directly, and builds it on the fly when absent.
+    arrays: Optional[Tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def upper_bound(self) -> float:
@@ -137,10 +143,6 @@ class Term:
             self.query_weight * self.max_contribution,
             self.query_weight * self.min_contribution,
         )
-
-
-def _kth_largest(values: Iterable[float], k: int) -> float:
-    return heapq.nlargest(k, values)[-1]
 
 
 def maxscore_top_k(
@@ -194,23 +196,26 @@ def maxscore_top_k(
         suffix_pos[i] = suffix_pos[i + 1] + max(0.0, order[i].upper_bound)
         suffix_neg[i] = suffix_neg[i + 1] + min(0.0, order[i].lower_bound)
 
-    accumulated: Dict[int, float] = {}
-    # Running upper bound on the best partial sum, maintained inside the
-    # accumulation loops.  Negative contributions can make it stale (an
-    # overestimate), which only makes the necessity gate below conservative.
-    best_partial = float("-inf")
+    # The accumulator is backend-dispatched (repro.core.kernels): the python
+    # variant is the original dict-of-partials loop, the numpy variant does
+    # one unbuffered scatter-add per opened term.  Both maintain the same
+    # observable state -- candidate count, running best partial (possibly a
+    # stale overestimate under negative contributions, which only makes the
+    # necessity gate below conservative), exact k-th partial selection, and
+    # (partial desc, tid asc) iteration -- bit-identically.
+    accumulated = kernels.make_topk_accumulator(order, allowed)
     cut = count
     for i, term in enumerate(order):
-        if len(accumulated) >= k and suffix_pos[i] < _CONTINUE_FRACTION * (
+        if accumulated.count >= k and suffix_pos[i] < _CONTINUE_FRACTION * (
             # Cheap necessity gate: the k-th partial is at most the best one,
             # so until the remaining bound undercuts even that (scaled by
             # the continue fraction below), the O(n log k) k-th selection
             # cannot trigger a cut and is skipped.
-            best_partial + suffix_neg[i]
+            accumulated.best_partial + suffix_neg[i]
         ):
             # At least k candidates end with >= kth + suffix_neg[i]; a tuple
             # in no opened list ends with <= suffix_pos[i].
-            kth = _kth_largest(accumulated.values(), k)
+            kth = accumulated.kth_largest(k)
             floor = kth + suffix_neg[i]
             margin = _CUTOFF_MARGIN * (
                 abs(kth) + suffix_pos[i] - suffix_neg[i]
@@ -227,40 +232,22 @@ def maxscore_top_k(
                 stats.pruned = True
                 break
         stats.tokens_opened += 1
-        query_weight = term.query_weight
-        postings = term.postings
-        stats.postings_opened += len(postings)
-        if allowed is None:
-            for tid, contribution in postings:
-                value = accumulated.get(tid, 0.0) + query_weight * contribution
-                accumulated[tid] = value
-                if value > best_partial:
-                    best_partial = value
-        else:
-            for tid, contribution in postings:
-                if tid in allowed:
-                    value = accumulated.get(tid, 0.0) + query_weight * contribution
-                    accumulated[tid] = value
-                    if value > best_partial:
-                        best_partial = value
+        stats.postings_opened += len(term.postings)
+        accumulated.add_term(term)
     for term in order[cut:]:
         stats.postings_skipped += len(term.postings)
-    stats.candidates_scored = len(accumulated)
+    stats.candidates_scored = accumulated.count
 
     # Exact-rescore candidates in decreasing partial-sum order, keeping the
     # running exact top-k in a min-heap.  A candidate's final score is at
     # most partial + P; once that upper bound falls strictly below the
     # heap's exact k-th score, no remaining candidate (they have smaller
-    # partials) can enter the result -- stop rescoring.  A lazily-popped
-    # max-heap orders the candidates: only the handful actually rescored pay
-    # for ordering, not the whole accumulator.
+    # partials) can enter the result -- stop rescoring.  The accumulator
+    # orders candidates lazily (heap) or via one lexsort, so the ordering
+    # cost stays proportional to what is actually consumed.
     remaining_pos = suffix_pos[cut]
-    by_partial = [(-partial, tid) for tid, partial in accumulated.items()]
-    heapq.heapify(by_partial)
     heap: List[Tuple[float, int]] = []  # (score, -tid) min-heap of the top k
-    while by_partial:
-        negated_partial, tid = heapq.heappop(by_partial)
-        partial = -negated_partial
+    for partial, tid in accumulated.iter_by_partial():
         if len(heap) == k:
             kth_exact = heap[0][0]
             margin = _CUTOFF_MARGIN * (

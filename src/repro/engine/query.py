@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.blocking.base import Blocker, BlockingStats
 from repro.blocking.factory import THRESHOLD_STAGE_NAMES, make_blocker
+from repro.core import kernels
 from repro.core.dedup import Deduplicator, DuplicateCluster
 from repro.core.join import ApproximateJoiner, JoinMatch, SelfJoinStats
 from repro.core.predicates.base import Match, Predicate
@@ -763,6 +764,7 @@ class Query:
             if blocker_stats is not None
             else None
         )
+        kernel_before = kernels.ops_snapshot()
         started = perf_clock()
         with obs.tracer.span("execute." + kind) as span:
             if kind == "declarative":
@@ -777,6 +779,12 @@ class Query:
                 span, state, kind, publish_pruning, annotate_candidates
             )
         obs.metrics.observe("latency.execute." + kind, perf_clock() - started)
+        # Attribute the scoring-kernel invocations of this execution (process
+        # workers keep their counts worker-side; serial/thread land here).
+        for backend_name, total in kernels.ops_snapshot().items():
+            delta = total - kernel_before.get(backend_name, 0)
+            if delta:
+                obs.metrics.inc("kernel_ops." + backend_name, delta)
         if before is not None:
             BlockingStats(
                 probes=blocker_stats.probes - before[0],
@@ -1055,6 +1063,14 @@ class Query:
             return False
         return bool(getattr(target, "_prunes_before_scoring", False))
 
+    def _uses_kernels(self) -> bool:
+        """Whether the direct predicate scores through repro.core.kernels."""
+        if isinstance(self._predicate, str):
+            target: object = registry.spec_for(self._predicate).direct
+        else:
+            target = self._predicate
+        return bool(getattr(target, "uses_kernels", False))
+
     def _declarative_fastpath(self) -> bool:
         """Whether this query's declarative predicate runs the fast paths."""
         if not isinstance(self._predicate, str):
@@ -1100,6 +1116,18 @@ class Query:
                     )
         else:
             notes.append("direct realization executes in-process (no SQL)")
+            if self._uses_kernels():
+                backend = kernels.active_backend()
+                if backend == "numpy":
+                    notes.append(
+                        "scoring kernels: 'numpy' backend (vectorized "
+                        "accumulation over array-backed postings)"
+                    )
+                else:
+                    notes.append(
+                        "scoring kernels: 'python' backend (pure-Python "
+                        "fallback; install the 'fast' extra for numpy)"
+                    )
             if self._backend is not None:
                 notes.append("backend setting ignored by the direct realization")
             if self._sharding_active():

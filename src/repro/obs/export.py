@@ -55,7 +55,9 @@ def bench_envelope(
 
     ``results`` is a list of flat dicts -- one per measured configuration --
     whose keys the individual benchmark defines; the envelope is what makes
-    the files machine-comparable across benchmarks.
+    the files machine-comparable across benchmarks.  Every envelope records
+    the scoring-kernel backend that was active when it was produced
+    (``numpy``/``python``), so BENCH_*.json numbers are attributable.
     """
     report = {
         "schema": SCHEMA,
@@ -63,10 +65,20 @@ def bench_envelope(
         "benchmark": benchmark,
         "relation": dict(relation) if relation else {},
         "config": dict(config),
+        "kernel": _kernel_backend(),
         "results": [dict(row) for row in results],
     }
     report.update(extra)
     return report
+
+
+def _kernel_backend() -> str:
+    # Imported lazily: repro.obs must stay importable without repro.core.
+    try:
+        from repro.core.kernels import active_backend
+    except ImportError:  # pragma: no cover - defensive
+        return "unknown"
+    return active_backend()
 
 
 def write_json(path: str, payload: dict) -> None:
