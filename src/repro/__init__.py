@@ -49,7 +49,14 @@ Package map:
   backpressure), micro-batching of compatible requests into ``run_many``
   batch executions (bit-identical to direct calls), per-corpus engine
   lifecycle with LRU eviction, graceful SIGTERM drain, and a small JSON
-  client.  ``python -m repro.cli serve`` starts a server.
+  client.  ``python -m repro.cli serve`` starts a server;
+* :mod:`repro.resilience` -- failure handling wired through the shard and
+  serve layers: deterministic fault injection (``REPRO_FAULTS``), bounded
+  retries with seeded backoff, request deadlines propagated to shard-task
+  and SQL-statement boundaries, per-corpus circuit breakers, and the
+  ``resilience.*`` accounting surfaced by ``explain()``.  Self-healing is
+  exact: shard tasks are pure, so retrying or re-running them after a
+  worker crash is bit-identical to an undisturbed run.
 
 Migrating from ``ApproximateSelector``: the class remains as a deprecated
 thin shim; ``ApproximateSelector(strings, predicate="bm25").top_k(q, 5)`` is
@@ -83,9 +90,16 @@ from repro.engine import (
     SimilarityEngine,
     SimilarityPredicateProtocol,
 )
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.shard import ShardedPredicate, ShardStats
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "SimilarityEngine",
@@ -107,5 +121,10 @@ __all__ = [
     "make_blocker",
     "ShardedPredicate",
     "ShardStats",
+    "FaultInjector",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "ResilienceStats",
     "__version__",
 ]

@@ -200,6 +200,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="registered corpora kept warm; least recently used are evicted",
     )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="seconds a graceful drain waits before abandoning in-flight work",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive batch failures that trip a corpus circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        help="seconds an open breaker rejects (503) before probing again",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec (same grammar as REPRO_FAULTS), e.g. "
+        "'shard.task:p=0.02:seed=7'",
+    )
 
     return parser
 
@@ -331,8 +355,10 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import parse_fault_spec
     from repro.serve import SimilarityService, run_server
 
+    faults = parse_fault_spec(args.faults) if args.faults else None
     service = SimilarityService(
         max_concurrency=args.max_concurrency,
         max_queue=args.max_queue,
@@ -340,6 +366,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         batch_max=args.batch_max,
         max_corpora=args.max_corpora,
+        faults=faults,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        drain_timeout=args.drain_timeout,
     )
     if args.base is not None:
         corpus_id, num_tuples, _ = service.register_corpus(_load_strings(args.base))

@@ -85,7 +85,9 @@ else:
 _forced: Optional[str] = None
 
 _ops_lock = threading.Lock()
-_ops: Dict[str, int] = {"numpy": 0, "python": 0}
+#: ``python_fallback`` counts numpy kernel *failures* healed by re-running
+#: the scalar path (the engine publishes it as ``kernel_ops.python_fallback``).
+_ops: Dict[str, int] = {"numpy": 0, "python": 0, "python_fallback": 0}
 
 
 def numpy_available() -> bool:
@@ -196,7 +198,13 @@ def accumulate(
     backend = active_backend()
     _count_op(backend)
     if backend == "numpy":
-        return _accumulate_numpy(index, items, size)
+        try:
+            return _accumulate_numpy(index, items, size)
+        except Exception:
+            # Fallback ladder: the scalar loops compute the same float64
+            # chains, so healing a numpy failure (corrupt arrays, allocation
+            # pressure) here is bit-identical and invisible to the caller.
+            _count_op("python_fallback")
     return _accumulate_python(index, items)
 
 
@@ -611,11 +619,16 @@ def make_topk_accumulator(live_terms: Sequence, allowed: Optional[Set[int]]):
     backend = active_backend()
     _count_op(backend)
     if backend == "numpy":
-        size = 0
-        for term in live_terms:
-            pair = term.arrays
-            last_tid = int(pair[0][-1]) if pair is not None else term.postings[-1][0]
-            if last_tid >= size:
-                size = last_tid + 1
-        return _NumpyTopKAccumulator(size, allowed)
+        try:
+            size = 0
+            for term in live_terms:
+                pair = term.arrays
+                last_tid = int(pair[0][-1]) if pair is not None else term.postings[-1][0]
+                if last_tid >= size:
+                    size = last_tid + 1
+            return _NumpyTopKAccumulator(size, allowed)
+        except Exception:
+            # Same fallback ladder as accumulate(): the scalar accumulator
+            # is the bit-identical pre-kernel path.
+            _count_op("python_fallback")
     return _PythonTopKAccumulator(allowed)

@@ -22,6 +22,12 @@ from repro.core.predicates.base import Match
 from repro.core.topk import PruningStats
 from repro.declarative.base import SQLFastPathStats
 from repro.obs.trace import Observability, Span
+from repro.resilience import (
+    NOOP_INJECTOR,
+    FaultInjector,
+    ResilienceStats,
+    check_deadline,
+)
 from repro.shard.predicate import ShardStats
 
 __all__ = [
@@ -126,6 +132,10 @@ class ExplainReport:
     #: Shard-level counters when the query ran over a sharded predicate
     #: (shards executed vs. skipped by their max-score upper bound).
     shards: Optional[ShardStats] = None
+    #: What the self-healing machinery did while the sample query ran --
+    #: retries, pool rebuilds, serial fallbacks (sharded execution only;
+    #: ``None`` when nothing ran through an executor).
+    resilience: Optional[ResilienceStats] = None
     #: The strategy the sample query *actually* executed with -- as opposed
     #: to the plan's prediction.  ``plan()`` cannot know everything (e.g. a
     #: restriction attached at execution time), so the report states what
@@ -158,6 +168,8 @@ class ExplainReport:
             lines.append(f"pruning:     {self.pruning.describe()}")
         if self.shards is not None:
             lines.append(f"shards:      {self.shards.describe()}")
+        if self.resilience is not None and self.resilience.events:
+            lines.append(f"resilience:  {self.resilience.describe()}")
         if self.sql_stats is not None:
             lines.append(f"sql path:    {self.sql_stats.describe()}")
         if self.num_results is not None:
@@ -214,9 +226,20 @@ class RecordingBackend(SQLBackend):
     accumulates statement text.  Table loads that bypass SQL (bulk
     ``insert_rows``) are rendered as SQL comments so the full script is
     visible in a trace.
+
+    The proxy is also where the declarative realization meets the resilience
+    layer: each statement is a natural boundary, so the ambient request
+    deadline is checked here (a timed-out declarative query stops between
+    statements instead of finishing the script into the void) and the
+    ``sql.statement`` fault point fires here under an active injector.
     """
 
-    def __init__(self, inner: SQLBackend, obs: Optional[Observability] = None):
+    def __init__(
+        self,
+        inner: SQLBackend,
+        obs: Optional[Observability] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
         # Deliberately no ``super().__init__()``: the inner backend already
         # registered the default UDFs, and this proxy adds no state of its own.
         self.inner = inner
@@ -225,15 +248,23 @@ class RecordingBackend(SQLBackend):
             inner, "supports_window_functions", False
         )
         self.obs = obs if obs is not None else Observability()
+        self._faults = faults if faults is not None else NOOP_INJECTOR
+
+    def _statement_boundary(self) -> None:
+        check_deadline()
+        if self._faults.active:
+            self._faults.check("sql.statement")
 
     # -- SQLBackend interface ----------------------------------------------------
 
     def execute(self, sql: str, params: Optional[Sequence[object]] = None) -> object:
+        self._statement_boundary()
         self.obs.metrics.inc("sql_statements_total")
         with self.obs.tracer.span("sql.statement", sql=self._render(sql, params)):
             return self.inner.execute(sql, params)
 
     def query(self, sql: str, params: Optional[Sequence[object]] = None) -> List[Tuple]:
+        self._statement_boundary()
         self.obs.metrics.inc("sql_statements_total")
         with self.obs.tracer.span("sql.statement", sql=self._render(sql, params)):
             return self.inner.query(sql, params)
@@ -246,6 +277,7 @@ class RecordingBackend(SQLBackend):
         return f"{sql} -- params: {tuple(params)!r}"
 
     def _statement_span(self, statement: str):
+        self._statement_boundary()
         self.obs.metrics.inc("sql_statements_total")
         return self.obs.tracer.span("sql.statement", sql=statement)
 

@@ -52,6 +52,7 @@ from repro.engine.plan import (
 from repro.obs.clock import perf_clock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Observability, Span, Tracer
+from repro.resilience import FaultInjector, RetryPolicy, faults_from_env
 from repro.shard.predicate import ShardedPredicate, shard_offsets
 
 __all__ = ["SimilarityEngine", "Query"]
@@ -101,6 +102,8 @@ class SimilarityEngine:
         max_workers: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -127,6 +130,15 @@ class SimilarityEngine:
         self.num_shards = int(num_shards)
         self.executor = executor
         self.max_workers = max_workers
+        #: The resilience pair threaded through everything the engine builds:
+        #: sharded executors retry/rebuild under ``retry_policy`` and consult
+        #: ``faults`` at their dispatch points, recording backends check the
+        #: ``sql.statement`` point.  ``faults`` defaults to whatever the
+        #: ``REPRO_FAULTS`` environment spec says (inactive when unset) so a
+        #: chaos run needs no code changes; ``retry_policy=None`` leaves each
+        #: executor on its default policy.
+        self.faults = faults if faults is not None else faults_from_env()
+        self.retry_policy = retry_policy
         self._states: Dict[tuple, _FittedState] = {}
         self._blockers: Dict[tuple, Blocker] = {}
         #: ids of blockers this engine attached itself (vs. blockers a caller
@@ -650,6 +662,7 @@ class Query:
                 recorder = RecordingBackend(
                     self._engine._backend_instance(backend_spec),
                     obs=self._engine.obs,
+                    faults=self._engine.faults,
                 )
                 predicate = registry.make(
                     self._predicate,
@@ -668,6 +681,8 @@ class Query:
                     executor=executor,
                     max_workers=max_workers,
                     obs=self._engine.obs,
+                    faults=self._engine.faults,
+                    retry_policy=self._engine.retry_policy,
                 )
             else:
                 predicate = registry.make(
@@ -681,7 +696,9 @@ class Query:
                 and not predicate.is_preprocessed
                 and inner_backend is not None
             ):
-                recorder = RecordingBackend(inner_backend, obs=self._engine.obs)
+                recorder = RecordingBackend(
+                    inner_backend, obs=self._engine.obs, faults=self._engine.faults
+                )
                 predicate.backend = recorder
         fitted = getattr(predicate, "is_fitted", False) or getattr(
             predicate, "is_preprocessed", False
@@ -765,6 +782,10 @@ class Query:
             else None
         )
         kernel_before = kernels.ops_snapshot()
+        if kind == "sharded":
+            # Per-query resilience record: the executor merges every run of
+            # this operation into a fresh accumulator, read back below.
+            predicate.reset_resilience()
         started = perf_clock()
         with obs.tracer.span("execute." + kind) as span:
             if kind == "declarative":
@@ -845,6 +866,15 @@ class Query:
                     span.set(
                         shards_run=shard_stats.shards_run,
                         shards_skipped=shard_stats.shards_skipped,
+                    )
+            resilience = getattr(predicate, "resilience_stats", None)
+            if resilience is not None and resilience.events:
+                resilience.publish(obs.metrics)
+                if traced:
+                    span.set(
+                        resilience_retries=resilience.task_retries,
+                        resilience_pool_rebuilds=resilience.pool_rebuilds,
+                        resilience_serial_fallbacks=resilience.serial_fallbacks,
                     )
 
     def rank(self, query: str, limit: Optional[int] = None) -> List[Match]:
@@ -1123,6 +1153,11 @@ class Query:
                         "scoring kernels: 'numpy' backend (vectorized "
                         "accumulation over array-backed postings)"
                     )
+                    notes.append(
+                        "kernel fallback ladder: a numpy kernel failure "
+                        "falls back to the bit-identical 'python' backend "
+                        "(counted as kernel_ops.python_fallback)"
+                    )
                 else:
                     notes.append(
                         "scoring kernels: 'python' backend (pure-Python "
@@ -1142,6 +1177,13 @@ class Query:
                     f"via {self._executor_name(executor)!r} executor, "
                     f"layout {layout} (global statistics broadcast; exact merge)"
                 )
+                if self._executor_name(executor) != "serial":
+                    notes.append(
+                        "executor fallback ladder: failed shard tasks retry "
+                        "with backoff, a broken pool is rebuilt once, and "
+                        "last-resort tasks run serially in-process "
+                        "(bit-identical; counted as resilience.*)"
+                    )
                 if op == "top_k" and self._supports_maxscore():
                     notes.append(
                         "sharded top_k: shards whose max-score upper bound "
@@ -1355,6 +1397,7 @@ class Query:
                             "(an active candidate restriction disables it)"
                         )
         report.shards = getattr(state.predicate, "shard_stats", None)
+        report.resilience = getattr(state.predicate, "resilience_stats", None)
         if isinstance(state.predicate, DeclarativePredicate):
             report.sql_stats = state.predicate.last_sql_stats
         if state.blocker is not None and before is not None:

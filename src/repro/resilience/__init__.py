@@ -1,0 +1,65 @@
+"""Failure handling for the similarity engine and its serving front.
+
+The package owns four small, composable pieces -- none of which knows about
+predicates or HTTP; the shard and serve layers wire them in:
+
+* :mod:`repro.resilience.faults` -- deterministic fault injection
+  (:class:`FaultInjector`, the ``REPRO_FAULTS`` env spec) so crash
+  recovery is *tested*, not hoped for;
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy` (bounded attempts,
+  seeded backoff) and :class:`Deadline` propagation via contextvars, with
+  :func:`check_deadline` dropped at shard-task and SQL-statement
+  boundaries;
+* :mod:`repro.resilience.breaker` -- the per-corpus
+  :class:`CircuitBreaker` behind degraded-mode serving;
+* :mod:`repro.resilience.stats` -- :class:`ResilienceStats`, the record of
+  what the self-healing machinery did, surfaced in ``explain()`` and as
+  ``resilience.*`` counters.
+
+Everything rests on the exactness contract the test suite pins: shard
+tasks are pure, so retrying or re-running them after a crash is safe and
+bit-identical -- the chaos suite (``tests/test_chaos.py``) asserts exactly
+that under injected worker crashes and broken pools.
+"""
+
+from repro.resilience.breaker import BREAKER_STATES, BreakerOpen, CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_ACTIONS,
+    FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    NOOP_INJECTOR,
+    faults_from_env,
+    parse_fault_spec,
+)
+from repro.resilience.retry import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FAULT_ACTIONS",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "NOOP_INJECTOR",
+    "faults_from_env",
+    "parse_fault_spec",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "ResilienceStats",
+]

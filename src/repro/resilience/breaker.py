@@ -1,0 +1,127 @@
+"""Per-corpus circuit breaker for degraded-mode serving.
+
+The classic three-state machine, kept deliberately small:
+
+* **closed** -- requests flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` trips the breaker open.
+* **open** -- requests are rejected *before* any engine work with
+  :class:`BreakerOpen` (the service maps it to a fast 503 carrying
+  ``Retry-After``), until ``reset_timeout`` has elapsed.
+* **half-open** -- one probe request is admitted; success closes the
+  breaker, failure re-opens it for another full ``reset_timeout``.
+
+The serving layer keeps one breaker per corpus: a corpus whose engine is
+persistently failing (poisoned state, broken backend) stops consuming
+worker threads and admission slots, while healthy corpora on the same
+service are untouched.  The clock is injectable so the state machine is
+unit-tested on a fake clock, and :attr:`state_value` exports the state as a
+number (0/1/2) for the metrics gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.obs.clock import perf_clock
+
+__all__ = ["CircuitBreaker", "BreakerOpen", "BREAKER_STATES"]
+
+#: Gauge encoding of breaker states (exported as ``serve.breaker_state.*``).
+BREAKER_STATES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class BreakerOpen(Exception):
+    """Rejected without execution: the circuit breaker is open.
+
+    ``retry_after`` is the remaining open time in seconds (>= 0); the
+    serving layer forwards it as the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(f"circuit breaker open; retry after {retry_after:.2f}s")
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open failure isolation, thread-safe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = perf_clock,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+
+    def __getstate__(self) -> dict:
+        """Locks do not pickle; a fresh one is created on load."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_value(self) -> int:
+        """The state as a gauge value (see :data:`BREAKER_STATES`)."""
+        return BREAKER_STATES[self.state]
+
+    def allow(self) -> None:
+        """Admit one request or raise :class:`BreakerOpen`.
+
+        While open, the first call after ``reset_timeout`` flips to
+        half-open and is admitted as the probe; concurrent callers keep
+        being rejected until the probe reports back.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return
+            if self._state == "half_open":
+                # A probe is already in flight; don't stampede the engine.
+                raise BreakerOpen(self.reset_timeout)
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self.reset_timeout:
+                self._state = "half_open"
+                return
+            raise BreakerOpen(self.reset_timeout - elapsed)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half_open":
+                # The probe failed: re-open for another full timeout.
+                self._state = "open"
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._failures}/{self.failure_threshold})"
+        )

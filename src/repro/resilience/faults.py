@@ -1,0 +1,266 @@
+"""Deterministic fault injection: named fault points with seeded triggers.
+
+Chaos testing only proves anything when the chaos is *reproducible*: a crash
+that appears on the third shard task of one run must appear on the third
+shard task of every run, or a failing CI job cannot be replayed.  The
+:class:`FaultInjector` therefore has no ambient randomness -- every rule is
+either call-counted (``once`` / ``nth=N``) or drawn from a
+:class:`random.Random` seeded at construction, and the counters live in the
+*parent* process: executors consult the injector when they dispatch a task
+and stamp the resulting directive into the task payload, so the fault fires
+in exactly one worker regardless of how the pool schedules the batch.
+
+Fault points (see :data:`FAULT_POINTS`):
+
+``shard.task``
+    One per-shard task execution.  Directives: ``raise`` (the worker raises
+    a transient :class:`InjectedFault`; the retry ladder heals it) or
+    ``crash`` (a *process* worker calls ``os._exit`` -- the pool breaks and
+    the executor rebuilds it; thread/serial executors demote ``crash`` to
+    ``raise`` because killing the parent process is not an injectable fault).
+``executor.pool``
+    One executor dispatch round.  Firing simulates a broken worker pool
+    (:class:`concurrent.futures.BrokenExecutor`), exercising the
+    rebuild-and-rerun path without sacrificing a real worker.
+``serve.batch``
+    One micro-batch execution in the serving layer; firing raises before the
+    engine runs, exercising the 500-envelope path and the circuit breaker.
+``sql.statement``
+    One declarative SQL statement (checked by the engine's recording
+    backend).
+
+The ``REPRO_FAULTS`` environment variable carries the same rules as a spec
+string, so whole test suites run under injected faults without code changes
+(the CI chaos job does exactly this)::
+
+    REPRO_FAULTS="shard.task:nth=3"                  # 3rd task raises, once
+    REPRO_FAULTS="shard.task:p=0.02:seed=7"          # 2% of tasks raise
+    REPRO_FAULTS="shard.task:once:action=crash"      # first worker dies
+    REPRO_FAULTS="serve.batch:nth=2;sql.statement:p=0.01"
+
+An injector with no rules reports ``active == False``; every instrumented
+call site checks that flag first, so inactive injection compiles down to one
+attribute read on the hot path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULT_ACTIONS",
+    "InjectedFault",
+    "FaultRule",
+    "FaultInjector",
+    "NOOP_INJECTOR",
+    "parse_fault_spec",
+    "faults_from_env",
+]
+
+#: The instrumented fault points (call sites consult the injector by name).
+FAULT_POINTS: Tuple[str, ...] = (
+    "shard.task",
+    "executor.pool",
+    "serve.batch",
+    "sql.statement",
+)
+
+#: What a firing rule does: ``raise`` a transient :class:`InjectedFault`,
+#: ``crash`` the worker process (``os._exit``; process executors only), or
+#: ``broken_pool`` (simulate a broken executor pool -- implied and only
+#: meaningful at the ``executor.pool`` point).
+FAULT_ACTIONS: Tuple[str, ...] = ("raise", "crash", "broken_pool")
+
+
+class InjectedFault(Exception):
+    """A deliberately injected, transient failure (retry-safe by contract)."""
+
+
+class FaultRule:
+    """One trigger at one fault point.
+
+    Exactly one of ``once``, ``nth`` or ``p`` selects the trigger:
+
+    * ``once`` -- fire on the first call of the point, then never again;
+    * ``nth=N`` -- fire on the N-th call (1-based), then never again;
+    * ``p=F`` -- fire each call independently with probability ``F``, drawn
+      from a :class:`random.Random` seeded with ``seed`` (default 20070411,
+      the library-wide seed), so a fixed call sequence fires identically on
+      every run.
+    """
+
+    def __init__(
+        self,
+        point: str,
+        once: bool = False,
+        nth: Optional[int] = None,
+        p: Optional[float] = None,
+        seed: int = 20070411,
+        action: str = "raise",
+    ):
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; available: {list(FAULT_POINTS)}"
+            )
+        if action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r}; available: {list(FAULT_ACTIONS)}"
+            )
+        selected = sum((bool(once), nth is not None, p is not None))
+        if selected != 1:
+            raise ValueError(
+                "exactly one trigger is required: once, nth=N or p=F"
+            )
+        if nth is not None and nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if p is not None and not 0.0 < p <= 1.0:
+            raise ValueError("p must be within (0, 1]")
+        self.point = point
+        self.action = action
+        self._nth = 1 if once else nth
+        self._p = p
+        self._rng = random.Random(seed) if p is not None else None
+        self._spent = False
+
+    def fire(self, call_index: int) -> bool:
+        """Whether this rule fires on the point's ``call_index``-th call."""
+        if self._nth is not None:
+            if self._spent or call_index != self._nth:
+                return False
+            self._spent = True
+            return True
+        return self._rng.random() < self._p  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        trigger = f"nth={self._nth}" if self._nth is not None else f"p={self._p}"
+        return f"FaultRule({self.point!r}, {trigger}, action={self.action!r})"
+
+
+class FaultInjector:
+    """Named fault points with deterministic trigger rules.
+
+    Call sites use one of two entry points:
+
+    * :meth:`check` -- count one call of the point and *raise*
+      :class:`InjectedFault` if a rule fires (in-process points:
+      ``serve.batch``, ``sql.statement``);
+    * :meth:`directive` -- count one call and return the firing rule's
+      action (or ``None``), for call sites that must carry the fault
+      somewhere else before detonating it -- executors stamp the directive
+      into the task payload so it fires inside the worker.
+
+    Both are serialized by one lock: counters stay exact under the serving
+    layer's worker threads.  The injector itself never sleeps, exits or
+    touches pools -- it only decides; the instrumented layer acts.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = ()):
+        self._rules: Dict[str, List[FaultRule]] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.point, []).append(rule)
+        self._calls: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        """Locks do not pickle; a fresh one is created on load."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        """Whether any rule is loaded (the one-attribute hot-path gate)."""
+        return bool(self._rules)
+
+    def calls(self, point: str) -> int:
+        """How many times the point has been consulted."""
+        return self._calls.get(point, 0)
+
+    def fired(self, point: str) -> int:
+        """How many faults the point has injected."""
+        return self._fired.get(point, 0)
+
+    def directive(self, point: str) -> Optional[str]:
+        """Count one call; return the action of the firing rule, if any."""
+        with self._lock:
+            index = self._calls.get(point, 0) + 1
+            self._calls[point] = index
+            for rule in self._rules.get(point, ()):
+                if rule.fire(index):
+                    self._fired[point] = self._fired.get(point, 0) + 1
+                    return rule.action
+        return None
+
+    def check(self, point: str) -> None:
+        """Count one call; raise :class:`InjectedFault` if a rule fires."""
+        if self.directive(point) is not None:
+            raise InjectedFault(f"injected fault at {point!r}")
+
+
+#: The shared inactive injector (``active == False``): the default wherever
+#: fault injection is optional, costing one attribute read when consulted.
+NOOP_INJECTOR = FaultInjector()
+
+
+def parse_fault_spec(spec: str) -> FaultInjector:
+    """Compile a ``REPRO_FAULTS`` spec string into a :class:`FaultInjector`.
+
+    Grammar: ``;``-separated rules, each ``point:token[:token...]`` where a
+    token is ``once``, ``nth=N``, ``p=F``, ``seed=N`` or ``action=NAME``.
+    An empty spec yields an inactive injector.
+    """
+    rules: List[FaultRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = [part.strip() for part in clause.split(":")]
+        point, tokens = parts[0], parts[1:]
+        kwargs: Dict[str, object] = {}
+        for token in tokens:
+            if token == "once":
+                kwargs["once"] = True
+                continue
+            key, sep, value = token.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad fault token {token!r} in {clause!r}; expected "
+                    "once, nth=N, p=F, seed=N or action=NAME"
+                )
+            if key == "nth":
+                kwargs["nth"] = int(value)
+            elif key == "p":
+                kwargs["p"] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "action":
+                kwargs["action"] = value
+            else:
+                raise ValueError(f"unknown fault token {key!r} in {clause!r}")
+        rules.append(FaultRule(point, **kwargs))  # type: ignore[arg-type]
+    return FaultInjector(rules)
+
+
+def faults_from_env(environ: Optional[Mapping[str, str]] = None) -> FaultInjector:
+    """The injector described by ``REPRO_FAULTS`` (inactive when unset).
+
+    Reads ``os.environ`` by default; engines and services call this at
+    construction time, so setting the variable puts every subsequently built
+    engine under the same fault plan (each with fresh, independent counters).
+    """
+    if environ is None:
+        import os
+
+        environ = os.environ
+    spec = environ.get("REPRO_FAULTS", "")
+    if not spec.strip():
+        return NOOP_INJECTOR
+    return parse_fault_spec(spec)

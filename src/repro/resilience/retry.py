@@ -1,0 +1,230 @@
+"""Bounded retries with seeded backoff, and deadlines that propagate.
+
+Both halves exist because the shard layer's exactness contract makes them
+safe: shard tasks are pure functions of (fitted shard, op, payload), so
+re-running one after a transient failure cannot change the answer -- the
+same property that lets MapReduce-style systems re-execute failed tasks.
+
+:class:`RetryPolicy` is deliberately boring: a fixed attempt budget,
+exponential backoff with a deterministic jitter stream (seeded
+:class:`random.Random`, so a test replays the exact delay sequence), and an
+injectable sleep/clock pair so the unit tests run on a fake clock in
+microseconds of wall time.
+
+:class:`Deadline` carries an *absolute* expiry on the library's sanctioned
+monotonic clock (:func:`repro.obs.clock.perf_clock`).  The serving layer
+mints one per request from ``QueryRequest.timeout`` and opens a
+:func:`deadline_scope` around engine execution; the scope rides a
+``contextvars.ContextVar``, which ``asyncio.to_thread`` copies into the
+batch worker thread for free.  Work then calls :func:`check_deadline` at
+natural boundaries -- before each shard-task dispatch, between the queries
+of a ``run_many``, before each declarative SQL statement -- so a timed-out
+request stops burning its worker thread instead of computing into the void
+while the waiting coroutine has long since been cancelled.  Process-pool
+workers are intentionally *not* checked: monotonic clocks are not
+comparable across processes, and per-shard tasks are small enough that the
+dispatch-side check bounds the overrun.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import random
+import time
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.obs.clock import perf_clock
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+T = TypeVar("T")
+
+
+class DeadlineExceeded(Exception):
+    """Raised when work observes that its deadline has already passed."""
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Built from a relative budget (seconds); ``None`` means unbounded, which
+    keeps call sites free of special cases -- an unbounded deadline never
+    expires and :meth:`check` on it is a no-op.
+    """
+
+    __slots__ = ("expires_at", "budget", "_clock")
+
+    def __init__(
+        self,
+        budget: Optional[float],
+        clock: Callable[[], float] = perf_clock,
+    ):
+        self.budget = budget
+        self._clock = clock
+        self.expires_at = None if budget is None else clock() + budget
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (may be negative); ``None`` when unbounded."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline exceeded (budget {self.budget:.3f}s)"
+            )
+
+    @classmethod
+    def combine(cls, deadlines: "Tuple[Optional[Deadline], ...]") -> "Optional[Deadline]":
+        """The *latest* of the given deadlines (``None`` if any is unbounded).
+
+        Used by the micro-batcher: a batch serves several waiters, so the
+        batch as a whole may only be abandoned once **all** of them have
+        expired -- stopping at the earliest deadline would throw away work
+        that other waiters still need.
+        """
+        latest: Optional[Deadline] = None
+        for deadline in deadlines:
+            if deadline is None or deadline.expires_at is None:
+                return None
+            if latest is None or deadline.expires_at > latest.expires_at:
+                latest = deadline
+        return latest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        remaining = self.remaining()
+        if remaining is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={remaining:.3f}s)"
+
+
+#: The ambient deadline of the current logical request, if any.  Set via
+#: :func:`deadline_scope`; ``asyncio.to_thread`` copies the context, so the
+#: scope opened in the event loop is visible inside the batch worker thread.
+_DEADLINE: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Make ``deadline`` ambient for the duration of the block."""
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The ambient deadline, or ``None`` outside any scope."""
+    return _DEADLINE.get()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient deadline has passed.
+
+    The single call instrumented work drops at its natural boundaries; free
+    outside a scope (one contextvar read).
+    """
+    deadline = _DEADLINE.get()
+    if deadline is not None:
+        deadline.check()
+
+
+class RetryPolicy:
+    """Bounded attempts with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts *total* tries (1 = no retries).  The delay
+    before retry ``n`` (1-based) is ``backoff * multiplier**(n-1)`` capped
+    at ``max_backoff``, plus a jitter drawn uniformly from ``[0, jitter *
+    delay]`` by a seeded generator -- deterministic per policy instance, so
+    a replayed run sleeps the same schedule.  The defaults are sized for
+    in-process transient faults (a handful of milliseconds), not network
+    calls; the serving client builds its own, slower policy.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff: float = 0.005,
+        multiplier: float = 2.0,
+        max_backoff: float = 0.25,
+        jitter: float = 0.1,
+        seed: int = 20070411,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff < 0 or max_backoff < 0 or jitter < 0:
+            raise ValueError("backoff, max_backoff and jitter must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    def delay(self, retry_index: int) -> float:
+        """The backoff before the ``retry_index``-th retry (1-based)."""
+        base = min(
+            self.backoff * self.multiplier ** (retry_index - 1),
+            self.max_backoff,
+        )
+        if self.jitter:
+            base += self._rng.random() * self.jitter * base
+        return base
+
+    def pause(self, retry_index: int) -> None:
+        """Sleep the backoff for the ``retry_index``-th retry.
+
+        For callers that drive their own retry loop (the pooled executors
+        retry whole *rounds* of failed tasks, not one callable) but still
+        want the policy's schedule and injected sleep.
+        """
+        self._sleep(self.delay(retry_index))
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Call ``fn`` under the policy.
+
+        Retries only exceptions matching ``retry_on``; anything else (and
+        the final failing attempt) propagates.  :class:`DeadlineExceeded`
+        is never retried -- a request that is already out of time must not
+        sleep and try again -- and the ambient deadline is re-checked
+        before each retry so backoff cannot outlive the budget.
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except DeadlineExceeded:
+                raise
+            except retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(self.delay(attempt))
+                check_deadline()
+                attempt += 1

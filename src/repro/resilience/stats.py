@@ -1,0 +1,85 @@
+"""Resilience accounting: what the self-healing machinery actually did.
+
+One :class:`ResilienceStats` record per executor run, merged across the
+runs of a query by the sharded predicate and surfaced two ways -- in
+``explain()`` (so a human sees "the pool broke and was rebuilt" next to the
+plan) and as ``resilience.*`` counters in the metrics registry (so a
+dashboard sees the rate).  A run with no incidents publishes nothing: the
+happy path stays free of counter churn, and ``events`` is falsy, which is
+what `explain()` keys on to omit the section entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ResilienceStats"]
+
+
+@dataclass
+class ResilienceStats:
+    """Counts of resilience events during shard execution.
+
+    ``tasks`` is the number of shard tasks dispatched (including re-runs);
+    the rest count incidents: per-task ``task_retries`` / terminal
+    ``task_failures``, broken-pool ``pool_rebuilds``, tasks that fell back
+    to in-process serial execution (``serial_fallbacks``), and faults the
+    injector deliberately fired (``faults_injected``).
+    """
+
+    executor: str = ""
+    tasks: int = 0
+    task_retries: int = 0
+    task_failures: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    faults_injected: int = 0
+
+    @property
+    def events(self) -> int:
+        """Total incidents (0 on a clean run -- used as truthiness gate)."""
+        return (
+            self.task_retries
+            + self.task_failures
+            + self.pool_rebuilds
+            + self.serial_fallbacks
+            + self.faults_injected
+        )
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Fold another run's record into this one (executor name wins last)."""
+        if other.executor:
+            self.executor = other.executor
+        self.tasks += other.tasks
+        self.task_retries += other.task_retries
+        self.task_failures += other.task_failures
+        self.pool_rebuilds += other.pool_rebuilds
+        self.serial_fallbacks += other.serial_fallbacks
+        self.faults_injected += other.faults_injected
+
+    def publish(self, metrics) -> None:
+        """Increment ``resilience.*`` counters, skipping zeros."""
+        for name, value in (
+            ("resilience.task_retries", self.task_retries),
+            ("resilience.task_failures", self.task_failures),
+            ("resilience.pool_rebuilds", self.pool_rebuilds),
+            ("resilience.serial_fallbacks", self.serial_fallbacks),
+            ("resilience.faults_injected", self.faults_injected),
+        ):
+            if value:
+                metrics.inc(name, value)
+
+    def describe(self) -> str:
+        """One human line for ``explain()`` output."""
+        parts: List[str] = [f"executor={self.executor or '?'}", f"tasks={self.tasks}"]
+        for label, value in (
+            ("retries", self.task_retries),
+            ("failures", self.task_failures),
+            ("pool_rebuilds", self.pool_rebuilds),
+            ("serial_fallbacks", self.serial_fallbacks),
+            ("faults_injected", self.faults_injected),
+        ):
+            if value:
+                parts.append(f"{label}={value}")
+        return ", ".join(parts)

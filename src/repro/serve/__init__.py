@@ -11,8 +11,14 @@ a long-lived service multiplexing many concurrent clients:
   interning, LRU eviction releasing warm state) and the request pipeline;
 * :mod:`repro.serve.server` -- a stdlib-only asyncio HTTP/1.1 front with
   graceful drain on SIGTERM / ``POST /shutdown``;
-* :mod:`repro.serve.client` -- the synchronous reference client;
+* :mod:`repro.serve.client` -- the synchronous reference client, with
+  opt-in bounded retries honoring ``Retry-After``;
 * :mod:`repro.serve.protocol` -- the ``repro.serve/1`` JSON wire schema.
+
+Degraded-mode behavior (per-corpus circuit breakers, request deadlines
+propagated into the engine, fault injection via ``REPRO_FAULTS``) comes
+from :mod:`repro.resilience` and is wired through
+:class:`~repro.serve.service.SimilarityService`.
 
 Start a server from the CLI (``repro serve --port 8077``) or embed the
 service directly::

@@ -64,6 +64,10 @@ class AdmissionController:
         self._semaphore = asyncio.Semaphore(self.max_concurrency)
         self._waiting = 0
         self._active = 0
+        # Set whenever no request is queued or executing; drain sleeps on
+        # this instead of polling the counters.
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     @property
     def waiting(self) -> int:
@@ -74,6 +78,16 @@ class AdmissionController:
     def active(self) -> int:
         """Requests currently holding an execution slot."""
         return self._active
+
+    async def wait_idle(self) -> None:
+        """Block until no request is queued or holding a slot."""
+        await self._idle.wait()
+
+    def _update_idle(self) -> None:
+        if self._active == 0 and self._waiting == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
 
     @asynccontextmanager
     async def admit(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
@@ -91,6 +105,7 @@ class AdmissionController:
                 f"{self.max_queue} allowed); retry later"
             )
         self._waiting += 1
+        self._update_idle()
         metrics.gauge("serve.queue_depth").set(self._waiting)
         started = perf_clock()
         try:
@@ -106,13 +121,16 @@ class AdmissionController:
                     ) from None
         finally:
             self._waiting -= 1
+            self._update_idle()
             metrics.gauge("serve.queue_depth").set(self._waiting)
         metrics.observe("latency.serve.admission_wait", perf_clock() - started)
         self._active += 1
+        self._update_idle()
         metrics.gauge("serve.active_requests").set(self._active)
         try:
             yield
         finally:
             self._active -= 1
+            self._update_idle()
             metrics.gauge("serve.active_requests").set(self._active)
             self._semaphore.release()

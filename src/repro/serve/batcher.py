@@ -94,15 +94,30 @@ class MicroBatcher:
         bucket.items.append((request, future))
         if len(bucket.items) >= self.max_batch:
             self._close_bucket(key, bucket)
-        return await future
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # The submitter's deadline expired: ``asyncio.wait_for`` cancelled
+            # this coroutine while the batch may still be running.  Cancelling
+            # a task normally cancels the awaited future too, but make it
+            # explicit so a late flush's ``done()`` check reliably skips the
+            # abandoned waiter instead of tripping on InvalidStateError.
+            future.cancel()
+            raise
 
     async def flush_all(self) -> None:
-        """Flush every open bucket now and wait for in-flight flushes (drain)."""
+        """Flush every open bucket now and wait for in-flight flushes (drain).
+
+        Uses ``asyncio.wait`` rather than ``gather``: a *bounded* drain
+        cancels this wait when its budget expires, and that cancellation
+        must not propagate into the flush tasks themselves -- an abandoned
+        drain still lets in-flight batches finish and resolve their waiters.
+        """
         for key, bucket in list(self._buckets.items()):
             if self._buckets.get(key) is bucket:
                 self._close_bucket(key, bucket)
         while self._flushes:
-            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+            await asyncio.wait(list(self._flushes))
 
     # -- internals ---------------------------------------------------------------
 
@@ -144,9 +159,28 @@ class MicroBatcher:
                 )
         except Exception as exc:  # resolve every waiter, never swallow
             for _, future in items:
-                if not future.done():
-                    future.set_exception(exc)
+                self._resolve(future, error=exc)
             return
         for (_, future), result in zip(items, results):
-            if not future.done():
+            self._resolve(future, result=result)
+
+    @staticmethod
+    def _resolve(
+        future: asyncio.Future, result: object = None, error: Optional[BaseException] = None
+    ) -> None:
+        """Resolve one waiter, tolerating cancellation at any point.
+
+        ``done()`` filters waiters whose deadlines expired mid-batch; the
+        InvalidStateError guard covers the remaining sliver where a future is
+        cancelled between that check and the set (belt and braces -- both run
+        on the event loop, but the contract must not depend on it).
+        """
+        if future.done():
+            return
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
                 future.set_result(result)
+        except asyncio.InvalidStateError:  # cancelled since the done() check
+            pass

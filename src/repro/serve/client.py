@@ -10,67 +10,158 @@ reference for how to talk to the server from any HTTP client::
 Error envelopes (rejections, timeouts, bad requests) raise
 :class:`ServeError` carrying the HTTP status and machine-readable error
 code, so load generators can count 429s separately from failures.
+
+Resilience is **opt-in**: with ``retries=0`` (the default) the client
+behaves exactly as before -- one stale-keep-alive reconnect, no other
+retries -- because a generic client must not silently re-send requests.
+With ``retries=N`` it retries connection failures and the two transient
+server answers (429 rejected, 503 draining / breaker open) up to ``N``
+times, sleeping the server's ``Retry-After`` hint when one is given and a
+seeded exponential backoff (:class:`~repro.resilience.retry.RetryPolicy`)
+otherwise.  4xx/5xx responses other than 429/503 never retry: they are
+deterministic answers, not transient weather.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.predicates.base import Match
+from repro.resilience import RetryPolicy
 from repro.serve.protocol import matches_from_payload
 
 __all__ = ["ServeClient", "ServeError"]
 
+#: The HTTP statuses that signal "try again later" rather than "you lose".
+_RETRYABLE_STATUSES = (429, 503)
+
 
 class ServeError(Exception):
-    """A non-200 response from the server."""
+    """A non-200 response from the server.
 
-    def __init__(self, status: int, error: str, message: str):
+    ``retry_after`` is the server's back-off hint in seconds (from the
+    envelope or the ``Retry-After`` header), ``None`` when absent.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"[{status} {error}] {message}")
         self.status = status
         self.error = error
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServeClient:
     """One keep-alive HTTP connection to a serve endpoint (not thread-safe;
-    give each client thread its own instance)."""
+    give each client thread its own instance).
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    ``timeout`` bounds each socket read; ``connect_timeout`` (defaulting to
+    ``timeout``) bounds connection establishment separately, so a client
+    talking to a dead host fails in connect time instead of read time.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        connect_timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
-        self._connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.retries = int(retries)
+        self._sleep = sleep
+        self._policy = RetryPolicy(
+            max_attempts=self.retries + 1, backoff=backoff, max_backoff=2.0
+        )
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=self.connect_timeout
+        )
 
     def close(self) -> None:
         self._connection.close()
 
     # -- raw transport -----------------------------------------------------------
 
-    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
-        """One round trip; returns the decoded envelope, raising on errors."""
-        body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
+    def _connect(self) -> None:
+        """Establish the socket under ``connect_timeout``, read under ``timeout``."""
+        self._connection.connect()
+        if self._connection.sock is not None:
+            self._connection.sock.settimeout(self.timeout)
+
+    def _round_trip(self, method: str, path: str, body, headers) -> dict:
+        """One request/response exchange, decoding error envelopes."""
+        if self._connection.sock is None:
+            self._connect()
         try:
             self._connection.request(method, path, body=body, headers=headers)
             response = self._connection.getresponse()
             raw = response.read()
         except (ConnectionError, http.client.HTTPException):
             # Stale keep-alive (e.g. server restarted): retry once fresh.
+            # This reconnect predates the opt-in retry loop and is always on.
             self._connection.close()
-            self._connection.connect()
+            self._connect()
             self._connection.request(method, path, body=body, headers=headers)
             response = self._connection.getresponse()
             raw = response.read()
         envelope = json.loads(raw.decode("utf-8"))
         if envelope.get("kind") == "error":
+            retry_after = envelope.get("retry_after")
+            if retry_after is None:
+                header = response.getheader("Retry-After")
+                retry_after = float(header) if header is not None else None
             raise ServeError(
                 envelope.get("status", response.status),
                 envelope.get("error", "unknown"),
                 envelope.get("message", ""),
+                retry_after=retry_after,
             )
         return envelope
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One round trip; returns the decoded envelope, raising on errors.
+
+        With ``retries > 0``, connection errors / timeouts and 429/503
+        envelopes are retried with backoff, honoring ``Retry-After``.
+        """
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        attempt = 0
+        while True:
+            try:
+                return self._round_trip(method, path, body, headers)
+            except ServeError as exc:
+                if attempt >= self.retries or exc.status not in _RETRYABLE_STATUSES:
+                    raise
+                delay = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self._policy.delay(attempt + 1)
+                )
+            except (ConnectionError, TimeoutError, http.client.HTTPException):
+                self._connection.close()
+                if attempt >= self.retries:
+                    raise
+                delay = self._policy.delay(attempt + 1)
+            attempt += 1
+            self._sleep(delay)
 
     # -- endpoints ---------------------------------------------------------------
 

@@ -19,7 +19,7 @@ with results bit-identical to running each alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.predicates.base import Match
@@ -75,6 +75,12 @@ class QueryRequest:
     num_shards: int = 1
     executor: Optional[str] = None
     timeout: Optional[float] = None
+    #: Server-side only (never on the wire): the absolute
+    #: :class:`~repro.resilience.retry.Deadline` minted from ``timeout`` when
+    #: the request was accepted.  Excluded from equality so identical wire
+    #: requests still compare equal; ``batch_key`` enumerates fields
+    #: explicitly, so coalescing is unaffected.
+    deadline: Optional[object] = field(default=None, compare=False)
 
     def batch_key(self) -> Tuple:
         """Coalescing key: requests sharing it run as one ``run_many`` batch."""
@@ -194,15 +200,25 @@ def result_envelope(
     }
 
 
-def error_envelope(status: int, error: str, message: str) -> dict:
-    """A failure response (parse error, rejection, timeout, shutdown...)."""
-    return {
+def error_envelope(
+    status: int, error: str, message: str, retry_after: Optional[float] = None
+) -> dict:
+    """A failure response (parse error, rejection, timeout, shutdown...).
+
+    ``retry_after`` (seconds) rides along when the failure is known to be
+    temporary -- a draining server or an open circuit breaker -- and the
+    server surfaces it as the HTTP ``Retry-After`` header as well.
+    """
+    envelope = {
         "schema": SERVE_SCHEMA,
         "kind": "error",
         "status": int(status),
         "error": error,
         "message": message,
     }
+    if retry_after is not None:
+        envelope["retry_after"] = max(0.0, float(retry_after))
+    return envelope
 
 
 def matches_from_payload(rows: Sequence[dict]) -> List[Match]:

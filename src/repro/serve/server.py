@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 from typing import Callable, Dict, Optional, Tuple
 
@@ -253,10 +254,20 @@ class ServeServer:
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        # Temporary failures (open breaker, draining) carry a retry hint in
+        # the envelope; surface it as the standard header too so plain HTTP
+        # clients can back off without parsing the body.
+        retry_after = payload.get("retry_after") if isinstance(payload, dict) else None
+        retry_header = (
+            f"Retry-After: {max(1, math.ceil(float(retry_after)))}\r\n"
+            if retry_after is not None
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )

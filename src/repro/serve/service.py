@@ -32,15 +32,25 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.predicates.base import Match
 from repro.engine.query import Query, SimilarityEngine
 from repro.obs.clock import perf_clock
 from repro.obs.trace import Observability, Span
+from repro.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    deadline_scope,
+    faults_from_env,
+)
 from repro.serve.admission import AdmissionController, AdmissionTimeout, RejectedError
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
@@ -52,6 +62,8 @@ from repro.serve.protocol import (
 )
 
 __all__ = ["SimilarityService", "corpus_id_for"]
+
+logger = logging.getLogger("repro.serve")
 
 
 def corpus_id_for(strings: Sequence[str]) -> str:
@@ -70,6 +82,10 @@ class _CorpusEntry:
     corpus_id: str
     strings: List[str]
     engine: SimilarityEngine
+    #: Isolates a persistently failing corpus: once tripped, its requests
+    #: fail fast with 503 instead of burning worker threads, while healthy
+    #: corpora on the same service keep executing.
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     #: Serializes batch executions on this corpus's engine so per-call stats
     #: and staged declarative tables never interleave across worker threads.
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -87,12 +103,27 @@ class SimilarityService:
         batch_max: int = 16,
         max_corpora: int = 8,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultInjector] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 5.0,
+        drain_timeout: Optional[float] = None,
     ):
         if max_corpora < 1:
             raise ValueError("max_corpora must be >= 1")
         self.obs = obs if obs is not None else Observability()
         self.default_timeout = default_timeout
         self.max_corpora = int(max_corpora)
+        #: One injector shared with every corpus engine, so a ``REPRO_FAULTS``
+        #: plan (or an explicitly passed injector) covers the whole pipeline
+        #: -- ``serve.batch`` here, ``shard.task`` / ``sql.statement`` below
+        #: -- with one consistent set of call counters.
+        self.faults = faults if faults is not None else faults_from_env()
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset = float(breaker_reset)
+        #: Upper bound on how long :meth:`drain` waits for in-flight work;
+        #: ``None`` waits forever (the pre-existing behavior).  On expiry the
+        #: remaining work is abandoned, logged and counted.
+        self.drain_timeout = drain_timeout
         self.admission = AdmissionController(
             max_concurrency=max_concurrency, max_queue=max_queue, obs=self.obs
         )
@@ -124,12 +155,18 @@ class SimilarityService:
             if entry is not None:
                 self._corpora.move_to_end(corpus_id)
                 return corpus_id, len(entry.strings), False
-            engine = SimilarityEngine()
+            engine = SimilarityEngine(faults=self.faults)
             # Share the service's observability holder by reference so
             # tracer swaps and metrics reach every engine layer.
             engine.obs = self.obs
             self._corpora[corpus_id] = _CorpusEntry(
-                corpus_id=corpus_id, strings=list(strings), engine=engine
+                corpus_id=corpus_id,
+                strings=list(strings),
+                engine=engine,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    reset_timeout=self.breaker_reset,
+                ),
             )
             evicted = []
             while len(self._corpora) > self.max_corpora:
@@ -171,7 +208,15 @@ class SimilarityService:
     # -- request pipeline --------------------------------------------------------
 
     async def handle(self, payload: object) -> dict:
-        """Serve one query request; always returns a response envelope."""
+        """Serve one query request; always returns a response envelope.
+
+        Failure ladder, outermost first: 400 (parse), 503 (draining or an
+        open circuit breaker, both carrying ``retry_after``), 404 (unknown
+        corpus), 429/504 (admission), 504 (deadline -- whether caught by
+        ``wait_for`` on the event loop or by an in-engine ``check_deadline``),
+        and finally 500: an unexpected engine exception becomes a JSON error
+        envelope instead of tearing down the connection.
+        """
         metrics = self.obs.metrics
         metrics.inc("serve.requests_total")
         started = perf_clock()
@@ -183,19 +228,40 @@ class SimilarityService:
                     status=503,
                     error="draining",
                 )
-            self.corpus(request.corpus_id)  # 404 before queuing
+            entry = self.corpus(request.corpus_id)  # 404 before queuing
+            try:
+                entry.breaker.allow()  # fast 503 before any engine work
+            finally:
+                self._publish_breaker(entry)
+            # The deadline is minted here -- covering queue wait *and*
+            # execution -- and rides the request into the batch, where
+            # `deadline_scope` makes it ambient for the engine layers.
+            request = replace(request, deadline=Deadline(request.timeout))
             matches, batch_size = await asyncio.wait_for(
                 self._admit_and_run(request),
                 timeout=request.timeout,
             )
         except ProtocolError as exc:
             envelope = exc.envelope()
+        except BreakerOpen as exc:
+            metrics.inc("serve.breaker_rejections_total")
+            envelope = error_envelope(
+                503, "breaker_open", str(exc), retry_after=exc.retry_after
+            )
         except (RejectedError, AdmissionTimeout) as exc:
             envelope = error_envelope(exc.status, exc.error, str(exc))
-        except asyncio.TimeoutError:
+        except (asyncio.TimeoutError, DeadlineExceeded):
             metrics.inc("serve.timeouts_total")
+            budget = (
+                f"request deadline of {request.timeout:.3f}s expired"
+                if request.timeout is not None
+                else "request deadline expired"
+            )
+            envelope = error_envelope(504, "timeout", budget)
+        except Exception as exc:  # degraded mode: a bug answers 500, not a crash
+            logger.exception("unexpected error serving request")
             envelope = error_envelope(
-                504, "timeout", f"request deadline of {request.timeout:.3f}s expired"
+                500, "internal", f"{type(exc).__name__}: {exc}"
             )
         else:
             envelope = result_envelope(
@@ -206,6 +272,12 @@ class SimilarityService:
         if envelope["status"] != 200:
             metrics.inc("serve.errors_total")
         return envelope
+
+    def _publish_breaker(self, entry: _CorpusEntry) -> None:
+        """Export the breaker state gauge (0 closed / 1 open / 2 half-open)."""
+        self.obs.metrics.gauge(
+            f"serve.breaker_state.{entry.corpus_id}"
+        ).set(entry.breaker.state_value)
 
     async def _admit_and_run(
         self, request: QueryRequest
@@ -276,26 +348,48 @@ class SimilarityService:
         plan for all of them.  ``run_many`` routes each query through the
         same code paths as the single-query terminals, which is what makes
         the split results bit-identical to individual calls.
+
+        The batch executes under the *latest* of its waiters' deadlines
+        (:meth:`Deadline.combine`): a batch may only be abandoned once every
+        waiter is out of time, since stopping at the earliest deadline would
+        discard work other waiters still need.  The corpus breaker records
+        one verdict per batch -- engine failures count against it, deadline
+        expiry does not (a slow request says nothing about corpus health).
         """
         first = requests[0]
         entry = self.corpus(first.corpus_id)
         tracer = self.obs.tracer
-        with entry.lock:
-            with tracer.span(
-                "serve.batch",
-                corpus_id=first.corpus_id,
-                op=first.op,
-                predicate=first.predicate,
-                batch_size=len(requests),
-            ) as span:
-                query = self._build_query(entry, first)
-                batches = query.run_many(
-                    [request.text for request in requests],
-                    op=first.op,
-                    k=first.k,
-                    threshold=first.threshold,
-                    limit=first.limit,
-                )
+        batch_deadline = Deadline.combine(
+            tuple(request.deadline for request in requests)
+        )
+        try:
+            with entry.lock:
+                with deadline_scope(batch_deadline):
+                    if self.faults.active:
+                        self.faults.check("serve.batch")
+                    with tracer.span(
+                        "serve.batch",
+                        corpus_id=first.corpus_id,
+                        op=first.op,
+                        predicate=first.predicate,
+                        batch_size=len(requests),
+                    ) as span:
+                        query = self._build_query(entry, first)
+                        batches = query.run_many(
+                            [request.text for request in requests],
+                            op=first.op,
+                            k=first.k,
+                            threshold=first.threshold,
+                            limit=first.limit,
+                        )
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            entry.breaker.record_failure()
+            self._publish_breaker(entry)
+            raise
+        entry.breaker.record_success()
+        self._publish_breaker(entry)
         record = span.to_dict() if tracer.enabled else None
         return batches, record
 
@@ -313,12 +407,44 @@ class SimilarityService:
     # -- drain -------------------------------------------------------------------
 
     async def drain(self) -> None:
-        """Stop taking new requests, finish everything in flight."""
+        """Stop taking new requests, finish everything in flight.
+
+        Event-driven rather than polled: the admission controller signals
+        when its last request releases, and ``flush_all`` awaits the actual
+        flush tasks -- the drain loop sleeps on those events instead of
+        spinning on a 5ms poll.  With ``drain_timeout`` set, work still in
+        flight when the budget expires is abandoned (logged and counted as
+        ``serve.drain_abandoned_total``); waiters see their futures fail
+        when the loop shuts down rather than hanging a stuck drain forever.
+        """
         self._draining = True
-        await self.batcher.flush_all()
-        while self.admission.active or self.admission.waiting or self.batcher.pending:
-            await asyncio.sleep(0.005)
-        await self.batcher.flush_all()
+        if self.drain_timeout is None:
+            await self._drain_idle()
+            return
+        try:
+            await asyncio.wait_for(self._drain_idle(), self.drain_timeout)
+        except asyncio.TimeoutError:
+            abandoned = (
+                self.admission.active + self.admission.waiting + self.batcher.pending
+            )
+            logger.warning(
+                "drain timed out after %.3fs; abandoning %d in-flight request(s)",
+                self.drain_timeout,
+                abandoned,
+            )
+            self.obs.metrics.inc("serve.drain_abandoned_total", abandoned)
+
+    async def _drain_idle(self) -> None:
+        """Wait until no request is admitted, queued or batched anywhere."""
+        while True:
+            await self.batcher.flush_all()
+            await self.admission.wait_idle()
+            if not (
+                self.admission.active
+                or self.admission.waiting
+                or self.batcher.pending
+            ):
+                return
 
     @property
     def draining(self) -> bool:

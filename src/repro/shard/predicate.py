@@ -51,6 +51,12 @@ from repro.core.predicates.base import Match, Predicate
 from repro.core.topk import PruningStats, maxscore_top_k
 from repro.obs.clock import perf_clock
 from repro.obs.trace import Observability, Span
+from repro.resilience import (
+    FaultInjector,
+    ResilienceStats,
+    RetryPolicy,
+    check_deadline,
+)
 from repro.shard.executors import ShardExecutor, make_executor
 from repro.shard.stats import InjectedStatsFactory
 from repro.text.weights import CollectionStatistics
@@ -214,6 +220,9 @@ def _dispatch_shard_op(shard: Predicate, op: str, payload: dict) -> dict:
         pruning: Optional[PruningStats] = None
         batch_op = payload["op"]
         for query in payload["queries"]:
+            # Per-query boundary: a timed-out batch stops between queries
+            # instead of computing the whole remainder into the void.
+            check_deadline()
             if batch_op == "top_k":
                 rows = shard.top_k(query, payload["k"])
                 if shard.pruning_stats is not None:
@@ -276,6 +285,8 @@ class ShardedPredicate:
         max_workers: Optional[int] = None,
         obs: Optional[Observability] = None,
         parallel_fit: Optional[bool] = None,
+        faults: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -291,6 +302,11 @@ class ShardedPredicate:
         #: caller-passed SQL backends); name specs create an owned executor.
         self._owns_executor = not isinstance(executor, ShardExecutor)
         self._executor: ShardExecutor = make_executor(executor, max_workers)
+        self._executor.configure_resilience(faults=faults, retry_policy=retry_policy)
+        #: Accumulated resilience record of executor runs since the last
+        #: :meth:`reset_resilience` (``None`` while nothing has run).  The
+        #: engine resets it per query and surfaces it in ``explain()``.
+        self.resilience_stats: Optional[ResilienceStats] = None
         self._strings: List[str] = []
         self._token_lists: List[List[str]] = []
         self._global_stats: Optional[CollectionStatistics] = None
@@ -572,19 +588,41 @@ class ShardedPredicate:
                         parent.attach(Span.from_dict(record))
         return results
 
+    def reset_resilience(self) -> None:
+        """Start a fresh resilience record (the engine calls this per query)."""
+        self.resilience_stats = None
+
+    def _merge_resilience(self) -> None:
+        """Fold the executor's last-run record into the accumulated one.
+
+        Sits right after ``executor.run()`` (not in :meth:`_finish`) because
+        the top-k inline path finishes results that never went through the
+        executor -- merging there would re-count a stale record.
+        """
+        record = self._executor.last_resilience
+        if record is None:
+            return
+        if self.resilience_stats is None:
+            self.resilience_stats = ResilienceStats()
+        self.resilience_stats.merge(record)
+
     def _run_all(self, op: str, payloads: Sequence[dict]) -> List[dict]:
         tasks = [
             (shard_id, op, self._trace_payload(shard_id, payload))
             for shard_id, payload in enumerate(payloads)
         ]
-        return self._finish(self._executor.run(tasks))
+        results = self._executor.run(tasks)
+        self._merge_resilience()
+        return self._finish(results)
 
     def _run_on(self, shard_ids: Sequence[int], op: str, payload: dict) -> List[dict]:
         tasks = [
             (shard_id, op, self._trace_payload(shard_id, payload))
             for shard_id in shard_ids
         ]
-        return self._finish(self._executor.run(tasks))
+        results = self._executor.run(tasks)
+        self._merge_resilience()
+        return self._finish(results)
 
     def _record_shards(self, shards_run: int, shards_skipped: int = 0) -> None:
         self.shard_stats = ShardStats(
@@ -819,7 +857,9 @@ class ShardedPredicate:
             # bounds above; shard.top_k would rebuild the identical plan.
             # Worker processes/threads rebuild theirs instead (plans hold
             # references into the shard's posting lists -- recomputing is
-            # cheaper than shipping them).
+            # cheaper than shipping them).  Still a shard-task boundary:
+            # the ambient deadline is checked exactly as the executors do.
+            check_deadline()
             tracing = self.obs.tracer.enabled
             started = perf_clock() if tracing else 0.0
             terms, allowed, rescore = plans[shard_id]
