@@ -77,7 +77,7 @@ def test_figure_5_4_scalability(benchmark):
     )
 
     smallest, largest = SCALABILITY_SIZES[0], SCALABILITY_SIZES[-1]
-    for group, names in GROUPS.items():
+    for names in GROUPS.values():
         for name in names:
             assert results[(largest, name)] >= results[(smallest, name)] * 0.8, name
     # Group ordering at the largest size: G1 fastest, combination slowest.

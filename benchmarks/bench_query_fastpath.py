@@ -242,9 +242,10 @@ def obs_overhead(size: int, num_queries: int, rounds: int = 5, seed: int = 42) -
         for query in queries:
             metrics.inc("queries_total")
             started = perf_clock()
-            with NOOP_TRACER.span("engine.query", op="top_k", k=TOP_K):
-                with NOOP_TRACER.span("execute.direct"):
-                    predicate.top_k(query, TOP_K)
+            with NOOP_TRACER.span("engine.query", op="top_k", k=TOP_K), NOOP_TRACER.span(
+                "execute.direct"
+            ):
+                predicate.top_k(query, TOP_K)
             metrics.observe("latency.engine.query", perf_clock() - started)
 
     def best_of(fn) -> float:

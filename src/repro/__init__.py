@@ -56,7 +56,12 @@ Package map:
   and SQL-statement boundaries, per-corpus circuit breakers, and the
   ``resilience.*`` accounting surfaced by ``explain()``.  Self-healing is
   exact: shard tasks are pure, so retrying or re-running them after a
-  worker crash is bit-identical to an undisturbed run.
+  worker crash is bit-identical to an undisturbed run;
+* :mod:`repro.analysis` -- invariant-aware static analysis (stdlib ``ast``
+  only): ``python -m repro.analysis`` checks the contracts the guarantees
+  above rest on -- sorted-order float accumulation, the single sanctioned
+  clock, pure executor tasks, lock discipline on shared caches, structured
+  error envelopes (rules RPL001-RPL005; see ``docs/invariants.md``).
 
 Migrating from ``ApproximateSelector``: the class remains as a deprecated
 thin shim; ``ApproximateSelector(strings, predicate="bm25").top_k(q, 5)`` is
@@ -99,7 +104,7 @@ from repro.resilience import (
 )
 from repro.shard import ShardedPredicate, ShardStats
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "SimilarityEngine",

@@ -1,0 +1,50 @@
+"""repro.analysis -- invariant-aware static analysis for this codebase.
+
+An AST-based checker (stdlib only) enforcing the contracts the dynamic test
+suites assume: sorted-order float accumulation (RPL001), the single
+sanctioned clock (RPL002), the pure-task executor contract (RPL003), lock
+discipline on shared caches (RPL004) and structured error envelopes in the
+serving layer (RPL005).  Run it as ``python -m repro.analysis [paths...]``;
+configuration lives under ``[tool.repro-analysis]`` in pyproject.toml, and
+grandfathered findings live in a shrink-only baseline file.
+
+See docs/invariants.md for the catalog of rules and the contracts each one
+protects.
+"""
+
+from repro.analysis import rules  # noqa: F401  (registers the rules)
+from repro.analysis.baseline import format_entry, load_baseline, write_baseline
+from repro.analysis.config import AnalysisConfig, load_config, parse_minimal_toml
+from repro.analysis.framework import (
+    RULES,
+    FileContext,
+    Finding,
+    Rule,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+    parse_suppressions,
+    register,
+    split_by_baseline,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "Rule",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "format_entry",
+    "iter_python_files",
+    "load_baseline",
+    "load_config",
+    "parse_minimal_toml",
+    "parse_suppressions",
+    "register",
+    "split_by_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,58 @@
+"""Baseline handling: grandfathered findings that may only ever shrink.
+
+The baseline file holds one line per grandfathered finding::
+
+    <fingerprint> <rule> <path> <scope>
+
+Fingerprints hash ``(path, rule, scope, snippet)`` -- stable across
+line-number drift, invalidated when the offending code changes.  Semantics:
+
+* findings **in** the baseline are suppressed (counted as grandfathered);
+* findings **not in** the baseline fail the run (new violations never pass);
+* baseline entries matching **no** finding are *stale* and fail the run until
+  removed (``--update-baseline`` deletes them) -- the baseline shrinks
+  monotonically, it never quietly absorbs regressions.
+
+``--write-baseline`` (initial adoption only) records every current finding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence
+
+from repro.analysis.framework import Finding
+
+__all__ = ["load_baseline", "write_baseline", "format_entry"]
+
+
+def format_entry(finding: Finding) -> str:
+    scope = finding.scope or "<module>"
+    return f"{finding.fingerprint()} {finding.rule} {finding.path} {scope}"
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """fingerprint -> original entry line (empty dict for a missing file)."""
+    if not path.is_file():
+        return {}
+    entries: Dict[str, str] = {}
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fingerprint = line.split(None, 1)[0]
+        entries[fingerprint] = line
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write entries for ``findings`` (sorted, deduplicated); returns count."""
+    lines = sorted({format_entry(finding) for finding in findings})
+    header = (
+        "# repro-analysis baseline: grandfathered findings, one per line.\n"
+        "# This file only ever shrinks -- fix a finding, delete its line\n"
+        "# (python -m repro.analysis --update-baseline does it for you).\n"
+    )
+    body = "\n".join(lines)
+    path.write_text(header + body + ("\n" if body else ""), encoding="utf-8")
+    return len(lines)

@@ -1,0 +1,183 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: ``0`` clean (new findings: none, stale baseline entries: none),
+``1`` contract violations or a stale baseline, ``2`` usage errors.
+
+Baseline workflow::
+
+    python -m repro.analysis src                      # check (fails on new)
+    python -m repro.analysis src --write-baseline     # initial adoption
+    python -m repro.analysis src --update-baseline    # drop fixed entries
+
+``--update-baseline`` refuses to run while new findings exist: the baseline
+only ever shrinks, it never absorbs regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import rules  # noqa: F401  (registers the rules)
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.config import load_config
+from repro.analysis.framework import (
+    RULES,
+    check_paths,
+    split_by_baseline,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Invariant-aware static analysis: exactness, clock, purity, "
+            "lock and error-envelope contracts (rules RPL001-RPL005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files/directories to check (default: the 'paths' key of "
+            "[tool.repro-analysis] in pyproject.toml, else 'src')"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings (default: the "
+            "'baseline' key of [tool.repro-analysis], else none)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record every current finding into the baseline (adoption only)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="remove stale entries from the baseline (fails on new findings)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPL001,RPL004)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and their contracts, then exit",
+    )
+    return parser
+
+
+def _selected_codes(raw: Optional[List[str]]) -> Optional[List[str]]:
+    if not raw:
+        return None
+    codes: List[str] = []
+    for chunk in raw:
+        codes.extend(
+            code.strip().upper() for code in chunk.split(",") if code.strip()
+        )
+    return codes or None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code} {rule.name}: {rule.contract}")
+        return 0
+
+    root = Path(args.root)
+    config = load_config(root)
+
+    raw_paths = args.paths or config.paths or ["src"]
+    paths = [root / p if not Path(p).is_absolute() else Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select = _selected_codes(args.select)
+    try:
+        findings = check_paths(paths, config=config.rules, select=select, root=root)
+    except ValueError as exc:  # unknown --select code
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_name = args.baseline or config.baseline
+    baseline_path = (
+        (root / baseline_name if not Path(baseline_name).is_absolute() else Path(baseline_name))
+        if baseline_name
+        else None
+    )
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline needs --baseline", file=sys.stderr)
+            return 2
+        count = write_baseline(baseline_path, findings)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path) if baseline_path is not None else {}
+    new, grandfathered, stale = split_by_baseline(findings, baseline)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: --update-baseline needs --baseline", file=sys.stderr)
+            return 2
+        if new:
+            for finding in new:
+                print(finding.render())
+            print(
+                f"error: {len(new)} new finding(s) -- the baseline only "
+                "shrinks; fix them (or add an inline disable with a reason)",
+                file=sys.stderr,
+            )
+            return 1
+        count = write_baseline(baseline_path, grandfathered)
+        print(
+            f"baseline updated: {count} entr(y/ies) kept, "
+            f"{len(stale)} stale entr(y/ies) removed"
+        )
+        return 0
+
+    for finding in new:
+        print(finding.render())
+    if stale:
+        for fingerprint in stale:
+            print(f"stale baseline entry: {baseline[fingerprint]}")
+        print(
+            "error: baseline entries match no current finding -- the "
+            "violations were fixed, so run --update-baseline to drop them",
+            file=sys.stderr,
+        )
+
+    checked = "all rules" if select is None else ",".join(select)
+    status = "FAILED" if (new or stale) else "OK"
+    print(
+        f"repro-analysis [{checked}]: {len(new)} new, "
+        f"{len(grandfathered)} grandfathered, {len(stale)} stale -- {status}",
+        file=sys.stderr,
+    )
+    return 1 if (new or stale) else 0

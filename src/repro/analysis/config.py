@@ -1,0 +1,160 @@
+"""Configuration for the invariant checker: ``[tool.repro-analysis]``.
+
+The checker is configured from ``pyproject.toml``::
+
+    [tool.repro-analysis]
+    paths = ["src", "benchmarks", "examples"]
+    baseline = ".repro-analysis-baseline"
+
+    [tool.repro-analysis.rpl001]
+    paths = ["src/repro/core", "src/repro/shard", "src/repro/declarative"]
+
+Per-rule tables are keyed by the lower-cased rule code and merged over the
+rule's built-in defaults.  ``tomllib`` is used when available (3.11+); on
+older interpreters a minimal built-in parser handles the subset of TOML this
+section uses (string/bool/int/float scalars and single-line string arrays),
+so the checker needs no third-party dependency anywhere in the CI matrix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Dict, List, Optional
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on the 3.10 CI leg
+    _toml = None
+
+__all__ = ["AnalysisConfig", "load_config", "parse_minimal_toml"]
+
+SECTION = "repro-analysis"
+
+
+class AnalysisConfig:
+    """Resolved checker configuration (global paths/baseline + rule tables)."""
+
+    def __init__(self, table: Optional[dict] = None):
+        table = dict(table or {})
+        self.paths: List[str] = list(table.pop("paths", []))
+        self.baseline: Optional[str] = table.pop("baseline", None)
+        #: Remaining sub-tables are per-rule configs keyed by lower-cased code.
+        self.rules: Dict[str, dict] = {
+            key: value for key, value in table.items() if isinstance(value, dict)
+        }
+
+
+def load_config(root: Optional[Path] = None) -> AnalysisConfig:
+    """Read ``[tool.repro-analysis]`` from ``pyproject.toml`` under ``root``."""
+    pyproject = (root or Path.cwd()) / "pyproject.toml"
+    if not pyproject.is_file():
+        return AnalysisConfig()
+    text = pyproject.read_text(encoding="utf-8")
+    if _toml is not None:
+        data = _toml.loads(text)
+    else:  # pragma: no cover - exercised on the 3.10 CI leg
+        data = parse_minimal_toml(text)
+    table = data.get("tool", {}).get(SECTION, {})
+    return AnalysisConfig(table)
+
+
+# -- minimal TOML subset parser ---------------------------------------------------
+
+
+def _parse_scalar(raw: str):
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
+        return raw[1:-1]
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    with contextlib.suppress(ValueError):
+        return int(raw)
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _split_array_items(raw: str) -> List[str]:
+    """Split a single-line array body on commas outside quotes."""
+    items: List[str] = []
+    current = []
+    quote: Optional[str] = None
+    for char in raw:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current.append(char)
+        elif char == ",":
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment (quote-aware)."""
+    quote: Optional[str] = None
+    for index, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#":
+            return line[:index]
+    return line
+
+
+def parse_minimal_toml(text: str) -> dict:
+    """Parse the TOML subset the ``[tool.repro-analysis]`` section uses.
+
+    Handles dotted section headers, ``key = scalar`` and single-line arrays.
+    Lines it cannot interpret (multi-line arrays, inline tables in *other*
+    sections of pyproject) are skipped -- only well-formed entries land in
+    the returned nested dict, which is all the checker reads.
+    """
+    root: dict = {}
+    current = root
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            header = line[1:-1].strip()
+            if header.startswith("[") or not header:
+                continue  # array-of-tables: not used by our section
+            current = root
+            for part in header.split("."):
+                part = part.strip().strip('"').strip("'")
+                current = current.setdefault(part, {})
+                if not isinstance(current, dict):  # scalar/section clash
+                    current = {}
+                    break
+            continue
+        if "=" not in line:
+            continue
+        key, _, raw_value = line.partition("=")
+        key = key.strip().strip('"').strip("'")
+        raw_value = raw_value.strip()
+        if raw_value.startswith("[") and raw_value.endswith("]"):
+            current[key] = [
+                _parse_scalar(item) for item in _split_array_items(raw_value[1:-1])
+            ]
+        elif raw_value.startswith("{") or raw_value.startswith("["):
+            continue  # inline table / multi-line array: not our subset
+        elif raw_value:
+            current[key] = _parse_scalar(raw_value)
+    return root

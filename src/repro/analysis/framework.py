@@ -1,0 +1,354 @@
+"""Core of the invariant checker: findings, rules, suppressions, file runs.
+
+The checker is a thin AST visitor harness.  Each rule is a class with a
+``code`` (``RPLnnn``), a human-readable contract description and a
+``check(ctx)`` generator producing :class:`Finding` objects.  Rules are
+registered into :data:`RULES` at import time (see :mod:`repro.analysis.rules`)
+and run per file through :func:`check_source` / :func:`check_file`.
+
+Suppressions are inline comments of the form::
+
+    total += weight  # repro-analysis: disable=RPL001 reason=integral sum
+
+A ``reason=`` is mandatory: a disable comment without one is itself reported
+as ``RPL000`` -- grandfathering a contract violation must say why.  A
+standalone comment line suppresses the next source line, so long statements
+can carry their exemption above them.
+
+Everything here runs on the stdlib ``ast``/``tokenize`` machinery only.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "register",
+    "check_source",
+    "check_file",
+    "parse_suppressions",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a precise source location.
+
+    ``scope`` (the dotted chain of enclosing class/function names) and
+    ``snippet`` (the stripped source line) feed the baseline fingerprint, so
+    grandfathered findings survive unrelated line-number drift but die when
+    the offending code itself changes.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    scope: str = ""
+    snippet: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.rule} {self.message}"
+
+    def fingerprint(self) -> str:
+        payload = "::".join((self.path, self.rule, self.scope, self.snippet))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class FileContext:
+    """Everything a rule needs to inspect one source file."""
+
+    def __init__(self, path: str, source: str, config: Optional[dict] = None):
+        #: Repo-relative posix path used in reports and path-scope matching.
+        self.path = str(PurePosixPath(path))
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.config = config or {}
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- tree navigation ---------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted enclosing class/function chain, e.g. ``Engine.clear_cache``."""
+        names: List[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(ancestor.name)
+        return ".".join(reversed(names))
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    # -- rule-config helpers -----------------------------------------------------
+
+    def rule_config(self, code: str, defaults: dict) -> dict:
+        merged = dict(defaults)
+        merged.update(self.config.get(code.lower(), {}))
+        return merged
+
+    def path_selected(self, prefixes: Sequence[str]) -> bool:
+        """Whether this file lives under any of the configured path prefixes."""
+        if not prefixes:
+            return True
+        candidate = self.path
+        for prefix in prefixes:
+            normalized = str(PurePosixPath(prefix))
+            if candidate == normalized or candidate.startswith(normalized + "/"):
+                return True
+        return False
+
+    def path_allowed(self, allow: Sequence[str]) -> bool:
+        """Whether this file is on the rule's allow list (checked by suffix,
+        so absolute and repo-relative invocations agree)."""
+        return any(
+            self.path == str(PurePosixPath(entry))
+            or self.path.endswith("/" + str(PurePosixPath(entry)))
+            for entry in allow
+        )
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col,
+            rule=rule,
+            message=message,
+            scope=self.scope_of(node),
+            snippet=self.line_text(line).strip(),
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``contract`` and yield
+    findings from :meth:`check`."""
+
+    code: str = "RPL000"
+    name: str = "rule"
+    #: One-line statement of the invariant the rule protects (shown by
+    #: ``--list-rules`` and mirrored in docs/invariants.md).
+    contract: str = ""
+    defaults: dict = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def config(self, ctx: FileContext) -> dict:
+        return ctx.rule_config(self.code, self.defaults)
+
+
+#: Registry of rule instances keyed by code, populated via :func:`register`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    RULES[cls.code] = cls()
+    return cls
+
+
+# -- suppressions ----------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-analysis:\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)"
+    r"(?:\s+reason=(?P<reason>.+?))?\s*$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line suppression map plus the invalid-suppression findings."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    invalid: List[Finding] = field(default_factory=list)
+
+    def active(self, line: int, code: str) -> bool:
+        codes = self.by_line.get(line)
+        return bool(codes) and code in codes
+
+
+def parse_suppressions(path: str, lines: Sequence[str]) -> Suppressions:
+    """Collect ``# repro-analysis: disable=...`` comments.
+
+    An inline comment suppresses its own line; a standalone comment line
+    suppresses the next line as well.  A disable without a ``reason=`` is
+    reported as RPL000 -- the reason is the audit trail that keeps
+    grandfathered exemptions honest.
+    """
+    result = Suppressions()
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        }
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            result.invalid.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    col=text.index("#") + 1,
+                    rule="RPL000",
+                    message=(
+                        "suppression without a reason= -- every disable must "
+                        "say why the contract does not apply here"
+                    ),
+                    snippet=text.strip(),
+                )
+            )
+            continue
+        result.by_line.setdefault(number, set()).update(codes)
+        if text.lstrip().startswith("#"):
+            # Standalone comment: the exemption belongs to the next line.
+            result.by_line.setdefault(number + 1, set()).update(codes)
+    return result
+
+
+# -- file runs -------------------------------------------------------------------
+
+
+def check_source(
+    source: str,
+    path: str,
+    config: Optional[dict] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over one in-memory source file."""
+    try:
+        ctx = FileContext(path, source, config=config)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(PurePosixPath(path)),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="RPL000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(ctx.path, ctx.lines)
+    codes = sorted(select) if select else sorted(RULES)
+    findings: List[Finding] = list(suppressions.invalid)
+    for code in codes:
+        rule = RULES.get(code)
+        if rule is None:
+            raise ValueError(f"unknown rule {code!r}; known: {sorted(RULES)}")
+        for finding in rule.check(ctx):
+            if not suppressions.active(finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def check_file(
+    path: Path,
+    config: Optional[dict] = None,
+    select: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over one file on disk."""
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        rel_path = rel.as_posix()
+    except ValueError:
+        rel_path = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    return check_source(source, rel_path, config=config, select=select)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files the checker visits."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def check_paths(
+    paths: Sequence[Path],
+    config: Optional[dict] = None,
+    select: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, config=config, select=select, root=root))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, grandfathered, stale_fingerprints)``.  Baseline entries
+    with no matching finding are *stale*: the violation was fixed, so the
+    entry must be deleted (the baseline only ever shrinks).
+    """
+    matched: Set[str] = set()
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in baseline:
+            matched.add(fp)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [fp for fp in baseline if fp not in matched]
+    return new, grandfathered, stale

@@ -1,0 +1,22 @@
+"""Rule modules -- importing this package registers every rule.
+
+Each module defines one rule class decorated with
+:func:`repro.analysis.framework.register`; the import side effect populates
+:data:`repro.analysis.framework.RULES`.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    rpl001_accumulation,
+    rpl002_clock,
+    rpl003_puretask,
+    rpl004_locks,
+    rpl005_envelope,
+)
+
+__all__ = [
+    "rpl001_accumulation",
+    "rpl002_clock",
+    "rpl003_puretask",
+    "rpl004_locks",
+    "rpl005_envelope",
+]

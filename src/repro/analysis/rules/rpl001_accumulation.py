@@ -1,0 +1,228 @@
+"""RPL001 deterministic-accumulation.
+
+**Contract.**  Floating-point accumulation must iterate in a canonical order.
+The headline guarantee of this codebase -- sharded, vectorized and served
+executions are bit-identical to the plain engine -- holds because every
+float sum is performed over the same operands *in the same order* on every
+path.  Iterating a ``dict`` or ``set`` while accumulating floats ties the
+result to insertion/hash order: deterministic for one construction path, but
+silently different between two paths that build the container differently.
+That is precisely the bug class PR 5 fixed in the GES filters (unsorted word
+sums flipped candidates at min-hash lattice thresholds like 0.525).
+
+**Rule.**  Inside the configured layers (``core/``, ``shard/``,
+``declarative/``), flag:
+
+* ``target += value`` with float evidence, inside a ``for`` loop over an
+  unordered iterable -- a dict view (``.items()`` / ``.values()`` /
+  ``.keys()``), a ``set(...)`` call, a set literal/comprehension, or a name
+  assigned from one of those;
+* ``sum(...)`` over a generator/comprehension whose iterable is unordered.
+
+Wrapping the iterable in ``sorted(...)`` -- directly or via a local alias
+(``ordered = sorted(words)``) -- makes the order canonical and silences the
+rule.  Accumulations in nested ``def``s are attributed to their own loops,
+not the enclosing one.  Integral accumulation is exact in any order: disable
+with ``# repro-analysis: disable=RPL001 reason=...`` where the operands are
+provably integers, or where a *different* canonical order is the contract
+(the HMM kernels accumulate in query first-occurrence order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_ORDERED = "ordered"
+_UNORDERED = "unordered"
+
+_DICT_VIEW_METHODS = {"items", "values", "keys"}
+_UNORDERED_CALLS = {"set", "frozenset"}
+_ORDERING_CALLS = {"sorted", "list", "tuple", "enumerate", "range", "zip"}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class _OrderClassifier:
+    """Classify iterable expressions, tracking sorted()-aliasing of locals."""
+
+    def __init__(self, function: ast.AST):
+        #: name -> _ORDERED/_UNORDERED from simple assignments in this scope
+        #: (last assignment wins; good enough for the straight-line aliasing
+        #: the codebase uses: ``ordered = sorted(words)``).
+        self.aliases: Dict[str, str] = {}
+        stack: List[ast.AST] = list(getattr(function, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested scopes classify their own aliases
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    order = self.classify(node.value, resolve_names=False)
+                    if order is not None:
+                        self.aliases[target.id] = order
+            stack.extend(ast.iter_child_nodes(node))
+
+    def classify(
+        self, node: ast.expr, resolve_names: bool = True
+    ) -> Optional[str]:
+        """``_ORDERED`` / ``_UNORDERED`` / ``None`` (unknown)."""
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _UNORDERED_CALLS:
+                return _UNORDERED
+            if name in _ORDERING_CALLS:
+                return _ORDERED
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DICT_VIEW_METHODS
+            ):
+                return _UNORDERED
+            return None
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return _UNORDERED
+        if isinstance(node, (ast.List, ast.ListComp, ast.Tuple, ast.GeneratorExp)):
+            return _ORDERED
+        if resolve_names and isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        return None
+
+
+def _contains_float_constant(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, float):
+            return True
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.Div):
+            return True
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "math"
+        ):
+            return True
+    return False
+
+
+def _float_initialized_names(function: ast.AST) -> set:
+    """Names assigned a float constant anywhere in the function body."""
+    names = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, float
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, float)
+            and isinstance(node.target, ast.Name)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _loop_body_nodes(loop: ast.For) -> Iterator[ast.AST]:
+    """Walk the loop body, skipping nested function/lambda scopes (their
+    accumulations run per *call*, not per iteration of this loop)."""
+    stack: List[ast.AST] = list(loop.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class DeterministicAccumulation(Rule):
+    code = "RPL001"
+    name = "deterministic-accumulation"
+    contract = (
+        "float accumulation iterates in canonical (sorted) order -- never "
+        "raw dict/set order -- so every execution path sums identically"
+    )
+    defaults = {
+        "paths": ["src/repro/core", "src/repro/shard", "src/repro/declarative"],
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = self.config(ctx)
+        if not ctx.path_selected(config.get("paths", [])):
+            return
+        classifiers: Dict[ast.AST, _OrderClassifier] = {}
+
+        def classifier_for(node: ast.AST) -> _OrderClassifier:
+            function = ctx.enclosing_function(node) or ctx.tree
+            cached = classifiers.get(function)
+            if cached is None:
+                cached = _OrderClassifier(function)
+                classifiers[function] = cached
+            return cached
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                yield from self._check_loop(ctx, node, classifier_for(node))
+            elif isinstance(node, ast.Call) and _call_name(node) == "sum":
+                yield from self._check_sum(ctx, node, classifier_for(node))
+
+    def _check_loop(
+        self, ctx: FileContext, loop: ast.For, classifier: _OrderClassifier
+    ) -> Iterator[Finding]:
+        if classifier.classify(loop.iter) != _UNORDERED:
+            return
+        function = ctx.enclosing_function(loop) or ctx.tree
+        float_names = _float_initialized_names(function)
+        for node in _loop_body_nodes(loop):
+            if not isinstance(node, ast.AugAssign) or not isinstance(
+                node.op, ast.Add
+            ):
+                continue
+            target = node.target
+            floaty = _contains_float_constant(node.value)
+            if isinstance(target, ast.Name):
+                floaty = floaty or target.id in float_names
+                label = target.id
+            elif isinstance(target, ast.Subscript):
+                label = ast.unparse(target)
+            else:
+                label = ast.unparse(target)
+            if floaty:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"float accumulation into {label!r} iterates an unordered "
+                    "dict/set -- wrap the iterable in sorted(...) so every "
+                    "execution path sums in the same order",
+                )
+
+    def _check_sum(
+        self, ctx: FileContext, call: ast.Call, classifier: _OrderClassifier
+    ) -> Iterator[Finding]:
+        if not call.args:
+            return
+        argument = call.args[0]
+        iterables: List[ast.expr] = []
+        if isinstance(argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            iterables = [generator.iter for generator in argument.generators]
+        else:
+            iterables = [argument]
+        for iterable in iterables:
+            if classifier.classify(iterable) == _UNORDERED:
+                yield ctx.finding(
+                    call,
+                    self.code,
+                    "sum() over an unordered dict/set iterable -- sort the "
+                    "iterable (or disable with a reason if the operands are "
+                    "provably integral)",
+                )
+                return

@@ -1,0 +1,104 @@
+"""RPL002 sanctioned-clock.
+
+**Contract.**  All timing flows through ``repro.obs.clock.perf_clock``.  The
+tracing/metrics layer (PR 6) patches that single seam in tests to make span
+durations deterministic; a stray ``time.perf_counter()`` call elsewhere
+produces timestamps the instrumentation can neither see nor fake.  CI used to
+enforce this with a ``grep`` ban, which (a) could not tell a call from a
+docstring mention and (b) knew nothing about import aliasing
+(``import time as _t``).  This rule replaces the grep with scope-aware AST
+analysis: it tracks every alias of the ``time`` module and every
+``from time import ...`` binding, and flags any use of the banned wall/perf
+clock functions outside the allow-listed clock module.
+
+``time.sleep``, ``time.strftime`` etc. remain fine -- only the functions that
+*measure* time are sanctioned through the clock seam.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_DEFAULT_BANNED = [
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "time",
+    "time_ns",
+]
+
+
+@register
+class SanctionedClock(Rule):
+    code = "RPL002"
+    name = "sanctioned-clock"
+    contract = (
+        "only repro.obs.clock.perf_clock touches time.perf_counter / "
+        "time.monotonic / time.time -- one patchable seam for all timing"
+    )
+    defaults = {
+        "allow": ["src/repro/obs/clock.py"],
+        "banned": list(_DEFAULT_BANNED),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = self.config(ctx)
+        if ctx.path_allowed(config.get("allow", [])):
+            return
+        banned: Set[str] = set(config.get("banned", _DEFAULT_BANNED))
+
+        time_aliases: Set[str] = set()
+        from_bindings: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    if alias.name in banned:
+                        from_bindings.add(alias.asname or alias.name)
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"from time import {alias.name} bypasses the "
+                            "sanctioned clock -- use "
+                            "repro.obs.clock.perf_clock",
+                        )
+
+        if not time_aliases and not from_bindings:
+            return
+
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in banned
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_aliases
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{node.value.id}.{node.attr} outside repro.obs.clock -- "
+                    "use repro.obs.clock.perf_clock so tests and tracing can "
+                    "patch a single timing seam",
+                )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in from_bindings
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{node.id} (imported from time) outside repro.obs.clock "
+                    "-- use repro.obs.clock.perf_clock",
+                )

@@ -1,0 +1,153 @@
+"""RPL003 pure-task.
+
+**Contract.**  Every callable handed to an executor pool in the shard layer
+must be a module-level function.  Process pools pickle the callable by
+qualified name: a lambda or nested closure either fails to pickle or -- worse
+-- drags captured engine/backend/tracer state across the fork, so the child
+recomputes against stale snapshots and the retry/rebuild ladder (PR 9) stops
+being bit-identical to a fresh run.  Thread pools tolerate closures
+mechanically, but the shard layer keeps one contract for both so an executor
+swap (``executor="process"``) can never change results.
+
+**Rule.**  At every ``*.submit(fn, ...)`` call site in the configured paths,
+``fn`` must resolve to a module-level ``def`` or an imported name.  Flagged:
+lambdas, functions defined inside the enclosing function (closures), and
+bound attributes like ``self._run`` (close over instance state).
+``functools.partial(fn, ...)`` is unwrapped and ``fn`` judged by the same
+test.  ``submit(context.run, fn, ...)`` -- the contextvars propagation shim
+-- shifts the judged callable to the next argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope: defs, classes, imports, simple assigns."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _nested_def_names(function: ast.AST) -> Set[str]:
+    """Functions defined (at any depth) inside ``function`` -- closures."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if node is function:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+@register
+class PureTask(Rule):
+    code = "RPL003"
+    name = "pure-task"
+    contract = (
+        "callables submitted to executor pools are module-level functions -- "
+        "no lambdas, closures, or bound methods dragging engine state across "
+        "process forks"
+    )
+    defaults = {
+        "paths": ["src/repro/shard"],
+        "submit_methods": ["submit"],
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = self.config(ctx)
+        if not ctx.path_selected(config.get("paths", [])):
+            return
+        submit_methods = set(config.get("submit_methods", ["submit"]))
+        module_names = _module_level_names(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in submit_methods
+            ):
+                continue
+            if not node.args:
+                continue
+            task = node.args[0]
+            # contextvars shim: submit(context.run, real_task, ...)
+            if (
+                isinstance(task, ast.Attribute)
+                and task.attr == "run"
+                and len(node.args) >= 2
+            ):
+                task = node.args[1]
+            problem = self._judge(ctx, node, task, module_names)
+            if problem is not None:
+                yield ctx.finding(task, self.code, problem)
+
+    def _judge(
+        self,
+        ctx: FileContext,
+        submit_call: ast.Call,
+        task: ast.expr,
+        module_names: Set[str],
+    ) -> Optional[str]:
+        """Return the violation message for ``task``, or None if pure."""
+        # functools.partial(fn, ...): judge fn itself.
+        if isinstance(task, ast.Call):
+            callee = task.func
+            is_partial = (isinstance(callee, ast.Name) and callee.id == "partial") or (
+                isinstance(callee, ast.Attribute) and callee.attr == "partial"
+            )
+            if is_partial and task.args:
+                return self._judge(ctx, submit_call, task.args[0], module_names)
+            return (
+                "submitted callable is a call expression -- submit a "
+                "module-level function (optionally via functools.partial)"
+            )
+        if isinstance(task, ast.Lambda):
+            return (
+                "lambda submitted to an executor -- lambdas do not pickle and "
+                "close over local state; hoist to a module-level function"
+            )
+        if isinstance(task, ast.Attribute):
+            owner = task.value
+            owner_label = (
+                owner.id if isinstance(owner, ast.Name) else ast.unparse(owner)
+            )
+            if isinstance(owner, ast.Name) and owner.id in module_names:
+                return None  # imported-module function, e.g. pickle.dumps
+            return (
+                f"bound callable {owner_label}.{task.attr} submitted to an "
+                "executor -- it closes over instance state; submit a "
+                "module-level function taking explicit arguments"
+            )
+        if isinstance(task, ast.Name):
+            enclosing = ctx.enclosing_function(submit_call)
+            if (
+                enclosing is not None
+                and task.id in _nested_def_names(enclosing)
+            ):
+                return (
+                    f"nested function {task.id!r} submitted to an executor -- "
+                    "closures capture enclosing-frame state; hoist it to "
+                    "module level"
+                )
+            return None  # module-level def, import, or pass-through parameter
+        return None

@@ -1,0 +1,164 @@
+"""RPL004 lock-discipline.
+
+**Contract.**  Shared mutable caches are declared with a ``# guarded-by:``
+comment on their initializing assignment::
+
+    self._states = {}  # guarded-by: _lock
+    _ops = {}          # guarded-by: _ops_lock   (module level)
+
+Every other read or write of a declared attribute must sit lexically inside
+``with <owner>.<lock>:`` (or ``with <lock>:`` for module-level names).  This
+is the engine-cache race class PR 7 closed: an unlocked ``len(self._states)``
+or iteration over ``self._counters`` can observe a dict mid-resize from
+another thread and raise ``RuntimeError`` -- or worse, return a value no
+serialized execution could produce.
+
+Helpers that are *always called with the lock held* declare that instead of
+re-acquiring::
+
+    def _state_locked(self, key):  # requires-lock: _lock
+
+The marker may sit on the ``def`` line or on any line before the first body
+statement.  Intentionally lock-free fast paths (e.g. GIL-atomic ``dict.get``
+reads) carry an explicit ``# repro-analysis: disable=RPL004 reason=...``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_REQUIRES_RE = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _with_locks(ctx: FileContext, node: ast.AST) -> Set[str]:
+    """Lock names of every ``with`` statement lexically enclosing ``node``.
+
+    A context expression counts as a lock named ``L`` when it unparses to
+    ``L`` or ``<anything>.L`` -- covering ``with self._lock:``,
+    ``with cls._lock:`` and module-level ``with _ops_lock:``.
+    """
+    held: Set[str] = set()
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expr = ast.unparse(item.context_expr)
+                held.add(expr.rsplit(".", 1)[-1])
+    return held
+
+
+def _required_locks(ctx: FileContext, node: ast.AST) -> Set[str]:
+    """Locks declared held via ``# requires-lock:`` on enclosing functions."""
+    held: Set[str] = set()
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            first_body_line = ancestor.body[0].lineno if ancestor.body else (
+                ancestor.lineno + 1
+            )
+            for lineno in range(ancestor.lineno, first_body_line):
+                for match in _REQUIRES_RE.finditer(ctx.line_text(lineno)):
+                    held.add(match.group(1))
+    return held
+
+
+@register
+class LockDiscipline(Rule):
+    code = "RPL004"
+    name = "lock-discipline"
+    contract = (
+        "attributes declared '# guarded-by: <lock>' are only touched inside "
+        "'with <lock>:' (or in helpers marked '# requires-lock: <lock>')"
+    )
+    defaults: dict = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        instance_guards, module_guards, decl_lines = self._declarations(ctx)
+        if not instance_guards and not module_guards:
+            return
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if not (
+                    isinstance(node.value, ast.Name) and node.value.id == "self"
+                ):
+                    continue
+                lock = instance_guards.get(node.attr)
+                if lock is None or node.lineno in decl_lines:
+                    continue
+                if self._lock_held(ctx, node, lock):
+                    continue
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"self.{node.attr} is guarded by {lock!r} but accessed "
+                    f"outside 'with self.{lock}' -- take the lock or mark "
+                    f"the helper '# requires-lock: {lock}'",
+                )
+            elif isinstance(node, ast.Name):
+                lock = module_guards.get(node.id)
+                if lock is None or node.lineno in decl_lines:
+                    continue
+                if self._lock_held(ctx, node, lock):
+                    continue
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{node.id} is guarded by {lock!r} but accessed outside "
+                    f"'with {lock}'",
+                )
+
+    def _lock_held(self, ctx: FileContext, node: ast.AST, lock: str) -> bool:
+        if lock in _with_locks(ctx, node):
+            return True
+        return lock in _required_locks(ctx, node)
+
+    def _declarations(
+        self, ctx: FileContext
+    ) -> Tuple[Dict[str, str], Dict[str, str], Set[int]]:
+        """Collect guarded-by declarations.
+
+        Returns ``(instance_guards, module_guards, declaration_lines)`` where
+        the guard maps go from attribute/name to lock name.  Declaration
+        lines are exempt from the access check (the initializing write).
+        """
+        guarded_lines: Dict[int, str] = {}
+        for number, text in enumerate(ctx.lines, start=1):
+            match = _GUARDED_RE.search(text)
+            if match is not None:
+                guarded_lines[number] = match.group(1)
+
+        instance_guards: Dict[str, str] = {}
+        module_guards: Dict[str, str] = {}
+        decl_lines: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            lock = guarded_lines.get(node.lineno)
+            if lock is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    instance_guards[target.attr] = lock
+                    decl_lines.add(node.lineno)
+                elif isinstance(target, ast.Name) and self._is_module_level(
+                    ctx, node
+                ):
+                    module_guards[target.id] = lock
+                    decl_lines.add(node.lineno)
+        return instance_guards, module_guards, decl_lines
+
+    @staticmethod
+    def _is_module_level(ctx: FileContext, node: ast.AST) -> bool:
+        parent: Optional[ast.AST] = ctx.parent(node)
+        return isinstance(parent, ast.Module)

@@ -1,0 +1,97 @@
+"""RPL005 error-envelope.
+
+**Contract.**  The serving layer (PR 7/9) promises that every failure a
+client sees is a *structured* error envelope -- status, code, message,
+trace id -- never a swallowed exception that silently degrades results.  A
+bare ``except:`` or ``except Exception:`` in a handler is only acceptable
+when the handler either re-raises (letting an outer layer build the
+envelope) or explicitly converts the exception into the envelope / future
+error channel.
+
+**Rule.**  In the configured paths, flag any ``except`` clause catching
+nothing-specific (bare), ``Exception`` or ``BaseException`` whose body
+neither contains a ``raise`` nor calls one of the sanctioned converters
+(``error_envelope``, ``envelope``, ``_resolve``, ``set_exception`` by
+default).  Narrow excepts (``except KeyError:``) are not the rule's
+business -- they are considered deliberate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+_DEFAULT_CONVERTERS = ["error_envelope", "envelope", "_resolve", "set_exception"]
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _handles_properly(handler: ast.ExceptHandler, converters: Set[str]) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in converters:
+                return True
+    return False
+
+
+@register
+class ErrorEnvelope(Rule):
+    code = "RPL005"
+    name = "error-envelope"
+    contract = (
+        "serve/ handlers never swallow broad exceptions -- every "
+        "except/except Exception re-raises or converts to a structured "
+        "error envelope"
+    )
+    defaults = {
+        "paths": ["src/repro/serve"],
+        "converters": list(_DEFAULT_CONVERTERS),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        config = self.config(ctx)
+        if not ctx.path_selected(config.get("paths", [])):
+            return
+        converters: Set[str] = set(config.get("converters", _DEFAULT_CONVERTERS))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handles_properly(node, converters):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield ctx.finding(
+                node,
+                self.code,
+                f"{caught} swallows the error -- re-raise or convert it to "
+                "a structured envelope "
+                f"({', '.join(sorted(converters))})",
+            )

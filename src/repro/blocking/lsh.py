@@ -96,7 +96,7 @@ class MinHashLSH(Blocker):
     # -- fitting --------------------------------------------------------------
 
     def _fit(self, token_sets: List[FrozenSet[str]]) -> None:
-        self._buckets = [dict() for _ in range(self.num_bands)]
+        self._buckets = [{} for _ in range(self.num_bands)]
         self._band_keys = []
         for tid, tokens in enumerate(token_sets):
             keys = self._keys(self._signature(tokens))

@@ -296,7 +296,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             results = query.top_k(args.query, k=args.top)
     except ValueError as error:
-        raise SystemExit(f"error: {error}")
+        raise SystemExit(f"error: {error}") from error
     for result in results:
         print(f"{result.score:10.4f}\t{result.tid}\t{result.string}")
     if args.metrics_out is not None:
@@ -335,7 +335,7 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
     try:
         clusters = query.dedup(args.threshold)
     except ValueError as error:
-        raise SystemExit(f"error: {error}")
+        raise SystemExit(f"error: {error}") from error
     for label, cluster in enumerate(clusters):
         if len(cluster) < 2:
             continue

@@ -87,7 +87,7 @@ _forced: Optional[str] = None
 _ops_lock = threading.Lock()
 #: ``python_fallback`` counts numpy kernel *failures* healed by re-running
 #: the scalar path (the engine publishes it as ``kernel_ops.python_fallback``).
-_ops: Dict[str, int] = {"numpy": 0, "python": 0, "python_fallback": 0}
+_ops: Dict[str, int] = {"numpy": 0, "python": 0, "python_fallback": 0}  # guarded-by: _ops_lock
 
 
 def numpy_available() -> bool:

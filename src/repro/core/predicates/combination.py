@@ -93,11 +93,11 @@ class _CombinationBase(Predicate):
 
     def _is_candidate(self, query_words: Sequence[str], tid: int) -> bool:
         """Whether one tuple shares a word q-gram with the query (O(1) per gram)."""
-        for word in set(query_words):
-            for gram in self._grams(word):
-                if tid in self._qgram_to_tids.get(gram, ()):
-                    return True
-        return False
+        return any(
+            tid in self._qgram_to_tids.get(gram, ())
+            for word in set(query_words)
+            for gram in self._grams(word)
+        )
 
     def _query_words(self, query: str) -> List[str]:
         return self.tokenizer.tokenize(query)
@@ -292,7 +292,10 @@ class SoftTFIDF(_CombinationBase):
         if not tuple_words:
             return 0.0
         score = 0.0
-        for word, query_weight in query_weights.items():
+        # Sorted word order: the per-word contributions are floats, so the
+        # sum must run in canonical order to stay bit-identical across dict
+        # construction paths (RPL001).
+        for word, query_weight in sorted(query_weights.items()):
             best_similarity = 0.0
             best_word = None
             for other in tuple_words:

@@ -115,6 +115,7 @@ class HMM(Predicate):
         matched = False
         for token, multiplicity in Counter(self.tokenizer.tokenize(query)).items():
             if token in weights:
+                # repro-analysis: disable=RPL001 reason=query first-occurrence order IS the canonical order; _scores and the vectorized kernels accumulate in the same Counter order, so sorting would break bit-identity with them
                 log_score += multiplicity * weights[token]
                 matched = True
         return math.exp(log_score) if matched else 0.0

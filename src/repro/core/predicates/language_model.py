@@ -86,7 +86,9 @@ class LanguageModeling(Predicate):
             length = stats.length(tid) or 1
             tuple_pm: Dict[str, float] = {}
             log_complement_sum = 0.0
-            for token, tf in stats.term_frequencies(tid).items():
+            # Sorted token order keeps log_complement_sum bit-identical no
+            # matter how the term-frequency dict was built (RPL001).
+            for token, tf in sorted(stats.term_frequencies(tid).items()):
                 pml = tf / length
                 expected = pavg[token] * length  # f̄_{t,D}
                 risk = (1.0 / (1.0 + expected)) * (expected / (1.0 + expected)) ** tf

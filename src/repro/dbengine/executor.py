@@ -252,7 +252,7 @@ class SelectExecutor:
         merged_columns = left.columns + right.columns
         rows: List[tuple] = []
         if kind == "LEFT":
-            remaining = [c for c in consume_from]
+            remaining = list(consume_from)
             condition = _combine_conjuncts(used + remaining)
             consume_from.clear()
             null_pad = (None,) * len(right.columns)
@@ -628,9 +628,11 @@ def _contains_aggregate(expression: Expression) -> bool:
     if isinstance(expression, UnaryOp):
         return _contains_aggregate(expression.operand)
     if isinstance(expression, CaseExpression):
-        for condition, value in expression.whens:
-            if _contains_aggregate(condition) or _contains_aggregate(value):
-                return True
+        if any(
+            _contains_aggregate(condition) or _contains_aggregate(value)
+            for condition, value in expression.whens
+        ):
+            return True
         return expression.default is not None and _contains_aggregate(expression.default)
     if isinstance(expression, Between):
         return any(

@@ -139,23 +139,23 @@ class SimilarityEngine:
         #: executor on its default policy.
         self.faults = faults if faults is not None else faults_from_env()
         self.retry_policy = retry_policy
-        self._states: Dict[tuple, _FittedState] = {}
-        self._blockers: Dict[tuple, Blocker] = {}
+        self._states: Dict[tuple, _FittedState] = {}  # guarded-by: _lock
+        self._blockers: Dict[tuple, Blocker] = {}  # guarded-by: _lock
         #: ids of blockers this engine attached itself (vs. blockers a caller
         #: attached to a predicate instance before handing it over) -- only
         #: engine-attached blockers are detached for blocker-less queries.
-        self._attached_blocker_ids: set = set()
+        self._attached_blocker_ids: set = set()  # guarded-by: _lock
         #: id(predicate instance) -> key of the corpus the engine last fitted
         #: it on, so the per-access staleness check is an int comparison
         #: instead of an O(n) corpus comparison.
-        self._instance_fits: Dict[int, int] = {}
+        self._instance_fits: Dict[int, int] = {}  # guarded-by: _lock
         #: One SQL backend instance per backend *name*, shared by every
         #: declarative state the engine builds: shared token/weight cores
         #: (namespaced table prefixes, see :mod:`repro.declarative.shared`)
         #: live per backend instance, so fitting a second declarative
         #: predicate on an already-prepared backend reuses them.
-        self._backend_instances: Dict[str, object] = {}
-        self._corpora: Dict[tuple, _Corpus] = {}
+        self._backend_instances: Dict[str, object] = {}  # guarded-by: _lock
+        self._corpora: Dict[tuple, _Corpus] = {}  # guarded-by: _lock
         self._corpus_counter = 0
         #: Reentrant lock guarding the fitted-state/instance/backend caches
         #: and declarative SQL execution.  Concurrent callers (the serving
@@ -250,7 +250,11 @@ class SimilarityEngine:
     @property
     def cache_size(self) -> int:
         """Number of fitted predicate states currently cached."""
-        return len(self._states)
+        # len() on a dict is GIL-atomic, but a reader racing clear_cache()
+        # could still observe a size no serialized execution produces; the
+        # RLock is reentrant and uncontended here, so just take it (RPL004).
+        with self._lock:
+            return len(self._states)
 
     def _state(self, key: tuple, build) -> _FittedState:
         with self._lock:
@@ -535,8 +539,12 @@ class Query:
 
     def _blocker_for(
         self, predicate_key: tuple, threshold: Optional[float]
-    ) -> Optional[Blocker]:
-        """Resolve (and cache) the blocker this plan requests, if any."""
+    ) -> Optional[Blocker]:  # requires-lock: _lock
+        """Resolve (and cache) the blocker this plan requests, if any.
+
+        Only called from :meth:`_state_locked`, i.e. with the engine lock
+        already held (it touches the engine's ``_blockers`` cache).
+        """
         spec = self._blocker_spec
         if spec is None:
             return None
@@ -584,7 +592,7 @@ class Query:
 
     def _state_locked(
         self, predicate_key: tuple, engine: SimilarityEngine, obs, threshold
-    ) -> _FittedState:
+    ) -> _FittedState:  # requires-lock: _lock
         """Body of :meth:`_state`; runs under the engine lock so concurrent
         callers cannot double-fit one cache key or interleave the blocker
         reconciliation below with another thread's."""

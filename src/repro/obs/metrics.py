@@ -152,22 +152,27 @@ class MetricsRegistry:
     """Named counters and histograms, created on first use, thread-safe."""
 
     def __init__(self):
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # -- access ------------------------------------------------------------------
+    #
+    # The getters run a lock-free fast path first: dict.get is GIL-atomic
+    # and metric objects are only ever added (reset() is tests-only), so a
+    # hit needs no lock and the hot engine paths never serialize on the
+    # registry.  Creation falls into the locked setdefault.
 
     def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
+        counter = self._counters.get(name)  # repro-analysis: disable=RPL004 reason=GIL-atomic dict.get fast path; creation races fall through to the locked setdefault below
         if counter is None:
             with self._lock:
                 counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def gauge(self, name: str) -> Gauge:
-        gauge = self._gauges.get(name)
+        gauge = self._gauges.get(name)  # repro-analysis: disable=RPL004 reason=GIL-atomic dict.get fast path; creation races fall through to the locked setdefault below
         if gauge is None:
             with self._lock:
                 gauge = self._gauges.setdefault(name, Gauge(name))
@@ -176,7 +181,7 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
-        histogram = self._histograms.get(name)
+        histogram = self._histograms.get(name)  # repro-analysis: disable=RPL004 reason=GIL-atomic dict.get fast path; creation races fall through to the locked setdefault below
         if histogram is None:
             with self._lock:
                 histogram = self._histograms.setdefault(
@@ -194,32 +199,36 @@ class MetricsRegistry:
 
     def value(self, name: str) -> float:
         """Current value of a counter (0 if it was never incremented)."""
-        counter = self._counters.get(name)
+        counter = self._counters.get(name)  # repro-analysis: disable=RPL004 reason=GIL-atomic read of an insert-only dict; a racing creation just reads as 0
         return counter.value if counter is not None else 0
 
     def gauge_value(self, name: str) -> float:
         """Current level of a gauge (0 if it was never set)."""
-        gauge = self._gauges.get(name)
+        gauge = self._gauges.get(name)  # repro-analysis: disable=RPL004 reason=GIL-atomic read of an insert-only dict; a racing creation just reads as 0
         return gauge.value if gauge is not None else 0
 
     # -- snapshots ---------------------------------------------------------------
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot (see :mod:`repro.obs.export`)."""
-        return {
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: {"value": gauge.value, "high_water": gauge.high_water}
-                for name, gauge in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
-            },
-        }
+        # Unlike the single-key reads above, iterating the dicts while
+        # another thread inserts raises RuntimeError (dict mutated during
+        # iteration) -- snapshots take the lock (RPL004).
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: {"value": gauge.value, "high_water": gauge.high_water}
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
 
     def reset(self) -> None:
         """Drop every counter, gauge and histogram (tests; not live engines)."""

@@ -60,9 +60,9 @@ class CircuitBreaker:
         self.reset_timeout = reset_timeout
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = "closed"
-        self._failures = 0
-        self._opened_at = 0.0
+        self._state = "closed"  # guarded-by: _lock
+        self._failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
 
     def __getstate__(self) -> dict:
         """Locks do not pickle; a fresh one is created on load."""
@@ -121,7 +121,8 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"CircuitBreaker(state={self.state!r}, "
-            f"failures={self._failures}/{self.failure_threshold})"
-        )
+        with self._lock:
+            return (
+                f"CircuitBreaker(state={self._state!r}, "
+                f"failures={self._failures}/{self.failure_threshold})"
+            )

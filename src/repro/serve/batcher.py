@@ -25,6 +25,7 @@ before resolving, so a late batch never trips over a cancelled waiter.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Awaitable, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs.trace import Observability
@@ -177,10 +178,9 @@ class MicroBatcher:
         """
         if future.done():
             return
-        try:
+        with contextlib.suppress(asyncio.InvalidStateError):
+            # InvalidStateError: cancelled since the done() check above.
             if error is not None:
                 future.set_exception(error)
             else:
                 future.set_result(result)
-        except asyncio.InvalidStateError:  # cancelled since the done() check
-            pass

@@ -138,9 +138,10 @@ def parse_query_request(
         raise ProtocolError(f"unknown op {op!r}; expected one of {list(_OPS)}")
     k = payload.get("k")
     threshold = payload.get("threshold")
-    if op == "top_k":
-        if k is None or not isinstance(k, int) or isinstance(k, bool) or k < 0:
-            raise ProtocolError("op='top_k' requires a non-negative integer k")
+    if op == "top_k" and (
+        k is None or not isinstance(k, int) or isinstance(k, bool) or k < 0
+    ):
+        raise ProtocolError("op='top_k' requires a non-negative integer k")
     if op == "select":
         if threshold is None or isinstance(threshold, bool) or not isinstance(
             threshold, (int, float)

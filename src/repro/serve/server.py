@@ -28,6 +28,7 @@ response still arrives.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import math
 import signal
@@ -149,10 +150,8 @@ class ServeServer:
             pass
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError, asyncio.CancelledError):
                 await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -290,10 +289,8 @@ def run_server(
         if install_signal_handlers:
             loop = asyncio.get_running_loop()
             for signum in (signal.SIGTERM, signal.SIGINT):
-                try:
-                    loop.add_signal_handler(signum, server.request_stop)
-                except (NotImplementedError, RuntimeError):  # non-POSIX loops
-                    pass
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(signum, server.request_stop)  # no-op on non-POSIX loops
         if on_listening is not None:
             on_listening(bound_host, bound_port)
         await server.serve_until_stopped()

@@ -130,7 +130,7 @@ class SimilarityService:
         self.batcher = MicroBatcher(
             self._run_batch, window=batch_window, max_batch=batch_max, obs=self.obs
         )
-        self._corpora: "OrderedDict[str, _CorpusEntry]" = OrderedDict()
+        self._corpora: "OrderedDict[str, _CorpusEntry]" = OrderedDict()  # guarded-by: _corpora_lock
         self._corpora_lock = threading.Lock()
         self._draining = False
 
@@ -363,25 +363,24 @@ class SimilarityService:
             tuple(request.deadline for request in requests)
         )
         try:
-            with entry.lock:
-                with deadline_scope(batch_deadline):
-                    if self.faults.active:
-                        self.faults.check("serve.batch")
-                    with tracer.span(
-                        "serve.batch",
-                        corpus_id=first.corpus_id,
+            with entry.lock, deadline_scope(batch_deadline):
+                if self.faults.active:
+                    self.faults.check("serve.batch")
+                with tracer.span(
+                    "serve.batch",
+                    corpus_id=first.corpus_id,
+                    op=first.op,
+                    predicate=first.predicate,
+                    batch_size=len(requests),
+                ) as span:
+                    query = self._build_query(entry, first)
+                    batches = query.run_many(
+                        [request.text for request in requests],
                         op=first.op,
-                        predicate=first.predicate,
-                        batch_size=len(requests),
-                    ) as span:
-                        query = self._build_query(entry, first)
-                        batches = query.run_many(
-                            [request.text for request in requests],
-                            op=first.op,
-                            k=first.k,
-                            threshold=first.threshold,
-                            limit=first.limit,
-                        )
+                        k=first.k,
+                        threshold=first.threshold,
+                        limit=first.limit,
+                    )
         except DeadlineExceeded:
             raise
         except Exception:

@@ -48,6 +48,7 @@ fault must not refire.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import itertools
 import multiprocessing
@@ -200,7 +201,7 @@ class ShardExecutor(ABC):
         # or rebuild re-run -- goes back to the clean original payload so a
         # consumed one-shot fault cannot refire.
         dispatch: List[dict] = []
-        for shard_id, op, payload in tasks:
+        for _shard_id, _op, payload in tasks:
             stats.tasks += 1
             staged = payload
             if self._faults.active:
@@ -255,7 +256,7 @@ class ShardExecutor(ABC):
                     results[i] = self._fallback_serial(i, tasks, stats)
                 break
             retry_next: List[int] = []
-            for i, exc in failed:
+            for i, _exc in failed:
                 if attempts[i] < self._retry.max_attempts:
                     stats.task_retries += 1
                     dispatch[i] = tasks[i][2]
@@ -282,6 +283,10 @@ class SerialShardExecutor(ShardExecutor):
         stats = ResilienceStats(executor=self.name)
         self.last_resilience = stats
         results: List[object] = []
+
+        def count_retry(_attempt: int, _exc: BaseException) -> None:
+            stats.task_retries += 1
+
         for shard_id, op, payload in tasks:
             stats.tasks += 1
             check_deadline()
@@ -293,19 +298,12 @@ class SerialShardExecutor(ShardExecutor):
                     staged = dict(payload, _fault=directive)
             box = [staged]
 
-            def attempt() -> object:
+            def attempt(box=box, payload=payload, shard_id=shard_id, op=op) -> object:
                 current, box[0] = box[0], payload  # retries run clean
                 return _run_task(self._shards[shard_id], op, current)
 
             try:
-                results.append(
-                    self._retry.run(
-                        attempt,
-                        on_retry=lambda _n, _exc: setattr(
-                            stats, "task_retries", stats.task_retries + 1
-                        ),
-                    )
-                )
+                results.append(self._retry.run(attempt, on_retry=count_retry))
             except DeadlineExceeded:
                 raise
             except Exception:
@@ -453,10 +451,8 @@ class ProcessShardExecutor(ShardExecutor):
         super().close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
 
 _EXECUTORS = {

@@ -1,0 +1,12 @@
+"""RPL001 bad fixture: float accumulation over unordered iterables."""
+
+
+def total_weight(weights):
+    total = 0.0
+    for _token, weight in weights.items():
+        total += weight * 0.5
+    return total
+
+
+def sum_of_set(values):
+    return sum(1.0 / value for value in set(values))

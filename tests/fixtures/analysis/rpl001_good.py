@@ -1,0 +1,43 @@
+"""RPL001 good fixture: canonical order, aliasing, tricky scopes."""
+
+
+def total_weight(weights):
+    total = 0.0
+    for _token, weight in sorted(weights.items()):
+        total += weight * 0.5
+    return total
+
+
+def aliased(words):
+    # sorted() behind a local alias is still canonical order.
+    ordered = sorted(words)
+    total = 0.0
+    for word in ordered:
+        total += len(word) / 2.0
+    return total
+
+
+def integral(counts):
+    # Integer accumulation is exact in any order: not the rule's business.
+    total = 0
+    for value in counts.values():
+        total += value
+    return total
+
+
+def nested(weights):
+    # The += lives in a nested def: it runs per *call*, not per iteration
+    # of the unordered loop, so it must not be attributed to that loop.
+    callbacks = []
+    for _token, weight in weights.items():
+        def scale(base=weight):
+            subtotal = 0.0
+            subtotal += base * 1.0
+            return subtotal
+        callbacks.append(scale)
+    return callbacks
+
+
+def comprehension(weights):
+    # sum() over a list comprehension of sorted items: ordered iterable.
+    return sum(weight * 0.5 for weight in sorted(weights.values()))

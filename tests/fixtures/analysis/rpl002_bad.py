@@ -1,0 +1,12 @@
+"""RPL002 bad fixture: unsanctioned clock access, including aliasing."""
+
+import time as _clock
+from time import perf_counter
+
+
+def now():
+    return _clock.monotonic()
+
+
+def stamp():
+    return perf_counter()

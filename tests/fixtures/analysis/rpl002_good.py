@@ -1,0 +1,13 @@
+"""RPL002 good fixture: time.perf_counter appears in prose only.
+
+The old CI grep ban tripped on docstrings that merely *mention*
+time.perf_counter; the AST rule only flags actual uses.
+"""
+
+import time
+
+
+def pause():
+    """Sleeps; never calls time.perf_counter."""
+    time.sleep(0)  # sleep does not measure time
+    return "time.perf_counter"  # string mention, not a use

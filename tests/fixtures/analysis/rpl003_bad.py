@@ -1,0 +1,19 @@
+"""RPL003 bad fixture: impure callables submitted to executors."""
+
+
+class Runner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def go(self, value):
+        futures = [self.pool.submit(lambda: value + 1)]
+
+        def helper():
+            return value
+
+        futures.append(self.pool.submit(helper))
+        futures.append(self.pool.submit(self._work, value))
+        return futures
+
+    def _work(self, value):
+        return value

@@ -1,0 +1,22 @@
+"""RPL003 good fixture: module-level tasks, shims, partials."""
+
+import contextvars
+from functools import partial
+
+
+def task(value):
+    return value + 1
+
+
+class Runner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def go(self, value):
+        context = contextvars.copy_context()
+        return [
+            self.pool.submit(task, value),
+            # contextvars shim: the judged callable is the one after run.
+            self.pool.submit(context.run, task, value),
+            self.pool.submit(partial(task, value)),
+        ]

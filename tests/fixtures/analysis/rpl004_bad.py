@@ -1,0 +1,16 @@
+"""RPL004 bad fixture: a guarded attribute read outside its lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def size(self):
+        return len(self._entries)
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)

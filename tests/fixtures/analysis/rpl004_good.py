@@ -1,0 +1,24 @@
+"""RPL004 good fixture: with-blocks, requires-lock helpers, module names."""
+
+import threading
+
+_registry_lock = threading.Lock()
+_registry = {}  # guarded-by: _registry_lock
+
+
+def add_entry(name, value):
+    with _registry_lock:
+        _registry[name] = value
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def get(self, key):
+        with self._lock:
+            return self._lookup(key)
+
+    def _lookup(self, key):  # requires-lock: _lock
+        return self._entries.get(key)

@@ -1,0 +1,15 @@
+"""RPL005 bad fixture: swallowed broad exceptions in handlers."""
+
+
+def handle(request, engine):
+    try:
+        return engine.run(request)
+    except Exception:
+        return None
+
+
+def handle_bare(request, engine):
+    try:
+        return engine.run(request)
+    except:
+        return {"ok": False}

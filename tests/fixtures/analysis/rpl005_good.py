@@ -1,0 +1,28 @@
+"""RPL005 good fixture: broad excepts that re-raise or build envelopes."""
+
+
+def error_envelope(exc):
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+def handle(request, engine):
+    try:
+        return engine.run(request)
+    except Exception as exc:
+        return error_envelope(exc)
+
+
+def handle_reraise(request, engine, log):
+    try:
+        return engine.run(request)
+    except BaseException:
+        log.warning("request failed")
+        raise
+
+
+def handle_narrow(request, engine):
+    # Narrow excepts are deliberate; the rule only polices broad ones.
+    try:
+        return engine.run(request)
+    except KeyError:
+        return None

@@ -115,7 +115,7 @@ class TestSelectBasics:
 
     def test_like(self, db):
         result = db.query("SELECT token FROM tokens WHERE token LIKE 'a%'")
-        assert set(row[0] for row in result.rows) == {"AB"}
+        assert {row[0] for row in result.rows} == {"AB"}
 
     def test_in_list(self, db):
         result = db.query("SELECT DISTINCT tid FROM tokens WHERE token IN ('AB', 'XY')")

@@ -378,17 +378,17 @@ class TestEditDistanceShardParity:
 
 class TestClockDiscipline:
     def test_no_bare_perf_counter_outside_obs_clock(self):
-        """Mirror of the CI grep ban: ``time.perf_counter`` appears only in
-        ``repro/obs/clock.py`` (and doc text)."""
+        """Mirror of the CI ``lint-invariants`` job: rule RPL002 (the
+        scope-aware replacement for the old grep ban) finds no sanctioned-
+        clock violations outside ``repro/obs/clock.py``."""
+        from repro.analysis import check_paths, load_config
+
         repo = Path(__file__).resolve().parent.parent
-        offenders = []
-        for directory in ("src/repro", "benchmarks", "examples"):
-            for path in (repo / directory).rglob("*.py"):
-                if path.name == "clock.py" and path.parent.name == "obs":
-                    continue
-                for number, line in enumerate(
-                    path.read_text(encoding="utf-8").splitlines(), start=1
-                ):
-                    if "time.perf_counter" in line and "``" not in line:
-                        offenders.append(f"{path}:{number}: {line.strip()}")
-        assert not offenders, "\n".join(offenders)
+        config = load_config(repo)
+        findings = check_paths(
+            [repo / "src" / "repro", repo / "benchmarks", repo / "examples"],
+            config=config.rules,
+            select=["RPL002"],
+            root=repo,
+        )
+        assert not findings, "\n".join(f.render() for f in findings)

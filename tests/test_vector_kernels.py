@@ -162,7 +162,7 @@ class TestTopKBitIdentical:
         for query in ("Morgn Stanley", "IBM Corp", "zzz"):
             for k in (1, 10, 100):
                 python_top, numpy_top = _both_backends(
-                    lambda: (
+                    lambda query=query, k=k: (
                         _pairs(predicate.top_k(query, k)),
                         predicate.pruning_stats,
                     )
